@@ -1,0 +1,120 @@
+"""Ablation: the Sec. IV-C BOP heuristic vs exhaustive search.
+
+The paper claims its heuristic "simplifies the search while maintaining
+acceptable performance" (Sec. IV-C / Table II discussion).  This bench
+drives both strategies with a *synthetic* BER response (monotone in the
+bottleneck size, with diminishing returns — the Fig. 9 shape) so the
+comparison isolates the search logic from training noise:
+
+- the heuristic stops at the first feasible ladder rung;
+- exhaustive search evaluates every (compression, depth) pair and picks
+  the minimum-objective feasible one.
+
+Expected shape: the heuristic needs a fraction of the trials and its
+selected objective stays within a small factor of the exhaustive
+optimum; a mu sweep shows the objective reweighting moves the
+exhaustive choice while the heuristic (which ignores the objective
+beyond feasibility) stays put.
+"""
+
+import numpy as np
+
+from repro.analysis.report import ExperimentReport
+from repro.config import SMOKE
+from repro.core.bop import BopConstraints, solve_bop
+from repro.core.costs import StaCostModel, splitbeam_feedback_bits
+from repro.datasets import build_dataset, dataset_spec
+
+from benchmarks.conftest import record_report
+
+DATASET_ID = "D1"
+
+
+def synthetic_evaluator(input_dim: int):
+    """BER model: falls with bottleneck size and depth (Fig. 9 shape)."""
+
+    def evaluate(widths, compression):
+        bottleneck = widths[1]
+        depth_bonus = 0.8 ** (len(widths) - 3)
+        ber = 0.18 * np.exp(-14.0 * bottleneck / input_dim) * depth_bonus + 0.004
+        return float(ber), None
+
+    return evaluate
+
+
+def exhaustive_search(dataset, constraints, cost_model, evaluator):
+    """Evaluate every (compression, extra_layers) pair; pick the best."""
+    input_dim, output_dim = dataset.input_dim, dataset.output_dim
+    best = None
+    trials = 0
+    for extra_layers in range(3):
+        for compression in (1 / 32, 1 / 16, 1 / 8, 1 / 4):
+            bottleneck = max(1, round(compression * input_dim))
+            widths = (
+                [input_dim, bottleneck]
+                + [bottleneck] * extra_layers
+                + [output_dim]
+            )
+            ber, _ = evaluator(widths, compression)
+            trials += 1
+            head = 2.0 * widths[0] * widths[1]
+            tail = 2.0 * sum(
+                widths[i] * widths[i + 1] for i in range(1, len(widths) - 1)
+            )
+            bits = splitbeam_feedback_bits(bottleneck)
+            delay = cost_model.end_to_end_delay_s(head, tail, bits)
+            if ber > constraints.max_ber or delay >= constraints.max_delay_s:
+                continue
+            objective = cost_model.bop_objective(
+                head, tail, bits, mu=constraints.mu
+            )
+            if best is None or objective < best[0]:
+                best = (objective, widths, ber)
+    return best, trials
+
+
+def compute_report() -> ExperimentReport:
+    report = ExperimentReport("Ablation: BOP heuristic vs exhaustive search")
+    dataset = build_dataset(dataset_spec(DATASET_ID), fidelity=SMOKE, seed=7)
+    evaluator = synthetic_evaluator(dataset.input_dim)
+    cost_model = StaCostModel(feedback_bandwidth_mhz=20)
+
+    for mu in (0.2, 0.5, 0.8):
+        constraints = BopConstraints(max_ber=0.02, max_delay_s=10e-3, mu=mu)
+        heuristic = solve_bop(
+            dataset, constraints, evaluator=evaluator, cost_model=cost_model
+        )
+        best, exhaustive_trials = exhaustive_search(
+            dataset, constraints, cost_model, evaluator
+        )
+        assert best is not None
+        report.add(f"mu={mu} heuristic", "trials", heuristic.n_trials)
+        report.add(
+            f"mu={mu} heuristic", "objective", heuristic.selected.objective
+        )
+        report.add(f"mu={mu} heuristic", "BER", heuristic.selected.ber)
+        report.add(f"mu={mu} exhaustive", "trials", exhaustive_trials)
+        report.add(f"mu={mu} exhaustive", "objective", best[0])
+        report.add(f"mu={mu} exhaustive", "BER", best[2])
+    return report
+
+
+def test_ablation_bop_search(benchmark):
+    report = benchmark.pedantic(compute_report, rounds=1, iterations=1)
+    record_report("ablation_bop_search", report.render(precision=4))
+
+    values = {(r.setting, r.metric): r.measured for r in report.records}
+    for mu in (0.2, 0.5, 0.8):
+        h_trials = values[(f"mu={mu} heuristic", "trials")]
+        e_trials = values[(f"mu={mu} exhaustive", "trials")]
+        h_obj = values[(f"mu={mu} heuristic", "objective")]
+        e_obj = values[(f"mu={mu} exhaustive", "objective")]
+        # The heuristic stops early; exhaustive tries the full grid.
+        assert h_trials < e_trials
+        # Feasible-first is never better than the optimum, but stays
+        # within a small factor of it ("acceptable performance").
+        assert e_obj <= h_obj + 1e-12
+        assert h_obj <= 3.0 * e_obj
+        # Both respect the BER ceiling.
+        assert values[(f"mu={mu} heuristic", "BER")] <= 0.02
+        assert values[(f"mu={mu} exhaustive", "BER")] <= 0.02

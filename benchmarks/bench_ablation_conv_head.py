@@ -1,0 +1,77 @@
+"""Ablation: dense head (SplitBeam) vs convolutional head (CsiNet-style).
+
+The paper's related work credits CNN-based CSI compression (CsiNet [18],
+DeepCMC [19]) for cellular MIMO but builds SplitBeam around a single
+dense layer at the STA.  This ablation trains both families on the same
+dataset, same compression, same recipe, and compares BER against STA
+compute.  Expected shape: the conv encoder's frequency-local filters do
+not buy enough BER to justify their extra MACs — the dense head
+dominates on BER *per FLOP*, which is the architectural argument behind
+SplitBeam's O(K) head.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.baselines.csinet import CsiNetFeedback, train_csinet
+from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
+from repro.phy.link import LinkConfig
+
+from benchmarks.conftest import record_report
+
+DATASET_ID = "D1"
+COMPRESSIONS = (1 / 8, 1 / 4)
+LINK = LinkConfig(snr_db=20.0)
+
+
+def compute_report(caches, fidelity) -> ExperimentReport:
+    report = ExperimentReport(
+        "Ablation: dense vs convolutional head (D1, 2x2 @ 20 MHz)"
+    )
+    dataset = caches.dataset(DATASET_ID, fidelity)
+    indices = dataset.splits.test[: fidelity.ber_samples]
+    for compression in COMPRESSIONS:
+        dense = caches.trained(DATASET_ID, fidelity, compression)
+        conv = train_csinet(
+            dataset, compression=compression, fidelity=fidelity, seed=0
+        )
+        for scheme in (SplitBeamFeedback(dense), CsiNetFeedback(conv)):
+            evaluation = evaluate_scheme(scheme, dataset, indices, LINK)
+            kind = "dense" if "SplitBeam" in evaluation.scheme_name else "conv"
+            label = f"K=1/{round(1 / compression)} {kind}"
+            report.add(label, "BER", evaluation.ber)
+            report.add(label, "STA FLOPs", evaluation.sta_flops)
+            report.add(label, "feedback bits", evaluation.feedback_bits)
+    return report
+
+
+def test_ablation_conv_head(benchmark, caches, bench_fidelity):
+    report = benchmark.pedantic(
+        compute_report, args=(caches, bench_fidelity), rounds=1, iterations=1
+    )
+    record_report("ablation_conv_head", report.render(precision=4))
+
+    bers = {r.setting: r.measured for r in report.records if r.metric == "BER"}
+    flops = {
+        r.setting: r.measured
+        for r in report.records
+        if r.metric == "STA FLOPs"
+    }
+    bits = {
+        r.setting: r.measured
+        for r in report.records
+        if r.metric == "feedback bits"
+    }
+    for compression in COMPRESSIONS:
+        k = f"K=1/{round(1 / compression)}"
+        # Same bottleneck -> same over-the-air feedback.
+        assert bits[f"{k} dense"] == bits[f"{k} conv"]
+        # The conv front-end always costs extra STA compute.
+        assert flops[f"{k} conv"] > flops[f"{k} dense"]
+        # Both families learn the task (bounded BER) ...
+        assert bers[f"{k} dense"] < 0.1
+        assert bers[f"{k} conv"] < 0.15
+        # ... but the conv head does not dominate: its BER advantage (if
+        # any) is smaller than its >2x FLOP premium, so dense wins the
+        # BER-per-FLOP frontier.
+        flop_premium = flops[f"{k} conv"] / flops[f"{k} dense"]
+        assert flop_premium > 2.0
+        assert bers[f"{k} conv"] > bers[f"{k} dense"] * 0.5

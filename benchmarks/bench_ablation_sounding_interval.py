@@ -1,0 +1,78 @@
+"""Ablation: deriving the 10 ms MU-MIMO sounding guidance.
+
+The paper quotes [7]: MU-MIMO should sound "at least once every 10 ms
+to account for user mobility", and budgets SplitBeam's end-to-end delay
+against it (Table III discussion).  The channel-aging model makes the
+number derivable: goodput over the sounding interval has an interior
+optimum between airtime waste (sounding too often) and beamforming
+staleness (sounding too rarely).  This bench locates that optimum for
+pedestrian/brisk Doppler with 802.11-sized and SplitBeam-sized
+reports.
+
+Expected shape: optima in the low-millisecond band (consistent with the
+10 ms ceiling), moving earlier as Doppler grows, and SplitBeam's
+smaller report yielding strictly higher peak goodput.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.sounding.aging import AgingGoodputModel, optimal_sounding_interval
+from repro.standard.feedback import Dot11FeedbackConfig, bmr_bits
+
+from benchmarks.conftest import record_report
+
+N_USERS = 3
+BANDWIDTH_MHZ = 80
+SPLITBEAM_FRACTION = 1 / 5  # ~K=1/8 under the Eq. (9) conventions
+
+
+def compute_report() -> ExperimentReport:
+    report = ExperimentReport(
+        "Ablation: goodput-optimal sounding interval (3x3 @ 80 MHz)"
+    )
+    config = Dot11FeedbackConfig(
+        n_tx=N_USERS, n_rx=1, n_streams=1, bandwidth_mhz=BANDWIDTH_MHZ
+    )
+    dot11_bits = bmr_bits(config)
+    schemes = {
+        "802.11": dot11_bits,
+        "SplitBeam": int(dot11_bits * SPLITBEAM_FRACTION),
+    }
+    for doppler_hz in (2.0, 8.0, 25.0):
+        for scheme, bits in schemes.items():
+            model = AgingGoodputModel(
+                n_users=N_USERS,
+                bandwidth_mhz=BANDWIDTH_MHZ,
+                feedback_bits_per_user=bits,
+                doppler_hz=doppler_hz,
+            )
+            interval, goodput = optimal_sounding_interval(model)
+            label = f"fd={doppler_hz:g} Hz {scheme}"
+            report.add(label, "optimal interval ms", interval * 1e3)
+            report.add(label, "peak goodput Mb/s", goodput / 1e6)
+    return report
+
+
+def test_ablation_sounding_interval(benchmark):
+    report = benchmark.pedantic(compute_report, rounds=1, iterations=1)
+    record_report("ablation_sounding_interval", report.render(precision=4))
+
+    values = {(r.setting, r.metric): r.measured for r in report.records}
+    for doppler_hz in (2.0, 8.0, 25.0):
+        dot11 = values[(f"fd={doppler_hz:g} Hz 802.11", "optimal interval ms")]
+        split = values[(f"fd={doppler_hz:g} Hz SplitBeam", "optimal interval ms")]
+        # All optima respect the paper's 10 ms ceiling at brisk mobility.
+        if doppler_hz >= 8.0:
+            assert dot11 <= 10.0
+            assert split <= 10.0
+        # SplitBeam's lighter report never sounds *less* often and always
+        # clears more goodput.
+        assert split <= dot11 + 1e-9
+        assert (
+            values[(f"fd={doppler_hz:g} Hz SplitBeam", "peak goodput Mb/s")]
+            > values[(f"fd={doppler_hz:g} Hz 802.11", "peak goodput Mb/s")]
+        )
+    # Faster channels demand more frequent sounding.
+    assert (
+        values[("fd=25 Hz 802.11", "optimal interval ms")]
+        <= values[("fd=2 Hz 802.11", "optimal interval ms")]
+    )

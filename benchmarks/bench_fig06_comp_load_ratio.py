@@ -1,0 +1,61 @@
+"""Fig. 6: SplitBeam/802.11 computational-load ratio.
+
+Regenerates the two bar groups of Fig. 6 — 4x4 and 8x8 MU-MIMO with
+Nss,i = 1 and K in {1/32, 1/16, 1/8, 1/4} over 20/40/80 MHz — from the
+analytical cost models (Sec. IV-E1), and checks the paper's headline
+claims: 75%/87% reduction at 80 MHz with K = 1/8 and a ~73% average
+improvement.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.core.costs import comp_load_ratio
+
+from benchmarks.conftest import record_report
+
+COMPRESSIONS = (1 / 32, 1 / 16, 1 / 8, 1 / 4)
+BANDWIDTHS = (20, 40, 80)
+#: Anchor points quoted in Sec. IV-E1 (ratio = 1 - reduction).
+PAPER_ANCHORS = {(4, 80, 1 / 8): 0.25, (8, 80, 1 / 8): 0.13}
+
+
+def compute_report() -> ExperimentReport:
+    report = ExperimentReport("Fig. 6: comp. load ratio SplitBeam/802.11 (%)")
+    for mimo in (4, 8):
+        for bandwidth in BANDWIDTHS:
+            for compression in COMPRESSIONS:
+                ratio = comp_load_ratio(compression, mimo, mimo, bandwidth)
+                paper = PAPER_ANCHORS.get((mimo, bandwidth, compression))
+                report.add(
+                    f"{mimo}x{mimo} {bandwidth} MHz K=1/{round(1 / compression)}",
+                    "ratio %",
+                    100 * ratio,
+                    paper_value=100 * paper if paper is not None else None,
+                )
+    ratios = [r.measured for r in report.records]
+    report.add(
+        "average over grid",
+        "ratio %",
+        sum(ratios) / len(ratios),
+        paper_value=27.0,
+        note="paper: 'on average improves computation by 73%'",
+    )
+    return report
+
+
+def test_fig06_comp_load_ratio(benchmark):
+    report = benchmark.pedantic(compute_report, rounds=1, iterations=1)
+    record_report("fig06_comp_load_ratio", report.render(precision=3))
+
+    by_setting = {r.setting: r.measured for r in report.records}
+    # Headline anchors within a couple of points of the paper.
+    assert abs(by_setting["4x4 80 MHz K=1/8"] - 25.0) < 2.0
+    assert by_setting["8x8 80 MHz K=1/8"] < 15.0
+    # Ratio scales linearly with K and improves with array size.
+    assert by_setting["4x4 80 MHz K=1/4"] > by_setting["4x4 80 MHz K=1/8"]
+    for bandwidth in BANDWIDTHS:
+        for compression in COMPRESSIONS:
+            key = f"K=1/{round(1 / compression)}"
+            assert (
+                by_setting[f"8x8 {bandwidth} MHz {key}"]
+                < by_setting[f"4x4 {bandwidth} MHz {key}"]
+            )

@@ -1,0 +1,83 @@
+"""Fig. 11: BER as a function of STA computational load.
+
+The paper plots (FLOPs, BER) points for SplitBeam at several
+compression levels against the single 802.11 operating point, for 2x2
+and 3x3 at 40 and 80 MHz.  Expected shape: the SplitBeam points sit at
+a small fraction of the 802.11 FLOPs while approaching its BER as K
+grows (the paper quotes ~70% load reduction at equal BER ~ 0.02, and
+larger gains for 3x3 than 2x2).
+
+Documented deviation: SplitBeam's head cost is quadratic in the
+subcarrier count (O(K * (Nt*Nr*S)^2)) while the 802.11 SVD+GR cost is
+linear in S, and our testbed geometry has Nr = 1 per STA (which makes
+the 802.11 side cheap).  At 80 MHz the K = 1/4 head therefore *exceeds*
+the 802.11 closed-form FLOPs — the same bandwidth trend the paper's own
+Fig. 6 shows (the ratio grows toward 50% at 80 MHz already for Nr = Nt).
+The FLOP-reduction assertion is therefore enforced for K <= 1/8, and
+K = 1/4 is only required to stay within 2x of the 802.11 point; the
+measured values are recorded for EXPERIMENTS.md either way.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.baselines import Dot11Feedback
+from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
+from repro.phy.link import LinkConfig
+
+from benchmarks.conftest import record_report
+
+COMPRESSIONS = (1 / 32, 1 / 8, 1 / 4)
+GRID = {
+    ("2x2", 40): "D5",
+    ("2x2", 80): "D9",
+    ("3x3", 40): "D6",
+    ("3x3", 80): "D10",
+}
+LINK = LinkConfig(snr_db=20.0)
+
+
+def compute_report(caches, fidelity) -> ExperimentReport:
+    report = ExperimentReport("Fig. 11: BER vs STA computational load (E1)")
+    for (config, bandwidth), dataset_id in GRID.items():
+        dataset = caches.dataset(dataset_id, fidelity)
+        indices = dataset.splits.test[: fidelity.ber_samples]
+        dot11 = evaluate_scheme(Dot11Feedback(), dataset, indices, LINK)
+        report.add(
+            f"{config} {bandwidth} MHz 802.11", "FLOPs", dot11.sta_flops
+        )
+        report.add(f"{config} {bandwidth} MHz 802.11", "BER", dot11.ber)
+        for compression in COMPRESSIONS:
+            trained = caches.trained(dataset_id, fidelity, compression)
+            evaluation = evaluate_scheme(
+                SplitBeamFeedback(trained), dataset, indices, LINK
+            )
+            label = f"{config} {bandwidth} MHz SB 1/{round(1 / compression)}"
+            report.add(label, "FLOPs", evaluation.sta_flops)
+            report.add(label, "BER", evaluation.ber)
+    return report
+
+
+def test_fig11_ber_vs_flops(benchmark, caches, bench_fidelity):
+    report = benchmark.pedantic(
+        compute_report, args=(caches, bench_fidelity), rounds=1, iterations=1
+    )
+    record_report("fig11_ber_vs_flops", report.render(precision=4))
+
+    flops = {
+        r.setting: r.measured for r in report.records if r.metric == "FLOPs"
+    }
+    bers = {r.setting: r.measured for r in report.records if r.metric == "BER"}
+    for (config, bandwidth), _ in GRID.items():
+        prefix = f"{config} {bandwidth} MHz"
+        dot11_flops = flops[f"{prefix} 802.11"]
+        # Compressed SplitBeam points cost fewer STA FLOPs than 802.11;
+        # K = 1/4 may exceed it at 80 MHz (see module docstring) but must
+        # stay within 2x.
+        for compression in COMPRESSIONS:
+            label = f"{prefix} SB 1/{round(1 / compression)}"
+            if compression <= 1 / 8:
+                assert flops[label] < dot11_flops
+            else:
+                assert flops[label] < 2.0 * dot11_flops
+        # FLOPs grow with K while BER shrinks (the Fig. 11 frontier).
+        assert flops[f"{prefix} SB 1/4"] > flops[f"{prefix} SB 1/32"]
+        assert bers[f"{prefix} SB 1/4"] <= bers[f"{prefix} SB 1/32"] + 0.01

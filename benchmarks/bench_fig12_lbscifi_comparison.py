@@ -1,0 +1,143 @@
+"""Fig. 12: SplitBeam vs LB-SciFi — BER and STA load, single/cross env.
+
+The paper's Fig. 12 uses 3x3 at 80 MHz.  Cross-environment evaluation
+needs models that learned the channel->beamforming map rather than one
+campaign's manifold, so this bench runs at the TRANSFER fidelity; to
+keep the runtime in minutes it measures BER at the paper's highlighted
+K = 1/8 and reports the STA-load panel (which needs no training
+beyond the encoder dimensions) for the full K ladder.
+
+Expected shapes: (i) SplitBeam's STA load is a small fraction of
+LB-SciFi's at every K (the paper quotes a 78% average reduction);
+(ii) single- and cross-environment BERs are comparable between the two
+DNN schemes.
+
+80 MHz at TRANSFER fidelity trains four DNNs (~10 min); set
+REPRO_BENCH_FIG12_BW=40 or =20 for a faster pass.
+"""
+
+import os
+
+from repro.analysis.report import ExperimentReport
+from repro.baselines import train_lbscifi
+from repro.config import Fidelity
+from repro.core.costs import splitbeam_head_flops
+from repro.core.model import SplitBeamNet, three_layer_widths
+from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
+from repro.core.training import train_splitbeam
+from repro.datasets import build_dataset, dataset_spec
+from repro.phy.link import LinkConfig
+from repro.standard.flopmodel import dot11_flops
+from repro.standard.givens import angle_counts
+
+from benchmarks.conftest import record_report
+
+COMPRESSIONS = (1 / 32, 1 / 16, 1 / 8, 1 / 4)
+BER_COMPRESSION = 1 / 8
+LINK = LinkConfig(snr_db=20.0)
+
+#: Table I ids for the 3x3 datasets by (env, bandwidth).
+DATASET_IDS = {("E1", 20): "D2", ("E2", 20): "D4",
+               ("E1", 40): "D6", ("E2", 40): "D8",
+               ("E1", 80): "D10", ("E2", 80): "D12"}
+
+#: TRANSFER-like budget, trimmed for the wide 80 MHz inputs.
+FIG12_FIDELITY = Fidelity(
+    name="fig12",
+    n_samples=2000,
+    n_sessions=8,
+    epochs=50,
+    ber_samples=50,
+    ofdm_symbols=1,
+    reset_interval=8,
+)
+
+
+def flops_panel(report: ExperimentReport, n_tx: int, n_sc: int) -> None:
+    """STA load vs K for both schemes (no training required)."""
+    input_dim = 2 * n_tx * n_sc
+    n_phi, n_psi = angle_counts(n_tx, 1)
+    angle_width = n_sc * (n_phi + n_psi)
+    legacy = dot11_flops(n_tx, 1, n_subcarriers=n_sc)
+    for compression in COMPRESSIONS:
+        label = f"K=1/{round(1 / compression)}"
+        sb = SplitBeamNet(three_layer_widths(input_dim, compression), rng=0)
+        encoder_macs = angle_width * max(1, round(compression * angle_width))
+        report.add(
+            f"STA FLOPs x1e5 {label} SplitBeam",
+            "FLOPs x1e5",
+            splitbeam_head_flops(sb) / 1e5,
+        )
+        report.add(
+            f"STA FLOPs x1e5 {label} LB-SciFi",
+            "FLOPs x1e5",
+            (legacy + 2 * encoder_macs) / 1e5,
+        )
+
+
+def compute_report() -> ExperimentReport:
+    bandwidth = int(os.environ.get("REPRO_BENCH_FIG12_BW", "80"))
+    report = ExperimentReport(
+        f"Fig. 12: SplitBeam vs LB-SciFi, 3x3 @ {bandwidth} MHz"
+    )
+    fidelity = FIG12_FIDELITY
+    datasets = {
+        env: build_dataset(
+            dataset_spec(DATASET_IDS[(env, bandwidth)]),
+            fidelity=fidelity,
+            seed=7 if env == "E1" else 8,
+        )
+        for env in ("E1", "E2")
+    }
+    schemes = {}
+    for env, dataset in datasets.items():
+        schemes[("SplitBeam", env)] = SplitBeamFeedback(
+            train_splitbeam(
+                dataset, compression=BER_COMPRESSION, fidelity=fidelity, seed=0
+            )
+        )
+        schemes[("LB-SciFi", env)] = train_lbscifi(
+            dataset, compression=BER_COMPRESSION, fidelity=fidelity, seed=0
+        )
+
+    protocols = [
+        ("E1", "E1", "E1"), ("E2", "E2", "E2"),
+        ("E1/E2", "E1", "E2"), ("E2/E1", "E2", "E1"),
+    ]
+    for label, train_env, test_env in protocols:
+        test_ds = datasets[test_env]
+        indices = test_ds.splits.test[: fidelity.ber_samples]
+        for scheme_name in ("SplitBeam", "LB-SciFi"):
+            evaluation = evaluate_scheme(
+                schemes[(scheme_name, train_env)],
+                datasets[train_env],
+                indices=indices,
+                link_config=LINK,
+                eval_dataset=test_ds if test_env != train_env else None,
+            )
+            report.add(
+                f"BER {label} {scheme_name} (K=1/8)", "BER", evaluation.ber
+            )
+
+    n_sc = datasets["E1"].n_subcarriers
+    flops_panel(report, n_tx=3, n_sc=n_sc)
+    return report
+
+
+def test_fig12_lbscifi_comparison(benchmark):
+    report = benchmark.pedantic(compute_report, rounds=1, iterations=1)
+    record_report("fig12_lbscifi_comparison", report.render(precision=4))
+
+    values = {r.setting: r.measured for r in report.records}
+    # SplitBeam's STA load is far below LB-SciFi's at every K.
+    for compression in COMPRESSIONS:
+        label = f"K=1/{round(1 / compression)}"
+        sb = values[f"STA FLOPs x1e5 {label} SplitBeam"]
+        lb = values[f"STA FLOPs x1e5 {label} LB-SciFi"]
+        assert sb < lb
+    # Cross-environment BER is degraded but bounded for both schemes.
+    for scheme_name in ("SplitBeam", "LB-SciFi"):
+        single = values[f"BER E1 {scheme_name} (K=1/8)"]
+        cross = values[f"BER E1/E2 {scheme_name} (K=1/8)"]
+        assert cross < 0.40
+        assert single <= cross + 0.05

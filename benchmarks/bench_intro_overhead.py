@@ -1,0 +1,100 @@
+"""Sec. I worked example: feedback airtime overhead and medium occupancy.
+
+The paper opens with "in an 8x8 network at 160 MHz of bandwidth, the BF
+in 802.11 will be of size 486 x 56 x 16 = 435,456 bits ≃ 54.43 kB.  If
+BFs are sent back every 10 ms ... the airtime overhead is 435,456 /
+0.01 ≃ 43.55 Mbit/s."  This bench reproduces the arithmetic exactly and
+then extends it with the sounding-campaign model: what fraction of the
+medium does periodic sounding consume for 802.11 vs SplitBeam, and how
+many STAs fit inside the 10 ms MU-MIMO deadline.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.sounding.campaign import (
+    MU_MIMO_SOUNDING_INTERVAL_S,
+    SoundingCampaign,
+    feedback_overhead_rate_bps,
+    intro_example_bits,
+    max_supportable_users,
+)
+from repro.standard.feedback import Dot11FeedbackConfig, bmr_bits
+
+from benchmarks.conftest import record_report
+
+#: SplitBeam compression used in the occupancy comparison.
+COMPRESSION = 1 / 8
+
+
+def _splitbeam_bits(config: Dot11FeedbackConfig) -> int:
+    """K * S * Nt * Nr * 16 bits (the Eq. (9)-convention feedback size)."""
+    return int(
+        COMPRESSION * config.n_subcarriers * config.n_tx * config.n_rx * 16
+    )
+
+
+def compute_report() -> ExperimentReport:
+    report = ExperimentReport(
+        "Sec. I worked example + sounding-campaign occupancy"
+    )
+    bits = intro_example_bits()
+    report.add("8x8 160 MHz BF size", "kB", bits / 8 / 1000, paper_value=54.43)
+    report.add(
+        "8x8 160 MHz @ 10 ms",
+        "Mbit/s overhead",
+        feedback_overhead_rate_bps(bits, 0.01) / 1e6,
+        paper_value=43.55,
+    )
+
+    for n_users, bandwidth in [(2, 20), (3, 80), (4, 80)]:
+        config = Dot11FeedbackConfig(
+            n_tx=n_users, n_rx=1, n_streams=1, bandwidth_mhz=bandwidth
+        )
+        for scheme, bits_per_user in [
+            ("802.11", bmr_bits(config)),
+            ("SplitBeam 1/8", _splitbeam_bits(config)),
+        ]:
+            campaign = SoundingCampaign(
+                n_users=n_users,
+                bandwidth_mhz=bandwidth,
+                feedback_bits=bits_per_user,
+                interval_s=MU_MIMO_SOUNDING_INTERVAL_S,
+            )
+            occupancy = campaign.report().occupancy
+            report.add(
+                f"{n_users}x{n_users} {bandwidth} MHz {scheme}",
+                "occupancy %",
+                100.0 * occupancy,
+            )
+        report.add(
+            f"{n_users}x{n_users} {bandwidth} MHz max STAs @ 10 ms",
+            "802.11",
+            max_supportable_users(bandwidth, bmr_bits(config)),
+        )
+        report.add(
+            f"{n_users}x{n_users} {bandwidth} MHz max STAs @ 10 ms",
+            "SplitBeam 1/8",
+            max_supportable_users(bandwidth, _splitbeam_bits(config)),
+        )
+    return report
+
+
+def test_intro_overhead(benchmark):
+    report = benchmark.pedantic(compute_report, rounds=1, iterations=1)
+    record_report("intro_overhead", report.render(precision=4))
+
+    values = {(r.setting, r.metric): r.measured for r in report.records}
+    # The worked example reproduces the paper's numbers exactly.
+    assert values[("8x8 160 MHz BF size", "kB")] == 435_456 / 8 / 1000
+    assert abs(values[("8x8 160 MHz @ 10 ms", "Mbit/s overhead")] - 43.5456) < 1e-6
+
+    for n_users, bandwidth in [(2, 20), (3, 80), (4, 80)]:
+        prefix = f"{n_users}x{n_users} {bandwidth} MHz"
+        dot11 = values[(f"{prefix} 802.11", "occupancy %")]
+        splitbeam = values[(f"{prefix} SplitBeam 1/8", "occupancy %")]
+        # SplitBeam's compressed BMR shrinks the sounding tax ...
+        assert splitbeam < dot11
+        # ... and supports at least as many users under the deadline.
+        assert (
+            values[(f"{prefix} max STAs @ 10 ms", "SplitBeam 1/8")]
+            >= values[(f"{prefix} max STAs @ 10 ms", "802.11")]
+        )

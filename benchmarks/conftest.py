@@ -1,0 +1,92 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures and renders
+it as an ASCII table.  Rendered reports are:
+
+- written to ``benchmarks/results/<name>.txt``;
+- echoed in the pytest terminal summary (so ``pytest benchmarks/
+  --benchmark-only`` shows the reproduced series without ``-s``).
+
+Fidelity: benches default to the ``fast`` preset (see
+``repro.config``); set ``REPRO_BENCH_FIDELITY=paper`` for a full-scale
+run (hours).  Datasets and trained models are cached per session so
+benches that share a configuration do not retrain.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import fidelity as fidelity_preset
+from repro.datasets import build_dataset, dataset_spec
+from repro.core.training import train_splitbeam
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_REPORTS: list[str] = []
+
+
+def record_report(name: str, text: str) -> None:
+    """Register a rendered table for the terminal summary and save it."""
+    _REPORTS.append(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper tables/figures")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def bench_fidelity():
+    """The fidelity preset used by all benches (env-overridable)."""
+    return fidelity_preset(os.environ.get("REPRO_BENCH_FIDELITY", "fast"))
+
+
+@pytest.fixture(scope="session")
+def transfer_fidelity():
+    """Preset for cross-environment benches (env-overridable)."""
+    name = os.environ.get("REPRO_BENCH_TRANSFER_FIDELITY", "transfer")
+    return fidelity_preset(name)
+
+
+class _Caches:
+    """Session-wide dataset/model caches keyed by configuration."""
+
+    def __init__(self) -> None:
+        self.datasets: dict = {}
+        self.models: dict = {}
+
+    def dataset(self, dataset_id: str, fidelity, seed: int = 7):
+        key = (dataset_id, fidelity.name, seed)
+        if key not in self.datasets:
+            self.datasets[key] = build_dataset(
+                dataset_spec(dataset_id), fidelity=fidelity, seed=seed
+            )
+        return self.datasets[key]
+
+    def trained(self, dataset_id: str, fidelity, compression: float, seed: int = 0):
+        key = (dataset_id, fidelity.name, compression, seed)
+        if key not in self.models:
+            self.models[key] = train_splitbeam(
+                self.dataset(dataset_id, fidelity),
+                compression=compression,
+                fidelity=fidelity,
+                seed=seed,
+            )
+        return self.models[key]
+
+
+@pytest.fixture(scope="session")
+def caches():
+    return _Caches()

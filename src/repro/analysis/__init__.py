@@ -1,0 +1,14 @@
+"""Experiment reporting: sweeps and table assembly for the benches."""
+
+from repro.analysis.ber import ber_vs_compression, ber_vs_snr
+from repro.analysis.report import ExperimentRecord, ExperimentReport
+from repro.analysis.sweeps import SweepPoint, ber_sweep
+
+__all__ = [
+    "ber_vs_compression",
+    "ber_vs_snr",
+    "ExperimentRecord",
+    "ExperimentReport",
+    "SweepPoint",
+    "ber_sweep",
+]

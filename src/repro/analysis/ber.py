@@ -1,0 +1,74 @@
+"""Reusable BER sweeps shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import FAST, Fidelity
+from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
+from repro.core.training import train_splitbeam
+from repro.datasets.builder import CsiDataset
+from repro.phy.link import LinkConfig, LinkSimulator
+
+__all__ = ["ber_vs_compression", "ber_vs_snr"]
+
+
+def ber_vs_compression(
+    dataset: CsiDataset,
+    compressions: Sequence[float] = (1 / 32, 1 / 16, 1 / 8, 1 / 4),
+    fidelity: Fidelity = FAST,
+    link_config: LinkConfig | None = None,
+    eval_dataset: CsiDataset | None = None,
+    seed: int = 0,
+) -> dict[float, float]:
+    """Train one SplitBeam model per compression level; return test BERs.
+
+    ``eval_dataset`` switches the evaluation to another environment's
+    test split (cross-environment protocol).
+    """
+    link_config = link_config or LinkConfig(n_ofdm_symbols=fidelity.ofdm_symbols)
+    results: dict[float, float] = {}
+    for compression in compressions:
+        trained = train_splitbeam(
+            dataset, compression=compression, fidelity=fidelity, seed=seed
+        )
+        target = eval_dataset if eval_dataset is not None else dataset
+        indices = target.splits.test[: fidelity.ber_samples]
+        evaluation = evaluate_scheme(
+            SplitBeamFeedback(trained),
+            dataset,
+            indices=indices,
+            link_config=link_config,
+            eval_dataset=eval_dataset,
+        )
+        results[compression] = evaluation.ber
+    return results
+
+
+def ber_vs_snr(
+    dataset: CsiDataset,
+    bf_estimates: np.ndarray,
+    snrs_db: Sequence[float],
+    indices: np.ndarray | None = None,
+    base_config: LinkConfig | None = None,
+) -> dict[float, float]:
+    """Measure BER of fixed beamforming estimates across an SNR sweep."""
+    base = base_config or LinkConfig()
+    indices = dataset.splits.test if indices is None else indices
+    out: dict[float, float] = {}
+    for snr_db in snrs_db:
+        config = LinkConfig(
+            snr_db=float(snr_db),
+            qam_order=base.qam_order,
+            use_coding=base.use_coding,
+            n_ofdm_symbols=base.n_ofdm_symbols,
+            seed=base.seed,
+        )
+        simulator = LinkSimulator(config)
+        result = simulator.measure_ber(
+            dataset.link_channels(indices), bf_estimates
+        )
+        out[float(snr_db)] = result.ber
+    return out

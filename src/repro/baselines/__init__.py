@@ -1,0 +1,25 @@
+"""Feedback-scheme baselines: ideal SVD, IEEE 802.11, LB-SciFi, grouping."""
+
+from repro.baselines.interface import FeedbackScheme
+from repro.baselines.dot11 import Dot11Feedback, IdealSvdFeedback
+from repro.baselines.grouped import GroupedCbfFeedback
+from repro.baselines.lbscifi import LbSciFi, train_lbscifi
+from repro.baselines.csinet import (
+    ConvSplitNet,
+    TrainedCsiNet,
+    train_csinet,
+    CsiNetFeedback,
+)
+
+__all__ = [
+    "FeedbackScheme",
+    "Dot11Feedback",
+    "IdealSvdFeedback",
+    "GroupedCbfFeedback",
+    "LbSciFi",
+    "train_lbscifi",
+    "ConvSplitNet",
+    "TrainedCsiNet",
+    "train_csinet",
+    "CsiNetFeedback",
+]

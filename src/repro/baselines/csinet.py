@@ -1,0 +1,227 @@
+"""CsiNet-style convolutional H -> V model (related-work comparator).
+
+The paper's related work (Sec. II) surveys CNN-based CSI compression —
+CsiNet [18], CS-ReNet [17], DeepCMC [19] — developed for cellular
+SU-MIMO, and argues the Wi-Fi MU-MIMO setting needs a different design.
+This module makes that argument testable: the same supervised H -> V
+task and training recipe as SplitBeam, but with a convolutional
+encoder over the subcarrier axis (frequency-local filters, the CsiNet
+design idea) in front of the compression layer.
+
+The interesting comparison (see ``bench_ablation_conv_head.py``) is BER
+*per unit of STA compute*: frequency-local convolutions add MACs at the
+station — the paper's single-matmul dense head is hard to beat on that
+axis, which is exactly why SplitBeam's architecture looks the way it
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.interface import FeedbackScheme
+from repro.config import FAST, Fidelity
+from repro.core.costs import splitbeam_feedback_bits
+from repro.core.split import BottleneckQuantizer
+from repro.datasets.builder import CsiDataset
+from repro.errors import ConfigurationError, TrainingError
+from repro.nn.conv import Conv1d, Flatten, Reshape
+from repro.nn.layers import LeakyReLU, Linear, Sequential
+from repro.nn.losses import NormalizedL1Loss
+from repro.nn.module import Module
+from repro.nn.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.phy.link import BerResult, LinkConfig
+from repro.utils.rng import as_generator, spawn
+
+__all__ = ["ConvSplitNet", "TrainedCsiNet", "train_csinet", "CsiNetFeedback"]
+
+
+class ConvSplitNet(Module):
+    """Convolutional head + dense tail over flattened real CSI.
+
+    Head (STA): reshape to ``(2*Nt*Nr, S)``, two same-padded Conv1d
+    blocks extracting frequency-local features, flatten, then the
+    compression Linear down to the bottleneck ``B = K * D``.
+    Tail (AP): one dense reconstruction layer back to ``D``.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        n_feature_channels: int,  # 2 * Nt * Nr
+        compression: float,
+        hidden_channels: int = 8,
+        kernel_size: int = 5,
+        rng: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        super().__init__()
+        if input_dim % n_feature_channels:
+            raise ConfigurationError(
+                f"input_dim {input_dim} not divisible by "
+                f"{n_feature_channels} feature channels"
+            )
+        if not 0 < compression <= 1:
+            raise ConfigurationError("compression must be in (0, 1]")
+        self.input_dim = int(input_dim)
+        self.n_feature_channels = int(n_feature_channels)
+        self.n_subcarriers = input_dim // n_feature_channels
+        self.bottleneck_dim = max(1, round(compression * input_dim))
+        self.hidden_channels = int(hidden_channels)
+        rngs = spawn(as_generator(rng), 4)
+
+        flat_features = self.n_feature_channels * self.n_subcarriers
+        self.head = Sequential(
+            [
+                Reshape((self.n_feature_channels, self.n_subcarriers)),
+                Conv1d(
+                    self.n_feature_channels,
+                    hidden_channels,
+                    kernel_size,
+                    rng=rngs[0],
+                ),
+                LeakyReLU(),
+                Conv1d(
+                    hidden_channels,
+                    self.n_feature_channels,
+                    kernel_size,
+                    rng=rngs[1],
+                ),
+                LeakyReLU(),
+                Flatten(),
+                Linear(flat_features, self.bottleneck_dim, rng=rngs[2]),
+            ]
+        )
+        self.tail = Sequential(
+            [LeakyReLU(), Linear(self.bottleneck_dim, input_dim, rng=rngs[3])]
+        )
+
+    @property
+    def compression(self) -> float:
+        return self.bottleneck_dim / self.input_dim
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return self.tail.forward(self.head.forward(inputs))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.head.backward(self.tail.backward(grad_output))
+
+    def head_macs(self) -> int:
+        """STA-side multiply-accumulates per inference."""
+        conv_layers = [m for m in self.head.modules() if isinstance(m, Conv1d)]
+        macs = sum(c.macs(self.n_subcarriers) for c in conv_layers)
+        linear = self.head.layers[-1]
+        macs += linear.in_features * linear.out_features
+        return macs
+
+    def tail_macs(self) -> int:
+        linear = self.tail.layers[-1]
+        return linear.in_features * linear.out_features
+
+    def label(self) -> str:
+        return (
+            f"conv{self.n_feature_channels}-{self.hidden_channels}-"
+            f"{self.n_feature_channels}-fc{self.bottleneck_dim}"
+        )
+
+
+@dataclass
+class TrainedCsiNet:
+    """A trained convolutional model plus its evaluation context."""
+
+    model: ConvSplitNet
+    dataset: CsiDataset
+    history: TrainingHistory
+    quantizer: BottleneckQuantizer | None = None
+
+    def test_ber(
+        self,
+        link_config: LinkConfig | None = None,
+        max_samples: int | None = None,
+    ) -> BerResult:
+        from repro.core.training import ber_of_model
+
+        indices = self.dataset.splits.test
+        if max_samples is not None:
+            indices = indices[:max_samples]
+        return ber_of_model(
+            self.model, self.dataset, indices, link_config=link_config
+        )
+
+
+def train_csinet(
+    dataset: CsiDataset,
+    compression: float = 1.0 / 8.0,
+    fidelity: Fidelity = FAST,
+    hidden_channels: int = 8,
+    quantizer_bits: int | None = 16,
+    seed: int = 0,
+) -> TrainedCsiNet:
+    """Train the convolutional comparator with the paper's recipe."""
+    spec = dataset.spec
+    n_channels = 2 * spec.n_tx * spec.n_rx
+    if dataset.input_dim % n_channels:
+        raise TrainingError(
+            f"dataset input dim {dataset.input_dim} inconsistent with "
+            f"{n_channels} real CSI channels"
+        )
+    model = ConvSplitNet(
+        input_dim=dataset.input_dim,
+        n_feature_channels=n_channels,
+        compression=compression,
+        hidden_channels=hidden_channels,
+        rng=seed,
+    )
+    config = TrainingConfig(
+        epochs=fidelity.epochs,
+        batch_size=16,
+        learning_rate=1e-3,
+        optimizer="adam",
+        lr_milestones=(
+            max(1, fidelity.epochs // 2),
+            max(2, (3 * fidelity.epochs) // 4),
+        ),
+        lr_gamma=0.1,
+        seed=seed,
+    )
+    trainer = Trainer(model, loss=NormalizedL1Loss(), config=config)
+    x_train, y_train = dataset.train_arrays()
+    x_val, y_val = dataset.val_arrays()
+    history = trainer.fit(x_train, y_train, x_val, y_val)
+    quantizer = (
+        BottleneckQuantizer(quantizer_bits) if quantizer_bits is not None else None
+    )
+    return TrainedCsiNet(
+        model=model, dataset=dataset, history=history, quantizer=quantizer
+    )
+
+
+class CsiNetFeedback(FeedbackScheme):
+    """A trained :class:`ConvSplitNet` exposed as a feedback scheme."""
+
+    def __init__(self, trained: TrainedCsiNet) -> None:
+        self.trained = trained
+        k = trained.model.compression
+        denominator = round(1 / k) if k < 1 else 1
+        self.name = f"CsiNet-style (K=1/{denominator})"
+
+    def reconstruct_bf(
+        self, dataset: CsiDataset, indices: np.ndarray
+    ) -> np.ndarray:
+        from repro.core.training import predict_bf
+
+        return predict_bf(self.trained.model, dataset, indices)
+
+    def sta_flops(self, dataset: CsiDataset) -> float:
+        return 2.0 * self.trained.model.head_macs()
+
+    def feedback_bits(self, dataset: CsiDataset) -> int:
+        bits = (
+            16
+            if self.trained.quantizer is None
+            else self.trained.quantizer.bits
+        )
+        return splitbeam_feedback_bits(
+            self.trained.model.bottleneck_dim, bits_per_element=bits
+        )

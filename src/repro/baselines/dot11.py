@@ -1,0 +1,86 @@
+"""The IEEE 802.11 feedback pipeline as a :class:`FeedbackScheme`.
+
+Per STA and subcarrier: SVD -> Givens decomposition -> standard angle
+quantization -> (air) -> dequantization -> Givens reconstruction at the
+AP.  ``IdealSvdFeedback`` is the genie upper bound (unquantized V fed
+back for free), used for noise calibration and sanity rows in tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.interface import FeedbackScheme
+from repro.datasets.builder import CsiDataset
+from repro.standard.feedback import Dot11FeedbackConfig, bmr_bits
+from repro.standard.flopmodel import dot11_flops
+from repro.standard.givens import givens_decompose, givens_reconstruct
+from repro.standard.quantization import (
+    AngleQuantizer,
+    dequantize_angles,
+    quantize_angles,
+)
+
+__all__ = ["Dot11Feedback", "IdealSvdFeedback"]
+
+
+class Dot11Feedback(FeedbackScheme):
+    """Standard-compliant compressed beamforming feedback."""
+
+    def __init__(self, quantizer: AngleQuantizer | None = None) -> None:
+        self.quantizer = quantizer or AngleQuantizer(b_phi=9, b_psi=7)
+        self.name = f"802.11 ({self.quantizer.b_phi},{self.quantizer.b_psi})"
+
+    def reconstruct_bf(
+        self, dataset: CsiDataset, indices: np.ndarray
+    ) -> np.ndarray:
+        bf_true = dataset.link_bf(indices)  # (n, users, S, Nt), gauge-fixed
+        angles = givens_decompose(bf_true[..., :, None])
+        phi_codes, psi_codes = quantize_angles(angles, self.quantizer)
+        recovered = dequantize_angles(
+            phi_codes,
+            psi_codes,
+            self.quantizer,
+            angles.n_tx,
+            angles.n_streams,
+        )
+        return givens_reconstruct(recovered)[..., 0]
+
+    def sta_flops(self, dataset: CsiDataset) -> float:
+        spec = dataset.spec
+        return dot11_flops(
+            spec.n_tx, spec.n_rx, n_subcarriers=dataset.n_subcarriers
+        )
+
+    def feedback_bits(self, dataset: CsiDataset) -> int:
+        spec = dataset.spec
+        config = Dot11FeedbackConfig(
+            n_tx=spec.n_tx,
+            n_rx=spec.n_rx,
+            n_streams=1,
+            bandwidth_mhz=spec.bandwidth_mhz,
+            quantizer=self.quantizer,
+        )
+        return bmr_bits(config)
+
+
+class IdealSvdFeedback(FeedbackScheme):
+    """Genie baseline: exact SVD beamforming vectors, zero-cost feedback."""
+
+    name = "ideal SVD"
+
+    def reconstruct_bf(
+        self, dataset: CsiDataset, indices: np.ndarray
+    ) -> np.ndarray:
+        return dataset.link_bf(indices)
+
+    def sta_flops(self, dataset: CsiDataset) -> float:
+        from repro.standard.flopmodel import svd_flops
+
+        spec = dataset.spec
+        return svd_flops(spec.n_tx, spec.n_rx, dataset.n_subcarriers)
+
+    def feedback_bits(self, dataset: CsiDataset) -> int:
+        # Full-resolution CSI feedback: 2 floats (64 bits) per element.
+        spec = dataset.spec
+        return dataset.n_subcarriers * spec.n_tx * 64

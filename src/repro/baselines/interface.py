@@ -1,0 +1,43 @@
+"""The common interface every beamforming-feedback scheme implements.
+
+A *feedback scheme* is anything that turns per-STA CSI into the
+beamforming vectors available at the AP: the 802.11 SVD+Givens pipeline,
+LB-SciFi's autoencoder over Givens angles, or SplitBeam's split DNN.
+The evaluation pipeline (:mod:`repro.core.pipeline`) compares schemes on
+exactly three axes, mirroring the paper's figures: achieved BER, STA
+computational load (FLOPs), and feedback size (bits).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.datasets.builder import CsiDataset
+
+__all__ = ["FeedbackScheme"]
+
+
+class FeedbackScheme(ABC):
+    """Abstract beamforming-feedback scheme."""
+
+    #: Human-readable scheme name used in benchmark tables.
+    name: str = "scheme"
+
+    @abstractmethod
+    def reconstruct_bf(
+        self, dataset: CsiDataset, indices: np.ndarray
+    ) -> np.ndarray:
+        """Beamforming vectors as available at the AP after feedback.
+
+        Returns ``(len(indices), n_users, S, Nt)`` complex.
+        """
+
+    @abstractmethod
+    def sta_flops(self, dataset: CsiDataset) -> float:
+        """Per-report computational load on one STA (real FLOPs)."""
+
+    @abstractmethod
+    def feedback_bits(self, dataset: CsiDataset) -> int:
+        """Per-report over-the-air feedback size for one STA (bits)."""

@@ -1,0 +1,70 @@
+"""Temporal channel dynamics: Jakes correlation and blockage shadowing.
+
+Packets arrive every millisecond in the paper's collection campaign
+(1000 packets/s), so consecutive CSI samples are temporally correlated.
+We model each tap's complex gain as a first-order autoregressive (AR(1))
+process whose one-step coefficient matches the Jakes autocorrelation
+``J0(2*pi*fd*dt)`` of the environment's Doppler spread, and add a
+log-normal shadowing process for the human-blockage events that
+distinguish environment E2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import j0
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+__all__ = ["jakes_ar1_coefficient", "ShadowingProcess"]
+
+
+def jakes_ar1_coefficient(doppler_hz: float, dt_s: float) -> float:
+    """AR(1) coefficient matching the Jakes autocorrelation at lag ``dt``.
+
+    ``rho = J0(2*pi*fd*dt)``, clipped to [0, 1).  ``fd = 0`` gives a
+    static channel (rho = 1 is replaced by 1 - 1e-12 to keep the AR
+    innovation well defined).
+    """
+    if doppler_hz < 0:
+        raise ConfigurationError("doppler_hz must be non-negative")
+    if dt_s <= 0:
+        raise ConfigurationError("dt_s must be positive")
+    rho = float(j0(2.0 * np.pi * doppler_hz * dt_s))
+    return min(max(rho, 0.0), 1.0 - 1e-12)
+
+
+class ShadowingProcess:
+    """Slow log-normal shadowing (human blockage) per user.
+
+    A temporally correlated Gaussian process in dB, exponentiated to a
+    linear amplitude factor.  ``sigma_db = 0`` disables shadowing (the
+    E1 preset); E2 uses a few dB with second-scale coherence.
+    """
+
+    def __init__(
+        self,
+        sigma_db: float,
+        coherence_s: float,
+        dt_s: float,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if sigma_db < 0:
+            raise ConfigurationError("sigma_db must be non-negative")
+        if coherence_s <= 0 or dt_s <= 0:
+            raise ConfigurationError("coherence_s and dt_s must be positive")
+        self.sigma_db = float(sigma_db)
+        self.rho = float(np.exp(-dt_s / coherence_s))
+        self.rng = as_generator(rng)
+        self._state_db = 0.0
+        if self.sigma_db > 0:
+            self._state_db = float(self.rng.normal(0.0, self.sigma_db))
+
+    def step(self) -> float:
+        """Advance one sample period; return the linear amplitude factor."""
+        if self.sigma_db == 0:
+            return 1.0
+        innovation = self.rng.normal(0.0, self.sigma_db * np.sqrt(1 - self.rho**2))
+        self._state_db = self.rho * self._state_db + innovation
+        return float(10.0 ** (self._state_db / 20.0))

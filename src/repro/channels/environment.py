@@ -1,0 +1,135 @@
+"""Propagation-environment presets (the paper's E1/E2 and MATLAB data).
+
+The paper collects CSI in two physical environments: E1 has "fewer
+reflectors and human traffic" while E2 is "furnished with more furniture
+(multipath) and is imposed to higher human traffic" (Sec. V-B).  The
+presets below reproduce that contrast with the TGn machinery:
+
+- ``E1`` — Model B (2 clusters, 15 ns rms delay spread), low Doppler,
+  no blockage shadowing, clean CSI estimation;
+- ``E2`` — Model C (14 taps, 30 ns rms: the "more furniture, more
+  multipath" room), higher Doppler from human motion, log-normal
+  blockage shadowing, noisier CSI estimation and a higher packet-drop
+  rate.  Model C rather than D/E because the paper's two rooms are both
+  ordinary offices: doubling the delay spread reproduces the measured
+  cross-environment asymmetry (E2-trained models transfer better), while
+  jumping to Model D's 50 ns makes transfer collapse entirely, which
+  contradicts Fig. 13;
+- ``SYNTHETIC`` — Model B with no measurement impairments, standing in
+  for the MATLAB ``wlanTGacChannel`` datasets (D13-D15), which also use
+  delay profile Model-B.
+
+Each preset is a plain dataclass; custom environments are constructed
+the same way.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.channels.tgac import DelayProfile, delay_profile
+
+__all__ = ["Environment", "E1", "E2", "SYNTHETIC", "environment"]
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Everything the CSI sampler needs to emulate one environment.
+
+    An environment is a *room*: its reflector geometry is fixed.  The
+    paper places STAs at a fixed set of marked locations (the green dots
+    of Fig. 8a), so the cluster angles a STA sees depend only on (room,
+    location) — not on which dataset is being collected.  We model this
+    with ``n_locations`` deterministic cluster-angle offsets derived
+    from the environment name (:meth:`location_offsets_deg`); samplers
+    pick a location per user per session.  This is what makes two
+    datasets collected in the same environment share a learnable channel
+    manifold (and models transfer across them), which the cross-
+    environment experiments of Fig. 12/13 rely on.
+    """
+
+    name: str
+    profile_name: str
+    doppler_hz: float
+    shadowing_sigma_db: float
+    shadowing_coherence_s: float
+    csi_noise_snr_db: float | None  # None = perfect estimation
+    angle_jitter_deg: float  # std-dev of the per-location angle offsets
+    packet_drop_rate: float
+    rician_k_db: float | None = None
+    n_locations: int = 12
+
+    def __post_init__(self) -> None:
+        if self.doppler_hz < 0:
+            raise ConfigurationError("doppler_hz must be non-negative")
+        if not 0.0 <= self.packet_drop_rate < 1.0:
+            raise ConfigurationError("packet_drop_rate must be in [0, 1)")
+        if self.shadowing_sigma_db < 0:
+            raise ConfigurationError("shadowing_sigma_db must be non-negative")
+        if self.n_locations < 1:
+            raise ConfigurationError("n_locations must be >= 1")
+
+    @property
+    def profile(self) -> DelayProfile:
+        return delay_profile(self.profile_name)
+
+    def location_offsets_deg(self) -> np.ndarray:
+        """Fixed per-location cluster-angle offsets for this room.
+
+        Deterministic in the environment's identity (name + profile), so
+        every dataset collected "in" this environment shares the same
+        candidate geometries.
+        """
+        seed = zlib.crc32(f"{self.name}/{self.profile_name}".encode())
+        rng = np.random.default_rng(seed)
+        return rng.normal(0.0, self.angle_jitter_deg, size=self.n_locations)
+
+
+E1 = Environment(
+    name="E1",
+    profile_name="B",
+    doppler_hz=0.4,
+    shadowing_sigma_db=0.0,
+    shadowing_coherence_s=1.0,
+    csi_noise_snr_db=28.0,
+    angle_jitter_deg=10.0,
+    packet_drop_rate=0.01,
+)
+
+E2 = Environment(
+    name="E2",
+    profile_name="C",
+    doppler_hz=2.5,
+    shadowing_sigma_db=3.0,
+    shadowing_coherence_s=0.4,
+    csi_noise_snr_db=24.0,
+    angle_jitter_deg=15.0,
+    packet_drop_rate=0.03,
+)
+
+SYNTHETIC = Environment(
+    name="MATLAB",
+    profile_name="B",
+    doppler_hz=0.0,
+    shadowing_sigma_db=0.0,
+    shadowing_coherence_s=1.0,
+    csi_noise_snr_db=None,
+    angle_jitter_deg=10.0,
+    packet_drop_rate=0.0,
+)
+
+_ENVIRONMENTS = {"E1": E1, "E2": E2, "MATLAB": SYNTHETIC, "SYNTHETIC": SYNTHETIC}
+
+
+def environment(name: str) -> Environment:
+    """Look up a preset by name (``E1``, ``E2``, ``MATLAB``)."""
+    try:
+        return _ENVIRONMENTS[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown environment {name!r}; options: E1, E2, MATLAB"
+        ) from None

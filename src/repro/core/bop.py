@@ -1,0 +1,202 @@
+"""The Bottleneck Optimization Problem and the Sec. IV-C heuristic.
+
+The BOP (Eq. (7)) picks the bottleneck placement ``e`` and size ``N``
+minimizing a weighted sum of STA overhead and feedback airtime, subject
+to a BER ceiling (7c) and an end-to-end delay ceiling (7d).  The paper's
+heuristic fixes ``e = 1`` (bottleneck right after the input layer) and
+searches a small ladder:
+
+1. start from the *highest* compression (smallest bottleneck) with the
+   2-weight-layer model ``[D, B, D]``;
+2. train, measure BER on the validation data; accept the first
+   configuration meeting both constraints;
+3. if no compression level passes, insert one more layer after the
+   bottleneck (``L = L + 1``) and restart the ladder;
+4. give up after ``max_extra_layers`` deepenings.
+
+``solve_bop`` takes a pluggable ``evaluator`` so unit tests can drive
+the search with synthetic BER responses; the default evaluator trains a
+real model per trial and measures link-level BER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.config import FAST, Fidelity
+from repro.errors import ConfigurationError, ConstraintViolation
+from repro.core.costs import (
+    StaCostModel,
+    splitbeam_feedback_bits,
+)
+from repro.core.training import TrainedSplitBeam, train_splitbeam
+from repro.datasets.builder import CsiDataset
+from repro.phy.link import LinkConfig
+
+__all__ = ["BopConstraints", "BopTrial", "BopResult", "solve_bop"]
+
+#: The paper's compression ladder (Sec. 5.2.3).
+DEFAULT_COMPRESSIONS: tuple[float, ...] = (1 / 32, 1 / 16, 1 / 8, 1 / 4)
+
+
+@dataclass(frozen=True)
+class BopConstraints:
+    """Application requirements of Eq. (7).
+
+    ``max_ber`` is gamma in (7c); ``max_delay_s`` is tau in (7d);
+    ``mu`` weights STA overhead against airtime in the objective (7a),
+    constrained to (0, 1) by (7b).
+    """
+
+    max_ber: float = 0.05
+    max_delay_s: float = 10e-3
+    mu: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mu < 1:
+            raise ConfigurationError("mu must be in (0, 1) per Eq. (7b)")
+        if self.max_ber <= 0 or self.max_delay_s <= 0:
+            raise ConfigurationError("constraint ceilings must be positive")
+
+
+@dataclass
+class BopTrial:
+    """One candidate evaluated during the search."""
+
+    widths: list[int]
+    compression: float
+    ber: float
+    delay_s: float
+    objective: float
+    satisfied: bool
+    trained: "TrainedSplitBeam | None" = None
+
+    def label(self) -> str:
+        return "-".join(str(w) for w in self.widths)
+
+
+@dataclass
+class BopResult:
+    """Search outcome: the selected trial plus the full trace."""
+
+    selected: BopTrial
+    trials: list[BopTrial] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+
+Evaluator = Callable[[list[int], float], tuple[float, "TrainedSplitBeam | None"]]
+
+
+def solve_bop(
+    dataset: CsiDataset,
+    constraints: BopConstraints,
+    compressions: Sequence[float] = DEFAULT_COMPRESSIONS,
+    max_extra_layers: int = 2,
+    fidelity: Fidelity = FAST,
+    link_config: "LinkConfig | None" = None,
+    cost_model: "StaCostModel | None" = None,
+    evaluator: "Evaluator | None" = None,
+    seed: int = 0,
+) -> BopResult:
+    """Run the Sec. IV-C heuristic on one dataset.
+
+    Raises :class:`ConstraintViolation` when no candidate satisfies the
+    constraints within the search budget; the exception carries the
+    trial trace in its ``result`` attribute.
+    """
+    if not compressions:
+        raise ConfigurationError("need at least one compression level")
+    compressions = sorted(compressions)  # smallest bottleneck first
+    cost_model = cost_model or StaCostModel(
+        feedback_bandwidth_mhz=dataset.spec.bandwidth_mhz
+    )
+    if evaluator is None:
+        evaluator = _training_evaluator(dataset, fidelity, link_config, seed)
+
+    input_dim = dataset.input_dim
+    output_dim = dataset.output_dim
+    trials: list[BopTrial] = []
+
+    for extra_layers in range(max_extra_layers + 1):
+        for compression in compressions:
+            bottleneck = max(1, int(round(compression * input_dim)))
+            widths = (
+                [input_dim, bottleneck]
+                + [bottleneck] * extra_layers
+                + [output_dim]
+            )
+            ber, trained = evaluator(widths, compression)
+            head_flops = 2.0 * widths[0] * widths[1]
+            tail_flops = 2.0 * sum(
+                widths[i] * widths[i + 1] for i in range(1, len(widths) - 1)
+            )
+            bits = splitbeam_feedback_bits(bottleneck)
+            delay = cost_model.end_to_end_delay_s(head_flops, tail_flops, bits)
+            objective = cost_model.bop_objective(
+                head_flops,
+                tail_flops,
+                bits,
+                mu=constraints.mu,
+                n_users=dataset.n_users,
+            )
+            trial = BopTrial(
+                widths=widths,
+                compression=compression,
+                ber=ber,
+                delay_s=delay,
+                objective=objective,
+                satisfied=(
+                    ber <= constraints.max_ber
+                    and delay < constraints.max_delay_s
+                ),
+                trained=trained,
+            )
+            trials.append(trial)
+            if trial.satisfied:
+                return BopResult(selected=trial, trials=trials)
+
+    error = ConstraintViolation(
+        f"no bottleneck configuration met BER <= {constraints.max_ber} and "
+        f"delay < {constraints.max_delay_s * 1e3:.1f} ms after "
+        f"{len(trials)} trials"
+    )
+    error.trials = trials
+    raise error
+
+
+def _training_evaluator(
+    dataset: CsiDataset,
+    fidelity: Fidelity,
+    link_config: "LinkConfig | None",
+    seed: int,
+) -> Evaluator:
+    """Default evaluator: train for real and measure validation BER."""
+    config = link_config or LinkConfig(n_ofdm_symbols=fidelity.ofdm_symbols)
+
+    def evaluate(
+        widths: list[int], compression: float
+    ) -> tuple[float, TrainedSplitBeam]:
+        trained = train_splitbeam(
+            dataset,
+            widths=widths,
+            fidelity=fidelity,
+            link_config=config,
+            seed=seed,
+        )
+        from repro.core.training import ber_of_model
+
+        indices = dataset.splits.val[: fidelity.ber_samples]
+        ber = ber_of_model(
+            trained.model,
+            dataset,
+            indices,
+            link_config=config,
+            quantizer=trained.quantizer,
+        ).ber
+        return ber, trained
+
+    return evaluate

@@ -1,0 +1,112 @@
+"""End-to-end scheme evaluation: BER, STA FLOPs, feedback bits.
+
+This is the entry point the figure benchmarks use: build a dataset,
+train the schemes under test, and compare them on the paper's three
+axes with a shared link simulation (same noise realizations and noise
+calibration for every scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.interface import FeedbackScheme
+from repro.core.costs import splitbeam_feedback_bits, splitbeam_head_flops
+from repro.core.split import BottleneckQuantizer
+from repro.core.training import TrainedSplitBeam, predict_bf
+from repro.datasets.builder import CsiDataset
+from repro.phy.link import LinkConfig, LinkSimulator
+
+__all__ = ["SplitBeamFeedback", "SchemeEvaluation", "evaluate_scheme", "compare_schemes"]
+
+
+class SplitBeamFeedback(FeedbackScheme):
+    """A trained SplitBeam model exposed as a :class:`FeedbackScheme`."""
+
+    def __init__(self, trained: TrainedSplitBeam) -> None:
+        self.trained = trained
+        k = trained.compression
+        denominator = round(1 / k) if k < 1 else 1
+        self.name = f"SplitBeam (K=1/{denominator})" if k < 1 else "SplitBeam"
+
+    @property
+    def quantizer(self) -> BottleneckQuantizer | None:
+        return self.trained.quantizer
+
+    def reconstruct_bf(
+        self, dataset: CsiDataset, indices: np.ndarray
+    ) -> np.ndarray:
+        return predict_bf(
+            self.trained.model, dataset, indices, quantizer=self.quantizer
+        )
+
+    def sta_flops(self, dataset: CsiDataset) -> float:
+        return splitbeam_head_flops(self.trained.model)
+
+    def feedback_bits(self, dataset: CsiDataset) -> int:
+        bits = 16 if self.quantizer is None else self.quantizer.bits
+        return splitbeam_feedback_bits(
+            self.trained.model.bottleneck_dim, bits_per_element=bits
+        )
+
+
+@dataclass
+class SchemeEvaluation:
+    """One scheme's scores on one dataset."""
+
+    scheme_name: str
+    ber: float
+    sta_flops: float
+    feedback_bits: int
+
+    def as_row(self) -> list[object]:
+        return [self.scheme_name, self.ber, self.sta_flops, self.feedback_bits]
+
+
+def evaluate_scheme(
+    scheme: FeedbackScheme,
+    dataset: CsiDataset,
+    indices: np.ndarray | None = None,
+    link_config: LinkConfig | None = None,
+    eval_dataset: CsiDataset | None = None,
+) -> SchemeEvaluation:
+    """Score one scheme.
+
+    ``eval_dataset`` enables cross-environment testing: the scheme was
+    built for ``dataset`` but is evaluated on ``eval_dataset``'s test
+    split (same topology, different environment), as in Fig. 12/13.
+    """
+    target = eval_dataset if eval_dataset is not None else dataset
+    if indices is None:
+        indices = target.splits.test
+    simulator = LinkSimulator(link_config or LinkConfig())
+    bf = scheme.reconstruct_bf(target, indices)
+    result = simulator.measure_ber(target.link_channels(indices), bf)
+    return SchemeEvaluation(
+        scheme_name=scheme.name,
+        ber=result.ber,
+        sta_flops=scheme.sta_flops(target),
+        feedback_bits=scheme.feedback_bits(target),
+    )
+
+
+def compare_schemes(
+    schemes: "list[FeedbackScheme]",
+    dataset: CsiDataset,
+    indices: np.ndarray | None = None,
+    link_config: LinkConfig | None = None,
+    eval_dataset: CsiDataset | None = None,
+) -> list[SchemeEvaluation]:
+    """Evaluate several schemes under identical link conditions."""
+    return [
+        evaluate_scheme(
+            scheme,
+            dataset,
+            indices=indices,
+            link_config=link_config,
+            eval_dataset=eval_dataset,
+        )
+        for scheme in schemes
+    ]

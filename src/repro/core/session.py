@@ -1,0 +1,235 @@
+"""Full-network session simulation: sounding + feedback + goodput over time.
+
+Ties the reproduction's pieces into the system the paper actually
+envisions (Fig. 1 "online utilization"): an AP periodically sounds its
+STAs, each STA produces beamforming feedback with its configured scheme
+(802.11 or a SplitBeam model from the zoo), the link simulator measures
+the per-round BER the reconstructed beamforming achieves, adaptive
+controllers react, and the campaign model converts sounding airtime
+into the goodput left for data at an SINR-selected MCS.
+
+This is the integration surface the examples and the end-to-end tests
+drive; each constituent model is unit-tested in its own package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveCompressionController, QosProfile
+from repro.core.training import TrainedSplitBeam, predict_bf
+from repro.core.zoo import ModelZoo, NetworkConfiguration
+from repro.datasets.builder import CsiDataset
+from repro.errors import ConfigurationError
+from repro.phy.link import LinkConfig, LinkSimulator
+from repro.phy.mcs import data_rate_bps, select_mcs
+from repro.sounding.campaign import MU_MIMO_SOUNDING_INTERVAL_S, SoundingCampaign
+from repro.standard.feedback import Dot11FeedbackConfig, bmr_bits
+
+__all__ = ["RoundRecord", "SessionReport", "NetworkSession"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything measured in one sounding round."""
+
+    index: int
+    scheme: str  # model label or "802.11"
+    feedback_bits: int
+    ber: float
+    mean_sinr_db: float
+    occupancy: float
+    mcs_index: int
+    goodput_bps: float
+    controller_action: str = "n/a"
+
+
+@dataclass
+class SessionReport:
+    """Aggregated outcome of a simulated session."""
+
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def mean_ber(self) -> float:
+        if not self.rounds:
+            return 0.0
+        return float(np.mean([r.ber for r in self.rounds]))
+
+    @property
+    def mean_goodput_bps(self) -> float:
+        if not self.rounds:
+            return 0.0
+        return float(np.mean([r.goodput_bps for r in self.rounds]))
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.rounds:
+            return 0.0
+        return float(np.mean([r.occupancy for r in self.rounds]))
+
+    def rows(self) -> list[list[object]]:
+        """Table rows for the report renderer."""
+        return [
+            [
+                r.index + 1,
+                r.scheme,
+                r.feedback_bits,
+                r.ber,
+                f"MCS{r.mcs_index}",
+                r.goodput_bps / 1e6,
+                r.controller_action,
+            ]
+            for r in self.rounds
+        ]
+
+
+class NetworkSession:
+    """Simulates an AP serving one MU-MIMO group over many sounding rounds.
+
+    Parameters
+    ----------
+    dataset:
+        Supplies the channel realizations each round samples from (its
+        network configuration defines the MU-MIMO group).
+    trained:
+        The SplitBeam models available (from the zoo bucket matching the
+        dataset's configuration), keyed by bottleneck width, or ``None``
+        for an 802.11-only session.
+    qos:
+        BER ceiling and objective weighting for the adaptive controller.
+    samples_per_round:
+        CSI samples measured per sounding round (more = smoother BER).
+    """
+
+    def __init__(
+        self,
+        dataset: CsiDataset,
+        zoo: ModelZoo | None = None,
+        trained_models: "dict[int, TrainedSplitBeam] | None" = None,
+        qos: QosProfile | None = None,
+        link_config: LinkConfig | None = None,
+        interval_s: float = MU_MIMO_SOUNDING_INTERVAL_S,
+        samples_per_round: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if samples_per_round < 1:
+            raise ConfigurationError("samples_per_round must be >= 1")
+        if (zoo is None) != (trained_models is None):
+            raise ConfigurationError(
+                "zoo and trained_models must be provided together "
+                "(or both omitted for an 802.11-only session)"
+            )
+        self.dataset = dataset
+        self.config = NetworkConfiguration(
+            n_tx=dataset.spec.n_tx,
+            n_rx=dataset.spec.n_rx,
+            bandwidth_mhz=dataset.spec.bandwidth_mhz,
+        )
+        self.qos = qos or QosProfile()
+        self.link = LinkSimulator(link_config or LinkConfig())
+        self.interval_s = float(interval_s)
+        self.samples_per_round = int(samples_per_round)
+        self.rng = np.random.default_rng(seed)
+        self.trained_models = trained_models
+        self.controller: AdaptiveCompressionController | None = None
+        if zoo is not None:
+            candidates = zoo.candidates(self.config)
+            if not candidates:
+                raise ConfigurationError(
+                    f"zoo has no models for {self.config.label()}"
+                )
+            self.controller = AdaptiveCompressionController(
+                candidates, self.qos
+            )
+
+    # -- internals --------------------------------------------------------------
+
+    def _dot11_bits(self) -> int:
+        spec = self.dataset.spec
+        return bmr_bits(
+            Dot11FeedbackConfig(
+                n_tx=spec.n_tx,
+                n_rx=spec.n_rx,
+                n_streams=1,
+                bandwidth_mhz=spec.bandwidth_mhz,
+            )
+        )
+
+    def _measure_round(
+        self, indices: np.ndarray
+    ) -> tuple[str, int, float, float]:
+        """Returns (scheme label, feedback bits, BER, mean SINR dB)."""
+        channels = self.dataset.link_channels(indices)
+        if self.controller is not None and self.trained_models is not None:
+            entry = self.controller.current
+            trained = self.trained_models[entry.model.bottleneck_dim]
+            bf = predict_bf(
+                trained.model, self.dataset, indices, quantizer=trained.quantizer
+            )
+            scheme = entry.model.label()
+            bits = entry.feedback_bits
+        else:
+            from repro.baselines.dot11 import Dot11Feedback
+
+            bf = Dot11Feedback().reconstruct_bf(self.dataset, indices)
+            scheme = "802.11"
+            bits = self._dot11_bits()
+        ber = self.link.measure_ber(channels, bf).ber
+        metrics = self.link.measure_metrics(channels, bf)
+        return scheme, bits, ber, metrics.mean_sinr_db
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, n_rounds: int) -> SessionReport:
+        """Simulate ``n_rounds`` sounding rounds and aggregate a report."""
+        if n_rounds < 1:
+            raise ConfigurationError("n_rounds must be >= 1")
+        report = SessionReport()
+        pool = self.dataset.splits.test
+        n_users = self.dataset.n_users
+        for round_index in range(n_rounds):
+            indices = self.rng.choice(
+                pool, size=min(self.samples_per_round, pool.size), replace=False
+            )
+            scheme, bits, ber, sinr_db = self._measure_round(indices)
+
+            action = "n/a"
+            if self.controller is not None:
+                self.controller.observe(ber)
+                action = self.controller.history[-1][1]
+
+            campaign = SoundingCampaign(
+                n_users=n_users,
+                bandwidth_mhz=self.dataset.spec.bandwidth_mhz,
+                feedback_bits=bits,
+                interval_s=self.interval_s,
+            )
+            occupancy = campaign.report().occupancy
+            mcs = select_mcs(sinr_db, backoff_db=3.0)
+            rate = data_rate_bps(
+                mcs.index,
+                self.dataset.spec.bandwidth_mhz,
+                n_streams=1,
+            )
+            goodput = rate * max(1.0 - occupancy, 0.0) * n_users
+            report.rounds.append(
+                RoundRecord(
+                    index=round_index,
+                    scheme=scheme,
+                    feedback_bits=bits,
+                    ber=ber,
+                    mean_sinr_db=sinr_db,
+                    occupancy=occupancy,
+                    mcs_index=mcs.index,
+                    goodput_bps=goodput,
+                    controller_action=action,
+                )
+            )
+        return report

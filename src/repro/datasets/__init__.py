@@ -1,0 +1,28 @@
+"""Dataset pipeline: Table I catalog, preprocessing, splits, and I/O."""
+
+from repro.datasets.catalog import DatasetSpec, CATALOG, dataset_spec
+from repro.datasets.preprocess import (
+    align_users,
+    normalize_amplitude,
+    moving_median,
+    preprocess_csi,
+)
+from repro.datasets.splits import SplitIndices, split_indices
+from repro.datasets.builder import CsiDataset, build_dataset
+from repro.datasets.io import save_dataset, load_dataset
+
+__all__ = [
+    "DatasetSpec",
+    "CATALOG",
+    "dataset_spec",
+    "align_users",
+    "normalize_amplitude",
+    "moving_median",
+    "preprocess_csi",
+    "SplitIndices",
+    "split_indices",
+    "CsiDataset",
+    "build_dataset",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,97 @@
+"""The paper's dataset catalog (Table I).
+
+Twelve experimental datasets (2x2 and 3x3 topologies, 20/40/80 MHz, two
+environments) plus three MATLAB-synthetic 160 MHz datasets (2x2, 3x3,
+4x4).  Each entry records the MU-MIMO topology as (n_users = Nt STAs
+with Nr = Nss = 1), the bandwidth, and the environment preset that
+substitutes for the corresponding collection campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.channels.environment import Environment, environment
+from repro.phy.ofdm import BandPlan, band_plan
+
+__all__ = ["DatasetSpec", "CATALOG", "dataset_spec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table I."""
+
+    dataset_id: str  # "D1" .. "D15"
+    n_users: int  # network order N in "NxN" (= Nt = number of STAs)
+    bandwidth_mhz: int
+    env_name: str  # "E1", "E2", or "MATLAB"
+    n_samples: int = 10_000  # the paper collects 10k per dataset
+
+    def __post_init__(self) -> None:
+        if self.n_users < 2:
+            raise ConfigurationError("MU-MIMO needs at least 2 users")
+        if self.n_samples < 1:
+            raise ConfigurationError("n_samples must be >= 1")
+
+    @property
+    def n_tx(self) -> int:
+        return self.n_users
+
+    @property
+    def n_rx(self) -> int:
+        return 1  # one effective receive antenna / spatial stream per STA
+
+    @property
+    def env(self) -> Environment:
+        return environment(self.env_name)
+
+    @property
+    def band(self) -> BandPlan:
+        return band_plan(self.bandwidth_mhz)
+
+    @property
+    def config_label(self) -> str:
+        return f"{self.n_users}x{self.n_users}"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dataset_id}: {self.config_label} @ {self.bandwidth_mhz} MHz "
+            f"({self.env_name})"
+        )
+
+
+def _experimental_catalog() -> dict[str, DatasetSpec]:
+    """D1-D12 exactly as laid out in Table I."""
+    catalog: dict[str, DatasetSpec] = {}
+    index = 1
+    for bandwidth in (20, 40, 80):
+        for env_name in ("E1", "E2"):
+            for n_users in (2, 3):
+                dataset_id = f"D{index}"
+                catalog[dataset_id] = DatasetSpec(
+                    dataset_id=dataset_id,
+                    n_users=n_users,
+                    bandwidth_mhz=bandwidth,
+                    env_name=env_name,
+                )
+                index += 1
+    return catalog
+
+
+CATALOG: dict[str, DatasetSpec] = {
+    **_experimental_catalog(),
+    "D13": DatasetSpec("D13", 2, 160, "MATLAB"),
+    "D14": DatasetSpec("D14", 3, 160, "MATLAB"),
+    "D15": DatasetSpec("D15", 4, 160, "MATLAB"),
+}
+
+
+def dataset_spec(dataset_id: str) -> DatasetSpec:
+    """Look up a Table I dataset by id (``"D1"`` .. ``"D15"``)."""
+    try:
+        return CATALOG[dataset_id.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {dataset_id!r}; catalog has D1..D15"
+        ) from None

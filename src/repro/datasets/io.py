@@ -1,0 +1,63 @@
+"""Dataset persistence as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.datasets.builder import CsiDataset
+from repro.datasets.catalog import DatasetSpec
+from repro.datasets.splits import SplitIndices
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: CsiDataset, path: str) -> None:
+    """Write a :class:`CsiDataset` to ``path`` (``.npz``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    spec = dataset.spec
+    np.savez_compressed(
+        path,
+        format_version=_FORMAT_VERSION,
+        dataset_id=spec.dataset_id,
+        n_users=spec.n_users,
+        bandwidth_mhz=spec.bandwidth_mhz,
+        env_name=spec.env_name,
+        n_samples=spec.n_samples,
+        csi=dataset.csi,
+        bf=dataset.bf,
+        train=dataset.splits.train,
+        val=dataset.splits.val,
+        test=dataset.splits.test,
+    )
+
+
+def load_dataset(path: str) -> CsiDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    if not os.path.exists(path):
+        raise DatasetError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported dataset format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        spec = DatasetSpec(
+            dataset_id=str(data["dataset_id"]),
+            n_users=int(data["n_users"]),
+            bandwidth_mhz=int(data["bandwidth_mhz"]),
+            env_name=str(data["env_name"]),
+            n_samples=int(data["n_samples"]),
+        )
+        splits = SplitIndices(
+            train=data["train"], val=data["val"], test=data["test"]
+        )
+        return CsiDataset(
+            spec=spec, csi=data["csi"], bf=data["bf"], splits=splits
+        )

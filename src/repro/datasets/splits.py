@@ -1,0 +1,56 @@
+"""Train/validation/test splitting (8:1:1, Sec. IV-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import as_generator
+
+__all__ = ["SplitIndices", "split_indices"]
+
+
+@dataclass(frozen=True)
+class SplitIndices:
+    """Disjoint sample-index arrays covering ``range(n)``."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    @property
+    def n_total(self) -> int:
+        return self.train.size + self.val.size + self.test.size
+
+
+def split_indices(
+    n_samples: int,
+    ratios: tuple[float, float, float] = (8.0, 1.0, 1.0),
+    shuffle: bool = True,
+    rng: "int | np.random.Generator | None" = 0,
+) -> SplitIndices:
+    """Partition ``range(n_samples)`` into train/val/test by ``ratios``.
+
+    The paper splits 8:1:1.  ``shuffle=False`` keeps temporal order
+    (useful when the stream is strongly time-correlated and leakage
+    between adjacent samples matters).
+    """
+    if n_samples < 3:
+        raise DatasetError(f"need at least 3 samples to split, got {n_samples}")
+    total = float(sum(ratios))
+    if total <= 0 or any(r < 0 for r in ratios):
+        raise DatasetError(f"invalid split ratios {ratios}")
+    indices = np.arange(n_samples)
+    if shuffle:
+        indices = as_generator(rng).permutation(n_samples)
+    n_train = int(round(n_samples * ratios[0] / total))
+    n_val = int(round(n_samples * ratios[1] / total))
+    n_train = min(n_train, n_samples - 2)
+    n_val = max(1, min(n_val, n_samples - n_train - 1))
+    return SplitIndices(
+        train=indices[:n_train],
+        val=indices[n_train : n_train + n_val],
+        test=indices[n_train + n_val :],
+    )

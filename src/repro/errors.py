@@ -1,0 +1,36 @@
+"""Exception hierarchy for the SplitBeam reproduction.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream users can catch library failures
+without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ShapeError(ReproError):
+    """An array argument has the wrong shape or dtype."""
+
+
+class TrainingError(ReproError):
+    """Model training failed or was configured inconsistently."""
+
+
+class FeedbackError(ReproError):
+    """A beamforming-feedback codec failed to encode or decode."""
+
+
+class ConstraintViolation(ReproError):
+    """A BOP constraint (BER or delay) cannot be satisfied."""
+
+
+class DatasetError(ReproError):
+    """A dataset is missing, malformed, or inconsistent with its catalog."""

@@ -1,0 +1,17 @@
+"""FPGA latency model (substitute for the paper's HLS synthesis)."""
+
+from repro.fpga.latency import (
+    FpgaTarget,
+    ZYNQ_ULTRASCALE_XCZU9EG,
+    model_latency_s,
+    splitbeam_latency_s,
+    table3_latency_s,
+)
+
+__all__ = [
+    "FpgaTarget",
+    "ZYNQ_ULTRASCALE_XCZU9EG",
+    "model_latency_s",
+    "splitbeam_latency_s",
+    "table3_latency_s",
+]

@@ -1,0 +1,84 @@
+"""A compact NumPy neural-network stack (layers, backprop, optimizers).
+
+The paper trains its DNNs with PyTorch; this offline reproduction ships
+its own minimal but complete training substrate instead:
+
+- :mod:`repro.nn.module` — ``Parameter`` / ``Module`` base classes;
+- :mod:`repro.nn.layers` — ``Linear``, activations, ``Dropout``,
+  ``Sequential``;
+- :mod:`repro.nn.losses` — the paper's normalized L1 loss (Eq. (8)),
+  plus MSE/MAE;
+- :mod:`repro.nn.optim` — ``SGD`` and ``Adam`` [24];
+- :mod:`repro.nn.schedulers` — the paper's epoch-20/30 step decay;
+- :mod:`repro.nn.trainer` — batch training with validation-metric
+  checkpointing, exactly the recipe of Sec. IV-D;
+- :mod:`repro.nn.flops` — exact MAC/FLOP counting used by the cost
+  models;
+- :mod:`repro.nn.gradcheck` — numerical gradient verification used by
+  the test suite.
+
+Gradient correctness for every layer and loss is property-tested against
+central finite differences (see ``tests/nn/test_gradcheck.py``).
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Linear,
+    ReLU,
+    LeakyReLU,
+    Tanh,
+    Sigmoid,
+    Identity,
+    Dropout,
+    Sequential,
+)
+from repro.nn.normalization import LayerNorm, BatchNorm1d
+from repro.nn.conv import Conv1d, Flatten, Reshape
+from repro.nn.losses import Loss, MSELoss, MAELoss, NormalizedL1Loss
+from repro.nn.optim import Optimizer, SGD, Adam
+from repro.nn.schedulers import LRScheduler, ConstantLR, StepLR, MultiStepLR
+from repro.nn.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.nn.serialize import save_state, load_state, state_dict, load_state_dict
+from repro.nn.flops import count_macs, count_flops, count_parameters
+from repro.nn.gradcheck import gradcheck_module, gradcheck_loss
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Dropout",
+    "Sequential",
+    "LayerNorm",
+    "BatchNorm1d",
+    "Conv1d",
+    "Flatten",
+    "Reshape",
+    "Loss",
+    "MSELoss",
+    "MAELoss",
+    "NormalizedL1Loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "ConstantLR",
+    "StepLR",
+    "MultiStepLR",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "save_state",
+    "load_state",
+    "state_dict",
+    "load_state_dict",
+    "count_macs",
+    "count_flops",
+    "count_parameters",
+    "gradcheck_module",
+    "gradcheck_loss",
+]

@@ -1,0 +1,210 @@
+"""1-D convolutional layers for the CsiNet-style comparator.
+
+The paper's related work (Sec. II) credits CsiNet [18] and DeepCMC [19]
+with CNN-based CSI compression for cellular MIMO.  To test whether that
+architecture family helps in the Wi-Fi setting, ``repro.baselines.
+csinet`` builds a convolutional encoder over the subcarrier axis —
+these layers are its substrate.
+
+Data layout is ``(batch, channels, length)``; convolutions are "same"
+padded with stride 1, implemented via an im2col unfold so forward and
+backward are both matrix multiplies.  Gradients are verified against
+finite differences in the test suite, like every other layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.init import initializer
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import as_generator
+
+__all__ = ["Conv1d", "Flatten", "Reshape"]
+
+
+class Conv1d(Module):
+    """Same-padded 1-D convolution ``(batch, C_in, L) -> (batch, C_out, L)``.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Feature counts.
+    kernel_size:
+        Odd kernel width (same padding needs symmetry).
+    rng:
+        Seed/Generator for the Glorot-style weight init.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        bias: bool = True,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__()
+        if in_channels < 1 or out_channels < 1:
+            raise ConfigurationError("channel counts must be >= 1")
+        if kernel_size < 1 or kernel_size % 2 == 0:
+            raise ConfigurationError(
+                f"kernel_size must be odd and >= 1, got {kernel_size}"
+            )
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        fan_in = in_channels * kernel_size
+        init_fn = initializer("glorot")
+        # Reuse the dense initializer on the unfolded geometry.
+        flat = init_fn(fan_in, out_channels, as_generator(rng))
+        self.weight = Parameter(
+            np.ascontiguousarray(flat.T).reshape(
+                out_channels, in_channels, kernel_size
+            ),
+            name="weight",
+        )
+        self.bias = (
+            Parameter(np.zeros(out_channels), name="bias") if bias else None
+        )
+        self._cached_columns: np.ndarray | None = None
+        self._cached_shape: tuple[int, int, int] | None = None
+
+    # -- im2col helpers ----------------------------------------------------------
+
+    def _unfold(self, inputs: np.ndarray) -> np.ndarray:
+        """``(batch, C_in, L)`` -> ``(batch, L, C_in * k)`` patch matrix."""
+        batch, channels, length = inputs.shape
+        pad = self.kernel_size // 2
+        padded = np.pad(inputs, ((0, 0), (0, 0), (pad, pad)))
+        # Gather k shifted views and stack along a new kernel axis.
+        patches = np.stack(
+            [padded[:, :, i : i + length] for i in range(self.kernel_size)],
+            axis=3,
+        )  # (batch, C_in, L, k)
+        return patches.transpose(0, 2, 1, 3).reshape(
+            batch, length, channels * self.kernel_size
+        )
+
+    def _fold_input_grad(
+        self, grad_columns: np.ndarray, shape: tuple[int, int, int]
+    ) -> np.ndarray:
+        """Scatter ``(batch, L, C_in * k)`` gradients back onto the input."""
+        batch, channels, length = shape
+        pad = self.kernel_size // 2
+        grads = grad_columns.reshape(
+            batch, length, channels, self.kernel_size
+        ).transpose(0, 2, 1, 3)  # (batch, C_in, L, k)
+        padded = np.zeros((batch, channels, length + 2 * pad))
+        for i in range(self.kernel_size):
+            padded[:, :, i : i + length] += grads[:, :, :, i]
+        return padded[:, :, pad : pad + length]
+
+    # -- Module interface --------------------------------------------------------
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv1d expected (batch, {self.in_channels}, L), "
+                f"got {inputs.shape}"
+            )
+        columns = self._unfold(inputs)  # (batch, L, C_in*k)
+        self._cached_columns = columns
+        self._cached_shape = inputs.shape
+        kernel = self.weight.data.reshape(self.out_channels, -1)  # (C_out, C_in*k)
+        out = columns @ kernel.T  # (batch, L, C_out)
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out.transpose(0, 2, 1)  # (batch, C_out, L)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_columns is None or self._cached_shape is None:
+            raise ShapeError("backward called before forward on Conv1d")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, _, length = self._cached_shape
+        if grad_output.shape != (batch, self.out_channels, length):
+            raise ShapeError(
+                f"Conv1d gradient shape {grad_output.shape} != "
+                f"{(batch, self.out_channels, length)}"
+            )
+        grad_cols_out = grad_output.transpose(0, 2, 1)  # (batch, L, C_out)
+        kernel = self.weight.data.reshape(self.out_channels, -1)
+
+        # Parameter gradients: sum over batch and positions.
+        grad_kernel = np.einsum(
+            "blo,blf->of", grad_cols_out, self._cached_columns
+        )
+        self.weight.grad += grad_kernel.reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_cols_out.sum(axis=(0, 1))
+
+        grad_columns = grad_cols_out @ kernel  # (batch, L, C_in*k)
+        return self._fold_input_grad(grad_columns, self._cached_shape)
+
+    def macs(self, length: int, batch: int = 1) -> int:
+        """Multiply-accumulates for one forward pass."""
+        return (
+            batch
+            * length
+            * self.out_channels
+            * self.in_channels
+            * self.kernel_size
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size})"
+        )
+
+
+class Flatten(Module):
+    """``(batch, C, L) -> (batch, C * L)`` with an exact inverse backward."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cached_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim < 2:
+            raise ShapeError("Flatten expects a batched input")
+        self._cached_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_shape is None:
+            raise ShapeError("backward called before forward on Flatten")
+        return np.asarray(grad_output, dtype=np.float64).reshape(
+            self._cached_shape
+        )
+
+
+class Reshape(Module):
+    """``(batch, prod(shape)) -> (batch, *shape)`` (inverse of Flatten)."""
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        super().__init__()
+        if any(s < 1 for s in shape):
+            raise ConfigurationError(f"shape entries must be >= 1, got {shape}")
+        self.shape = tuple(int(s) for s in shape)
+        self._cached_batch: int | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        expected = int(np.prod(self.shape))
+        if inputs.ndim != 2 or inputs.shape[1] != expected:
+            raise ShapeError(
+                f"Reshape expected (batch, {expected}), got {inputs.shape}"
+            )
+        self._cached_batch = inputs.shape[0]
+        return inputs.reshape((inputs.shape[0],) + self.shape)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_batch is None:
+            raise ShapeError("backward called before forward on Reshape")
+        return np.asarray(grad_output, dtype=np.float64).reshape(
+            self._cached_batch, -1
+        )

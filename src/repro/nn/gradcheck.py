@@ -1,0 +1,119 @@
+"""Numerical gradient verification via central finite differences.
+
+Used by the test suite to prove backward passes correct; also usable as
+a debugging aid when adding new layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import Loss, MSELoss
+from repro.nn.module import Module
+from repro.utils.rng import as_generator
+
+__all__ = ["gradcheck_module", "gradcheck_loss", "numerical_gradient"]
+
+
+def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``array`` in place.
+
+    ``fn`` takes no arguments and must read the current contents of
+    ``array``; entries are perturbed one at a time.  Perturbation uses
+    multi-indices rather than a flat view so non-contiguous arrays
+    (where ``reshape(-1)`` would silently copy) are handled correctly.
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    for index in np.ndindex(array.shape):
+        original = array[index]
+        array[index] = original + eps
+        plus = fn()
+        array[index] = original - eps
+        minus = fn()
+        array[index] = original
+        grad[index] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck_module(
+    module: Module,
+    input_shape: tuple[int, ...],
+    loss: Loss | None = None,
+    rng: "int | np.random.Generator | None" = 0,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Verify analytic gradients of ``module`` against finite differences.
+
+    Checks both the input gradient and every parameter gradient under a
+    scalar loss (default MSE against a random target).  Returns True on
+    success, raises ``AssertionError`` with a description on failure.
+    """
+    rng = as_generator(rng)
+    loss = loss or MSELoss()
+    module.eval()  # disable stochastic layers for determinism
+    inputs = rng.normal(size=input_shape)
+    probe = module.forward(inputs)
+    target = rng.normal(size=probe.shape)
+
+    def scalar() -> float:
+        return loss.forward(module.forward(inputs), target)
+
+    # Analytic gradients.
+    module.zero_grad()
+    loss.forward(module.forward(inputs), target)
+    grad_input = module.backward(loss.backward())
+    if grad_input.shape != np.asarray(inputs).reshape(
+        grad_input.shape
+    ).shape:  # pragma: no cover - shape sanity
+        raise AssertionError("input gradient shape mismatch")
+
+    num_grad_input = numerical_gradient(scalar, inputs, eps=eps)
+    _compare("input", grad_input.reshape(inputs.shape), num_grad_input, atol, rtol)
+
+    for index, param in enumerate(module.parameters()):
+        numerical = numerical_gradient(scalar, param.data, eps=eps)
+        _compare(f"param[{index}]:{param.name}", param.grad, numerical, atol, rtol)
+    return True
+
+
+def gradcheck_loss(
+    loss: Loss,
+    shape: tuple[int, ...],
+    rng: "int | np.random.Generator | None" = 0,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Verify a loss's prediction gradient against finite differences."""
+    rng = as_generator(rng)
+    prediction = rng.normal(size=shape)
+    target = rng.normal(size=shape)
+    # Keep the target away from loss kinks/denominator floors.
+    target = np.where(np.abs(target) < 0.2, 0.2 * np.sign(target) + 0.2, target)
+
+    loss.forward(prediction, target)
+    analytic = loss.backward()
+
+    def scalar() -> float:
+        return loss.forward(prediction, target)
+
+    numerical = numerical_gradient(scalar, prediction, eps=eps)
+    _compare("prediction", analytic, numerical, atol, rtol)
+    return True
+
+
+def _compare(
+    label: str,
+    analytic: np.ndarray,
+    numerical: np.ndarray,
+    atol: float,
+    rtol: float,
+) -> None:
+    if not np.allclose(analytic, numerical, atol=atol, rtol=rtol):
+        worst = float(np.max(np.abs(analytic - numerical)))
+        raise AssertionError(
+            f"gradient mismatch for {label}: max abs diff {worst:.3e} "
+            f"(atol={atol}, rtol={rtol})"
+        )

@@ -1,0 +1,41 @@
+"""Weight initializers for Linear layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+__all__ = ["glorot_uniform", "he_uniform", "initializer"]
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform init — suited to tanh/linear layers."""
+    rng = as_generator(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(
+    fan_in: int, fan_out: int, rng: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """He/Kaiming uniform init — suited to ReLU-family layers."""
+    rng = as_generator(rng)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+_INITIALIZERS = {"glorot": glorot_uniform, "he": he_uniform}
+
+
+def initializer(name: str):
+    """Look up an initializer function by name (``glorot`` or ``he``)."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; options: {sorted(_INITIALIZERS)}"
+        ) from None

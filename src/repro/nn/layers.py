@@ -1,0 +1,244 @@
+"""Layers: Linear, activations, Dropout, and the Sequential container.
+
+Each layer caches its forward inputs and implements an explicit backward
+pass.  Backward must be called after forward with a gradient of the same
+shape as the forward output; parameter gradients *accumulate* (call
+``zero_grad`` between steps, as the optimizers do).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.init import initializer
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Dropout",
+    "Sequential",
+]
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    bias:
+        Whether to learn an additive bias (default True).
+    init:
+        ``"glorot"`` or ``"he"`` (default ``"glorot"``).
+    rng:
+        Seed or Generator for the weight init.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init: str = "glorot",
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError(
+                f"Linear dims must be positive, got {in_features}x{out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        init_fn = initializer(init)
+        self.weight = Parameter(
+            init_fn(in_features, out_features, as_generator(rng)), name="weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self._cached_input: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._as_batch(inputs)
+        if inputs.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected {self.in_features} features, got {inputs.shape[1]}"
+            )
+        self._cached_input = inputs
+        out = inputs @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_input is None:
+            raise ShapeError("backward called before forward on Linear")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.ndim == 1:
+            grad_output = grad_output[None, :]
+        self.weight.grad += self._cached_input.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+    def macs(self, batch: int = 1) -> int:
+        """Multiply-accumulate count for a forward pass of ``batch`` rows."""
+        return batch * self.in_features * self.out_features
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class _Activation(Module):
+    """Base for cached element-wise activations."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cached_input: np.ndarray | None = None
+
+    def _fn(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _dfn(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._cached_input = inputs
+        return self._fn(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_input is None:
+            raise ShapeError(f"backward before forward on {type(self).__name__}")
+        return np.asarray(grad_output) * self._dfn(self._cached_input)
+
+
+class ReLU(_Activation):
+    """Rectified linear unit."""
+
+    def _fn(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def _dfn(self, x: np.ndarray) -> np.ndarray:
+        return (x > 0).astype(np.float64)
+
+
+class LeakyReLU(_Activation):
+    """Leaky ReLU with configurable negative slope (default 0.01)."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        if negative_slope < 0:
+            raise ConfigurationError("negative_slope must be >= 0")
+        self.negative_slope = float(negative_slope)
+
+    def _fn(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0, x, self.negative_slope * x)
+
+    def _dfn(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0, 1.0, self.negative_slope)
+
+
+class Tanh(_Activation):
+    """Hyperbolic tangent."""
+
+    def _fn(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def _dfn(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 - np.tanh(x) ** 2
+
+
+class Sigmoid(_Activation):
+    """Logistic sigmoid."""
+
+    def _fn(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def _dfn(self, x: np.ndarray) -> np.ndarray:
+        s = self._fn(x)
+        return s * (1.0 - s)
+
+
+class Identity(_Activation):
+    """Pass-through layer (useful as a named placeholder)."""
+
+    def _fn(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def _dfn(self, x: np.ndarray) -> np.ndarray:
+        return np.ones_like(x)
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(
+        self, p: float = 0.5, rng: "int | np.random.Generator | None" = None
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self.rng = as_generator(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return np.asarray(grad_output)
+        return np.asarray(grad_output) * self._mask
+
+
+class Sequential(Module):
+    """Chain of layers applied in order."""
+
+    def __init__(self, layers: Sequence[Module]) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        if not self.layers:
+            raise ConfigurationError("Sequential requires at least one layer")
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = inputs
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def slice(self, start: int, stop: int | None = None) -> "Sequential":
+        """A new Sequential *sharing* the parameter objects of a sub-range.
+
+        Used to split a trained model into head and tail: the slices keep
+        referencing the same :class:`Parameter` instances, so no copying
+        or re-training is involved.
+        """
+        sub = self.layers[start:stop]
+        return Sequential(sub)

@@ -1,0 +1,82 @@
+"""Learning-rate schedules.
+
+The paper decays the learning rate by a factor of 10 after epochs 20 and
+30 of a 40-epoch run (Sec. IV-D) — that is ``MultiStepLR(milestones=(20,
+30), gamma=0.1)`` here.  Schedulers are stepped once per epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "StepLR", "MultiStepLR"]
+
+
+class LRScheduler:
+    """Base scheduler; mutates ``optimizer.lr`` once per ``step()``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.lr_at(self.epoch)
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (useful as a default)."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ConfigurationError("step_size must be positive")
+        if gamma <= 0:
+            raise ConfigurationError("gamma must be positive")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply by ``gamma`` at each epoch in ``milestones``.
+
+    ``MultiStepLR(opt, milestones=(20, 30))`` reproduces the paper's
+    schedule: lr/10 after epoch 20 and lr/100 after epoch 30.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        milestones: Sequence[int] = (20, 30),
+        gamma: float = 0.1,
+    ) -> None:
+        super().__init__(optimizer)
+        if gamma <= 0:
+            raise ConfigurationError("gamma must be positive")
+        milestones = sorted(int(m) for m in milestones)
+        if any(m <= 0 for m in milestones):
+            raise ConfigurationError("milestones must be positive epochs")
+        self.milestones = milestones
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * self.gamma**passed

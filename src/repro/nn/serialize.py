@@ -1,0 +1,57 @@
+"""Model parameter serialization to/from ``.npz`` files.
+
+State dicts map ``"p<i>.<name>"`` keys to arrays in parameter-iteration
+order, which is deterministic for our sequential models.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module
+
+__all__ = ["state_dict", "load_state_dict", "save_state", "load_state"]
+
+
+def state_dict(model: Module) -> dict[str, np.ndarray]:
+    """Snapshot all parameters of ``model`` as copies."""
+    return {
+        f"p{i}.{param.name}": param.data.copy()
+        for i, param in enumerate(model.parameters())
+    }
+
+
+def load_state_dict(model: Module, state: dict[str, np.ndarray]) -> None:
+    """Load a snapshot produced by :func:`state_dict` into ``model``."""
+    params = list(model.parameters())
+    if len(state) != len(params):
+        raise ShapeError(
+            f"state has {len(state)} tensors but model has {len(params)} parameters"
+        )
+    for i, param in enumerate(params):
+        key = f"p{i}.{param.name}"
+        if key not in state:
+            raise ShapeError(f"state is missing parameter {key!r}")
+        value = np.asarray(state[key], dtype=np.float64)
+        if value.shape != param.data.shape:
+            raise ShapeError(
+                f"parameter {key!r} has shape {value.shape}, "
+                f"expected {param.data.shape}"
+            )
+        param.data = value.copy()
+
+
+def save_state(model: Module, path: str) -> None:
+    """Save the model parameters to an ``.npz`` file at ``path``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state_dict(model))
+
+
+def load_state(model: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_state` into ``model``."""
+    with np.load(path) as data:
+        load_state_dict(model, {key: data[key] for key in data.files})

@@ -1,0 +1,220 @@
+"""Binary convolutional coding (BCC) with Viterbi decoding.
+
+Implements the IEEE 802.11 mother code: constraint length 7, generator
+polynomials (133, 171) octal, rate 1/2, with zero-tail termination.
+Decoding is hard-decision Viterbi, vectorized over trellis states with
+NumPy.  Figure 10 of the paper applies this code at rate 1/2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["ConvolutionalCode", "bcc_rate_half"]
+
+
+class ConvolutionalCode:
+    """A rate-1/n feed-forward convolutional code with Viterbi decoding.
+
+    Parameters
+    ----------
+    polynomials:
+        Generator polynomials in octal notation (e.g. ``(0o133, 0o171)``).
+    constraint_length:
+        Number of taps including the current bit (802.11 uses 7).
+    """
+
+    def __init__(
+        self,
+        polynomials: tuple[int, ...] = (0o133, 0o171),
+        constraint_length: int = 7,
+    ) -> None:
+        if constraint_length < 2:
+            raise ConfigurationError("constraint_length must be >= 2")
+        if len(polynomials) < 2:
+            raise ConfigurationError("need at least two generator polynomials")
+        limit = 1 << constraint_length
+        for poly in polynomials:
+            if not 0 < poly < limit:
+                raise ConfigurationError(
+                    f"polynomial {poly:o} (octal) out of range for "
+                    f"constraint length {constraint_length}"
+                )
+        self.polynomials = tuple(int(p) for p in polynomials)
+        self.constraint_length = int(constraint_length)
+        self.n_outputs = len(self.polynomials)
+        self.n_states = 1 << (constraint_length - 1)
+        self._build_trellis()
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def rate(self) -> float:
+        """Code rate (information bits per coded bit), ignoring the tail."""
+        return 1.0 / self.n_outputs
+
+    def encoded_length(self, n_info_bits: int) -> int:
+        """Coded bits produced for ``n_info_bits`` including the zero tail."""
+        return (n_info_bits + self.constraint_length - 1) * self.n_outputs
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode a flat 0/1 array, appending a zero tail to flush state."""
+        bits = np.asarray(bits).astype(np.int64).reshape(-1)
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ShapeError("bits must be 0/1")
+        tail = np.zeros(self.constraint_length - 1, dtype=np.int64)
+        stream = np.concatenate([bits, tail])
+        out = np.empty(stream.size * self.n_outputs, dtype=np.int64)
+        state = 0
+        for i, bit in enumerate(stream):
+            out[i * self.n_outputs : (i + 1) * self.n_outputs] = self._output_table[
+                state, bit
+            ]
+            state = self._next_state[state, bit]
+        return out
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        """Hard-decision Viterbi decode of a zero-terminated codeword.
+
+        Assumes the encoder started and ended in the all-zero state, as
+        :meth:`encode` guarantees.  Add-compare-select is vectorized over
+        all trellis states per time step.
+        """
+        coded = np.asarray(coded).astype(np.int64).reshape(-1)
+        if coded.size % self.n_outputs:
+            raise ShapeError(
+                f"coded length {coded.size} not divisible by {self.n_outputs}"
+            )
+        n_steps = coded.size // self.n_outputs
+        if n_steps < self.constraint_length - 1:
+            raise ShapeError("codeword shorter than the termination tail")
+        received = coded.reshape(n_steps, self.n_outputs)
+
+        prev_state, prev_input = self._prev_state, self._prev_input
+        metric = np.full(self.n_states, 1e18)
+        metric[0] = 0.0
+        decisions_input = np.empty((n_steps, self.n_states), dtype=np.int8)
+        decisions_prev = np.empty((n_steps, self.n_states), dtype=np.int64)
+        rows = np.arange(self.n_states)
+
+        for step in range(n_steps):
+            symbol = received[step]
+            dist = np.sum(
+                self._output_table != symbol[None, None, :], axis=2
+            ).astype(np.float64)
+            # Metric arriving at each target state via its two predecessors.
+            cand = metric[prev_state] + dist[prev_state, prev_input]
+            choice = np.argmin(cand, axis=1)
+            metric = cand[rows, choice]
+            decisions_input[step] = prev_input[rows, choice]
+            decisions_prev[step] = prev_state[rows, choice]
+
+        state = 0  # zero-tail termination
+        bits = np.empty(n_steps, dtype=np.int64)
+        for step in range(n_steps - 1, -1, -1):
+            bits[step] = decisions_input[step, state]
+            state = decisions_prev[step, state]
+        return bits[: n_steps - (self.constraint_length - 1)]
+
+    def decode_soft(self, llrs: np.ndarray) -> np.ndarray:
+        """Soft-decision Viterbi decode from per-bit LLRs.
+
+        ``llrs`` follow the convention of :meth:`QamModem.llr`: positive
+        values favour bit 0.  The branch metric rewards agreement between
+        the hypothesized coded bit and the LLR sign/magnitude, which buys
+        the usual ~2 dB over hard decisions on an AWGN channel.
+        """
+        llrs = np.asarray(llrs, dtype=np.float64).reshape(-1)
+        if llrs.size % self.n_outputs:
+            raise ShapeError(
+                f"LLR count {llrs.size} not divisible by {self.n_outputs}"
+            )
+        n_steps = llrs.size // self.n_outputs
+        if n_steps < self.constraint_length - 1:
+            raise ShapeError("codeword shorter than the termination tail")
+        received = llrs.reshape(n_steps, self.n_outputs)
+
+        prev_state, prev_input = self._prev_state, self._prev_input
+        metric = np.full(self.n_states, 1e18)
+        metric[0] = 0.0
+        decisions_input = np.empty((n_steps, self.n_states), dtype=np.int8)
+        decisions_prev = np.empty((n_steps, self.n_states), dtype=np.int64)
+        rows = np.arange(self.n_states)
+        # Hypothesizing coded bit c against LLR L (positive = bit 0
+        # likely) costs max((2c-1) * L, 0): zero when the hypothesis
+        # agrees with the sign, |L| when it contradicts it.
+        signs = 2.0 * self._output_table - 1.0  # (states, 2, n_outputs)
+        for step in range(n_steps):
+            llr = received[step]  # (n_outputs,)
+            dist = np.maximum(signs * llr[None, None, :], 0.0).sum(axis=2)
+            cand = metric[prev_state] + dist[prev_state, prev_input]
+            choice = np.argmin(cand, axis=1)
+            metric = cand[rows, choice]
+            decisions_input[step] = prev_input[rows, choice]
+            decisions_prev[step] = prev_state[rows, choice]
+
+        state = 0
+        bits = np.empty(n_steps, dtype=np.int64)
+        for step in range(n_steps - 1, -1, -1):
+            bits[step] = decisions_input[step, state]
+            state = decisions_prev[step, state]
+        return bits[: n_steps - (self.constraint_length - 1)]
+
+    def decode_batch(self, coded: np.ndarray, n_info_bits: int) -> np.ndarray:
+        """Decode a 2-D batch of equal-length codewords row by row."""
+        coded = np.asarray(coded)
+        if coded.ndim != 2:
+            raise ShapeError("decode_batch expects a 2-D array")
+        out = np.empty((coded.shape[0], n_info_bits), dtype=np.int64)
+        for row in range(coded.shape[0]):
+            decoded = self.decode(coded[row])
+            if decoded.size != n_info_bits:
+                raise ShapeError(
+                    f"decoded {decoded.size} bits, expected {n_info_bits}"
+                )
+            out[row] = decoded
+        return out
+
+    # -- internals --------------------------------------------------------------
+
+    def _build_trellis(self) -> None:
+        states = np.arange(self.n_states)
+        self._next_state = np.empty((self.n_states, 2), dtype=np.int64)
+        self._output_table = np.empty((self.n_states, 2, self.n_outputs), np.int64)
+        for bit in (0, 1):
+            # Shift register: newest bit enters at the MSB position.
+            register = (bit << (self.constraint_length - 1)) | states
+            self._next_state[:, bit] = register >> 1
+            for k, poly in enumerate(self.polynomials):
+                self._output_table[:, bit, k] = _parity(register & poly)
+        # Reverse maps: for each target state its two (predecessor, input).
+        prev_state = np.empty((self.n_states, 2), dtype=np.int64)
+        prev_input = np.empty((self.n_states, 2), dtype=np.int64)
+        slot = np.zeros(self.n_states, dtype=np.int64)
+        for state in range(self.n_states):
+            for bit in (0, 1):
+                target = self._next_state[state, bit]
+                prev_state[target, slot[target]] = state
+                prev_input[target, slot[target]] = bit
+                slot[target] += 1
+        if not np.all(slot == 2):
+            raise ConfigurationError("malformed trellis: uneven in-degree")
+        self._prev_state = prev_state
+        self._prev_input = prev_input
+
+
+def _parity(values: np.ndarray) -> np.ndarray:
+    """Bitwise parity (popcount mod 2) of each integer."""
+    values = values.copy()
+    parity = np.zeros_like(values)
+    while np.any(values):
+        parity ^= values & 1
+        values >>= 1
+    return parity
+
+
+def bcc_rate_half() -> ConvolutionalCode:
+    """The 802.11 rate-1/2 BCC: K=7, polynomials (133, 171) octal."""
+    return ConvolutionalCode(polynomials=(0o133, 0o171), constraint_length=7)

@@ -1,0 +1,144 @@
+"""IEEE 802.11 BCC block interleaver (Clause 17.3.5.7 / 21.3.10.8).
+
+The convolutional decoder copes with *scattered* bit errors far better
+than with bursts, but a frequency-selective channel wipes out whole
+groups of adjacent subcarriers at once.  The standard therefore permutes
+each OFDM symbol's coded bits in two steps before mapping them onto
+tones:
+
+1. ``i = (N_cbps/16) * (k mod 16) + floor(k/16)`` — spreads adjacent
+   coded bits across 16 widely separated tone groups;
+2. ``j = s*floor(i/s) + (i + N_cbps - floor(16*i/N_cbps)) mod s`` with
+   ``s = max(N_bpsc/2, 1)`` — rotates bits within each symbol's
+   constellation axes so consecutive bits alternate between high- and
+   low-reliability positions.
+
+Both permutations and their exact inverses are precomputed as index
+arrays, so (de)interleaving a frame is one fancy-indexing operation.
+
+The standard fixes the column count at 16 because its data-tone counts
+(48/52/108/234...) are multiples of 16 after coding.  The paper's CSI
+extraction reports *total* tones (56/114/242), which are not, so
+:meth:`BlockInterleaver.for_symbol` picks the largest column count
+<= 16 dividing the symbol size — same structure, adapted geometry
+(documented substitution; 20 MHz matches the standard exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["BlockInterleaver"]
+
+#: Column count used by the standard (when divisibility allows).
+STANDARD_COLUMNS = 16
+
+
+class BlockInterleaver:
+    """Per-OFDM-symbol two-permutation interleaver.
+
+    Parameters
+    ----------
+    n_cbps:
+        Coded bits per OFDM symbol (``n_subcarriers * bits_per_symbol``
+        for one spatial stream).  Must be a multiple of ``n_columns``.
+    n_bpsc:
+        Coded bits per subcarrier (1 for BPSK ... 8 for 256-QAM).
+    n_columns:
+        Interleaver width; the standard uses 16.
+    """
+
+    def __init__(self, n_cbps: int, n_bpsc: int = 4, n_columns: int = STANDARD_COLUMNS) -> None:
+        if n_columns < 2:
+            raise ConfigurationError(f"n_columns must be >= 2, got {n_columns}")
+        if n_cbps < n_columns or n_cbps % n_columns:
+            raise ConfigurationError(
+                f"n_cbps must be a positive multiple of {n_columns}, "
+                f"got {n_cbps}"
+            )
+        if n_bpsc < 1 or n_bpsc > 8:
+            raise ConfigurationError(f"n_bpsc must be in [1, 8], got {n_bpsc}")
+        self.n_cbps = int(n_cbps)
+        self.n_bpsc = int(n_bpsc)
+        self.n_columns = int(n_columns)
+        self._permutation = self._build_permutation()
+        self._inverse = np.argsort(self._permutation)
+
+    @classmethod
+    def for_symbol(cls, n_subcarriers: int, n_bpsc: int) -> "BlockInterleaver":
+        """Interleaver for one OFDM symbol of ``n_subcarriers`` tones.
+
+        Picks the largest column count <= 16 that divides the symbol's
+        coded-bit count (16 for the 20 MHz plan, 8 for 40/80 MHz).
+        """
+        n_cbps = n_subcarriers * n_bpsc
+        for n_columns in range(min(STANDARD_COLUMNS, n_cbps), 1, -1):
+            if n_cbps % n_columns == 0:
+                return cls(n_cbps, n_bpsc, n_columns=n_columns)
+        raise ConfigurationError(
+            f"no usable interleaver geometry for n_cbps={n_cbps}"
+        )
+
+    def _build_permutation(self) -> np.ndarray:
+        """``perm[k]`` = output position of input bit ``k``."""
+        n = self.n_cbps
+        cols = self.n_columns
+        s = max(self.n_bpsc // 2, 1)
+        k = np.arange(n)
+        i = (n // cols) * (k % cols) + k // cols
+        j = s * (i // s) + (i + n - (cols * i) // n) % s
+        if np.unique(j).size != n:
+            raise ConfigurationError(
+                "interleaver permutation is not a bijection "
+                f"(n_cbps={n}, n_bpsc={self.n_bpsc}, n_columns={cols})"
+            )
+        return j
+
+    @property
+    def permutation(self) -> np.ndarray:
+        """Output position of each input bit (one symbol block)."""
+        return self._permutation.copy()
+
+    def interleave(self, bits: np.ndarray) -> np.ndarray:
+        """Permute a flat array whose length is a multiple of ``n_cbps``."""
+        bits = np.asarray(bits).reshape(-1)
+        if bits.size % self.n_cbps:
+            raise ShapeError(
+                f"bit count {bits.size} not a multiple of the "
+                f"{self.n_cbps}-bit symbol block"
+            )
+        blocks = bits.reshape(-1, self.n_cbps)
+        out = np.empty_like(blocks)
+        out[:, self._permutation] = blocks
+        return out.reshape(-1)
+
+    def deinterleave(self, bits: np.ndarray) -> np.ndarray:
+        """Exact inverse of :meth:`interleave`."""
+        bits = np.asarray(bits).reshape(-1)
+        if bits.size % self.n_cbps:
+            raise ShapeError(
+                f"bit count {bits.size} not a multiple of the "
+                f"{self.n_cbps}-bit symbol block"
+            )
+        blocks = bits.reshape(-1, self.n_cbps)
+        out = np.empty_like(blocks)
+        out[:, self._inverse] = blocks
+        return out.reshape(-1)
+
+    def burst_spread(self, burst_length: int) -> int:
+        """Minimum output distance between any two bits of an input burst.
+
+        A quality measure for the permutation: after interleaving, a
+        ``burst_length``-bit channel burst corrupts coded bits that are
+        at least this far apart at the decoder input.
+        """
+        if burst_length < 2:
+            raise ConfigurationError("burst_length must be >= 2")
+        spread = self.n_cbps
+        positions = self._inverse  # decoder position of each channel bit
+        for start in range(self.n_cbps - burst_length + 1):
+            window = np.sort(positions[start : start + burst_length])
+            spread = min(spread, int(np.min(np.diff(window))))
+        return spread

@@ -1,0 +1,420 @@
+"""End-to-end MU-MIMO downlink BER simulation (paper Sec. 5.2.2).
+
+For each CSI sample the simulator follows the paper's six steps:
+
+1. generate random payload bits per user (optionally BCC rate-1/2
+   encoded), modulated with 16-QAM by default;
+2. take each user's beamforming vector ``V_i`` (from any feedback
+   scheme under test);
+3. assemble the effective channel ``H_EQ = [V_1 ... V_Ns]``;
+4. compute the zero-forcing precoder ``W = H_EQ (H_EQ† H_EQ)^-1`` and
+   normalize its columns;
+5. propagate through the *true* channel and add AWGN;
+6. receive-combine with the dominant left singular vector, equalize,
+   demodulate (and Viterbi-decode), and count bit errors.
+
+Noise is calibrated once per sample against the *ideal SVD* beamformer's
+post-combining gain, so every feedback scheme is compared at the same
+operating SNR and BER differences isolate beamforming error — the
+paper's stated goal ("isolate the BER caused by the DNN compression").
+
+Array conventions: channels ``(n_users, S, Nr, Nt)`` and beamforming
+vectors ``(n_users, S, Nt)`` per sample (complex128).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.phy.coding import bcc_rate_half
+from repro.phy.interleaver import BlockInterleaver
+from repro.phy.metrics import LinkMetrics, compute_link_metrics
+from repro.phy.modulation import QamModem
+from repro.phy.noise import snr_db_to_linear
+from repro.phy.precoding import normalize_columns, zero_forcing
+from repro.phy.scrambler import Scrambler
+from repro.phy.svd import beamforming_matrices, dominant_left_singular_vectors
+from repro.utils.rng import as_generator
+
+__all__ = ["LinkConfig", "BerResult", "LinkSimulator"]
+
+_PRECODERS = ("zf", "rzf")
+
+
+@dataclass
+class LinkConfig:
+    """Link-simulation parameters.
+
+    The paper uses 16-QAM, zero-forcing, and no channel coding unless
+    otherwise specified (BCC rate 1/2 for the 160 MHz results); it does
+    not state the operating SNR — 20 dB is our documented default, and
+    benches expose a sweep.
+    """
+
+    snr_db: float = 20.0
+    qam_order: int = 16
+    use_coding: bool = False
+    n_ofdm_symbols: int = 1
+    seed: int = 0
+    precoder: str = "zf"  # "zf" (paper) or "rzf" (MMSE-regularized)
+    use_scrambler: bool = False
+    use_interleaver: bool = False
+    soft_decoding: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_ofdm_symbols <= 0:
+            raise ConfigurationError("n_ofdm_symbols must be positive")
+        if self.precoder not in _PRECODERS:
+            raise ConfigurationError(
+                f"unknown precoder {self.precoder!r}; options: {_PRECODERS}"
+            )
+        if self.soft_decoding and not self.use_coding:
+            raise ConfigurationError(
+                "soft_decoding requires use_coding=True"
+            )
+        if self.use_interleaver and not self.use_coding:
+            raise ConfigurationError(
+                "the interleaver protects coded bits; enable use_coding"
+            )
+
+
+@dataclass
+class BerResult:
+    """Aggregated BER measurement."""
+
+    bit_errors: int
+    total_bits: int
+    per_user_ber: np.ndarray
+
+    @property
+    def ber(self) -> float:
+        if self.total_bits == 0:
+            return 0.0
+        return self.bit_errors / self.total_bits
+
+    def __str__(self) -> str:
+        return f"BER {self.ber:.5f} ({self.bit_errors}/{self.total_bits} bits)"
+
+
+class LinkSimulator:
+    """Runs the Sec. 5.2.2 BER procedure over batches of CSI samples."""
+
+    def __init__(self, config: LinkConfig | None = None) -> None:
+        self.config = config or LinkConfig()
+        self.modem = QamModem(self.config.qam_order)
+        self.code = bcc_rate_half() if self.config.use_coding else None
+        self.scrambler = Scrambler() if self.config.use_scrambler else None
+        self._interleavers: dict[int, BlockInterleaver] = {}
+
+    def _interleaver(self, n_subcarriers: int) -> BlockInterleaver:
+        """Per-band interleaver, cached by subcarrier count."""
+        if n_subcarriers not in self._interleavers:
+            self._interleavers[n_subcarriers] = BlockInterleaver.for_symbol(
+                n_subcarriers, self.modem.bits_per_symbol
+            )
+        return self._interleavers[n_subcarriers]
+
+    # -- public API -----------------------------------------------------------
+
+    def measure_ber(
+        self,
+        channels: np.ndarray,
+        bf_estimates: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> BerResult:
+        """Measure BER for DNN/codebook-estimated beamforming vectors.
+
+        Parameters
+        ----------
+        channels:
+            True channels, shape ``(n_samples, n_users, S, Nr, Nt)``.
+        bf_estimates:
+            Estimated beamforming vectors as reconstructed at the AP,
+            shape ``(n_samples, n_users, S, Nt)``.
+        rng:
+            Seed/Generator; defaults to ``LinkConfig.seed``.
+        """
+        channels = np.asarray(channels, dtype=np.complex128)
+        bf_estimates = np.asarray(bf_estimates, dtype=np.complex128)
+        self._check_shapes(channels, bf_estimates)
+        rng = as_generator(self.config.seed if rng is None else rng)
+
+        errors = 0
+        total = 0
+        n_users = channels.shape[1]
+        user_errors = np.zeros(n_users, dtype=np.int64)
+        user_bits = np.zeros(n_users, dtype=np.int64)
+        for j in range(channels.shape[0]):
+            sample_err, sample_bits = self._one_sample(
+                channels[j], bf_estimates[j], rng
+            )
+            errors += int(sample_err.sum())
+            total += int(sample_bits.sum())
+            user_errors += sample_err
+            user_bits += sample_bits
+        per_user = np.where(user_bits > 0, user_errors / np.maximum(user_bits, 1), 0.0)
+        return BerResult(bit_errors=errors, total_bits=total, per_user_ber=per_user)
+
+    def measure_ber_ideal(
+        self,
+        channels: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> BerResult:
+        """BER with perfect (unquantized SVD) beamforming feedback."""
+        channels = np.asarray(channels, dtype=np.complex128)
+        bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+        return self.measure_ber(channels, bf, rng=rng)
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_shapes(self, channels: np.ndarray, bfs: np.ndarray) -> None:
+        if channels.ndim != 5:
+            raise ShapeError(
+                f"channels must be (n_samples, n_users, S, Nr, Nt), "
+                f"got {channels.shape}"
+            )
+        if bfs.ndim != 4:
+            raise ShapeError(
+                f"bf_estimates must be (n_samples, n_users, S, Nt), "
+                f"got {bfs.shape}"
+            )
+        n_samples, n_users, n_sc, _, n_tx = channels.shape
+        if bfs.shape != (n_samples, n_users, n_sc, n_tx):
+            raise ShapeError(
+                f"bf_estimates shape {bfs.shape} inconsistent with channels "
+                f"{channels.shape}"
+            )
+        if n_users > n_tx:
+            raise ShapeError(f"{n_users} users exceed {n_tx} transmit antennas")
+
+    def _one_sample(
+        self,
+        channels: np.ndarray,
+        bf_estimates: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """BER for one CSI sample. Returns (errors, bits) per user."""
+        n_users, n_sc, _, n_tx = channels.shape
+        n_symbols = self.config.n_ofdm_symbols
+
+        # Receive combining from the true channel (the STA knows its own
+        # channel from the NDP training fields).
+        combiners = dominant_left_singular_vectors(channels)  # (users, S, Nr)
+        rows = np.einsum("isr,isrt->ist", combiners.conj(), channels)
+
+        # Noise calibration against the ideal SVD beamformer (same for
+        # every scheme under comparison at this sample).  Pure ZF here so
+        # the reference SNR is precoder-independent.
+        ideal_bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+        ideal_eq = np.transpose(ideal_bf, (1, 2, 0))
+        ideal_w = self._batched_zero_forcing(ideal_eq)
+        ideal_gains = np.einsum("ist,stj->sij", rows, ideal_w)
+        diag = np.abs(np.diagonal(ideal_gains, axis1=1, axis2=2)) ** 2
+        signal_power = float(np.mean(diag))
+        if signal_power <= 0:
+            raise ShapeError("degenerate channel: zero beamforming gain")
+        noise_power = signal_power / snr_db_to_linear(self.config.snr_db)
+
+        # Precoder from the estimated beamforming vectors, per subcarrier.
+        h_eq = np.transpose(bf_estimates, (1, 2, 0))  # (S, Nt, n_users)
+        precoder = self._batched_precoder(h_eq, noise_power)  # (S, Nt, users)
+
+        # Effective gain matrix G[s, i, j] = u_i(s)† H_i(s) w_j(s).
+        gains = np.einsum("ist,stj->sij", rows, precoder)  # (S, users, users)
+
+        # Per-user payloads.
+        bits_tx, symbols = self._generate_payloads(n_users, n_sc, n_symbols, rng)
+        # symbols: (users, S, T) -> transmit through gains.
+        received = np.einsum("sij,jst->ist", gains, symbols)
+        noise = np.sqrt(noise_power / 2.0) * (
+            rng.standard_normal(received.shape)
+            + 1j * rng.standard_normal(received.shape)
+        )
+        received = received + noise
+
+        # Equalize by the direct effective gain.
+        direct = np.diagonal(gains, axis1=1, axis2=2)  # (S, users)
+        direct = np.transpose(direct)[:, :, None]  # (users, S, 1)
+        safe = np.where(np.abs(direct) < 1e-12, 1e-12, direct)
+        equalized = received / safe
+        # Post-equalization noise variance per (user, subcarrier, symbol).
+        noise_var = noise_power / np.maximum(np.abs(safe) ** 2, 1e-30)
+        noise_var = np.broadcast_to(noise_var, equalized.shape)
+
+        errors = np.zeros(n_users, dtype=np.int64)
+        totals = np.zeros(n_users, dtype=np.int64)
+        for i in range(n_users):
+            rx_bits = self._recover_bits(
+                equalized[i].reshape(-1), noise_var[i].reshape(-1), n_sc
+            )
+            errors[i] = int(np.sum(rx_bits != bits_tx[i]))
+            totals[i] = bits_tx[i].size
+        return errors, totals
+
+    def compute_gains(
+        self, channels: np.ndarray, bf_estimates: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Effective gain tensor and calibrated noise power for one sample.
+
+        Returns ``(gains, noise_power)`` with ``gains`` of shape
+        ``(S, n_users, n_users)`` — the inputs to the SINR/sum-rate
+        metrics in ``repro.phy.metrics``.
+        """
+        channels = np.asarray(channels, dtype=np.complex128)
+        bf_estimates = np.asarray(bf_estimates, dtype=np.complex128)
+        if channels.ndim != 4 or bf_estimates.ndim != 3:
+            raise ShapeError(
+                "compute_gains expects one sample: channels (users, S, Nr, "
+                f"Nt) and bf (users, S, Nt); got {channels.shape} / "
+                f"{bf_estimates.shape}"
+            )
+        combiners = dominant_left_singular_vectors(channels)
+        rows = np.einsum("isr,isrt->ist", combiners.conj(), channels)
+        ideal_bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+        ideal_w = self._batched_zero_forcing(np.transpose(ideal_bf, (1, 2, 0)))
+        ideal_gains = np.einsum("ist,stj->sij", rows, ideal_w)
+        diag = np.abs(np.diagonal(ideal_gains, axis1=1, axis2=2)) ** 2
+        signal_power = float(np.mean(diag))
+        if signal_power <= 0:
+            raise ShapeError("degenerate channel: zero beamforming gain")
+        noise_power = signal_power / snr_db_to_linear(self.config.snr_db)
+        precoder = self._batched_precoder(
+            np.transpose(bf_estimates, (1, 2, 0)), noise_power
+        )
+        gains = np.einsum("ist,stj->sij", rows, precoder)
+        return gains, noise_power
+
+    def measure_metrics(
+        self, channels: np.ndarray, bf_estimates: np.ndarray
+    ) -> LinkMetrics:
+        """SINR/leakage/sum-rate metrics averaged over a batch of samples.
+
+        Same array conventions as :meth:`measure_ber`; metrics are
+        computed per sample and averaged (leakage and sum rate are means
+        of per-sample values, min-SINR is the batch minimum).
+        """
+        channels = np.asarray(channels, dtype=np.complex128)
+        bf_estimates = np.asarray(bf_estimates, dtype=np.complex128)
+        self._check_shapes(channels, bf_estimates)
+        per_sample: list[LinkMetrics] = []
+        for j in range(channels.shape[0]):
+            gains, noise_power = self.compute_gains(
+                channels[j], bf_estimates[j]
+            )
+            per_sample.append(compute_link_metrics(gains, noise_power))
+        return LinkMetrics(
+            mean_sinr_db=float(np.mean([m.mean_sinr_db for m in per_sample])),
+            min_sinr_db=float(np.min([m.min_sinr_db for m in per_sample])),
+            leakage=float(np.mean([m.leakage for m in per_sample])),
+            sum_rate_bps_per_hz=float(
+                np.mean([m.sum_rate_bps_per_hz for m in per_sample])
+            ),
+        )
+
+    def _batched_precoder(
+        self, h_eq: np.ndarray, noise_power: float
+    ) -> np.ndarray:
+        """ZF or RZF precoders per the configuration.
+
+        The effective channel's columns are unit-norm beamforming
+        vectors (the physical channel gain sits outside, in the
+        combining step), so the correctly scaled MMSE regularizer is
+        ``n_users / SNR`` — independent of the absolute noise power.
+        """
+        del noise_power
+        if self.config.precoder == "rzf":
+            n_users = h_eq.shape[2]
+            ridge = n_users / snr_db_to_linear(self.config.snr_db)
+            return self._batched_zero_forcing(h_eq, ridge=ridge)
+        return self._batched_zero_forcing(h_eq)
+
+    def _batched_zero_forcing(
+        self, h_eq: np.ndarray, ridge: float = 0.0
+    ) -> np.ndarray:
+        """Column-normalized ZF precoders for a batch ``(S, Nt, users)``."""
+        gram = np.einsum("stu,stv->suv", h_eq.conj(), h_eq)
+        if ridge:
+            gram = gram + ridge * np.eye(gram.shape[-1])[None, :, :]
+        try:
+            inverse = np.linalg.inv(gram)
+        except np.linalg.LinAlgError:
+            inverse = np.linalg.pinv(gram)
+        raw = np.einsum("stu,suv->stv", h_eq, inverse)
+        norms = np.linalg.norm(raw, axis=1, keepdims=True)
+        return raw / np.maximum(norms, 1e-30)
+
+    def _generate_payloads(
+        self,
+        n_users: int,
+        n_sc: int,
+        n_symbols: int,
+        rng: np.random.Generator,
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Random (optionally coded) payloads mapped onto the OFDM grid.
+
+        Returns the list of transmitted *information* bits per user and a
+        ``(users, S, T)`` complex symbol grid.
+        """
+        bps = self.modem.bits_per_symbol
+        coded_bits = n_sc * n_symbols * bps
+        info_bits: int
+        if self.code is not None:
+            info_bits = coded_bits // self.code.n_outputs - (
+                self.code.constraint_length - 1
+            )
+            if info_bits <= 0:
+                raise ConfigurationError(
+                    "OFDM grid too small to carry one coded block; "
+                    "increase n_ofdm_symbols"
+                )
+        else:
+            info_bits = coded_bits
+
+        tx_bits: list[np.ndarray] = []
+        grids = np.empty((n_users, n_sc, n_symbols), dtype=np.complex128)
+        for i in range(n_users):
+            payload = rng.integers(0, 2, size=info_bits)
+            stream = payload
+            if self.scrambler is not None:
+                stream = self.scrambler.scramble(stream)
+            if self.code is not None:
+                stream = self.code.encode(stream)
+            if stream.size != coded_bits:
+                # Zero-pad any residue (whole-symbol granularity).
+                padded = np.zeros(coded_bits, dtype=np.int64)
+                padded[: stream.size] = stream
+                stream = padded
+            if self.config.use_interleaver:
+                stream = self._interleaver(n_sc).interleave(stream)
+            symbols = self.modem.modulate(stream)
+            grids[i] = symbols.reshape(n_sc, n_symbols)
+            tx_bits.append(payload)
+        return tx_bits, grids
+
+    def _recover_bits(
+        self,
+        symbols: np.ndarray,
+        noise_var: np.ndarray,
+        n_subcarriers: int,
+    ) -> np.ndarray:
+        """Demodulate (and decode) a user's flattened symbol stream.
+
+        ``noise_var`` carries the per-symbol post-equalization noise
+        variance used by the soft demapper.
+        """
+        if self.config.soft_decoding and self.code is not None:
+            llrs = self.modem.llr(symbols, noise_var)
+            if self.config.use_interleaver:
+                llrs = self._interleaver(n_subcarriers).deinterleave(llrs)
+            bits = self.code.decode_soft(llrs)
+        else:
+            hard = self.modem.demodulate(symbols)
+            if self.config.use_interleaver:
+                hard = self._interleaver(n_subcarriers).deinterleave(hard)
+            bits = hard if self.code is None else self.code.decode(hard)
+        if self.scrambler is not None:
+            bits = self.scrambler.descramble(bits)
+        return bits

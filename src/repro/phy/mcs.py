@@ -1,0 +1,99 @@
+"""IEEE 802.11ac modulation-and-coding-scheme (MCS) table.
+
+Single-user data rates for MCS 0-9 across the paper's channel widths,
+computed from the band plans in ``repro.phy.ofdm`` (which carry the
+paper's *total* tone counts — see that module's docstring).  The
+campaign/goodput models use these rates to translate the airtime a
+feedback scheme frees up into application throughput, and
+:func:`select_mcs` maps a post-beamforming SINR to the highest MCS whose
+operating threshold it clears — connecting the paper's BER axis to a
+rate axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.phy.ofdm import band_plan
+
+__all__ = ["McsEntry", "MCS_TABLE", "mcs_entry", "data_rate_bps", "select_mcs"]
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of the VHT MCS table."""
+
+    index: int
+    modulation: str
+    qam_order: int
+    code_rate: float
+    #: Approximate minimum post-processing SNR (dB) for a ~10% PER
+    #: operating point on an AWGN-like channel (rule-of-thumb values).
+    min_snr_db: float
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return self.qam_order.bit_length() - 1
+
+
+MCS_TABLE: tuple[McsEntry, ...] = (
+    McsEntry(0, "BPSK", 2, 1 / 2, 2.0),
+    McsEntry(1, "QPSK", 4, 1 / 2, 5.0),
+    McsEntry(2, "QPSK", 4, 3 / 4, 9.0),
+    McsEntry(3, "16-QAM", 16, 1 / 2, 11.0),
+    McsEntry(4, "16-QAM", 16, 3 / 4, 15.0),
+    McsEntry(5, "64-QAM", 64, 2 / 3, 18.0),
+    McsEntry(6, "64-QAM", 64, 3 / 4, 20.0),
+    McsEntry(7, "64-QAM", 64, 5 / 6, 25.0),
+    McsEntry(8, "256-QAM", 256, 3 / 4, 29.0),
+    McsEntry(9, "256-QAM", 256, 5 / 6, 31.0),
+)
+
+
+def mcs_entry(index: int) -> McsEntry:
+    """Look up one MCS row (0-9)."""
+    if not 0 <= index < len(MCS_TABLE):
+        raise ConfigurationError(
+            f"MCS index must be in [0, {len(MCS_TABLE) - 1}], got {index}"
+        )
+    return MCS_TABLE[index]
+
+
+def data_rate_bps(
+    index: int,
+    bandwidth_mhz: int,
+    n_streams: int = 1,
+    short_gi: bool = False,
+) -> float:
+    """PHY data rate of one MCS at a bandwidth and stream count.
+
+    ``rate = tones * bits/symbol * code rate * streams / T_symbol`` with
+    the 0.8 us (long) or 0.4 us (short) guard interval.
+    """
+    if n_streams < 1:
+        raise ConfigurationError("n_streams must be >= 1")
+    entry = mcs_entry(index)
+    plan = band_plan(bandwidth_mhz)
+    symbol_s = 3.2e-6 + (0.4e-6 if short_gi else 0.8e-6)
+    bits_per_ofdm_symbol = (
+        plan.n_subcarriers * entry.bits_per_symbol * entry.code_rate * n_streams
+    )
+    return bits_per_ofdm_symbol / symbol_s
+
+
+def select_mcs(sinr_db: float, backoff_db: float = 0.0) -> McsEntry:
+    """Highest MCS whose SNR threshold the (backed-off) SINR clears.
+
+    Returns MCS 0 even below its threshold — the link always has a
+    lowest rate to fall back to.  ``backoff_db`` adds a link-adaptation
+    safety margin.
+    """
+    if backoff_db < 0:
+        raise ConfigurationError("backoff_db must be non-negative")
+    effective = sinr_db - backoff_db
+    chosen = MCS_TABLE[0]
+    for entry in MCS_TABLE:
+        if effective >= entry.min_snr_db:
+            chosen = entry
+    return chosen

@@ -1,0 +1,168 @@
+"""Gray-mapped square-QAM modulation and demodulation.
+
+Supports BPSK (2), QPSK (4), 16-QAM, 64-QAM, and 256-QAM with the
+per-axis Gray mapping used by IEEE 802.11.  Constellations are
+normalized to unit average symbol energy so SNR definitions stay
+consistent across orders.  The paper's BER procedure uses 16-QAM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["QamModem"]
+
+_SUPPORTED_ORDERS = (2, 4, 16, 64, 256)
+
+
+def _gray_code(n_bits: int) -> np.ndarray:
+    """Integers 0..2^n-1 in Gray-code order of their binary index."""
+    values = np.arange(2**n_bits)
+    return values ^ (values >> 1)
+
+
+def _pam_levels(n_levels: int) -> np.ndarray:
+    """Gray-ordered PAM amplitudes: position k holds the amplitude whose
+    Gray label is k."""
+    amplitudes = 2.0 * np.arange(n_levels) - (n_levels - 1)
+    gray = _gray_code(int(np.log2(n_levels)))
+    levels = np.empty(n_levels)
+    levels[gray] = amplitudes
+    return levels
+
+
+class QamModem:
+    """Modulate bit arrays to complex symbols and back.
+
+    Parameters
+    ----------
+    order:
+        Constellation size, one of 2/4/16/64/256.
+    """
+
+    def __init__(self, order: int = 16) -> None:
+        if order not in _SUPPORTED_ORDERS:
+            raise ConfigurationError(
+                f"unsupported QAM order {order}; supported: {_SUPPORTED_ORDERS}"
+            )
+        self.order = int(order)
+        self.bits_per_symbol = int(np.log2(order))
+        if order == 2:
+            # BPSK on the real axis.
+            self._i_levels = np.array([-1.0, 1.0])[::-1] * -1.0  # label0->-1
+            self._i_levels = np.array([-1.0, 1.0])
+            self._q_levels = None
+            self._scale = 1.0
+        else:
+            bits_i = self.bits_per_symbol // 2 + self.bits_per_symbol % 2
+            bits_q = self.bits_per_symbol // 2
+            self._i_levels = _pam_levels(2**bits_i)
+            self._q_levels = _pam_levels(2**bits_q)
+            mean_energy = np.mean(self._i_levels**2) + np.mean(self._q_levels**2)
+            self._scale = 1.0 / np.sqrt(mean_energy)
+        self._bits_i = (
+            self.bits_per_symbol
+            if self._q_levels is None
+            else self.bits_per_symbol // 2 + self.bits_per_symbol % 2
+        )
+        self._bits_q = 0 if self._q_levels is None else self.bits_per_symbol // 2
+        self._constellation = self._build_constellation()
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def constellation(self) -> np.ndarray:
+        """All symbols indexed by their integer bit label."""
+        return self._constellation.copy()
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map a flat 0/1 array (length divisible by bits/symbol) to
+        unit-average-energy complex symbols."""
+        bits = np.asarray(bits).astype(np.int64).reshape(-1)
+        if bits.size % self.bits_per_symbol:
+            raise ShapeError(
+                f"bit count {bits.size} not divisible by "
+                f"{self.bits_per_symbol} bits/symbol"
+            )
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ShapeError("bits must be 0/1")
+        labels = self._pack_labels(bits)
+        return self._constellation[labels]
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demodulation back to a flat bit array."""
+        symbols = np.asarray(symbols, dtype=np.complex128).reshape(-1)
+        if self.order == 2:
+            labels = (symbols.real > 0).astype(np.int64)
+        else:
+            i_labels = self._nearest_label(symbols.real / self._scale, self._i_levels)
+            q_labels = self._nearest_label(symbols.imag / self._scale, self._q_levels)
+            labels = (i_labels << self._bits_q) | q_labels
+        return self._unpack_labels(labels)
+
+    def llr(
+        self, symbols: np.ndarray, noise_power: "float | np.ndarray"
+    ) -> np.ndarray:
+        """Max-log per-bit log-likelihood ratios (positive favours bit 0).
+
+        For each received symbol and bit position ``b``:
+        ``LLR_b = (min_{c in C1(b)} |y - c|^2 - min_{c in C0(b)} |y - c|^2)
+        / N0`` where ``C0/C1`` are the constellation subsets whose label
+        has bit ``b`` equal to 0/1.  ``noise_power`` may be a scalar or a
+        per-symbol array (post-equalization noise varies per subcarrier).
+        Used by the soft-decision Viterbi decoder
+        (``ConvolutionalCode.decode_soft``).
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128).reshape(-1)
+        noise = np.broadcast_to(
+            np.asarray(noise_power, dtype=np.float64).reshape(-1)
+            if np.ndim(noise_power)
+            else np.full(symbols.size, float(noise_power)),
+            (symbols.size,),
+        )
+        if np.any(noise <= 0):
+            raise ShapeError("noise_power must be positive")
+        # Distances to every constellation point: (n_symbols, order).
+        dist = np.abs(symbols[:, None] - self._constellation[None, :]) ** 2
+        labels = np.arange(self.order)
+        llrs = np.empty((symbols.size, self.bits_per_symbol))
+        for b in range(self.bits_per_symbol):
+            bit = (labels >> (self.bits_per_symbol - 1 - b)) & 1
+            d0 = dist[:, bit == 0].min(axis=1)
+            d1 = dist[:, bit == 1].min(axis=1)
+            llrs[:, b] = (d1 - d0) / noise
+        return llrs.reshape(-1)
+
+    def symbol_count(self, n_bits: int) -> int:
+        """Symbols needed to carry ``n_bits`` (must divide evenly)."""
+        if n_bits % self.bits_per_symbol:
+            raise ShapeError(
+                f"{n_bits} bits do not fill whole {self.order}-QAM symbols"
+            )
+        return n_bits // self.bits_per_symbol
+
+    # -- internals --------------------------------------------------------------
+
+    def _build_constellation(self) -> np.ndarray:
+        labels = np.arange(self.order)
+        if self.order == 2:
+            return np.where(labels == 1, 1.0 + 0j, -1.0 + 0j)
+        i_part = self._i_levels[labels >> self._bits_q]
+        q_part = self._q_levels[labels & ((1 << self._bits_q) - 1)]
+        return self._scale * (i_part + 1j * q_part)
+
+    def _pack_labels(self, bits: np.ndarray) -> np.ndarray:
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        return groups @ weights
+
+    def _unpack_labels(self, labels: np.ndarray) -> np.ndarray:
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        return ((labels[:, None] >> shifts) & 1).reshape(-1)
+
+    @staticmethod
+    def _nearest_label(values: np.ndarray, levels: np.ndarray) -> np.ndarray:
+        distance = np.abs(values[:, None] - levels[None, :])
+        return np.argmin(distance, axis=1)

@@ -1,0 +1,46 @@
+"""AWGN utilities and SNR conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+__all__ = ["snr_db_to_linear", "snr_linear_to_db", "noise_power", "awgn"]
+
+
+def snr_db_to_linear(snr_db: float) -> float:
+    """Convert an SNR in dB to a linear power ratio."""
+    return float(10.0 ** (snr_db / 10.0))
+
+
+def snr_linear_to_db(snr_linear: float) -> float:
+    """Convert a linear power-ratio SNR to dB."""
+    if snr_linear <= 0:
+        raise ConfigurationError(f"linear SNR must be positive, got {snr_linear}")
+    return float(10.0 * np.log10(snr_linear))
+
+
+def noise_power(signal_power: float, snr_db: float) -> float:
+    """Noise power that realizes ``snr_db`` for a given signal power."""
+    if signal_power < 0:
+        raise ConfigurationError("signal power must be non-negative")
+    return signal_power / snr_db_to_linear(snr_db)
+
+
+def awgn(
+    shape: tuple[int, ...],
+    power: float = 1.0,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Circularly-symmetric complex Gaussian noise with total power ``power``.
+
+    Each element is CN(0, power): real and imaginary parts are i.i.d.
+    N(0, power/2).
+    """
+    if power < 0:
+        raise ConfigurationError("noise power must be non-negative")
+    rng = as_generator(rng)
+    scale = np.sqrt(power / 2.0)
+    return scale * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))

@@ -1,0 +1,73 @@
+"""OFDM band plans for IEEE 802.11ac/ax channels.
+
+The paper works with the 802.11ac VHT subcarrier counts its Nexmon
+captures expose: 56 (20 MHz), 114 (40 MHz), 242 (80 MHz), and the
+synthetic 484 (160 MHz); it also cites 996 usable tones for 320 MHz
+(802.11be).  A :class:`BandPlan` carries the counts plus the physical
+tone spacing used by the channel generator's frequency grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BandPlan", "band_plan", "SUBCARRIERS", "BANDWIDTHS_MHZ"]
+
+#: Data+pilot tones reported per bandwidth (MHz) in the paper (Table I
+#: and Sec. I/III); 320 MHz added for Wi-Fi 7 projections.
+SUBCARRIERS: dict[int, int] = {20: 56, 40: 114, 80: 242, 160: 484, 320: 996}
+
+#: Bandwidths with a defined plan, ascending.
+BANDWIDTHS_MHZ: tuple[int, ...] = tuple(sorted(SUBCARRIERS))
+
+#: OFDM subcarrier spacing for 802.11ac VHT (Hz).
+SUBCARRIER_SPACING_HZ: float = 312.5e3
+
+
+@dataclass(frozen=True)
+class BandPlan:
+    """Static description of one OFDM channelization."""
+
+    bandwidth_mhz: int
+    n_subcarriers: int
+    subcarrier_spacing_hz: float = SUBCARRIER_SPACING_HZ
+
+    @property
+    def occupied_bandwidth_hz(self) -> float:
+        """Bandwidth actually spanned by the used tones."""
+        return self.n_subcarriers * self.subcarrier_spacing_hz
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """OFDM symbol duration incl. 0.8 us guard interval (802.11ac)."""
+        return 1.0 / self.subcarrier_spacing_hz + 0.8e-6
+
+    def tone_frequencies_hz(self) -> np.ndarray:
+        """Baseband center frequency of each used tone, DC-symmetric.
+
+        The exact 802.11 tone indices skip DC and guard bands; for
+        channel-response synthesis only the spacing and span matter, so
+        we use a symmetric grid of ``n_subcarriers`` tones.
+        """
+        n = self.n_subcarriers
+        indices = np.arange(n) - (n - 1) / 2.0
+        return indices * self.subcarrier_spacing_hz
+
+    def __str__(self) -> str:
+        return f"{self.bandwidth_mhz} MHz ({self.n_subcarriers} tones)"
+
+
+def band_plan(bandwidth_mhz: int) -> BandPlan:
+    """Return the :class:`BandPlan` for a supported bandwidth in MHz."""
+    try:
+        n_sc = SUBCARRIERS[int(bandwidth_mhz)]
+    except (KeyError, ValueError):
+        raise ConfigurationError(
+            f"unsupported bandwidth {bandwidth_mhz!r} MHz; "
+            f"supported: {BANDWIDTHS_MHZ}"
+        ) from None
+    return BandPlan(bandwidth_mhz=int(bandwidth_mhz), n_subcarriers=n_sc)

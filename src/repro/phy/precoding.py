@@ -1,0 +1,98 @@
+"""Zero-forcing MU-MIMO precoding (Sec. 5.2.2 step (4)).
+
+The AP computes ``W = H_EQ (H_EQ† H_EQ)^-1`` from the effective channel
+``H_EQ = [V_1 ... V_Ns]``, which nulls inter-user interference:
+``V_i† W_j = delta_ij``.  Columns are then normalized to unit power so
+the transmit power budget is respected; positive per-column scaling
+preserves the zero-interference property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "zero_forcing",
+    "regularized_zero_forcing",
+    "normalize_columns",
+    "interference_leakage",
+]
+
+
+def zero_forcing(effective_channel: np.ndarray, ridge: float = 0.0) -> np.ndarray:
+    """Zero-forcing precoder for ``H_EQ`` of shape ``(Nt, Ns)``.
+
+    ``ridge`` adds Tikhonov regularization (an MMSE-flavoured fallback)
+    for nearly collinear user channels; 0 is the paper's pure ZF.
+    """
+    h_eq = np.asarray(effective_channel, dtype=np.complex128)
+    if h_eq.ndim != 2:
+        raise ShapeError(f"effective channel must be 2-D, got {h_eq.shape}")
+    n_tx, n_users = h_eq.shape
+    if n_users > n_tx:
+        raise ShapeError(
+            f"cannot zero-force {n_users} streams with {n_tx} antennas"
+        )
+    gram = h_eq.conj().T @ h_eq
+    if ridge:
+        gram = gram + ridge * np.eye(n_users)
+    try:
+        inverse = np.linalg.inv(gram)
+    except np.linalg.LinAlgError:
+        inverse = np.linalg.pinv(gram)
+    return h_eq @ inverse
+
+
+def regularized_zero_forcing(
+    effective_channel: np.ndarray,
+    noise_power: float,
+    total_power: float = 1.0,
+) -> np.ndarray:
+    """MMSE-style regularized ZF: ``W = H (H† H + (Ns*N0/P) I)^-1``.
+
+    At high SNR this converges to pure zero-forcing; at low SNR the
+    regularizer stops the precoder from burning power nulling
+    interference that noise would mask anyway.  The paper's procedure is
+    pure ZF — this is the textbook comparator used by the precoder
+    ablation bench.
+    """
+    h_eq = np.asarray(effective_channel, dtype=np.complex128)
+    if h_eq.ndim != 2:
+        raise ShapeError(f"effective channel must be 2-D, got {h_eq.shape}")
+    if noise_power < 0:
+        raise ShapeError("noise_power must be non-negative")
+    if total_power <= 0:
+        raise ShapeError("total_power must be positive")
+    n_users = h_eq.shape[1]
+    ridge = n_users * noise_power / total_power
+    return zero_forcing(h_eq, ridge=ridge)
+
+
+def normalize_columns(precoder: np.ndarray) -> np.ndarray:
+    """Scale each precoder column to unit norm (per-user unit power)."""
+    precoder = np.asarray(precoder, dtype=np.complex128)
+    norms = np.linalg.norm(precoder, axis=0, keepdims=True)
+    norms = np.maximum(norms, 1e-30)
+    return precoder / norms
+
+
+def interference_leakage(
+    effective_channel: np.ndarray, precoder: np.ndarray
+) -> float:
+    """Mean squared off-diagonal response — 0 for perfect zero-forcing.
+
+    Measures ``|[H_EQ† W]_{ij}|^2`` for ``i != j`` relative to the mean
+    diagonal power, i.e. residual inter-user interference caused by an
+    imperfect (e.g. DNN-reconstructed) effective channel.
+    """
+    h_eq = np.asarray(effective_channel, dtype=np.complex128)
+    w = np.asarray(precoder, dtype=np.complex128)
+    response = h_eq.conj().T @ w
+    diag_power = np.mean(np.abs(np.diag(response)) ** 2)
+    off = response - np.diag(np.diag(response))
+    off_power = np.mean(np.abs(off) ** 2) if off.size else 0.0
+    if diag_power <= 0:
+        return float("inf")
+    return float(off_power / diag_power)

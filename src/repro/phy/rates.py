@@ -1,0 +1,68 @@
+"""PHY data rates and frame airtimes.
+
+Used by the sounding-protocol simulator and the BOP's airtime cost
+``T^A``.  Rates follow the 802.11ac OFDM relation
+``rate = n_sc * bits_per_symbol * code_rate / symbol_duration`` for one
+spatial stream; control responses (the compressed beamforming report)
+are conventionally sent at a robust low MCS.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.phy.ofdm import band_plan
+
+__all__ = ["phy_rate_bps", "frame_airtime_s", "SIFS_S", "PHY_PREAMBLE_S"]
+
+#: Short interframe space at 5 GHz (802.11ac), seconds.
+SIFS_S: float = 16e-6
+
+#: VHT PHY preamble duration (legacy + VHT training fields), seconds.
+#: 36 us covers L-STF/L-LTF/L-SIG + VHT-SIG/STF and one LTF.
+PHY_PREAMBLE_S: float = 36e-6
+
+#: Extra VHT-LTF duration per additional spatial stream, seconds.
+VHT_LTF_S: float = 4e-6
+
+
+def phy_rate_bps(
+    bandwidth_mhz: int,
+    bits_per_symbol: int = 2,
+    code_rate: float = 0.5,
+    n_streams: int = 1,
+) -> float:
+    """Data rate in bits/second for the given MCS-like parameters.
+
+    The default (QPSK rate-1/2, one stream) is the robust rate typically
+    used for management/feedback frames.
+    """
+    if bits_per_symbol <= 0:
+        raise ConfigurationError("bits_per_symbol must be positive")
+    if not 0 < code_rate <= 1:
+        raise ConfigurationError("code_rate must be in (0, 1]")
+    if n_streams <= 0:
+        raise ConfigurationError("n_streams must be positive")
+    plan = band_plan(bandwidth_mhz)
+    per_symbol_bits = plan.n_subcarriers * bits_per_symbol * code_rate * n_streams
+    return per_symbol_bits / plan.symbol_duration_s
+
+
+def frame_airtime_s(
+    payload_bits: int,
+    bandwidth_mhz: int,
+    bits_per_symbol: int = 2,
+    code_rate: float = 0.5,
+    n_streams: int = 1,
+    preamble_s: float = PHY_PREAMBLE_S,
+) -> float:
+    """Airtime of one frame: preamble plus whole OFDM symbols of payload."""
+    if payload_bits < 0:
+        raise ConfigurationError("payload_bits must be non-negative")
+    plan = band_plan(bandwidth_mhz)
+    bits_per_ofdm_symbol = (
+        plan.n_subcarriers * bits_per_symbol * code_rate * n_streams
+    )
+    import math
+
+    n_symbols = math.ceil(payload_bits / bits_per_ofdm_symbol) if payload_bits else 0
+    return preamble_s + n_symbols * plan.symbol_duration_s

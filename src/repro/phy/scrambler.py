@@ -1,0 +1,71 @@
+"""IEEE 802.11 frame scrambler (Clause 17.3.5.5).
+
+A 7-bit linear-feedback shift register with polynomial ``x^7 + x^4 + 1``
+whitens the payload so long runs of identical bits do not bias the
+modulator.  Scrambling is an involution: applying the same seed twice
+restores the original bits, which is how the receiver descrambles.
+
+The BER link simulator composes scrambler -> BCC encoder -> interleaver
+-> QAM, mirroring the real 802.11 transmit chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["Scrambler", "scramble", "descramble"]
+
+
+class Scrambler:
+    """The 802.11 length-127 scrambling sequence generator."""
+
+    def __init__(self, seed: int = 0b1011101) -> None:
+        if not 1 <= seed <= 127:
+            raise ConfigurationError(
+                f"scrambler seed must be a non-zero 7-bit value, got {seed}"
+            )
+        self.seed = int(seed)
+        self._sequence = self._generate_sequence(self.seed)
+
+    @staticmethod
+    def _generate_sequence(seed: int) -> np.ndarray:
+        """One full 127-bit period of the LFSR output."""
+        state = seed
+        out = np.empty(127, dtype=np.int64)
+        for i in range(127):
+            # Feedback = x7 xor x4 (bits 6 and 3 of the state register).
+            feedback = ((state >> 6) ^ (state >> 3)) & 1
+            out[i] = feedback
+            state = ((state << 1) | feedback) & 0x7F
+        return out
+
+    @property
+    def sequence(self) -> np.ndarray:
+        """The 127-bit scrambling sequence for this seed."""
+        return self._sequence.copy()
+
+    def scramble(self, bits: np.ndarray) -> np.ndarray:
+        """XOR ``bits`` with the (repeated) scrambling sequence."""
+        bits = np.asarray(bits).astype(np.int64).reshape(-1)
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ShapeError("bits must be 0/1")
+        if bits.size == 0:
+            return bits.copy()
+        reps = -(-bits.size // 127)
+        keystream = np.tile(self._sequence, reps)[: bits.size]
+        return bits ^ keystream
+
+    # Descrambling is the same XOR.
+    descramble = scramble
+
+
+def scramble(bits: np.ndarray, seed: int = 0b1011101) -> np.ndarray:
+    """Functional one-shot scramble with a fresh :class:`Scrambler`."""
+    return Scrambler(seed).scramble(bits)
+
+
+def descramble(bits: np.ndarray, seed: int = 0b1011101) -> np.ndarray:
+    """Inverse of :func:`scramble` (same operation, same seed)."""
+    return Scrambler(seed).scramble(bits)

@@ -1,0 +1,105 @@
+"""SVD beamforming: extracting the beamforming matrix V from CSI.
+
+Implements step (2) of the 802.11 sounding procedure (Sec. III-A2):
+``H = U S Z†`` with the beamforming matrix ``V`` given by the first
+``Nss`` columns of ``Z``.  Also provides the effective-channel assembly
+``H_EQ = [V_1 ... V_Ns]`` used by the BER procedure (Sec. 5.2.2) and a
+batched variant used when building training targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.complexmat import fix_phase_gauge
+
+__all__ = [
+    "beamforming_matrix",
+    "beamforming_matrices",
+    "effective_channel",
+    "dominant_left_singular_vectors",
+]
+
+
+def beamforming_matrix(
+    channel: np.ndarray, n_streams: int = 1, gauge_fix: bool = True
+) -> np.ndarray:
+    """Beamforming matrix for one channel matrix ``(Nr, Nt)``.
+
+    Returns ``V`` of shape ``(Nt, n_streams)`` — the right singular
+    vectors of the ``n_streams`` largest singular values.  With
+    ``gauge_fix`` (default) each column is rotated so its last entry is
+    real non-negative, the standard's representative (see
+    ``repro.utils.complexmat.fix_phase_gauge``).
+    """
+    channel = np.asarray(channel, dtype=np.complex128)
+    if channel.ndim != 2:
+        raise ShapeError(f"channel must be (Nr, Nt), got shape {channel.shape}")
+    n_rx, n_tx = channel.shape
+    if not 1 <= n_streams <= min(n_rx, n_tx):
+        raise ShapeError(
+            f"n_streams={n_streams} invalid for a {n_rx}x{n_tx} channel"
+        )
+    _, _, vh = np.linalg.svd(channel, full_matrices=True)
+    bf = vh.conj().T[:, :n_streams]
+    if gauge_fix:
+        bf = fix_phase_gauge(bf)
+    return bf
+
+
+def beamforming_matrices(
+    channels: np.ndarray, n_streams: int = 1, gauge_fix: bool = True
+) -> np.ndarray:
+    """Batched :func:`beamforming_matrix` over shape ``(..., Nr, Nt)``.
+
+    Returns shape ``(..., Nt, n_streams)``.  NumPy's batched SVD handles
+    the leading axes (samples, subcarriers) in one call.
+    """
+    channels = np.asarray(channels, dtype=np.complex128)
+    if channels.ndim < 2:
+        raise ShapeError("channels must have at least 2 dims (..., Nr, Nt)")
+    n_rx, n_tx = channels.shape[-2:]
+    if not 1 <= n_streams <= min(n_rx, n_tx):
+        raise ShapeError(
+            f"n_streams={n_streams} invalid for a {n_rx}x{n_tx} channel"
+        )
+    _, _, vh = np.linalg.svd(channels, full_matrices=True)
+    bf = np.swapaxes(vh, -1, -2).conj()[..., :n_streams]
+    if gauge_fix:
+        bf = fix_phase_gauge(bf)
+    return bf
+
+
+def dominant_left_singular_vectors(channels: np.ndarray) -> np.ndarray:
+    """Dominant left singular vector ``u1`` for each ``(..., Nr, Nt)``.
+
+    The STA combines its ``Nr`` received samples with ``u1†`` so the
+    effective per-user channel becomes ``sigma_1 v1†`` (Sec. 5.2.2
+    receive processing).  Returns shape ``(..., Nr)``.
+    """
+    channels = np.asarray(channels, dtype=np.complex128)
+    u, _, _ = np.linalg.svd(channels, full_matrices=False)
+    return u[..., :, 0]
+
+
+def effective_channel(bf_list: "list[np.ndarray] | np.ndarray") -> np.ndarray:
+    """Stack per-user beamforming vectors into ``H_EQ = [V_1 ... V_Ns]``.
+
+    Accepts a list of ``(Nt, Nss_i)`` matrices (or 1-D ``(Nt,)`` vectors)
+    and returns the ``(Nt, sum Nss_i)`` effective channel used for
+    zero-forcing (Sec. 5.2.2 step (3)).
+    """
+    columns = []
+    for bf in bf_list:
+        bf = np.asarray(bf, dtype=np.complex128)
+        if bf.ndim == 1:
+            bf = bf[:, None]
+        if bf.ndim != 2:
+            raise ShapeError(f"beamforming matrix must be 2-D, got {bf.shape}")
+        columns.append(bf)
+    n_tx = columns[0].shape[0]
+    for bf in columns:
+        if bf.shape[0] != n_tx:
+            raise ShapeError("beamforming matrices disagree on Nt")
+    return np.concatenate(columns, axis=1)

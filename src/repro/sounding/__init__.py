@@ -1,0 +1,50 @@
+"""Channel-sounding protocol simulation (Fig. 3) and delay accounting."""
+
+from repro.sounding.frames import (
+    FrameDurations,
+    ndpa_duration_s,
+    ndp_duration_s,
+    brp_duration_s,
+    bmr_duration_s,
+)
+from repro.sounding.protocol import SoundingEvent, SoundingSchedule, simulate_sounding
+from repro.sounding.delay import EndToEndDelay, bm_reporting_delay
+from repro.sounding.campaign import (
+    feedback_overhead_rate_bps,
+    intro_example_bits,
+    CampaignReport,
+    SoundingCampaign,
+    max_supportable_users,
+    MU_MIMO_SOUNDING_INTERVAL_S,
+    SU_SOUNDING_INTERVAL_S,
+)
+from repro.sounding.aging import (
+    temporal_correlation,
+    stale_sinr_db,
+    AgingGoodputModel,
+    optimal_sounding_interval,
+)
+
+__all__ = [
+    "FrameDurations",
+    "ndpa_duration_s",
+    "ndp_duration_s",
+    "brp_duration_s",
+    "bmr_duration_s",
+    "SoundingEvent",
+    "SoundingSchedule",
+    "simulate_sounding",
+    "EndToEndDelay",
+    "bm_reporting_delay",
+    "feedback_overhead_rate_bps",
+    "intro_example_bits",
+    "CampaignReport",
+    "SoundingCampaign",
+    "max_supportable_users",
+    "MU_MIMO_SOUNDING_INTERVAL_S",
+    "SU_SOUNDING_INTERVAL_S",
+    "temporal_correlation",
+    "stale_sinr_db",
+    "AgingGoodputModel",
+    "optimal_sounding_interval",
+]

@@ -1,0 +1,210 @@
+"""Periodic sounding campaigns: airtime-overhead rate and medium occupancy.
+
+The paper's opening argument is a *rate*, not a one-shot cost: "if BFs
+are sent back every 10 ms ... the airtime overhead is 435,456 / 0.01 ≃
+43.55 Mbit/s" for an 8x8 network at 160 MHz (Sec. I).  This module turns
+the per-round sounding schedule into steady-state numbers:
+
+- :func:`feedback_overhead_rate_bps` — the intro's raw bits/second
+  figure for any feedback scheme;
+- :func:`intro_example_bits` — the exact 435,456-bit worked example;
+- :class:`SoundingCampaign` — repeats the Fig. 3 exchange every
+  ``interval_s`` and reports what fraction of the medium the sounding
+  consumes, the goodput left for data, and the maximum number of
+  sounding-capable STAs the interval can sustain.
+
+The campaign model exposes the claim SplitBeam's compression actually
+buys: shorter BMR frames shrink the occupied fraction, which both frees
+airtime for data and lets more users fit inside the 10 ms MU-MIMO
+sounding deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.sounding.protocol import SoundingSchedule, simulate_sounding
+
+__all__ = [
+    "feedback_overhead_rate_bps",
+    "intro_example_bits",
+    "CampaignReport",
+    "SoundingCampaign",
+    "max_supportable_users",
+]
+
+#: The intro's suggested MU-MIMO sounding interval (Sec. I / [7]).
+MU_MIMO_SOUNDING_INTERVAL_S: float = 10e-3
+
+#: SU/static sounding interval quoted by the paper's latency analysis.
+SU_SOUNDING_INTERVAL_S: float = 100e-3
+
+
+def feedback_overhead_rate_bps(feedback_bits: int, interval_s: float) -> float:
+    """Steady-state feedback airtime overhead in bits/second.
+
+    The intro's calculation: one BF of ``feedback_bits`` every
+    ``interval_s`` costs ``feedback_bits / interval_s`` bit/s of the
+    channel's capacity.
+    """
+    if feedback_bits < 0:
+        raise ConfigurationError("feedback_bits must be non-negative")
+    if interval_s <= 0:
+        raise ConfigurationError("interval_s must be positive")
+    return feedback_bits / interval_s
+
+
+def intro_example_bits(
+    n_subcarriers: int = 486,
+    n_angles: int = 56,
+    bits_per_angle: int = 16,
+) -> int:
+    """The paper's 8x8 @ 160 MHz worked example (Sec. I).
+
+    486 subcarriers x 56 angles x 16 bits = 435,456 bits ≃ 54.43 kB;
+    at a 10 ms reporting period that is ≃ 43.55 Mbit/s of overhead.
+    """
+    if min(n_subcarriers, n_angles, bits_per_angle) < 1:
+        raise ConfigurationError("example factors must be >= 1")
+    return n_subcarriers * n_angles * bits_per_angle
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Steady-state cost of sounding every ``interval_s``."""
+
+    interval_s: float
+    round_duration_s: float  # one full Fig. 3 exchange
+    round_airtime_s: float  # medium-occupied part of the exchange
+    feedback_airtime_s: float  # BMR frames only
+    feedback_bits_total: int
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of all airtime consumed by the sounding exchange."""
+        return min(self.round_airtime_s / self.interval_s, 1.0)
+
+    @property
+    def feedback_occupancy(self) -> float:
+        """Fraction of airtime consumed by BMR feedback frames alone."""
+        return min(self.feedback_airtime_s / self.interval_s, 1.0)
+
+    @property
+    def overhead_rate_bps(self) -> float:
+        """The intro-style bits/second feedback overhead figure."""
+        return self.feedback_bits_total / self.interval_s
+
+    @property
+    def data_fraction(self) -> float:
+        """Airtime fraction left over for actual data transmission."""
+        return max(1.0 - self.occupancy, 0.0)
+
+    def goodput_bps(self, data_rate_bps: float) -> float:
+        """Residual application throughput at a given PHY data rate."""
+        if data_rate_bps < 0:
+            raise ConfigurationError("data_rate_bps must be non-negative")
+        return data_rate_bps * self.data_fraction
+
+    @property
+    def feasible(self) -> bool:
+        """Does one sounding round fit inside the interval at all?"""
+        return self.round_duration_s <= self.interval_s
+
+
+class SoundingCampaign:
+    """Periodic multi-user sounding with a fixed feedback scheme.
+
+    Parameters
+    ----------
+    n_users:
+        STAs polled each round.
+    bandwidth_mhz:
+        Channel bandwidth (sets frame durations).
+    feedback_bits:
+        Per-STA BMR payload (scalar broadcast, or one per STA).
+    compute_times_s:
+        Per-STA feedback computation time (scalar broadcast).
+    interval_s:
+        Sounding period; 10 ms is the MU-MIMO guidance the paper cites.
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        bandwidth_mhz: int,
+        feedback_bits: "Sequence[int] | int",
+        compute_times_s: "Sequence[float] | float" = 0.0,
+        interval_s: float = MU_MIMO_SOUNDING_INTERVAL_S,
+        n_streams: int | None = None,
+    ) -> None:
+        if n_users < 1:
+            raise ConfigurationError("n_users must be >= 1")
+        if interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        if isinstance(feedback_bits, int):
+            feedback_bits = [feedback_bits] * n_users
+        if isinstance(compute_times_s, (int, float)):
+            compute_times_s = [float(compute_times_s)] * n_users
+        if len(feedback_bits) != n_users or len(compute_times_s) != n_users:
+            raise ConfigurationError(
+                "feedback_bits and compute_times_s must have one entry per user"
+            )
+        self.n_users = int(n_users)
+        self.bandwidth_mhz = int(bandwidth_mhz)
+        self.feedback_bits = [int(b) for b in feedback_bits]
+        self.compute_times_s = [float(t) for t in compute_times_s]
+        self.interval_s = float(interval_s)
+        self.n_streams = n_streams
+
+    def round_schedule(self) -> SoundingSchedule:
+        """The event timeline of one sounding round."""
+        return simulate_sounding(
+            n_users=self.n_users,
+            bandwidth_mhz=self.bandwidth_mhz,
+            feedback_bits=self.feedback_bits,
+            compute_times_s=self.compute_times_s,
+            n_streams=self.n_streams,
+        )
+
+    def report(self) -> CampaignReport:
+        """Steady-state occupancy/overhead summary."""
+        schedule = self.round_schedule()
+        return CampaignReport(
+            interval_s=self.interval_s,
+            round_duration_s=schedule.total_duration_s,
+            round_airtime_s=schedule.airtime_s,
+            feedback_airtime_s=schedule.feedback_airtime_s,
+            feedback_bits_total=sum(self.feedback_bits),
+        )
+
+
+def max_supportable_users(
+    bandwidth_mhz: int,
+    feedback_bits_per_user: int,
+    compute_time_s: float = 0.0,
+    interval_s: float = MU_MIMO_SOUNDING_INTERVAL_S,
+    user_limit: int = 64,
+) -> int:
+    """Largest user count whose sounding round fits inside the interval.
+
+    Rounds grow linearly with users (each adds a BRP/BMR pair), so this
+    walks up until the round no longer fits.  Returns 0 when even a
+    single user cannot be sounded in time.
+    """
+    if user_limit < 1:
+        raise ConfigurationError("user_limit must be >= 1")
+    supported = 0
+    for n_users in range(1, user_limit + 1):
+        campaign = SoundingCampaign(
+            n_users=n_users,
+            bandwidth_mhz=bandwidth_mhz,
+            feedback_bits=feedback_bits_per_user,
+            compute_times_s=compute_time_s,
+            interval_s=interval_s,
+        )
+        if not campaign.report().feasible:
+            break
+        supported = n_users
+    return supported

@@ -1,0 +1,77 @@
+"""End-to-end beamforming-matrix reporting delay (Eq. (7d), Table III).
+
+Combines the pieces the paper's latency analysis counts: the head-model
+execution at the slowest STA, the feedback airtime, and the tail-model
+reconstruction at the AP:
+
+``delay = max_i(T^H_i + T^A_i) + T^T``
+
+``bm_reporting_delay`` wires the protocol simulator into this
+computation so the airtime term includes the real polling overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.sounding.protocol import SoundingSchedule, simulate_sounding
+
+__all__ = ["EndToEndDelay", "bm_reporting_delay"]
+
+
+@dataclass(frozen=True)
+class EndToEndDelay:
+    """Breakdown of one scheme's BM reporting delay."""
+
+    head_s: float  # slowest STA compute
+    airtime_s: float  # full sounding exchange duration
+    tail_s: float  # AP-side reconstruction (all users)
+    schedule: SoundingSchedule
+
+    @property
+    def total_s(self) -> float:
+        return self.airtime_s + self.tail_s
+
+    def meets(self, budget_s: float) -> bool:
+        """Eq. (7d): is the delay strictly below the budget?"""
+        return self.total_s < budget_s
+
+
+def bm_reporting_delay(
+    n_users: int,
+    bandwidth_mhz: int,
+    feedback_bits: Sequence[int] | int,
+    head_time_s: Sequence[float] | float,
+    tail_time_s: float,
+    n_streams: int | None = None,
+) -> EndToEndDelay:
+    """End-to-end delay of one sounding round for one feedback scheme.
+
+    Scalars for ``feedback_bits``/``head_time_s`` are broadcast to all
+    users.  ``tail_time_s`` is the total AP-side reconstruction time for
+    all users (the AP reconstructs after the last report arrives).
+    """
+    if n_users < 1:
+        raise ConfigurationError("n_users must be >= 1")
+    if isinstance(feedback_bits, int):
+        feedback_bits = [feedback_bits] * n_users
+    if isinstance(head_time_s, (int, float)):
+        head_time_s = [float(head_time_s)] * n_users
+    if tail_time_s < 0:
+        raise ConfigurationError("tail_time_s must be non-negative")
+
+    schedule = simulate_sounding(
+        n_users=n_users,
+        bandwidth_mhz=bandwidth_mhz,
+        feedback_bits=list(feedback_bits),
+        compute_times_s=list(head_time_s),
+        n_streams=n_streams,
+    )
+    return EndToEndDelay(
+        head_s=max(head_time_s),
+        airtime_s=schedule.total_duration_s,
+        tail_s=float(tail_time_s),
+        schedule=schedule,
+    )

@@ -1,0 +1,71 @@
+"""Durations of the frames in the 802.11 MU-MIMO sounding exchange.
+
+The exchange (paper Fig. 3) is: NDP Announcement, SIFS, NDP, then for
+each STA a Beamforming Report Poll (BRP) and its Beamforming Matrix
+Report (BMR), all separated by SIFS.  Control frames are short,
+fixed-payload frames at a robust rate; the BMR payload is whatever the
+feedback scheme produces (Givens angles for 802.11, the quantized
+bottleneck for SplitBeam), so its duration depends on the scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.phy.rates import PHY_PREAMBLE_S, VHT_LTF_S, frame_airtime_s
+
+__all__ = [
+    "FrameDurations",
+    "ndpa_duration_s",
+    "ndp_duration_s",
+    "brp_duration_s",
+    "bmr_duration_s",
+]
+
+#: MAC header + FCS bits carried by every management/control frame.
+MAC_OVERHEAD_BITS: int = (24 + 4) * 8
+
+#: NDPA per-STA info field (AID + feedback type + Nc index), bits.
+NDPA_PER_STA_BITS: int = 4 * 8
+
+#: BRP frame body bits (category, action, dialog token, segment info).
+BRP_BODY_BITS: int = 8 * 8
+
+
+def ndpa_duration_s(n_users: int, bandwidth_mhz: int) -> float:
+    """NDP Announcement duration: grows with the number of polled STAs."""
+    if n_users < 1:
+        raise ConfigurationError("n_users must be >= 1")
+    payload = MAC_OVERHEAD_BITS + n_users * NDPA_PER_STA_BITS
+    return frame_airtime_s(payload, bandwidth_mhz)
+
+
+def ndp_duration_s(n_streams: int, bandwidth_mhz: int) -> float:
+    """Null Data Packet: preamble only, one VHT-LTF per spatial stream."""
+    if n_streams < 1:
+        raise ConfigurationError("n_streams must be >= 1")
+    return PHY_PREAMBLE_S + n_streams * VHT_LTF_S
+
+
+def brp_duration_s(bandwidth_mhz: int) -> float:
+    """Beamforming Report Poll duration (fixed short control frame)."""
+    return frame_airtime_s(MAC_OVERHEAD_BITS + BRP_BODY_BITS, bandwidth_mhz)
+
+
+def bmr_duration_s(feedback_bits: int, bandwidth_mhz: int) -> float:
+    """Beamforming Matrix Report: MAC overhead plus the feedback payload."""
+    if feedback_bits < 0:
+        raise ConfigurationError("feedback_bits must be non-negative")
+    return frame_airtime_s(MAC_OVERHEAD_BITS + feedback_bits, bandwidth_mhz)
+
+
+@dataclass(frozen=True)
+class FrameDurations:
+    """Precomputed frame durations for one sounding configuration."""
+
+    ndpa_s: float
+    ndp_s: float
+    brp_s: float
+    bmr_s: float
+    sifs_s: float

@@ -1,0 +1,120 @@
+"""Event-level simulation of the multi-user sounding exchange (Fig. 3).
+
+``simulate_sounding`` walks the exchange deterministically — NDPA, SIFS,
+NDP, then per STA: (BRP, SIFS, *wait for the STA's compute if it is not
+ready*, BMR, SIFS) — and returns a timestamped event schedule.  The
+interesting interaction it captures: a slow STA (large head-model
+execution time) can stall the poll sequence, so the *channel-occupancy*
+cost and the *end-to-end delay* differ between feedback schemes with
+different compute/airtime splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.phy.rates import SIFS_S
+from repro.sounding.frames import (
+    bmr_duration_s,
+    brp_duration_s,
+    ndp_duration_s,
+    ndpa_duration_s,
+)
+
+__all__ = ["SoundingEvent", "SoundingSchedule", "simulate_sounding"]
+
+
+@dataclass(frozen=True)
+class SoundingEvent:
+    """One frame (or wait) in the exchange."""
+
+    kind: str  # "NDPA" | "NDP" | "BRP" | "WAIT" | "BMR" | "SIFS"
+    start_s: float
+    duration_s: float
+    station: int | None = None  # STA index for BRP/WAIT/BMR
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass
+class SoundingSchedule:
+    """Full timeline of one sounding round."""
+
+    events: list[SoundingEvent] = field(default_factory=list)
+
+    @property
+    def total_duration_s(self) -> float:
+        return self.events[-1].end_s if self.events else 0.0
+
+    @property
+    def airtime_s(self) -> float:
+        """Time the medium is actually occupied by frames."""
+        return sum(
+            e.duration_s for e in self.events if e.kind not in ("WAIT", "SIFS")
+        )
+
+    @property
+    def feedback_airtime_s(self) -> float:
+        """Airtime consumed by the BMR feedback frames only."""
+        return sum(e.duration_s for e in self.events if e.kind == "BMR")
+
+    def events_of(self, kind: str) -> list[SoundingEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+def simulate_sounding(
+    n_users: int,
+    bandwidth_mhz: int,
+    feedback_bits: Sequence[int],
+    compute_times_s: Sequence[float],
+    n_streams: int | None = None,
+) -> SoundingSchedule:
+    """Simulate one sounding round.
+
+    Parameters
+    ----------
+    feedback_bits:
+        Per-STA BMR payload size (scheme-dependent).
+    compute_times_s:
+        Per-STA time to produce the feedback after the NDP (SVD+GR time
+        for 802.11, head-model time for SplitBeam).  If a STA is still
+        computing when polled, the AP waits (modelled as a WAIT event).
+    """
+    if n_users < 1:
+        raise ConfigurationError("n_users must be >= 1")
+    if len(feedback_bits) != n_users or len(compute_times_s) != n_users:
+        raise ConfigurationError(
+            "feedback_bits and compute_times_s must have one entry per user"
+        )
+    streams = n_users if n_streams is None else n_streams
+
+    schedule = SoundingSchedule()
+    clock = 0.0
+
+    def push(kind: str, duration: float, station: int | None = None) -> None:
+        nonlocal clock
+        schedule.events.append(
+            SoundingEvent(
+                kind=kind, start_s=clock, duration_s=duration, station=station
+            )
+        )
+        clock += duration
+
+    push("NDPA", ndpa_duration_s(n_users, bandwidth_mhz))
+    push("SIFS", SIFS_S)
+    push("NDP", ndp_duration_s(streams, bandwidth_mhz))
+    ndp_end = clock  # STAs start computing once the NDP ends
+
+    for station in range(n_users):
+        push("SIFS", SIFS_S)
+        push("BRP", brp_duration_s(bandwidth_mhz), station)
+        push("SIFS", SIFS_S)
+        ready_at = ndp_end + compute_times_s[station]
+        if ready_at > clock:
+            push("WAIT", ready_at - clock, station)
+        push("BMR", bmr_duration_s(feedback_bits[station], bandwidth_mhz), station)
+    return schedule

@@ -1,0 +1,72 @@
+"""IEEE 802.11ac/ax beamforming-feedback baseline.
+
+Implements the standard's compressed beamforming pipeline the paper
+compares against: Algorithm 1 (Givens-rotation decomposition of the
+beamforming matrix into phi/psi angles), the standard angle quantizers,
+the compressed-beamforming-report size model of Sec. IV-E2 / Eq. (9),
+and the SVD/GR computational-load model of Sec. IV-E1.
+"""
+
+from repro.standard.givens import (
+    GivensAngles,
+    givens_decompose,
+    givens_reconstruct,
+    angle_counts,
+)
+from repro.standard.quantization import (
+    AngleQuantizer,
+    CODEBOOKS,
+    quantize_angles,
+    dequantize_angles,
+)
+from repro.standard.feedback import (
+    bmr_bits,
+    csi_bits,
+    compression_ratio,
+    Dot11FeedbackConfig,
+)
+from repro.standard.flopmodel import (
+    svd_flops,
+    givens_flops,
+    dot11_flops,
+    COMPLEX_FLOP_FACTOR,
+)
+from repro.standard.cbf import (
+    MimoControl,
+    CbfReport,
+    Dot11CbfCodec,
+    codebook_for,
+    grouped_tone_indices,
+    encode_cbf,
+    decode_cbf,
+    reconstruct_bf_from_report,
+    cbf_payload_bits,
+)
+
+__all__ = [
+    "GivensAngles",
+    "givens_decompose",
+    "givens_reconstruct",
+    "angle_counts",
+    "AngleQuantizer",
+    "CODEBOOKS",
+    "quantize_angles",
+    "dequantize_angles",
+    "bmr_bits",
+    "csi_bits",
+    "compression_ratio",
+    "Dot11FeedbackConfig",
+    "svd_flops",
+    "givens_flops",
+    "dot11_flops",
+    "COMPLEX_FLOP_FACTOR",
+    "MimoControl",
+    "CbfReport",
+    "Dot11CbfCodec",
+    "codebook_for",
+    "grouped_tone_indices",
+    "encode_cbf",
+    "decode_cbf",
+    "reconstruct_bf_from_report",
+    "cbf_payload_bits",
+]

@@ -1,0 +1,85 @@
+"""Feedback-size models: BMR bits, CSI bits, and Eq. (9) compression.
+
+From Sec. IV-E2 of the paper:
+
+- compressed beamforming report size
+  ``BMR = 8*Nt + Na * S * (b_phi + b_psi) / 2`` bits, where ``Na`` is
+  the number of Givens angles per subcarrier;
+- raw channel-state feedback ``S * Nt * Nr * b`` bits with ``b = 16``
+  (16 bits per complex element, i.e. 8 bits per real component);
+- 802.11 compression ratio ``CR = BMR / (S * Nt * Nr * b)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.phy.ofdm import band_plan
+from repro.standard.givens import angle_counts
+from repro.standard.quantization import AngleQuantizer
+
+__all__ = ["Dot11FeedbackConfig", "bmr_bits", "csi_bits", "compression_ratio"]
+
+#: Bits per complex channel element in the Eq. (9) denominator.
+CSI_BITS_PER_ELEMENT: int = 16
+
+
+@dataclass(frozen=True)
+class Dot11FeedbackConfig:
+    """One 802.11 feedback configuration (antennas, streams, band, bits)."""
+
+    n_tx: int
+    n_rx: int
+    n_streams: int
+    bandwidth_mhz: int
+    quantizer: AngleQuantizer = AngleQuantizer(b_phi=9, b_psi=7)
+
+    def __post_init__(self) -> None:
+        if self.n_tx < 1 or self.n_rx < 1 or self.n_streams < 1:
+            raise ConfigurationError("antenna/stream counts must be >= 1")
+        if self.n_streams > self.n_tx:
+            raise ConfigurationError(
+                f"Nss={self.n_streams} cannot exceed Nt={self.n_tx}"
+            )
+
+    @property
+    def n_subcarriers(self) -> int:
+        return band_plan(self.bandwidth_mhz).n_subcarriers
+
+
+def bmr_bits(config: Dot11FeedbackConfig) -> int:
+    """Beamforming-report size in bits (Sec. IV-E2).
+
+    ``8*Nt`` covers the per-antenna SNR/overhead fields; each of the
+    ``Na`` angles costs ``(b_phi + b_psi)/2`` bits on average because
+    half the angles are phi and half are psi.
+    """
+    n_phi, n_psi = angle_counts(config.n_tx, config.n_streams)
+    n_angles = n_phi + n_psi
+    q = config.quantizer
+    angle_bits = config.n_subcarriers * (
+        n_phi * q.b_phi + n_psi * q.b_psi
+    )
+    # n_phi == n_psi, so this equals Na * S * (b_phi + b_psi) / 2.
+    del n_angles
+    return 8 * config.n_tx + angle_bits
+
+
+def csi_bits(config: Dot11FeedbackConfig) -> int:
+    """Uncompressed CSI feedback size: ``S * Nt * Nr * 16`` bits."""
+    return (
+        config.n_subcarriers
+        * config.n_tx
+        * config.n_rx
+        * CSI_BITS_PER_ELEMENT
+    )
+
+
+def compression_ratio(config: Dot11FeedbackConfig) -> float:
+    """Eq. (9): BMR bits over raw CSI bits.
+
+    About 1/2 for 2x2 and 2/3 for 3x3 with the (9, 7) MU-MIMO codebook,
+    as the paper notes under Fig. 9.
+    """
+    return bmr_bits(config) / csi_bits(config)

@@ -1,0 +1,125 @@
+"""IEEE 802.11 Givens-angle quantizers.
+
+The standard quantizes ``phi`` over [0, 2pi) with ``b_phi`` bits and
+``psi`` over [0, pi/2) with ``b_psi = b_phi - 2`` bits using mid-rise
+uniform codebooks:
+
+- ``phi_q(k) = k*pi/2^(b_phi-1) + pi/2^b_phi``
+- ``psi_q(k) = k*pi/2^(b_psi+1) + pi/2^(b_psi+2)``
+
+MU-MIMO feedback uses (b_phi, b_psi) = (7, 5) or (9, 7); SU-MIMO uses
+(4, 2) or (6, 4).  The paper's BF-size analysis assumes the MU-MIMO
+codebooks (Sec. III-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.standard.givens import GivensAngles
+
+__all__ = ["AngleQuantizer", "CODEBOOKS", "quantize_angles", "dequantize_angles"]
+
+#: Named (b_phi, b_psi) pairs from the standard.
+CODEBOOKS: dict[str, tuple[int, int]] = {
+    "su_low": (4, 2),
+    "su_high": (6, 4),
+    "mu_low": (7, 5),
+    "mu_high": (9, 7),
+}
+
+
+@dataclass(frozen=True)
+class AngleQuantizer:
+    """Uniform mid-rise quantizer pair for (phi, psi) angles."""
+
+    b_phi: int = 9
+    b_psi: int = 7
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.b_psi <= self.b_phi <= 16:
+            raise ConfigurationError(
+                f"invalid angle bit widths (b_phi={self.b_phi}, "
+                f"b_psi={self.b_psi})"
+            )
+
+    # -- phi ------------------------------------------------------------------
+
+    def quantize_phi(self, phi: np.ndarray) -> np.ndarray:
+        """Map phases (any real values) to integer codes 0..2^b_phi - 1."""
+        phi = np.mod(np.asarray(phi, dtype=np.float64), 2.0 * np.pi)
+        step = np.pi / 2.0 ** (self.b_phi - 1)
+        offset = np.pi / 2.0**self.b_phi
+        codes = np.round((phi - offset) / step).astype(np.int64)
+        return np.mod(codes, 2**self.b_phi)
+
+    def dequantize_phi(self, codes: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`quantize_phi` (codebook centers)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        step = np.pi / 2.0 ** (self.b_phi - 1)
+        offset = np.pi / 2.0**self.b_phi
+        return codes * step + offset
+
+    # -- psi ------------------------------------------------------------------
+
+    def quantize_psi(self, psi: np.ndarray) -> np.ndarray:
+        """Map rotation angles in [0, pi/2] to codes 0..2^b_psi - 1."""
+        psi = np.clip(np.asarray(psi, dtype=np.float64), 0.0, np.pi / 2.0)
+        step = np.pi / 2.0 ** (self.b_psi + 1)
+        offset = np.pi / 2.0 ** (self.b_psi + 2)
+        codes = np.round((psi - offset) / step).astype(np.int64)
+        return np.clip(codes, 0, 2**self.b_psi - 1)
+
+    def dequantize_psi(self, codes: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`quantize_psi` (codebook centers)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        step = np.pi / 2.0 ** (self.b_psi + 1)
+        offset = np.pi / 2.0 ** (self.b_psi + 2)
+        return codes * step + offset
+
+    # -- convenience -------------------------------------------------------------
+
+    @property
+    def bits_per_angle_pair(self) -> int:
+        """Bits for one phi plus one psi angle."""
+        return self.b_phi + self.b_psi
+
+    @classmethod
+    def from_codebook(cls, name: str) -> "AngleQuantizer":
+        """Build from a named standard codebook (see :data:`CODEBOOKS`)."""
+        try:
+            b_phi, b_psi = CODEBOOKS[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown codebook {name!r}; options: {sorted(CODEBOOKS)}"
+            ) from None
+        return cls(b_phi=b_phi, b_psi=b_psi)
+
+
+def quantize_angles(
+    angles: GivensAngles, quantizer: AngleQuantizer
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize a :class:`GivensAngles` bundle to integer code arrays."""
+    return (
+        quantizer.quantize_phi(angles.phi),
+        quantizer.quantize_psi(angles.psi),
+    )
+
+
+def dequantize_angles(
+    phi_codes: np.ndarray,
+    psi_codes: np.ndarray,
+    quantizer: AngleQuantizer,
+    n_tx: int,
+    n_streams: int,
+) -> GivensAngles:
+    """Rebuild a :class:`GivensAngles` bundle from integer codes."""
+    return GivensAngles(
+        phi=quantizer.dequantize_phi(phi_codes),
+        psi=quantizer.dequantize_psi(psi_codes),
+        n_tx=n_tx,
+        n_streams=n_streams,
+    )

@@ -1,0 +1,38 @@
+"""Shared utilities: complex/real packing, RNG handling, validation, tables."""
+
+from repro.utils.complexmat import (
+    complex_to_real,
+    real_to_complex,
+    fix_phase_gauge,
+    is_unitary_columns,
+    column_correlation,
+)
+from repro.utils.bits import BitReader, BitWriter, bits_to_bytes, bytes_to_bits
+from repro.utils.rng import RngMixin, as_generator, spawn
+from repro.utils.tables import render_table
+from repro.utils.validation import (
+    check_positive,
+    check_in_range,
+    check_shape,
+    check_member,
+)
+
+__all__ = [
+    "complex_to_real",
+    "real_to_complex",
+    "fix_phase_gauge",
+    "is_unitary_columns",
+    "column_correlation",
+    "BitReader",
+    "BitWriter",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "RngMixin",
+    "as_generator",
+    "spawn",
+    "render_table",
+    "check_positive",
+    "check_in_range",
+    "check_shape",
+    "check_member",
+]

@@ -1,0 +1,130 @@
+"""MSB-first bit-stream packing for over-the-air frame codecs.
+
+The 802.11 compressed beamforming report packs quantized angle codes of
+heterogeneous widths (``b_phi``/``b_psi`` bits) back-to-back into octets.
+:class:`BitWriter` and :class:`BitReader` implement that wire format:
+values are written most-significant-bit first and the final octet is
+zero-padded, matching how the feedback frames in ``repro.standard.cbf``
+are laid out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeedbackError
+
+__all__ = ["BitWriter", "BitReader", "bits_to_bytes", "bytes_to_bits"]
+
+
+def bits_to_bytes(n_bits: int) -> int:
+    """Octets needed to hold ``n_bits`` bits (zero-padded)."""
+    if n_bits < 0:
+        raise FeedbackError("bit count must be non-negative")
+    return (n_bits + 7) // 8
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand a byte string into an MSB-first 0/1 array."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(raw)
+
+
+class BitWriter:
+    """Accumulates unsigned integers of arbitrary width into a byte string."""
+
+    def __init__(self) -> None:
+        self._bits: list[np.ndarray] = []
+        self._n_bits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far (before padding)."""
+        return self._n_bits
+
+    def write(self, value: int, width: int) -> None:
+        """Append one unsigned integer using ``width`` bits, MSB first."""
+        if width < 1 or width > 64:
+            raise FeedbackError(f"field width must be in [1, 64], got {width}")
+        value = int(value)
+        if value < 0 or value >= (1 << width):
+            raise FeedbackError(
+                f"value {value} does not fit in {width} unsigned bits"
+            )
+        bits = (value >> np.arange(width - 1, -1, -1)) & 1
+        self._bits.append(bits.astype(np.uint8))
+        self._n_bits += width
+
+    def write_array(self, values: np.ndarray, width: int) -> None:
+        """Append a flat array of equal-width unsigned integers."""
+        if width < 1 or width > 64:
+            raise FeedbackError(f"field width must be in [1, 64], got {width}")
+        values = np.asarray(values, dtype=np.int64).reshape(-1)
+        if values.size == 0:
+            return
+        if values.min() < 0 or values.max() >= (1 << width):
+            raise FeedbackError(
+                f"array values outside [0, 2^{width}) cannot be packed"
+            )
+        shifts = np.arange(width - 1, -1, -1)
+        bits = ((values[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+        self._bits.append(bits.reshape(-1))
+        self._n_bits += width * values.size
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes (final octet zero-padded)."""
+        if not self._bits:
+            return b""
+        stream = np.concatenate(self._bits)
+        return np.packbits(stream).tobytes()
+
+
+class BitReader:
+    """Reads unsigned integers of arbitrary width from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._bits = bytes_to_bits(data)
+        self._pos = 0
+
+    @property
+    def bits_remaining(self) -> int:
+        """Unread bits left in the stream (includes any pad bits)."""
+        return self._bits.size - self._pos
+
+    def read(self, width: int) -> int:
+        """Consume ``width`` bits and return them as an unsigned integer."""
+        if width < 1 or width > 64:
+            raise FeedbackError(f"field width must be in [1, 64], got {width}")
+        if self._pos + width > self._bits.size:
+            raise FeedbackError(
+                f"bit stream exhausted: need {width} bits, "
+                f"have {self.bits_remaining}"
+            )
+        chunk = self._bits[self._pos : self._pos + width]
+        self._pos += width
+        weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+        return int(np.dot(chunk.astype(np.int64), weights))
+
+    def read_array(self, count: int, width: int) -> np.ndarray:
+        """Consume ``count`` equal-width fields into an int64 array."""
+        if count < 0:
+            raise FeedbackError("count must be non-negative")
+        if width < 1 or width > 64:
+            raise FeedbackError(f"field width must be in [1, 64], got {width}")
+        total = count * width
+        if self._pos + total > self._bits.size:
+            raise FeedbackError(
+                f"bit stream exhausted: need {total} bits, "
+                f"have {self.bits_remaining}"
+            )
+        chunk = self._bits[self._pos : self._pos + total]
+        self._pos += total
+        matrix = chunk.reshape(count, width).astype(np.int64)
+        weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+        return matrix @ weights
+
+    def align_to_byte(self) -> None:
+        """Skip pad bits up to the next octet boundary."""
+        remainder = self._pos % 8
+        if remainder:
+            self._pos += 8 - remainder

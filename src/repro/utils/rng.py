@@ -1,0 +1,43 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library (channel generators, dataset
+builders, trainers, link simulators) accepts either an integer seed or a
+``numpy.random.Generator`` and converts it through :func:`as_generator`,
+so experiments are reproducible end to end from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn", "RngMixin"]
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` (fresh OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class RngMixin:
+    """Mixin giving a class a seeded ``self.rng`` attribute."""
+
+    def __init__(self, seed: "int | np.random.Generator | None" = None) -> None:
+        self.rng = as_generator(seed)
+
+    def reseed(self, seed: "int | np.random.Generator | None") -> None:
+        """Replace the internal generator (e.g. between repetitions)."""
+        self.rng = as_generator(seed)

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness reproduces the paper's tables and figure series as
+aligned ASCII tables on stdout, so results can be compared against the
+paper without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object, precision: int = 4) -> str:
+    """Format one table cell: floats get fixed precision, rest -> str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    text_rows = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(separator))
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

@@ -1,0 +1,53 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["check_positive", "check_in_range", "check_shape", "check_member"]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ConfigurationError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> None:
+    """Raise unless ``low <= value <= high`` (or strict, per ``inclusive``)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bounds = "[%s, %s]" if inclusive else "(%s, %s)"
+        raise ConfigurationError(
+            f"{name} must be in {bounds % (low, high)}, got {value!r}"
+        )
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> None:
+    """Raise unless ``array.shape`` matches ``shape`` (None = wildcard)."""
+    actual = np.shape(array)
+    if len(actual) != len(shape):
+        raise ShapeError(
+            f"{name} must have {len(shape)} dimensions {tuple(shape)}, "
+            f"got shape {actual}"
+        )
+    for got, want in zip(actual, shape):
+        if want is not None and got != want:
+            raise ShapeError(f"{name} must have shape {tuple(shape)}, got {actual}")
+
+
+def check_member(name: str, value: object, allowed: Iterable[object]) -> None:
+    """Raise unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed}, got {value!r}")

@@ -1,0 +1,54 @@
+"""Tests for the analysis/reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import SMOKE
+from repro.analysis.ber import ber_vs_compression, ber_vs_snr
+from repro.analysis.report import ExperimentRecord, ExperimentReport
+
+
+class TestReport:
+    def test_record_ratio(self):
+        record = ExperimentRecord("Fig. 9", "2x2", "BER", 0.02, paper_value=0.01)
+        assert record.ratio == pytest.approx(2.0)
+        assert ExperimentRecord("x", "y", "z", 1.0).ratio is None
+
+    def test_render_includes_paper_columns(self):
+        report = ExperimentReport("Fig. 6")
+        report.add("4x4 80MHz K=1/8", "ratio", 0.25, paper_value=0.25)
+        text = report.render()
+        assert "paper" in text
+        assert "Fig. 6" in text
+
+    def test_render_without_paper_values(self):
+        report = ExperimentReport("ablation")
+        report.add("a", "BER", 0.1)
+        assert "paper" not in report.render()
+
+    def test_markdown_fragment(self):
+        report = ExperimentReport("Table III")
+        report.add("2x2 20MHz", "latency ms", 0.0202, paper_value=0.0202, note="fit")
+        md = report.markdown()
+        assert md.startswith("### Table III")
+        assert "| 2x2 20MHz |" in md
+        assert "fit" in md
+
+
+class TestBerSweeps:
+    def test_ber_vs_compression_shape(self, smoke_dataset_2x2):
+        results = ber_vs_compression(
+            smoke_dataset_2x2,
+            compressions=(1 / 4,),
+            fidelity=SMOKE,
+        )
+        assert set(results) == {1 / 4}
+        assert 0.0 <= results[1 / 4] <= 1.0
+
+    def test_ber_vs_snr_monotone(self, smoke_dataset_2x2):
+        indices = smoke_dataset_2x2.splits.test[:6]
+        bf = smoke_dataset_2x2.link_bf(indices)
+        results = ber_vs_snr(
+            smoke_dataset_2x2, bf, snrs_db=(5.0, 30.0), indices=indices
+        )
+        assert results[5.0] >= results[30.0]

@@ -1,0 +1,77 @@
+"""Tests for the confidence-interval BER sweep helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import SweepPoint, ber_sweep
+from repro.baselines import Dot11Feedback, IdealSvdFeedback
+from repro.errors import ConfigurationError
+from repro.phy.link import LinkConfig
+
+
+class TestSweepPoint:
+    def test_interval_clipped_to_unit_range(self):
+        point = SweepPoint(parameter=5.0, mean_ber=0.01, ci_halfwidth=0.05, n_seeds=3)
+        assert point.low == 0.0
+        assert point.high == pytest.approx(0.06)
+
+    def test_degenerate_interval(self):
+        point = SweepPoint(parameter=5.0, mean_ber=0.1, ci_halfwidth=0.0, n_seeds=1)
+        assert point.low == point.high == pytest.approx(0.1)
+
+
+class TestBerSweep:
+    def test_ber_decreases_with_snr(self, smoke_dataset_2x2):
+        points = ber_sweep(
+            Dot11Feedback(),
+            smoke_dataset_2x2,
+            snrs_db=[5.0, 25.0],
+            indices=smoke_dataset_2x2.splits.test[:6],
+            n_seeds=2,
+        )
+        assert len(points) == 2
+        assert points[0].mean_ber > points[1].mean_ber
+
+    def test_single_seed_has_zero_halfwidth(self, smoke_dataset_2x2):
+        points = ber_sweep(
+            IdealSvdFeedback(),
+            smoke_dataset_2x2,
+            snrs_db=[20.0],
+            indices=smoke_dataset_2x2.splits.test[:4],
+            n_seeds=1,
+        )
+        assert points[0].ci_halfwidth == 0.0
+        assert points[0].n_seeds == 1
+
+    def test_seeds_produce_nonnegative_halfwidth(self, smoke_dataset_2x2):
+        points = ber_sweep(
+            Dot11Feedback(),
+            smoke_dataset_2x2,
+            snrs_db=[10.0],
+            indices=smoke_dataset_2x2.splits.test[:4],
+            n_seeds=3,
+        )
+        assert points[0].ci_halfwidth >= 0.0
+        assert points[0].low <= points[0].mean_ber <= points[0].high
+
+    def test_base_config_respected(self, smoke_dataset_2x2):
+        """The sweep overrides snr_db/seed but keeps other options."""
+        points = ber_sweep(
+            IdealSvdFeedback(),
+            smoke_dataset_2x2,
+            snrs_db=[30.0],
+            indices=smoke_dataset_2x2.splits.test[:4],
+            base_config=LinkConfig(qam_order=4),
+            n_seeds=1,
+        )
+        # QPSK at 30 dB with ideal feedback: essentially error-free.
+        assert points[0].mean_ber < 0.01
+
+    def test_validation(self, smoke_dataset_2x2):
+        with pytest.raises(ConfigurationError):
+            ber_sweep(Dot11Feedback(), smoke_dataset_2x2, snrs_db=[])
+        with pytest.raises(ConfigurationError):
+            ber_sweep(
+                Dot11Feedback(), smoke_dataset_2x2, snrs_db=[10.0], n_seeds=0
+            )

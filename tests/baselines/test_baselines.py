@@ -1,0 +1,117 @@
+"""Tests for the 802.11 and LB-SciFi feedback baselines."""
+
+import numpy as np
+import pytest
+
+from repro.config import SMOKE
+from repro.baselines import Dot11Feedback, IdealSvdFeedback, train_lbscifi
+from repro.baselines.lbscifi import _denormalize, _normalize
+from repro.phy.link import LinkConfig, LinkSimulator
+from repro.standard.givens import givens_decompose
+from repro.standard.quantization import AngleQuantizer
+
+
+class TestDot11Feedback:
+    def test_reconstruction_close_to_truth(self, smoke_dataset_2x2):
+        scheme = Dot11Feedback()
+        indices = smoke_dataset_2x2.splits.test[:8]
+        rebuilt = scheme.reconstruct_bf(smoke_dataset_2x2, indices)
+        truth = smoke_dataset_2x2.link_bf(indices)
+        assert rebuilt.shape == truth.shape
+        assert np.max(np.abs(rebuilt - truth)) < 0.02  # (9,7) quantizer
+
+    def test_coarser_quantizer_worse(self, smoke_dataset_2x2):
+        indices = smoke_dataset_2x2.splits.test[:8]
+        truth = smoke_dataset_2x2.link_bf(indices)
+        fine = Dot11Feedback(AngleQuantizer(9, 7)).reconstruct_bf(
+            smoke_dataset_2x2, indices
+        )
+        coarse = Dot11Feedback(AngleQuantizer(4, 2)).reconstruct_bf(
+            smoke_dataset_2x2, indices
+        )
+        assert np.max(np.abs(coarse - truth)) > np.max(np.abs(fine - truth))
+
+    def test_costs(self, smoke_dataset_2x2):
+        scheme = Dot11Feedback()
+        assert scheme.sta_flops(smoke_dataset_2x2) > 0
+        assert scheme.feedback_bits(smoke_dataset_2x2) == 8 * 2 + 56 * 16
+
+    def test_ber_close_to_ideal(self, smoke_dataset_2x2):
+        link = LinkSimulator(LinkConfig(snr_db=20))
+        indices = smoke_dataset_2x2.splits.test[:8]
+        channels = smoke_dataset_2x2.link_channels(indices)
+        ideal = link.measure_ber(
+            channels, IdealSvdFeedback().reconstruct_bf(smoke_dataset_2x2, indices)
+        )
+        dot11 = link.measure_ber(
+            channels, Dot11Feedback().reconstruct_bf(smoke_dataset_2x2, indices)
+        )
+        assert abs(dot11.ber - ideal.ber) < 0.02
+
+
+class TestIdealFeedback:
+    def test_returns_exact_targets(self, smoke_dataset_2x2):
+        indices = smoke_dataset_2x2.splits.test[:4]
+        rebuilt = IdealSvdFeedback().reconstruct_bf(smoke_dataset_2x2, indices)
+        assert np.array_equal(rebuilt, smoke_dataset_2x2.link_bf(indices))
+
+
+class TestAngleNormalization:
+    def test_round_trip(self, smoke_dataset_2x2):
+        bf = smoke_dataset_2x2.bf[:6]
+        angles = givens_decompose(bf[..., :, None])
+        features = _normalize(angles)
+        assert features.min() >= -1.0 - 1e-12
+        assert features.max() <= 1.0 + 1e-12
+        recovered = _denormalize(
+            features.reshape(features.shape[0], features.shape[1], -1),
+            smoke_dataset_2x2.n_subcarriers,
+            2,
+            1,
+        )
+        assert np.allclose(
+            np.mod(recovered.phi, 2 * np.pi), np.mod(angles.phi, 2 * np.pi),
+            atol=1e-10,
+        )
+        assert np.allclose(recovered.psi, angles.psi, atol=1e-10)
+
+
+class TestLbSciFi:
+    @pytest.fixture(scope="class")
+    def scheme(self, smoke_dataset_2x2):
+        return train_lbscifi(
+            smoke_dataset_2x2, compression=1 / 4, fidelity=SMOKE, seed=0
+        )
+
+    def test_sta_cost_exceeds_dot11(self, scheme, smoke_dataset_2x2):
+        """LB-SciFi pays SVD + GR *plus* its encoder (Sec. II)."""
+        dot11 = Dot11Feedback().sta_flops(smoke_dataset_2x2)
+        assert scheme.sta_flops(smoke_dataset_2x2) > dot11
+
+    def test_feedback_smaller_than_dot11(self, scheme, smoke_dataset_2x2):
+        assert scheme.feedback_bits(smoke_dataset_2x2) < Dot11Feedback().feedback_bits(
+            smoke_dataset_2x2
+        )
+
+    def test_reconstruction_shape_and_sanity(self, scheme, smoke_dataset_2x2):
+        indices = smoke_dataset_2x2.splits.test[:6]
+        rebuilt = scheme.reconstruct_bf(smoke_dataset_2x2, indices)
+        truth = smoke_dataset_2x2.link_bf(indices)
+        assert rebuilt.shape == truth.shape
+        # Column norms stay ~1: inverse Givens builds unitary columns.
+        assert np.allclose(np.linalg.norm(rebuilt, axis=-1), 1.0, atol=1e-9)
+
+    def test_better_than_random_beamforming(self, scheme, smoke_dataset_2x2, rng):
+        link = LinkSimulator(LinkConfig(snr_db=20))
+        indices = smoke_dataset_2x2.splits.test[:6]
+        channels = smoke_dataset_2x2.link_channels(indices)
+        learned = link.measure_ber(
+            channels, scheme.reconstruct_bf(smoke_dataset_2x2, indices)
+        )
+        shape = smoke_dataset_2x2.link_bf(indices).shape
+        random_bf = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        random = link.measure_ber(channels, random_bf)
+        assert learned.ber < random.ber
+
+    def test_name_records_compression(self, scheme):
+        assert "1/4" in scheme.name

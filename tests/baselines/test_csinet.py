@@ -1,0 +1,86 @@
+"""Tests for the CsiNet-style convolutional comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.csinet import (
+    ConvSplitNet,
+    CsiNetFeedback,
+    train_csinet,
+)
+from repro.config import SMOKE
+from repro.errors import ConfigurationError
+
+
+class TestConvSplitNet:
+    def test_dimensions(self):
+        model = ConvSplitNet(input_dim=224, n_feature_channels=4, compression=1 / 8)
+        assert model.n_subcarriers == 56
+        assert model.bottleneck_dim == 28
+        assert model.compression == pytest.approx(1 / 8)
+
+    def test_forward_shape(self):
+        model = ConvSplitNet(224, 4, 1 / 8, rng=0)
+        out = model.forward(np.random.default_rng(0).normal(size=(5, 224)))
+        assert out.shape == (5, 224)
+
+    def test_head_tail_composition(self):
+        model = ConvSplitNet(224, 4, 1 / 8, rng=0)
+        x = np.random.default_rng(1).normal(size=(2, 224))
+        split = model.tail.forward(model.head.forward(x))
+        np.testing.assert_allclose(split, model.forward(x))
+
+    def test_bottleneck_is_actual_split_width(self):
+        model = ConvSplitNet(224, 4, 1 / 4, rng=0)
+        x = np.random.default_rng(2).normal(size=(3, 224))
+        assert model.head.forward(x).shape == (3, 56)
+
+    def test_macs_accounting(self):
+        model = ConvSplitNet(224, 4, 1 / 8, hidden_channels=8, rng=0)
+        # conv1: 56*8*4*5; conv2: 56*4*8*5; fc: 224*28.
+        expected = 56 * 8 * 4 * 5 + 56 * 4 * 8 * 5 + 224 * 28
+        assert model.head_macs() == expected
+        assert model.tail_macs() == 28 * 224
+
+    def test_indivisible_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConvSplitNet(225, 4, 1 / 8)
+
+    def test_invalid_compression(self):
+        with pytest.raises(ConfigurationError):
+            ConvSplitNet(224, 4, 0.0)
+
+
+class TestTrainCsiNet:
+    def test_trains_and_evaluates(self, smoke_dataset_2x2):
+        trained = train_csinet(
+            smoke_dataset_2x2, compression=1 / 8, fidelity=SMOKE, seed=0
+        )
+        assert len(trained.history) == SMOKE.epochs
+        # Training reduces the loss.
+        assert trained.history.train_loss[-1] < trained.history.train_loss[0]
+        ber = trained.test_ber(max_samples=6).ber
+        assert 0.0 <= ber <= 0.5
+
+    def test_feedback_scheme_interface(self, smoke_dataset_2x2):
+        trained = train_csinet(
+            smoke_dataset_2x2, compression=1 / 8, fidelity=SMOKE, seed=1
+        )
+        scheme = CsiNetFeedback(trained)
+        assert scheme.name == "CsiNet-style (K=1/8)"
+        indices = smoke_dataset_2x2.splits.test[:3]
+        bf = scheme.reconstruct_bf(smoke_dataset_2x2, indices)
+        assert bf.shape == smoke_dataset_2x2.link_bf(indices).shape
+        assert scheme.sta_flops(smoke_dataset_2x2) == 2.0 * trained.model.head_macs()
+        assert scheme.feedback_bits(smoke_dataset_2x2) == 28 * 16
+
+    def test_conv_head_costs_more_than_dense(self, smoke_dataset_2x2):
+        """The ablation's premise: frequency-local convs add STA MACs
+        over SplitBeam's single matmul at equal K."""
+        trained = train_csinet(
+            smoke_dataset_2x2, compression=1 / 8, fidelity=SMOKE, seed=2
+        )
+        dense_head_macs = 224 * 28
+        assert trained.model.head_macs() > dense_head_macs

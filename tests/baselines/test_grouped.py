@@ -1,0 +1,68 @@
+"""Tests for the subcarrier-grouped bit-level 802.11 feedback scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dot11 import Dot11Feedback
+from repro.baselines.grouped import GroupedCbfFeedback
+from repro.config import SMOKE
+from repro.errors import ConfigurationError
+from repro.utils.complexmat import column_correlation
+
+
+@pytest.fixture(scope="module")
+def dataset(smoke_dataset_2x2):
+    return smoke_dataset_2x2
+
+
+class TestGroupedCbfFeedback:
+    def test_invalid_grouping(self):
+        with pytest.raises(ConfigurationError):
+            GroupedCbfFeedback(grouping=3)
+
+    def test_reconstruction_shape(self, dataset):
+        scheme = GroupedCbfFeedback(grouping=2)
+        indices = dataset.splits.test[:3]
+        bf = scheme.reconstruct_bf(dataset, indices)
+        assert bf.shape == dataset.link_bf(indices).shape
+
+    def test_ng1_matches_array_pipeline(self, dataset):
+        """The wire codec at Ng=1 equals the array-level Dot11 pipeline
+        (same quantizer, same Givens round trip)."""
+        indices = dataset.splits.test[:3]
+        wire = GroupedCbfFeedback(grouping=1).reconstruct_bf(dataset, indices)
+        arrays = Dot11Feedback().reconstruct_bf(dataset, indices)
+        np.testing.assert_allclose(wire, arrays, atol=1e-9)
+
+    def test_accuracy_degrades_with_grouping(self, dataset):
+        indices = dataset.splits.test[:4]
+        truth = dataset.link_bf(indices)
+        corr = {}
+        for ng in (1, 2, 4):
+            bf = GroupedCbfFeedback(grouping=ng).reconstruct_bf(dataset, indices)
+            corr[ng] = column_correlation(
+                bf.reshape(-1, bf.shape[-1]).T, truth.reshape(-1, truth.shape[-1]).T
+            )
+        assert corr[1] >= corr[2] >= corr[4] - 1e-6
+        assert corr[4] > 0.9  # smooth indoor channels stay recoverable
+
+    def test_feedback_bits_shrink_with_grouping(self, dataset):
+        bits = {
+            ng: GroupedCbfFeedback(grouping=ng).feedback_bits(dataset)
+            for ng in (1, 2, 4)
+        }
+        assert bits[4] < bits[2] < bits[1]
+        # Roughly proportional to the grouped tone count.
+        assert bits[2] < 0.6 * bits[1]
+
+    def test_sta_flops_shrink_with_grouping(self, dataset):
+        flops = {
+            ng: GroupedCbfFeedback(grouping=ng).sta_flops(dataset)
+            for ng in (1, 2, 4)
+        }
+        assert flops[4] < flops[2] < flops[1]
+
+    def test_scheme_name(self):
+        assert GroupedCbfFeedback(grouping=4).name == "802.11 Ng=4"

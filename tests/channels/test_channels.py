@@ -1,0 +1,252 @@
+"""Tests for the TGn/TGac channel substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.channels.doppler import ShadowingProcess, jakes_ar1_coefficient
+from repro.channels.environment import E1, E2, SYNTHETIC, environment
+from repro.channels.sampler import CsiSampler
+from repro.channels.spatial import correlation_sqrt, ula_correlation
+from repro.channels.tgac import (
+    MODEL_A,
+    MODEL_B,
+    MODEL_D,
+    TgacChannel,
+    delay_profile,
+)
+from repro.phy.ofdm import band_plan
+
+
+class TestSpatial:
+    def test_unit_diagonal_and_hermitian(self):
+        corr = ula_correlation(4, 45.0, 20.0)
+        assert np.allclose(np.diag(corr).real, 1.0)
+        assert np.allclose(corr, corr.conj().T)
+
+    def test_positive_semidefinite(self):
+        corr = ula_correlation(6, 120.0, 15.0)
+        eigenvalues = np.linalg.eigvalsh(corr)
+        assert eigenvalues.min() > -1e-10
+
+    def test_narrow_spread_higher_correlation(self):
+        narrow = ula_correlation(2, 30.0, 5.0)
+        wide = ula_correlation(2, 30.0, 60.0)
+        assert abs(narrow[0, 1]) > abs(wide[0, 1])
+
+    def test_single_antenna(self):
+        assert ula_correlation(1, 0.0, 30.0).shape == (1, 1)
+
+    def test_sqrt_squares_back(self):
+        corr = ula_correlation(4, 10.0, 25.0)
+        root = correlation_sqrt(corr)
+        assert np.allclose(root @ root.conj().T, corr, atol=1e-10)
+
+    def test_invalid_spread(self):
+        with pytest.raises(ConfigurationError):
+            ula_correlation(2, 0.0, 0.0)
+
+
+class TestDoppler:
+    def test_zero_doppler_is_static(self):
+        assert jakes_ar1_coefficient(0.0, 1e-3) == pytest.approx(1.0, abs=1e-9)
+
+    def test_monotone_decrease_with_doppler(self):
+        rhos = [jakes_ar1_coefficient(f, 1e-3) for f in (0.5, 5.0, 50.0)]
+        assert rhos[0] > rhos[1] > rhos[2]
+
+    def test_shadowing_disabled(self):
+        process = ShadowingProcess(0.0, 1.0, 1e-3, rng=0)
+        assert all(process.step() == 1.0 for _ in range(5))
+
+    def test_shadowing_statistics(self):
+        process = ShadowingProcess(3.0, 0.05, 1e-3, rng=0)
+        values_db = [20 * np.log10(process.step()) for _ in range(20_000)]
+        assert np.std(values_db) == pytest.approx(3.0, rel=0.25)
+        assert np.mean(values_db) == pytest.approx(0.0, abs=0.5)
+
+    def test_shadowing_temporal_correlation(self):
+        process = ShadowingProcess(3.0, 1.0, 1e-3, rng=0)
+        values = np.array([process.step() for _ in range(2000)])
+        lag1 = np.corrcoef(values[:-1], values[1:])[0, 1]
+        assert lag1 > 0.9
+
+
+class TestDelayProfiles:
+    def test_model_b_matches_paper(self):
+        """The paper's synthetic data: 'Model-B ... 9 channel taps and 2
+        channel clusters'."""
+        assert MODEL_B.n_taps == 9
+        assert MODEL_B.n_clusters == 2
+
+    def test_lookup(self):
+        assert delay_profile("b") is MODEL_B
+        assert delay_profile("D") is MODEL_D
+        with pytest.raises(ConfigurationError):
+            delay_profile("Z")
+
+    def test_cluster_tap_ranges_valid(self):
+        for name in "ABCDEF":
+            profile = delay_profile(name)
+            for cluster in profile.clusters:
+                assert cluster.covered_taps().stop <= profile.n_taps
+
+    def test_delay_spreads_ordered(self):
+        spreads = [delay_profile(n).rms_delay_spread_ns for n in "ABCDEF"]
+        assert spreads == sorted(spreads)
+
+
+class TestTgacChannel:
+    def _channel(self, **kwargs):
+        defaults = dict(
+            profile=MODEL_B,
+            n_rx=1,
+            n_tx=2,
+            band=band_plan(20),
+            doppler_hz=2.0,
+            rng=0,
+        )
+        defaults.update(kwargs)
+        return TgacChannel(**defaults)
+
+    def test_shapes(self):
+        channel = self._channel()
+        h = channel.step()
+        assert h.shape == (56, 1, 2)
+        batch = channel.sample(5)
+        assert batch.shape == (5, 56, 1, 2)
+
+    def test_unit_average_power(self):
+        channel = self._channel(n_rx=2, n_tx=2)
+        samples = []
+        for _ in range(60):
+            channel.reset()
+            samples.append(channel.current())
+        power = np.mean(np.abs(np.stack(samples)) ** 2)
+        assert power == pytest.approx(1.0, rel=0.15)
+
+    def test_temporal_correlation_follows_doppler(self):
+        slow = self._channel(doppler_hz=0.5, rng=1)
+        fast = self._channel(doppler_hz=100.0, rng=1)
+
+        def lag1(channel):
+            series = channel.sample(300)[:, 0, 0, 0]
+            a, b = series[:-1], series[1:]
+            return np.abs(np.mean(a.conj() * b) / np.mean(np.abs(a) ** 2))
+
+        assert lag1(slow) > lag1(fast)
+
+    def test_frequency_correlation_tracks_delay_spread(self):
+        """Model B (15 ns) must be smoother in frequency than Model D."""
+
+        def freq_corr(profile):
+            channel = TgacChannel(
+                profile, n_rx=1, n_tx=1, band=band_plan(80), rng=2
+            )
+            samples = []
+            for _ in range(40):
+                channel.reset()
+                samples.append(channel.current()[:, 0, 0])
+            h = np.stack(samples)
+            lag = 10  # tones
+            num = np.mean(h[:, :-lag].conj() * h[:, lag:])
+            return np.abs(num) / np.mean(np.abs(h) ** 2)
+
+        assert freq_corr(MODEL_B) > freq_corr(MODEL_D)
+
+    def test_flat_profile_is_frequency_flat(self):
+        channel = TgacChannel(MODEL_A, n_rx=1, n_tx=1, band=band_plan(20), rng=0)
+        h = channel.current()[:, 0, 0]
+        assert np.max(np.abs(h - h[0])) < 1e-10
+
+    def test_deterministic_with_seed(self):
+        a = self._channel(rng=42).sample(3)
+        b = self._channel(rng=42).sample(3)
+        assert np.array_equal(a, b)
+
+    def test_reset_changes_realization(self):
+        channel = self._channel()
+        first = channel.current().copy()
+        channel.reset()
+        assert not np.allclose(channel.current(), first)
+
+    def test_rician_los_increases_mean(self):
+        nlos = self._channel(rng=3)
+        los = self._channel(rician_k_db=10.0, rng=3)
+        # Strong K-factor concentrates power in the deterministic part:
+        # realizations vary less.
+        def variation(channel):
+            samples = []
+            for _ in range(30):
+                channel.reset()
+                samples.append(channel.current())
+            stack = np.stack(samples)
+            return np.std(np.abs(stack)) / np.mean(np.abs(stack))
+
+        assert variation(los) < variation(nlos)
+
+
+class TestEnvironments:
+    def test_presets(self):
+        assert E1.profile.name == "B"
+        assert E2.profile.name == "C"
+        assert SYNTHETIC.csi_noise_snr_db is None
+        assert environment("e1") is E1
+        with pytest.raises(ConfigurationError):
+            environment("E9")
+
+    def test_e2_is_richer(self):
+        assert E2.doppler_hz > E1.doppler_hz
+        assert E2.shadowing_sigma_db > E1.shadowing_sigma_db
+        assert E2.profile.rms_delay_spread_ns > E1.profile.rms_delay_spread_ns
+
+    def test_location_offsets_deterministic(self):
+        a = E1.location_offsets_deg()
+        b = E1.location_offsets_deg()
+        assert np.array_equal(a, b)
+        assert a.shape == (E1.n_locations,)
+
+    def test_location_offsets_differ_between_rooms(self):
+        assert not np.array_equal(
+            E1.location_offsets_deg(), E2.location_offsets_deg()
+        )
+
+
+class TestSampler:
+    def _sampler(self, env=E1, **kwargs):
+        defaults = dict(
+            env=env, n_users=2, n_rx=1, n_tx=2, band=band_plan(20), rng=5
+        )
+        defaults.update(kwargs)
+        return CsiSampler(**defaults)
+
+    def test_session_shapes_and_sequences(self):
+        batches = self._sampler().collect_session(50)
+        assert len(batches) == 2
+        for batch in batches:
+            assert batch.csi.shape[1:] == (56, 1, 2)
+            assert np.all(np.diff(batch.sequence) > 0)
+            assert batch.n_samples <= 50
+
+    def test_drops_occur_at_configured_rate(self):
+        from dataclasses import replace
+
+        env = replace(E1, packet_drop_rate=0.3)
+        batches = self._sampler(env=env).collect_session(400)
+        received = np.mean([b.n_samples for b in batches])
+        assert 400 * 0.55 < received < 400 * 0.85
+
+    def test_no_noise_when_disabled(self):
+        batches = self._sampler(env=SYNTHETIC).collect_session(5)
+        assert batches[0].csi.shape[0] == 5  # no drops either
+
+    def test_collect_aligned(self):
+        aligned = self._sampler().collect_aligned(40, n_sessions=2)
+        assert aligned.shape[1:] == (2, 56, 1, 2)
+        assert aligned.shape[0] <= 80
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            self._sampler(n_users=0)
+        with pytest.raises(ConfigurationError):
+            self._sampler().collect_session(0)

@@ -1,0 +1,51 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.config import SMOKE
+from repro.datasets import build_dataset, dataset_spec
+
+# Keep property-based tests fast and deterministic in CI.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def smoke_dataset_2x2():
+    """A tiny 2x2 @ 20 MHz dataset shared across tests (D1, SMOKE)."""
+    return build_dataset(dataset_spec("D1"), fidelity=SMOKE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def smoke_dataset_3x3():
+    """A tiny 3x3 @ 20 MHz dataset shared across tests (D2, SMOKE)."""
+    return build_dataset(dataset_spec("D2"), fidelity=SMOKE, seed=11)
+
+
+def random_unitary_columns(
+    rng: np.random.Generator,
+    n_rows: int,
+    n_cols: int,
+    batch: tuple[int, ...] = (),
+) -> np.ndarray:
+    """Random matrices with orthonormal columns (Haar-ish via QR)."""
+    raw = rng.standard_normal(batch + (n_rows, n_rows)) + 1j * rng.standard_normal(
+        batch + (n_rows, n_rows)
+    )
+    q, _ = np.linalg.qr(raw)
+    return q[..., :n_cols]

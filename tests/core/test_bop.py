@@ -1,0 +1,130 @@
+"""Tests for the BOP heuristic (Sec. IV-C)."""
+
+import pytest
+
+from repro.config import SMOKE
+from repro.errors import ConfigurationError, ConstraintViolation
+from repro.core.bop import BopConstraints, solve_bop
+
+
+def evaluator_from_table(table):
+    """Build an evaluator returning canned BERs keyed by (depth, K)."""
+    calls = []
+
+    def evaluate(widths, compression):
+        calls.append(list(widths))
+        depth = len(widths) - 2  # extra layers after the bottleneck
+        return table[(depth, round(1 / compression))], None
+
+    evaluate.calls = calls
+    return evaluate
+
+
+class TestHeuristic:
+    def test_prefers_highest_feasible_compression(self, smoke_dataset_2x2):
+        table = {(1, 32): 0.5, (1, 16): 0.04, (1, 8): 0.02, (1, 4): 0.01}
+        result = solve_bop(
+            smoke_dataset_2x2,
+            BopConstraints(max_ber=0.05),
+            evaluator=evaluator_from_table(table),
+            max_extra_layers=0,
+        )
+        # 1/32 fails, 1/16 passes -> selected without trying 1/8 or 1/4.
+        assert result.selected.compression == pytest.approx(1 / 16)
+        assert result.n_trials == 2
+
+    def test_search_order_smallest_bottleneck_first(self, smoke_dataset_2x2):
+        table = {(1, 32): 0.01, (1, 16): 0.01, (1, 8): 0.01, (1, 4): 0.01}
+        evaluator = evaluator_from_table(table)
+        result = solve_bop(
+            smoke_dataset_2x2,
+            BopConstraints(max_ber=0.05),
+            evaluator=evaluator,
+            max_extra_layers=0,
+        )
+        assert result.selected.compression == pytest.approx(1 / 32)
+        assert result.n_trials == 1
+
+    def test_deepens_when_ladder_fails(self, smoke_dataset_2x2):
+        table = {
+            (1, 32): 0.5, (1, 16): 0.5, (1, 8): 0.5, (1, 4): 0.5,
+            (2, 32): 0.5, (2, 16): 0.03, (2, 8): 0.02, (2, 4): 0.01,
+        }
+        result = solve_bop(
+            smoke_dataset_2x2,
+            BopConstraints(max_ber=0.05),
+            evaluator=evaluator_from_table(table),
+            max_extra_layers=1,
+        )
+        # Selected the deeper model: [D, B, B, D].
+        assert len(result.selected.widths) == 4
+        assert result.selected.compression == pytest.approx(1 / 16)
+        assert result.n_trials == 4 + 2
+
+    def test_infeasible_raises_with_trace(self, smoke_dataset_2x2):
+        table = {(d, k): 0.9 for d in (1, 2) for k in (32, 16, 8, 4)}
+        with pytest.raises(ConstraintViolation) as excinfo:
+            solve_bop(
+                smoke_dataset_2x2,
+                BopConstraints(max_ber=0.001),
+                evaluator=evaluator_from_table(table),
+                max_extra_layers=1,
+            )
+        assert len(excinfo.value.trials) == 8
+
+    def test_delay_constraint_enforced(self, smoke_dataset_2x2):
+        table = {(1, 32): 0.01, (1, 16): 0.01, (1, 8): 0.01, (1, 4): 0.01}
+        with pytest.raises(ConstraintViolation):
+            solve_bop(
+                smoke_dataset_2x2,
+                BopConstraints(max_ber=0.05, max_delay_s=1e-9),
+                evaluator=evaluator_from_table(table),
+                max_extra_layers=0,
+            )
+
+    def test_trials_record_costs(self, smoke_dataset_2x2):
+        table = {(1, 32): 0.01}
+        result = solve_bop(
+            smoke_dataset_2x2,
+            BopConstraints(max_ber=0.05),
+            evaluator=evaluator_from_table(table),
+            max_extra_layers=0,
+        )
+        trial = result.selected
+        assert trial.delay_s > 0
+        assert trial.objective > 0
+        assert trial.satisfied
+
+    def test_real_training_end_to_end(self, smoke_dataset_2x2):
+        """Full heuristic with real (smoke-budget) training."""
+        result = solve_bop(
+            smoke_dataset_2x2,
+            BopConstraints(max_ber=0.45, max_delay_s=10e-3),
+            compressions=(1 / 8, 1 / 4),
+            fidelity=SMOKE,
+            max_extra_layers=0,
+            seed=0,
+        )
+        assert result.selected.trained is not None
+        assert result.selected.ber <= 0.45
+
+
+class TestConstraints:
+    def test_mu_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BopConstraints(mu=0.0)
+        with pytest.raises(ConfigurationError):
+            BopConstraints(mu=1.0)
+
+    def test_positive_ceilings(self):
+        with pytest.raises(ConfigurationError):
+            BopConstraints(max_ber=0.0)
+
+    def test_empty_ladder_rejected(self, smoke_dataset_2x2):
+        with pytest.raises(ConfigurationError):
+            solve_bop(
+                smoke_dataset_2x2,
+                BopConstraints(),
+                compressions=(),
+                evaluator=lambda w, k: (0.0, None),
+            )

@@ -1,0 +1,102 @@
+"""Tests for the Sec. IV-B/IV-E cost models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.costs import (
+    StaCostModel,
+    analytical_splitbeam_flops,
+    comp_load_ratio,
+    feedback_size_ratio,
+    splitbeam_feedback_bits,
+    splitbeam_head_flops,
+)
+from repro.core.model import SplitBeamNet
+
+
+class TestExactCosts:
+    def test_head_flops_is_2x_macs(self):
+        net = SplitBeamNet([224, 28, 224], rng=0)
+        assert splitbeam_head_flops(net) == 2 * 224 * 28
+
+    def test_feedback_bits(self):
+        assert splitbeam_feedback_bits(28) == 28 * 16
+        assert splitbeam_feedback_bits(28, bits_per_element=8) == 224
+        with pytest.raises(ConfigurationError):
+            splitbeam_feedback_bits(0)
+
+
+class TestAnalyticalRatios:
+    def test_paper_calibration_point(self):
+        """Sec. IV-E1: K=1/8 at 80 MHz cuts 75% of the 4x4 STA load."""
+        ratio = comp_load_ratio(1 / 8, 4, 4, 80)
+        assert ratio == pytest.approx(0.25, rel=0.01)
+
+    def test_paper_8x8_claim(self):
+        """Sec. IV-E1: ... and 87% in 8x8 systems (ratio ~ 0.13)."""
+        ratio = comp_load_ratio(1 / 8, 8, 8, 80)
+        assert ratio < 0.15
+
+    def test_ratio_linear_in_k(self):
+        low = comp_load_ratio(1 / 32, 4, 4, 40)
+        high = comp_load_ratio(1 / 8, 4, 4, 40)
+        assert high / low == pytest.approx(4.0, rel=1e-9)
+
+    def test_ratio_improves_with_antennas(self):
+        assert comp_load_ratio(1 / 8, 8, 8, 80) < comp_load_ratio(1 / 8, 4, 4, 80)
+
+    def test_fig7_headline(self):
+        """Sec. IV-E2: 91%/93% feedback reduction at 80 MHz (K=1/32)."""
+        assert feedback_size_ratio(1 / 32, 4, 4, 80) == pytest.approx(
+            0.09, abs=0.02
+        )
+        assert feedback_size_ratio(1 / 32, 8, 8, 80) == pytest.approx(
+            0.07, abs=0.02
+        )
+
+    def test_splitbeam_size_constant_in_bandwidth(self):
+        """Sec. IV-E2: SplitBeam's compression rate K does not grow with
+        the channel matrix — the ratio only moves because the 802.11
+        report's fixed per-report overhead amortizes."""
+        r20 = feedback_size_ratio(1 / 8, 4, 4, 20)
+        r80 = feedback_size_ratio(1 / 8, 4, 4, 80)
+        assert r20 == pytest.approx(r80, rel=0.05)
+
+    def test_invalid_compression(self):
+        with pytest.raises(ConfigurationError):
+            analytical_splitbeam_flops(0.0, 2, 2, 56)
+
+
+class TestStaCostModel:
+    def test_times_scale_with_flops(self):
+        model = StaCostModel()
+        assert model.head_time_s(2e9) == pytest.approx(1.0)
+        assert model.tail_time_s(50e9) == pytest.approx(1.0)
+
+    def test_airtime_uses_frame_model(self):
+        model = StaCostModel(feedback_bandwidth_mhz=20)
+        assert model.airtime_s(0) == pytest.approx(36e-6)
+        assert model.airtime_s(10_000) > model.airtime_s(100)
+
+    def test_objective_weighting(self):
+        model = StaCostModel()
+        head, tail, bits = 1e6, 1e6, 1000
+        sta_heavy = model.bop_objective(head, tail, bits, mu=0.9)
+        air_heavy = model.bop_objective(head, tail, bits, mu=0.1)
+        # With mu = 0.9 the (large) STA energy term dominates.
+        assert sta_heavy != air_heavy
+
+    def test_objective_scales_with_users(self):
+        model = StaCostModel()
+        one = model.bop_objective(1e6, 1e6, 1000, mu=0.5, n_users=1)
+        three = model.bop_objective(1e6, 1e6, 1000, mu=0.5, n_users=3)
+        assert three == pytest.approx(3 * one)
+
+    def test_mu_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            StaCostModel().bop_objective(1e6, 1e6, 100, mu=1.0)
+
+    def test_end_to_end_delay_sums_terms(self):
+        model = StaCostModel()
+        delay = model.end_to_end_delay_s(2e9, 50e9, 0)
+        assert delay == pytest.approx(1.0 + 36e-6 + 1.0)

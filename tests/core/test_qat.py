@@ -1,0 +1,96 @@
+"""Tests for quantization-aware training of the bottleneck."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SMOKE
+from repro.core.split import BottleneckQuantizer, QuantizationNoise, SplitExecutor
+from repro.core.training import train_splitbeam
+from repro.errors import ConfigurationError
+
+
+class TestQuantizationNoise:
+    def test_eval_mode_is_identity(self):
+        layer = QuantizationNoise(bits=4, rng=0).eval()
+        x = np.random.default_rng(0).normal(size=(5, 8))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_training_noise_bounded_by_half_step(self):
+        layer = QuantizationNoise(bits=4, rng=1)
+        x = np.random.default_rng(1).normal(size=(64, 16))
+        perturbed = layer.forward(x)
+        span = x.max(axis=1) - x.min(axis=1)
+        half_step = span / (2**4 - 1) / 2.0
+        assert np.all(np.abs(perturbed - x) <= half_step[:, None] + 1e-12)
+        # And the noise is actually non-trivial.
+        assert np.any(perturbed != x)
+
+    def test_noise_scales_with_bits(self):
+        x = np.random.default_rng(2).normal(size=(32, 16))
+        coarse = QuantizationNoise(bits=2, rng=3).forward(x) - x
+        fine = QuantizationNoise(bits=8, rng=3).forward(x) - x
+        assert np.abs(coarse).mean() > 10 * np.abs(fine).mean()
+
+    def test_straight_through_gradient(self):
+        layer = QuantizationNoise(bits=4, rng=4)
+        grad = np.random.default_rng(4).normal(size=(3, 8))
+        np.testing.assert_array_equal(layer.backward(grad), grad)
+
+    def test_no_parameters(self):
+        assert list(QuantizationNoise(bits=4).parameters()) == []
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationNoise(bits=1)
+        with pytest.raises(ConfigurationError):
+            QuantizationNoise(bits=64)
+
+
+class TestQatTraining:
+    def test_qat_model_trains_and_deploys(self, smoke_dataset_2x2):
+        trained = train_splitbeam(
+            smoke_dataset_2x2,
+            compression=1 / 8,
+            fidelity=SMOKE,
+            quantizer_bits=4,
+            qat_bits=4,
+            seed=0,
+        )
+        # The noise layer rides inside the network ...
+        kinds = [type(m).__name__ for m in trained.model.network.layers]
+        assert "QuantizationNoise" in kinds
+        # ... but deployment (eval) output is deterministic.
+        x, _ = smoke_dataset_2x2.model_arrays(smoke_dataset_2x2.splits.test[:4])
+        trained.model.eval()
+        np.testing.assert_array_equal(
+            trained.model.forward(x), trained.model.forward(x)
+        )
+
+    def test_qat_head_tail_split_unchanged(self, smoke_dataset_2x2):
+        """The head stays a single Linear; the noise layer goes to the
+        tail side of the split (it models the air interface)."""
+        trained = train_splitbeam(
+            smoke_dataset_2x2,
+            compression=1 / 8,
+            fidelity=SMOKE,
+            qat_bits=6,
+            seed=1,
+        )
+        head = trained.model.head_network()
+        assert len(head) == 1
+        executor = SplitExecutor(trained.model, BottleneckQuantizer(6))
+        x, _ = smoke_dataset_2x2.model_arrays(smoke_dataset_2x2.splits.test[:2])
+        out = executor.run(x)
+        assert out.shape == x.shape
+
+    def test_history_records_training(self, smoke_dataset_2x2):
+        trained = train_splitbeam(
+            smoke_dataset_2x2,
+            compression=1 / 8,
+            fidelity=SMOKE,
+            qat_bits=4,
+            seed=2,
+        )
+        assert trained.history.train_loss[-1] < trained.history.train_loss[0]

@@ -1,0 +1,121 @@
+"""Tests for the full-network session simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SMOKE
+from repro.core.adaptive import QosProfile
+from repro.core.session import NetworkSession, SessionReport
+from repro.core.training import train_splitbeam
+from repro.core.zoo import ModelZoo
+from repro.errors import ConfigurationError
+from repro.phy.link import LinkConfig
+
+
+@pytest.fixture(scope="module")
+def dataset(smoke_dataset_2x2):
+    return smoke_dataset_2x2
+
+
+@pytest.fixture(scope="module")
+def splitbeam_setup(dataset):
+    """A one-model zoo plus its trained-model lookup."""
+    zoo = ModelZoo()
+    trained = train_splitbeam(
+        dataset, compression=1 / 8, fidelity=SMOKE, seed=0
+    )
+    entry = zoo.register_trained(trained, measured_ber=0.02)
+    return zoo, {entry.model.bottleneck_dim: trained}
+
+
+class TestConstruction:
+    def test_zoo_without_models_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            NetworkSession(dataset, zoo=ModelZoo(), trained_models={})
+
+    def test_zoo_and_models_must_pair(self, dataset, splitbeam_setup):
+        zoo, models = splitbeam_setup
+        with pytest.raises(ConfigurationError):
+            NetworkSession(dataset, zoo=zoo, trained_models=None)
+        with pytest.raises(ConfigurationError):
+            NetworkSession(dataset, zoo=None, trained_models=models)
+
+    def test_invalid_samples_per_round(self, dataset):
+        with pytest.raises(ConfigurationError):
+            NetworkSession(dataset, samples_per_round=0)
+
+
+class TestDot11Session:
+    def test_runs_and_reports(self, dataset):
+        session = NetworkSession(
+            dataset,
+            link_config=LinkConfig(snr_db=20.0),
+            samples_per_round=4,
+            seed=1,
+        )
+        report = session.run(3)
+        assert report.n_rounds == 3
+        assert all(r.scheme == "802.11" for r in report.rounds)
+        assert all(r.controller_action == "n/a" for r in report.rounds)
+        assert 0.0 <= report.mean_ber < 0.2
+        assert report.mean_goodput_bps > 0
+        assert 0.0 < report.mean_occupancy < 1.0
+
+    def test_zero_rounds_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            NetworkSession(dataset).run(0)
+
+    def test_rows_render(self, dataset):
+        report = NetworkSession(dataset, samples_per_round=2, seed=2).run(2)
+        rows = report.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 1  # 1-based round numbering
+
+    def test_empty_report_aggregates(self):
+        report = SessionReport()
+        assert report.mean_ber == 0.0
+        assert report.mean_goodput_bps == 0.0
+        assert report.mean_occupancy == 0.0
+
+
+class TestSplitBeamSession:
+    def test_splitbeam_lowers_occupancy(self, dataset, splitbeam_setup):
+        zoo, models = splitbeam_setup
+        dot11 = NetworkSession(dataset, samples_per_round=4, seed=3).run(3)
+        split = NetworkSession(
+            dataset,
+            zoo=zoo,
+            trained_models=models,
+            samples_per_round=4,
+            seed=3,
+        ).run(3)
+        assert split.mean_occupancy < dot11.mean_occupancy
+        # The SplitBeam session reports the model label, not "802.11".
+        assert all(r.scheme != "802.11" for r in split.rounds)
+
+    def test_controller_reacts_in_session(self, dataset, splitbeam_setup):
+        zoo, models = splitbeam_setup
+        # Absurdly tight QoS: every round violates, controller steps down
+        # (already at the safest rung -> hold) and never steps up.
+        session = NetworkSession(
+            dataset,
+            zoo=zoo,
+            trained_models=models,
+            qos=QosProfile(max_ber=1e-6),
+            samples_per_round=4,
+            seed=4,
+        )
+        report = session.run(3)
+        assert all(
+            r.controller_action in ("hold", "step-down") for r in report.rounds
+        )
+
+    def test_goodput_accounting_positive(self, dataset, splitbeam_setup):
+        zoo, models = splitbeam_setup
+        report = NetworkSession(
+            dataset, zoo=zoo, trained_models=models, samples_per_round=4, seed=5
+        ).run(2)
+        for record in report.rounds:
+            assert record.goodput_bps > 0
+            assert 0 <= record.mcs_index <= 9

@@ -1,0 +1,275 @@
+"""Tests for the model zoo and the runtime QoS selection/adaptation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveCompressionController,
+    QosProfile,
+    SelectionOutcome,
+    select_model,
+)
+from repro.core.costs import StaCostModel
+from repro.core.model import SplitBeamNet, three_layer_widths
+from repro.core.zoo import ModelZoo, NetworkConfiguration, ZooEntry
+from repro.errors import ConfigurationError, DatasetError
+
+
+CONFIG = NetworkConfiguration(n_tx=2, n_rx=1, bandwidth_mhz=20)
+
+
+def make_entry(
+    compression: float,
+    ber: float,
+    config: NetworkConfiguration = CONFIG,
+    quantizer_bits: int | None = 16,
+    seed: int = 0,
+) -> ZooEntry:
+    widths = three_layer_widths(config.input_dim, compression)
+    return ZooEntry(
+        config=config,
+        model=SplitBeamNet(widths, rng=seed),
+        quantizer_bits=quantizer_bits,
+        measured_ber=ber,
+    )
+
+
+def ladder(bers: dict[float, float]) -> list[ZooEntry]:
+    """Entries for K -> BER pairs."""
+    return [make_entry(k, ber) for k, ber in bers.items()]
+
+
+class TestNetworkConfiguration:
+    def test_input_dim(self):
+        # 2 * Nt * Nr * S = 2 * 2 * 1 * 56 = 224 (Table II's 20 MHz D).
+        assert CONFIG.input_dim == 224
+
+    def test_label_roundtrip(self):
+        assert NetworkConfiguration.from_label(CONFIG.label()) == CONFIG
+
+    def test_malformed_label(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfiguration.from_label("2by1at20")
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfiguration(n_tx=2, n_rx=1, bandwidth_mhz=30)
+
+    def test_invalid_antennas(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfiguration(n_tx=0, n_rx=1, bandwidth_mhz=20)
+
+
+class TestZooEntry:
+    def test_model_dim_validated_against_config(self):
+        wrong = NetworkConfiguration(n_tx=3, n_rx=1, bandwidth_mhz=20)
+        model_for_2x1 = SplitBeamNet(three_layer_widths(CONFIG.input_dim, 1 / 8))
+        with pytest.raises(ConfigurationError):
+            ZooEntry(
+                config=wrong,
+                model=model_for_2x1,
+                quantizer_bits=16,
+                measured_ber=0.01,
+            )
+
+    def test_cost_properties(self):
+        entry = make_entry(1 / 8, 0.01)
+        assert entry.compression == pytest.approx(1 / 8, abs=0.01)
+        assert entry.head_flops == 2 * 224 * 28
+        assert entry.feedback_bits == 28 * 16
+
+    def test_feedback_bits_without_quantizer(self):
+        entry = make_entry(1 / 8, 0.01, quantizer_bits=None)
+        assert entry.feedback_bits == 28 * 16  # 16-bit default convention
+
+    def test_ber_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_entry(1 / 8, 1.5)
+
+
+class TestModelZoo:
+    def test_register_and_candidates_sorted(self):
+        zoo = ModelZoo()
+        for k in (1 / 4, 1 / 32, 1 / 8):
+            zoo.register(make_entry(k, 0.01))
+        compressions = [e.compression for e in zoo.candidates(CONFIG)]
+        assert compressions == sorted(compressions)
+        assert len(zoo) == 3
+
+    def test_duplicate_architecture_rejected(self):
+        zoo = ModelZoo()
+        zoo.register(make_entry(1 / 8, 0.01))
+        with pytest.raises(ConfigurationError):
+            zoo.register(make_entry(1 / 8, 0.02))
+
+    def test_on_ndp_returns_least_compressed(self):
+        zoo = ModelZoo()
+        for k in (1 / 32, 1 / 4):
+            zoo.register(make_entry(k, 0.01))
+        assert zoo.on_ndp(CONFIG).compression == pytest.approx(1 / 4, abs=0.01)
+
+    def test_on_ndp_unknown_config_raises(self):
+        zoo = ModelZoo()
+        with pytest.raises(ConfigurationError):
+            zoo.on_ndp(CONFIG)
+
+    def test_contains_and_configurations(self):
+        zoo = ModelZoo()
+        assert CONFIG not in zoo
+        zoo.register(make_entry(1 / 8, 0.01))
+        assert CONFIG in zoo
+        assert zoo.configurations() == [CONFIG]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        zoo = ModelZoo()
+        zoo.register(make_entry(1 / 8, 0.013, seed=1))
+        zoo.register(make_entry(1 / 4, 0.007, seed=2))
+        zoo.save(str(tmp_path))
+        loaded = ModelZoo.load(str(tmp_path))
+        assert len(loaded) == 2
+        original = zoo.candidates(CONFIG)[0]
+        restored = loaded.candidates(CONFIG)[0]
+        assert restored.measured_ber == original.measured_ber
+        assert restored.model.widths == original.model.widths
+        # Weights restored bit-exactly: same forward output.
+        x = np.random.default_rng(0).standard_normal((3, CONFIG.input_dim))
+        np.testing.assert_allclose(
+            restored.model.forward(x), original.model.forward(x)
+        )
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(DatasetError):
+            ModelZoo.load(str(tmp_path))
+
+
+class TestQosProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QosProfile(max_ber=0.0)
+        with pytest.raises(ConfigurationError):
+            QosProfile(max_delay_s=0.0)
+        with pytest.raises(ConfigurationError):
+            QosProfile(mu=1.0)
+
+
+class TestSelectModel:
+    def make_zoo(self) -> ModelZoo:
+        zoo = ModelZoo()
+        # BER rises as compression tightens, like Fig. 9.
+        for k, ber in [(1 / 32, 0.08), (1 / 16, 0.04), (1 / 8, 0.02), (1 / 4, 0.01)]:
+            zoo.register(make_entry(k, ber))
+        return zoo
+
+    def test_picks_cheapest_feasible(self):
+        zoo = self.make_zoo()
+        outcome = select_model(zoo, CONFIG, QosProfile(max_ber=0.05))
+        assert outcome.selected is not None
+        # K=1/16 (BER 0.04) satisfies gamma=0.05 and costs least.
+        assert outcome.selected.compression == pytest.approx(1 / 16, abs=0.01)
+        assert not outcome.fell_back
+
+    def test_tight_ber_forces_bigger_bottleneck(self):
+        zoo = self.make_zoo()
+        outcome = select_model(zoo, CONFIG, QosProfile(max_ber=0.015))
+        assert outcome.selected.compression == pytest.approx(1 / 4, abs=0.01)
+        assert len(outcome.rejected) == 3
+
+    def test_impossible_ber_falls_back(self):
+        zoo = self.make_zoo()
+        outcome = select_model(zoo, CONFIG, QosProfile(max_ber=0.001))
+        assert outcome.fell_back
+        assert "fall back" in outcome.explain()
+
+    def test_delay_constraint_excludes_slow_models(self):
+        zoo = self.make_zoo()
+        # A cost model so slow nothing meets a 10 ms budget.
+        glacial = StaCostModel(sta_flops_per_s=1e3, ap_flops_per_s=1e3)
+        outcome = select_model(
+            zoo, CONFIG, QosProfile(max_ber=0.5), cost_model=glacial
+        )
+        assert outcome.fell_back
+        assert all("delay" in reason for _, reason in outcome.rejected)
+
+    def test_mu_shifts_choice_documented_in_explain(self):
+        zoo = self.make_zoo()
+        outcome = select_model(zoo, CONFIG, QosProfile(max_ber=0.05, mu=0.9))
+        assert "selected" in outcome.explain()
+
+    def test_empty_config_falls_back(self):
+        outcome = select_model(ModelZoo(), CONFIG, QosProfile())
+        assert outcome.fell_back
+
+
+class TestAdaptiveController:
+    def make_controller(self, **kwargs) -> AdaptiveCompressionController:
+        entries = ladder({1 / 32: 0.08, 1 / 8: 0.02, 1 / 4: 0.01})
+        return AdaptiveCompressionController(
+            entries, QosProfile(max_ber=0.05), **kwargs
+        )
+
+    def test_starts_safest(self):
+        controller = self.make_controller()
+        assert controller.current.compression == pytest.approx(1 / 4, abs=0.01)
+
+    def test_steps_up_after_patience_good_rounds(self):
+        controller = self.make_controller(patience=3)
+        for _ in range(2):
+            controller.observe(0.001)
+            assert controller.current.compression == pytest.approx(1 / 4, abs=0.01)
+        controller.observe(0.001)
+        # Third consecutive good round: move to the next rung (K=1/8).
+        assert controller.current.compression == pytest.approx(1 / 8, abs=0.01)
+
+    def test_steps_down_immediately_on_violation(self):
+        controller = self.make_controller(patience=1)
+        controller.observe(0.001)  # step up to K=1/8
+        assert controller.current.compression == pytest.approx(1 / 8, abs=0.01)
+        controller.observe(0.2)  # violation: back off at once
+        assert controller.current.compression == pytest.approx(1 / 4, abs=0.01)
+
+    def test_saturates_at_ladder_ends(self):
+        controller = self.make_controller(patience=1)
+        for _ in range(10):
+            controller.observe(0.0)
+        assert controller.current.compression == pytest.approx(1 / 32, abs=0.01)
+        for _ in range(10):
+            controller.observe(0.5)
+        assert controller.current.compression == pytest.approx(1 / 4, abs=0.01)
+
+    def test_moderate_ber_resets_streak(self):
+        controller = self.make_controller(patience=2)
+        controller.observe(0.001)
+        controller.observe(0.04)  # inside [margin*γ, γ]: hold, reset streak
+        controller.observe(0.001)
+        assert controller.current.compression == pytest.approx(1 / 4, abs=0.01)
+
+    def test_history_records_actions(self):
+        controller = self.make_controller(patience=1)
+        controller.observe(0.001)
+        controller.observe(0.2)
+        actions = [a for _, a in controller.history]
+        assert actions == ["step-up", "step-down"]
+
+    def test_airtime_savings_grow_with_compression(self):
+        controller = self.make_controller(patience=1)
+        assert controller.airtime_savings == 0.0
+        controller.observe(0.0)
+        assert controller.airtime_savings > 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveCompressionController([], QosProfile())
+        entries = ladder({1 / 8: 0.01})
+        with pytest.raises(ConfigurationError):
+            AdaptiveCompressionController(entries, QosProfile(), patience=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveCompressionController(
+                entries, QosProfile(), step_up_margin=1.0
+            )
+
+    def test_invalid_observation(self):
+        controller = self.make_controller()
+        with pytest.raises(ConfigurationError):
+            controller.observe(-0.1)

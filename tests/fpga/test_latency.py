@@ -1,0 +1,73 @@
+"""Tests for the FPGA latency model against the paper's Table III."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.model import SplitBeamNet
+from repro.fpga import (
+    ZYNQ_ULTRASCALE_XCZU9EG,
+    FpgaTarget,
+    model_latency_s,
+    splitbeam_latency_s,
+    table3_latency_s,
+)
+
+#: The paper's Table III, milliseconds.
+PAPER_TABLE3_MS = {
+    (2, 20): 0.0202, (2, 40): 0.0824, (2, 80): 0.3686, (2, 160): 1.477,
+    (3, 20): 0.0459, (3, 40): 0.1867, (3, 80): 0.8337, (3, 160): 3.314,
+    (4, 20): 0.0808, (4, 40): 0.3298, (4, 80): 1.4782, (4, 160): 5.883,
+}
+
+
+class TestTable3Reproduction:
+    @pytest.mark.parametrize("cell", sorted(PAPER_TABLE3_MS))
+    def test_within_three_percent_of_paper(self, cell):
+        mimo, bandwidth = cell
+        ours_ms = table3_latency_s(mimo, bandwidth) * 1e3
+        assert ours_ms == pytest.approx(PAPER_TABLE3_MS[cell], rel=0.03)
+
+    def test_bandwidth_doubling_quadruples_latency(self):
+        """The paper: 'by doubling the bandwidth, the latency ... increases
+        by about 4 times on the average'."""
+        ratios = []
+        for mimo in (2, 3, 4):
+            for low, high in ((20, 40), (40, 80), (80, 160)):
+                ratios.append(
+                    table3_latency_s(mimo, high) / table3_latency_s(mimo, low)
+                )
+        average = sum(ratios) / len(ratios)
+        assert average == pytest.approx(4.0, rel=0.1)
+
+    def test_worst_case_below_10ms(self):
+        assert table3_latency_s(4, 160) < 10e-3
+
+    def test_latency_monotone_in_mimo(self):
+        for bandwidth in (20, 40, 80, 160):
+            values = [table3_latency_s(n, bandwidth) for n in (2, 3, 4)]
+            assert values == sorted(values)
+
+
+class TestModel:
+    def test_zero_macs_is_pipeline_only(self):
+        target = ZYNQ_ULTRASCALE_XCZU9EG
+        assert model_latency_s(0) == pytest.approx(
+            target.pipeline_depth_cycles / target.clock_hz
+        )
+
+    def test_custom_target(self):
+        fast = FpgaTarget("fast", clock_hz=400e6, macs_per_cycle=12.6)
+        assert model_latency_s(10_000, fast) < model_latency_s(10_000)
+
+    def test_splitbeam_model_latency(self):
+        net = SplitBeamNet([224, 56, 224], rng=0)
+        latency = splitbeam_latency_s(net)
+        assert latency == pytest.approx(PAPER_TABLE3_MS[(2, 20)] * 1e-3, rel=0.05)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            model_latency_s(-1)
+        with pytest.raises(ConfigurationError):
+            FpgaTarget("bad", clock_hz=0.0, macs_per_cycle=1.0)
+        with pytest.raises(ConfigurationError):
+            table3_latency_s(0, 20)

@@ -1,0 +1,90 @@
+"""Integration: the full deployment flow of Fig. 1.
+
+Offline: train a ladder, measure it, publish a zoo, persist it to disk.
+Online: reload the zoo (a different process in reality), let the QoS
+selector pick a model for the announced NDP configuration, and run a
+network session with the adaptive controller — asserting the pieces
+agree with each other (same bits, same models, consistent costs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SMOKE
+from repro.core.adaptive import QosProfile, select_model
+from repro.core.costs import StaCostModel
+from repro.core.session import NetworkSession
+from repro.core.training import train_splitbeam
+from repro.core.zoo import ModelZoo, NetworkConfiguration
+from repro.phy.link import LinkConfig
+
+
+@pytest.fixture(scope="module")
+def deployment(smoke_dataset_2x2, tmp_path_factory):
+    """Offline phase: ladder -> zoo -> disk -> reload."""
+    dataset = smoke_dataset_2x2
+    zoo = ModelZoo()
+    trained = {}
+    for k in (1 / 8, 1 / 4):
+        model = train_splitbeam(dataset, compression=k, fidelity=SMOKE, seed=0)
+        entry = zoo.register_trained(model)
+        trained[entry.model.bottleneck_dim] = model
+    directory = str(tmp_path_factory.mktemp("zoo"))
+    zoo.save(directory)
+    return dataset, ModelZoo.load(directory), trained
+
+
+class TestDeploymentFlow:
+    def test_reloaded_zoo_serves_ndp_lookup(self, deployment):
+        dataset, zoo, _ = deployment
+        config = NetworkConfiguration(
+            n_tx=dataset.spec.n_tx,
+            n_rx=dataset.spec.n_rx,
+            bandwidth_mhz=dataset.spec.bandwidth_mhz,
+        )
+        entry = zoo.on_ndp(config)
+        assert entry.model.input_dim == dataset.input_dim
+        assert len(zoo.candidates(config)) == 2
+
+    def test_selector_and_controller_agree_on_candidates(self, deployment):
+        dataset, zoo, _ = deployment
+        config = NetworkConfiguration(
+            n_tx=dataset.spec.n_tx,
+            n_rx=dataset.spec.n_rx,
+            bandwidth_mhz=dataset.spec.bandwidth_mhz,
+        )
+        qos = QosProfile(max_ber=0.9, max_delay_s=1.0)
+        outcome = select_model(zoo, config, qos, StaCostModel())
+        assert not outcome.fell_back
+        # Permissive QoS -> the objective picks the cheapest rung, which
+        # is the most compressed candidate.
+        assert outcome.selected.compression == min(
+            e.compression for e in zoo.candidates(config)
+        )
+
+    def test_session_runs_with_reloaded_models(self, deployment):
+        dataset, zoo, trained = deployment
+        # Reloaded zoo entries reference *new* model objects; the session
+        # needs the matching trained wrappers keyed by bottleneck width.
+        session = NetworkSession(
+            dataset,
+            zoo=zoo,
+            trained_models=trained,
+            qos=QosProfile(max_ber=0.2),
+            link_config=LinkConfig(snr_db=20.0),
+            samples_per_round=4,
+            seed=9,
+        )
+        report = session.run(2)
+        assert report.n_rounds == 2
+        labels = {e.model.label() for e in zoo.candidates(session.config)}
+        assert all(r.scheme in labels for r in report.rounds)
+        # The session's reported feedback bits match the zoo's entries.
+        bits_by_label = {
+            e.model.label(): e.feedback_bits
+            for e in zoo.candidates(session.config)
+        }
+        assert all(
+            r.feedback_bits == bits_by_label[r.scheme] for r in report.rounds
+        )

@@ -1,0 +1,117 @@
+"""Integration tests: full pipelines across package boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SMOKE,
+    BopConstraints,
+    Dot11Feedback,
+    IdealSvdFeedback,
+    LinkConfig,
+    SplitBeamFeedback,
+    build_dataset,
+    compare_schemes,
+    dataset_spec,
+    solve_bop,
+    train_splitbeam,
+)
+from repro.core.split import SplitExecutor
+from repro.core.training import predict_bf
+
+
+class TestFullPipeline:
+    def test_dataset_to_deployment(self, smoke_dataset_2x2):
+        """Build -> train -> split -> quantized feedback -> BER."""
+        trained = train_splitbeam(
+            smoke_dataset_2x2, compression=1 / 4, fidelity=SMOKE, seed=0
+        )
+        executor = trained.executor()
+        x, _ = smoke_dataset_2x2.model_arrays(smoke_dataset_2x2.splits.test[:2])
+        # The deployed split path runs: STA head -> quantize -> AP tail.
+        feedback = executor.head.compress(x)
+        assert feedback.payload_bits == executor.feedback_bits()
+        reconstructed = executor.tail.reconstruct(feedback)
+        assert reconstructed.shape == x.shape
+
+        evaluations = compare_schemes(
+            [IdealSvdFeedback(), Dot11Feedback(), SplitBeamFeedback(trained)],
+            smoke_dataset_2x2,
+            indices=smoke_dataset_2x2.splits.test[:6],
+            link_config=LinkConfig(snr_db=20),
+        )
+        bers = {e.scheme_name: e.ber for e in evaluations}
+        assert all(0 <= b <= 1 for b in bers.values())
+
+    def test_trained_model_beats_untrained(self, smoke_dataset_2x2):
+        from repro.core.model import SplitBeamNet, three_layer_widths
+        from repro.core.training import ber_of_model
+
+        trained = train_splitbeam(
+            smoke_dataset_2x2, compression=1 / 4, fidelity=SMOKE, seed=0
+        )
+        untrained = SplitBeamNet(three_layer_widths(224, 1 / 4), rng=1)
+        indices = smoke_dataset_2x2.splits.test[:6]
+        link = LinkConfig(snr_db=20)
+        ber_trained = ber_of_model(
+            trained.model, smoke_dataset_2x2, indices, link_config=link
+        ).ber
+        ber_untrained = ber_of_model(
+            untrained, smoke_dataset_2x2, indices, link_config=link
+        ).ber
+        assert ber_trained < ber_untrained
+
+    def test_bop_result_is_deployable(self, smoke_dataset_2x2):
+        result = solve_bop(
+            smoke_dataset_2x2,
+            BopConstraints(max_ber=0.45, max_delay_s=10e-3),
+            compressions=(1 / 4,),
+            fidelity=SMOKE,
+            max_extra_layers=0,
+            seed=0,
+        )
+        trained = result.selected.trained
+        assert trained is not None
+        executor = SplitExecutor(trained.model, trained.quantizer)
+        x, _ = smoke_dataset_2x2.model_arrays(np.array([0]))
+        assert executor.run(x).shape == x.shape
+
+    def test_three_user_pipeline(self, smoke_dataset_3x3):
+        trained = train_splitbeam(
+            smoke_dataset_3x3, compression=1 / 4, fidelity=SMOKE, seed=0
+        )
+        indices = smoke_dataset_3x3.splits.test[:4]
+        bf = predict_bf(trained.model, smoke_dataset_3x3, indices)
+        assert bf.shape == (4, 3, 56, 3)
+
+    def test_seeded_reproducibility_end_to_end(self):
+        """Same seeds -> bit-identical dataset, model, and BER."""
+        results = []
+        for _ in range(2):
+            ds = build_dataset(dataset_spec("D1"), fidelity=SMOKE, seed=21)
+            trained = train_splitbeam(ds, compression=1 / 4, fidelity=SMOKE, seed=3)
+            evaluation = compare_schemes(
+                [SplitBeamFeedback(trained)],
+                ds,
+                indices=ds.splits.test[:4],
+                link_config=LinkConfig(snr_db=20),
+            )[0]
+            results.append(evaluation.ber)
+        assert results[0] == results[1]
+
+    def test_sounding_delay_for_trained_model(self, smoke_dataset_2x2):
+        """Wire a trained model's costs into the protocol simulator."""
+        from repro import bm_reporting_delay, splitbeam_latency_s
+
+        trained = train_splitbeam(
+            smoke_dataset_2x2, compression=1 / 4, fidelity=SMOKE, seed=0
+        )
+        scheme = SplitBeamFeedback(trained)
+        delay = bm_reporting_delay(
+            n_users=2,
+            bandwidth_mhz=20,
+            feedback_bits=scheme.feedback_bits(smoke_dataset_2x2),
+            head_time_s=splitbeam_latency_s(trained.model) / 2,
+            tail_time_s=splitbeam_latency_s(trained.model) / 2,
+        )
+        assert delay.meets(10e-3)

@@ -1,0 +1,139 @@
+"""Tests for the 1-D convolution layers (Conv1d, Flatten, Reshape)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.conv import Conv1d, Flatten, Reshape
+from repro.nn.gradcheck import gradcheck_module
+from repro.nn.layers import LeakyReLU, Linear, Sequential
+
+
+class TestConv1dForward:
+    def test_same_padding_preserves_length(self):
+        conv = Conv1d(3, 5, kernel_size=3, rng=0)
+        out = conv.forward(np.random.default_rng(0).normal(size=(2, 3, 17)))
+        assert out.shape == (2, 5, 17)
+
+    def test_identity_kernel(self):
+        """A centered delta kernel copies the input channel."""
+        conv = Conv1d(1, 1, kernel_size=3, bias=False, rng=0)
+        conv.weight.data[:] = 0.0
+        conv.weight.data[0, 0, 1] = 1.0  # center tap
+        x = np.arange(8.0).reshape(1, 1, 8)
+        np.testing.assert_allclose(conv.forward(x), x)
+
+    def test_shift_kernel(self):
+        """An off-center delta shifts the sequence (zero boundary)."""
+        conv = Conv1d(1, 1, kernel_size=3, bias=False, rng=0)
+        conv.weight.data[:] = 0.0
+        conv.weight.data[0, 0, 0] = 1.0  # tap at offset -1
+        x = np.arange(1.0, 6.0).reshape(1, 1, 5)
+        out = conv.forward(x)
+        np.testing.assert_allclose(out[0, 0], [0.0, 1.0, 2.0, 3.0, 4.0])
+
+    def test_matches_numpy_convolve(self):
+        conv = Conv1d(1, 1, kernel_size=5, bias=False, rng=1)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 1, 20))
+        expected = np.convolve(
+            x[0, 0], conv.weight.data[0, 0][::-1], mode="same"
+        )
+        np.testing.assert_allclose(conv.forward(x)[0, 0], expected, atol=1e-12)
+
+    def test_bias_added_per_channel(self):
+        conv = Conv1d(2, 3, kernel_size=3, rng=0)
+        conv.weight.data[:] = 0.0
+        conv.bias.data[:] = [1.0, 2.0, 3.0]
+        out = conv.forward(np.zeros((1, 2, 4)))
+        np.testing.assert_allclose(out[0, :, 0], [1.0, 2.0, 3.0])
+
+    def test_shape_validation(self):
+        conv = Conv1d(2, 3)
+        with pytest.raises(ShapeError):
+            conv.forward(np.zeros((1, 4, 8)))
+        with pytest.raises(ShapeError):
+            conv.forward(np.zeros((4, 8)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Conv1d(0, 2)
+        with pytest.raises(ConfigurationError):
+            Conv1d(2, 2, kernel_size=4)  # even kernels break same padding
+
+    def test_macs(self):
+        conv = Conv1d(4, 8, kernel_size=3)
+        assert conv.macs(length=10) == 10 * 8 * 4 * 3
+
+
+class TestConv1dGradients:
+    def test_gradcheck_single_channel(self):
+        assert gradcheck_module(Conv1d(1, 1, kernel_size=3, rng=0), (2, 1, 7))
+
+    def test_gradcheck_multichannel(self):
+        assert gradcheck_module(Conv1d(3, 2, kernel_size=5, rng=1), (2, 3, 9))
+
+    def test_gradcheck_no_bias(self):
+        assert gradcheck_module(
+            Conv1d(2, 2, kernel_size=3, bias=False, rng=2), (1, 2, 6)
+        )
+
+    def test_gradcheck_inside_network(self):
+        model = Sequential(
+            [
+                Conv1d(2, 4, kernel_size=3, rng=0),
+                LeakyReLU(),
+                Conv1d(4, 2, kernel_size=3, rng=1),
+                Flatten(),
+                Linear(2 * 6, 5, rng=2),
+            ]
+        )
+        assert gradcheck_module(model, (2, 2, 6), rng=3)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ShapeError):
+            Conv1d(1, 1).backward(np.zeros((1, 1, 4)))
+
+    def test_backward_shape_check(self):
+        conv = Conv1d(1, 2, rng=0)
+        conv.forward(np.zeros((1, 1, 4)))
+        with pytest.raises(ShapeError):
+            conv.backward(np.zeros((1, 3, 4)))
+
+
+class TestFlattenReshape:
+    def test_flatten_roundtrip(self):
+        x = np.random.default_rng(0).normal(size=(3, 2, 5))
+        flatten = Flatten()
+        flat = flatten.forward(x)
+        assert flat.shape == (3, 10)
+        np.testing.assert_array_equal(flatten.backward(flat), x)
+
+    def test_reshape_inverse_of_flatten(self):
+        x = np.random.default_rng(1).normal(size=(2, 12))
+        reshape = Reshape((3, 4))
+        shaped = reshape.forward(x)
+        assert shaped.shape == (2, 3, 4)
+        np.testing.assert_array_equal(reshape.backward(shaped), x)
+
+    def test_reshape_validates_width(self):
+        with pytest.raises(ShapeError):
+            Reshape((3, 4)).forward(np.zeros((2, 11)))
+
+    def test_reshape_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            Reshape((0, 4))
+
+    def test_gradcheck_through_reshape_pipeline(self):
+        model = Sequential(
+            [Reshape((2, 6)), Conv1d(2, 2, rng=0), Flatten(), Linear(12, 3, rng=1)]
+        )
+        assert gradcheck_module(model, (2, 12), rng=4)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ShapeError):
+            Flatten().backward(np.zeros((1, 4)))
+        with pytest.raises(ShapeError):
+            Reshape((2, 2)).backward(np.zeros((1, 2, 2)))

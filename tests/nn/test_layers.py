@@ -1,0 +1,139 @@
+"""Tests for Linear, activations, Dropout, and Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers import (
+    Dropout,
+    Identity,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self, rng):
+        layer = Linear(3, 2, rng=0)
+        layer.weight.data = np.arange(6, dtype=float).reshape(3, 2)
+        layer.bias.data = np.array([1.0, -1.0])
+        out = layer.forward(np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[1.0, 0.0]])
+
+    def test_1d_input_promoted_to_batch(self):
+        layer = Linear(3, 2, rng=0)
+        assert layer.forward(np.zeros(3)).shape == (1, 2)
+
+    def test_wrong_width_raises(self):
+        layer = Linear(3, 2, rng=0)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((1, 4)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            Linear(3, 2, rng=0).backward(np.zeros((1, 2)))
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, rng=0)
+        assert layer.bias is None
+        layer.forward(np.ones((2, 3)))
+        layer.backward(np.ones((2, 2)))  # must not crash
+
+    def test_gradients_accumulate(self):
+        layer = Linear(2, 2, rng=0)
+        x = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        assert np.allclose(layer.weight.grad, 2 * first)
+
+    def test_macs(self):
+        assert Linear(3, 5, rng=0).macs() == 15
+        assert Linear(3, 5, rng=0).macs(batch=4) == 60
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 2)
+
+
+@pytest.mark.parametrize(
+    "activation,point,expected",
+    [
+        (ReLU(), -1.0, 0.0),
+        (ReLU(), 2.0, 2.0),
+        (LeakyReLU(0.1), -1.0, -0.1),
+        (Tanh(), 0.0, 0.0),
+        (Sigmoid(), 0.0, 0.5),
+        (Identity(), 3.5, 3.5),
+    ],
+)
+def test_activation_values(activation, point, expected):
+    out = activation.forward(np.array([point]))
+    assert out[0] == pytest.approx(expected)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=0)
+        layer.eval()
+        x = rng.normal(size=(4, 8))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_train_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((200, 50))
+        out = layer.forward(x)
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)  # inverted dropout scaling
+        frac = kept.size / out.size
+        assert 0.4 < frac < 0.6
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((10, 10))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+
+class TestSequential:
+    def test_chains_layers(self):
+        model = Sequential([Linear(2, 3, rng=0), ReLU(), Linear(3, 1, rng=1)])
+        out = model.forward(np.zeros((4, 2)))
+        assert out.shape == (4, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sequential([])
+
+    def test_len_and_getitem(self):
+        model = Sequential([Linear(2, 2, rng=0), ReLU()])
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_slice_shares_parameters(self):
+        model = Sequential([Linear(2, 3, rng=0), ReLU(), Linear(3, 2, rng=1)])
+        head = model.slice(0, 1)
+        head[0].weight.data[...] = 7.0
+        assert np.all(model[0].weight.data == 7.0)
+
+    def test_train_eval_propagates(self):
+        model = Sequential([Linear(2, 2, rng=0), Dropout(0.5, rng=0)])
+        model.eval()
+        assert not model[1].training
+        model.train()
+        assert model[1].training
+
+    def test_parameter_count(self):
+        model = Sequential([Linear(2, 3, rng=0), Linear(3, 2, rng=0)])
+        assert model.num_parameters() == (2 * 3 + 3) + (3 * 2 + 2)

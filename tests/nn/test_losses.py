@@ -1,0 +1,71 @@
+"""Tests for the loss functions, including the Eq. (8) normalized L1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.losses import MAELoss, MSELoss, NormalizedL1Loss
+
+
+class TestMSE:
+    def test_zero_at_perfect_prediction(self, rng):
+        y = rng.normal(size=(4, 3))
+        assert MSELoss()(y, y) == 0.0
+
+    def test_known_value(self):
+        loss = MSELoss()
+        assert loss(np.array([2.0, 0.0]), np.array([0.0, 0.0])) == pytest.approx(2.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            MSELoss()(np.zeros(3), np.zeros(4))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            MSELoss().backward()
+
+
+class TestMAE:
+    def test_known_value(self):
+        assert MAELoss()(np.array([1.0, -1.0]), np.zeros(2)) == pytest.approx(1.0)
+
+
+class TestNormalizedL1:
+    def test_zero_at_perfect_prediction(self, rng):
+        y = rng.normal(size=(4, 3)) + 0.5
+        assert NormalizedL1Loss()(y, y) == 0.0
+
+    def test_normalization_by_target_magnitude(self):
+        loss = NormalizedL1Loss(epsilon=1e-6)
+        # same absolute error, smaller target -> larger loss
+        small_target = loss(np.array([[0.6]]), np.array([[0.5]]))
+        large_target = loss(np.array([[2.1]]), np.array([[2.0]]))
+        assert small_target > large_target
+
+    def test_batch_mean_feature_sum(self):
+        loss = NormalizedL1Loss(epsilon=1e-9)
+        pred = np.array([[2.0, 2.0]])
+        target = np.array([[1.0, 1.0]])
+        # sum over features: (1/1) + (1/1) = 2, batch of 1
+        assert loss(pred, target) == pytest.approx(2.0)
+
+    def test_batch_averaging(self):
+        loss = NormalizedL1Loss(epsilon=1e-9)
+        pred = np.array([[2.0], [2.0]])
+        target = np.array([[1.0], [1.0]])
+        assert loss(pred, target) == pytest.approx(1.0)
+
+    def test_sign_of_target_irrelevant(self):
+        loss = NormalizedL1Loss(epsilon=1e-9)
+        a = loss(np.array([[0.5]]), np.array([[-1.0]]))
+        b = loss(np.array([[-0.5]]), np.array([[1.0]]))
+        assert a == pytest.approx(b)
+
+    def test_epsilon_floors_denominator(self):
+        loss = NormalizedL1Loss(epsilon=0.5)
+        value = loss(np.array([[1.0]]), np.array([[0.0]]))
+        assert value == pytest.approx(1.0 / 0.5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ShapeError):
+            NormalizedL1Loss(epsilon=0.0)

@@ -1,0 +1,116 @@
+"""Tests for SGD/Adam and the learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Linear, Sequential
+from repro.nn.losses import MSELoss
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.schedulers import ConstantLR, MultiStepLR, StepLR
+
+
+def quadratic_descent(optimizer_factory, steps=200):
+    """Minimize ||w - 3||^2 and return the final parameter."""
+    param = Parameter(np.array([0.0]))
+    optimizer = optimizer_factory([param])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        param.grad += 2 * (param.data - 3.0)
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final = quadratic_descent(lambda p: SGD(p, lr=0.1))
+        assert final == pytest.approx(3.0, abs=1e-6)
+
+    def test_momentum_converges(self):
+        final = quadratic_descent(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        assert final == pytest.approx(3.0, abs=1e-4)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = quadratic_descent(lambda p: SGD(p, lr=0.1))
+        decayed = quadratic_descent(lambda p: SGD(p, lr=0.1, weight_decay=1.0))
+        assert decayed < plain
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = quadratic_descent(lambda p: Adam(p, lr=0.1), steps=400)
+        assert final == pytest.approx(3.0, abs=1e-3)
+
+    def test_bias_correction_first_step(self):
+        param = Parameter(np.array([0.0]))
+        adam = Adam([param], lr=0.5)
+        param.grad += np.array([1.0])
+        adam.step()
+        # With bias correction, the first step is ~lr * sign(grad).
+        assert param.data[0] == pytest.approx(-0.5, rel=1e-6)
+
+    def test_trains_linear_regression_better_than_init(self):
+        # Local generator: the shared session fixture would make this
+        # test's data (and its convergence) depend on execution order.
+        local_rng = np.random.default_rng(42)
+        model = Sequential([Linear(4, 1, rng=0)])
+        x = local_rng.normal(size=(64, 4))
+        y = x @ local_rng.normal(size=(4, 1))
+        loss = MSELoss()
+        adam = Adam(list(model.parameters()), lr=5e-2)
+        first = loss(model.forward(x), y)
+        for _ in range(600):
+            adam.zero_grad()
+            loss(model.forward(x), y)
+            model.backward(loss.backward())
+            adam.step()
+        assert loss(model.forward(x), y) < first * 1e-3
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_constant(self):
+        sched = ConstantLR(self._optimizer())
+        for _ in range(5):
+            sched.step()
+        assert sched.optimizer.lr == 1.0
+
+    def test_step_lr(self):
+        sched = StepLR(self._optimizer(), step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(sched.optimizer.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep_paper_schedule(self):
+        # The paper: lr/10 after epoch 20, lr/100 after epoch 30.
+        sched = MultiStepLR(self._optimizer(), milestones=(20, 30), gamma=0.1)
+        lr_by_epoch = {}
+        for epoch in range(1, 41):
+            sched.step()
+            lr_by_epoch[epoch] = sched.optimizer.lr
+        assert lr_by_epoch[19] == pytest.approx(1.0)
+        assert lr_by_epoch[20] == pytest.approx(0.1)
+        assert lr_by_epoch[29] == pytest.approx(0.1)
+        assert lr_by_epoch[30] == pytest.approx(0.01)
+        assert lr_by_epoch[40] == pytest.approx(0.01)
+
+    def test_invalid_milestones(self):
+        with pytest.raises(ConfigurationError):
+            MultiStepLR(self._optimizer(), milestones=(0,))

@@ -1,0 +1,152 @@
+"""Tests for the training loop, serialization, and FLOP counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TrainingError
+from repro.nn.flops import count_flops, count_macs, count_parameters
+from repro.nn.layers import Dropout, Linear, ReLU, Sequential, Tanh
+from repro.nn.serialize import load_state, load_state_dict, save_state, state_dict
+from repro.nn.trainer import Trainer, TrainingConfig
+
+
+def linear_task(rng, n=96, d=6):
+    x = rng.normal(size=(n, d))
+    y = x @ rng.normal(size=(d, d))
+    return x, y
+
+
+class TestTrainer:
+    def test_loss_decreases(self, rng):
+        x, y = linear_task(rng)
+        model = Sequential([Linear(6, 8, rng=0), Tanh(), Linear(8, 6, rng=1)])
+        trainer = Trainer(model, config=TrainingConfig(epochs=15, seed=0))
+        history = trainer.fit(x, y)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_best_checkpoint_restored(self, rng):
+        x, y = linear_task(rng)
+        model = Sequential([Linear(6, 6, rng=0)])
+        trainer = Trainer(model, config=TrainingConfig(epochs=8, seed=0))
+        history = trainer.fit(x, y, x[:16], y[:16])
+        # After fit, the model must score exactly the recorded best.
+        restored = trainer.validation_metric(model, x[:16], y[:16])
+        assert restored == pytest.approx(history.best_val_metric)
+        assert 0 <= history.best_epoch < 8
+
+    def test_history_lengths(self, rng):
+        x, y = linear_task(rng)
+        model = Sequential([Linear(6, 6, rng=0)])
+        trainer = Trainer(model, config=TrainingConfig(epochs=5, seed=0))
+        history = trainer.fit(x, y, x[:8], y[:8])
+        assert len(history.train_loss) == 5
+        assert len(history.val_metric) == 5
+        assert len(history.learning_rate) == 5
+
+    def test_lr_schedule_applied(self, rng):
+        x, y = linear_task(rng)
+        model = Sequential([Linear(6, 6, rng=0)])
+        config = TrainingConfig(epochs=6, lr_milestones=(2, 4), seed=0)
+        trainer = Trainer(model, config=config)
+        history = trainer.fit(x, y)
+        assert history.learning_rate[0] == pytest.approx(1e-3)
+        assert history.learning_rate[-1] == pytest.approx(1e-5)
+
+    def test_custom_validation_metric_drives_checkpoint(self, rng):
+        x, y = linear_task(rng)
+        model = Sequential([Linear(6, 6, rng=0)])
+        calls = []
+
+        def metric(m, xv, yv):
+            calls.append(1)
+            return float(len(calls))  # strictly increasing: epoch 0 is best
+
+        trainer = Trainer(
+            model,
+            config=TrainingConfig(epochs=4, seed=0),
+            validation_metric=metric,
+        )
+        history = trainer.fit(x, y, x[:8], y[:8])
+        assert history.best_epoch == 0
+
+    def test_mismatched_counts_raise(self, rng):
+        model = Sequential([Linear(6, 6, rng=0)])
+        with pytest.raises(TrainingError):
+            Trainer(model).fit(np.zeros((4, 6)), np.zeros((5, 6)))
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = linear_task(rng)
+        losses = []
+        for _ in range(2):
+            model = Sequential([Linear(6, 6, rng=0)])
+            trainer = Trainer(model, config=TrainingConfig(epochs=3, seed=9))
+            losses.append(trainer.fit(x, y).train_loss)
+        assert losses[0] == losses[1]
+
+    def test_invalid_config(self):
+        with pytest.raises(TrainingError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(TrainingError):
+            TrainingConfig(optimizer="rmsprop")
+
+    def test_predict_uses_eval_mode(self, rng):
+        model = Sequential([Linear(6, 6, rng=0), Dropout(0.9, rng=0)])
+        trainer = Trainer(model)
+        x = rng.normal(size=(3, 6))
+        a = trainer.predict(x)
+        b = trainer.predict(x)
+        assert np.array_equal(a, b)
+
+
+class TestSerialization:
+    def test_round_trip_in_memory(self, rng):
+        model = Sequential([Linear(4, 3, rng=0), Tanh(), Linear(3, 4, rng=1)])
+        snapshot = state_dict(model)
+        for param in model.parameters():
+            param.data[...] = 0.0
+        load_state_dict(model, snapshot)
+        x = rng.normal(size=(2, 4))
+        model2 = Sequential([Linear(4, 3, rng=0), Tanh(), Linear(3, 4, rng=1)])
+        load_state_dict(model2, snapshot)
+        assert np.allclose(model.forward(x), model2.forward(x))
+
+    def test_round_trip_on_disk(self, rng, tmp_path):
+        model = Sequential([Linear(4, 4, rng=0)])
+        path = str(tmp_path / "model.npz")
+        save_state(model, path)
+        other = Sequential([Linear(4, 4, rng=99)])
+        load_state(other, path)
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(model.forward(x), other.forward(x))
+
+    def test_shape_mismatch_raises(self):
+        model = Sequential([Linear(4, 4, rng=0)])
+        snapshot = state_dict(model)
+        other = Sequential([Linear(4, 5, rng=0)])
+        with pytest.raises(ShapeError):
+            load_state_dict(other, snapshot)
+
+    def test_missing_tensor_raises(self):
+        model = Sequential([Linear(4, 4, rng=0)])
+        snapshot = state_dict(model)
+        snapshot.pop(next(iter(snapshot)))
+        with pytest.raises(ShapeError):
+            load_state_dict(model, snapshot)
+
+
+class TestFlops:
+    def test_macs_sum_over_linears(self):
+        model = Sequential([Linear(10, 4, rng=0), ReLU(), Linear(4, 10, rng=1)])
+        assert count_macs(model) == 10 * 4 + 4 * 10
+
+    def test_flops_include_bias_and_activation(self):
+        model = Sequential([Linear(10, 4, rng=0), ReLU()])
+        assert count_flops(model) == 2 * 40 + 4 + 4
+
+    def test_flops_without_bias(self):
+        model = Sequential([Linear(10, 4, bias=False, rng=0)])
+        assert count_flops(model) == 2 * 40
+
+    def test_parameters(self):
+        model = Sequential([Linear(10, 4, rng=0)])
+        assert count_parameters(model) == 10 * 4 + 4

@@ -1,0 +1,121 @@
+"""Tests for NDP/VHT-LTF channel estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.phy.estimation import (
+    NdpObservation,
+    estimate_channel,
+    estimation_nmse,
+    ltf_sequence,
+    p_matrix,
+    transmit_ndp,
+)
+
+
+def random_channel(n_sc=16, n_rx=2, n_tx=2, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (n_sc, n_rx, n_tx)
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+
+
+class TestPMatrix:
+    @pytest.mark.parametrize("n_streams", [1, 2, 3, 4])
+    def test_rows_orthogonal_with_norm_nltf(self, n_streams):
+        p = p_matrix(n_streams)
+        n_ltf = p.shape[1]
+        gram = p @ p.T
+        np.testing.assert_allclose(gram, n_ltf * np.eye(n_streams))
+
+    def test_entries_are_signs(self):
+        for n in (1, 2, 3, 4):
+            assert np.all(np.abs(p_matrix(n)) == 1.0)
+
+    def test_three_streams_use_four_ltfs(self):
+        assert p_matrix(3).shape == (3, 4)
+
+    def test_unsupported_count(self):
+        with pytest.raises(ConfigurationError):
+            p_matrix(5)
+        with pytest.raises(ConfigurationError):
+            p_matrix(0)
+
+
+class TestLtfSequence:
+    def test_bpsk_values(self):
+        seq = ltf_sequence(56)
+        assert np.all(np.abs(seq) == 1.0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(ltf_sequence(56), ltf_sequence(56))
+
+    def test_distinct_lengths_distinct_sequences(self):
+        assert not np.array_equal(ltf_sequence(56)[:40], ltf_sequence(40))
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            ltf_sequence(0)
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("n_tx", [1, 2, 3, 4])
+    def test_noiseless_estimation_exact(self, n_tx):
+        channel = random_channel(n_sc=8, n_rx=2, n_tx=n_tx, seed=n_tx)
+        observation = transmit_ndp(channel, snr_db=300.0, rng=0)
+        estimate = estimate_channel(observation)
+        np.testing.assert_allclose(estimate, channel, atol=1e-10)
+
+    def test_nmse_scales_inversely_with_snr(self):
+        channel = random_channel(n_sc=64, n_rx=2, n_tx=2, seed=1)
+        nmse = {}
+        for snr_db in (10.0, 20.0):
+            observation = transmit_ndp(channel, snr_db=snr_db, rng=2)
+            nmse[snr_db] = estimation_nmse(channel, estimate_channel(observation))
+        ratio = nmse[10.0] / nmse[20.0]
+        assert 5.0 < ratio < 20.0  # ~10x per 10 dB
+
+    def test_ltf_averaging_gain(self):
+        """4-stream estimation averages 4 LTFs: per-entry error variance
+        matches N0 / n_ltf within statistical tolerance."""
+        channel = random_channel(n_sc=128, n_rx=1, n_tx=4, seed=3)
+        observation = transmit_ndp(channel, snr_db=10.0, rng=4)
+        estimate = estimate_channel(observation)
+        error_var = float(np.mean(np.abs(estimate - channel) ** 2))
+        expected = observation.noise_power / 4.0
+        assert error_var == pytest.approx(expected, rel=0.25)
+
+    def test_estimate_shape(self):
+        channel = random_channel(n_sc=8, n_rx=3, n_tx=2, seed=5)
+        estimate = estimate_channel(transmit_ndp(channel, rng=6))
+        assert estimate.shape == channel.shape
+
+    def test_inconsistent_observation_rejected(self):
+        bad = NdpObservation(
+            received=np.zeros((3, 8, 2), dtype=np.complex128),
+            n_streams=2,  # 2 streams need exactly 2 LTFs, not 3
+            noise_power=0.1,
+        )
+        with pytest.raises(ShapeError):
+            estimate_channel(bad)
+
+    def test_bad_channel_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            transmit_ndp(np.zeros((4, 4)), snr_db=20.0)
+
+
+class TestNmse:
+    def test_zero_for_identical(self):
+        h = random_channel(seed=7)
+        assert estimation_nmse(h, h) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            estimation_nmse(np.zeros((2, 2, 2)), np.zeros((2, 2, 3)))
+
+    def test_zero_channel_infinite(self):
+        assert estimation_nmse(
+            np.zeros((2, 2, 2)), np.ones((2, 2, 2))
+        ) == float("inf")

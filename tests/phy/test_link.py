@@ -1,0 +1,112 @@
+"""Tests for the end-to-end MU-MIMO BER link simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.phy.link import BerResult, LinkConfig, LinkSimulator
+from repro.phy.svd import beamforming_matrices
+
+
+def random_channels(rng, n_samples=6, n_users=2, n_sc=16, n_rx=1, n_tx=2):
+    shape = (n_samples, n_users, n_sc, n_rx, n_tx)
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+
+
+class TestLinkSimulator:
+    def test_ideal_feedback_low_ber_at_high_snr(self, rng):
+        channels = random_channels(rng)
+        sim = LinkSimulator(LinkConfig(snr_db=35.0))
+        result = sim.measure_ber_ideal(channels, rng=0)
+        assert result.ber < 0.01
+
+    def test_random_feedback_high_ber(self, rng):
+        channels = random_channels(rng)
+        bad_bf = rng.standard_normal((6, 2, 16, 2)) + 1j * rng.standard_normal(
+            (6, 2, 16, 2)
+        )
+        sim = LinkSimulator(LinkConfig(snr_db=35.0))
+        result = sim.measure_ber(channels, bad_bf, rng=0)
+        assert result.ber > 0.1
+
+    def test_ber_monotone_in_snr(self, rng):
+        channels = random_channels(rng, n_samples=10)
+        bers = []
+        for snr in (5.0, 15.0, 30.0):
+            sim = LinkSimulator(LinkConfig(snr_db=snr))
+            bers.append(sim.measure_ber_ideal(channels, rng=0).ber)
+        assert bers[0] > bers[1] >= bers[2]
+
+    def test_perturbed_feedback_degrades_gracefully(self, rng):
+        channels = random_channels(rng, n_samples=10)
+        bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+        sim = LinkSimulator(LinkConfig(snr_db=25.0))
+        clean = sim.measure_ber(channels, bf, rng=0).ber
+        noisy_bf = bf + 0.3 * (
+            rng.standard_normal(bf.shape) + 1j * rng.standard_normal(bf.shape)
+        )
+        noisy = sim.measure_ber(channels, noisy_bf, rng=0).ber
+        assert noisy > clean
+
+    def test_coding_reduces_ber(self, rng):
+        channels = random_channels(rng, n_samples=10, n_sc=32)
+        bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+        # Moderate SNR so the uncoded link makes errors.
+        uncoded = LinkSimulator(LinkConfig(snr_db=12.0)).measure_ber(
+            channels, bf, rng=0
+        )
+        coded = LinkSimulator(
+            LinkConfig(snr_db=12.0, use_coding=True, n_ofdm_symbols=2)
+        ).measure_ber(channels, bf, rng=0)
+        assert uncoded.ber > 0.0
+        assert coded.ber < uncoded.ber
+
+    def test_result_bookkeeping(self, rng):
+        channels = random_channels(rng, n_samples=3)
+        sim = LinkSimulator(LinkConfig(snr_db=20.0))
+        result = sim.measure_ber_ideal(channels, rng=0)
+        assert isinstance(result, BerResult)
+        # 16-QAM over 16 subcarriers x 1 symbol = 64 bits/user/sample.
+        assert result.total_bits == 3 * 2 * 16 * 4
+        assert result.per_user_ber.shape == (2,)
+        assert 0.0 <= result.ber <= 1.0
+
+    def test_deterministic_given_seed(self, rng):
+        channels = random_channels(rng)
+        sim = LinkSimulator(LinkConfig(snr_db=15.0))
+        a = sim.measure_ber_ideal(channels, rng=3).ber
+        b = sim.measure_ber_ideal(channels, rng=3).ber
+        assert a == b
+
+    def test_three_user_network(self, rng):
+        channels = random_channels(rng, n_users=3, n_tx=3)
+        sim = LinkSimulator(LinkConfig(snr_db=30.0))
+        result = sim.measure_ber_ideal(channels, rng=0)
+        assert result.per_user_ber.shape == (3,)
+        assert result.ber < 0.05
+
+    def test_shape_validation(self, rng):
+        channels = random_channels(rng)
+        sim = LinkSimulator()
+        with pytest.raises(ShapeError):
+            sim.measure_ber(channels, np.zeros((6, 2, 16, 3)))
+        with pytest.raises(ShapeError):
+            sim.measure_ber(channels[0], np.zeros((2, 16, 2)))
+
+    def test_more_users_than_antennas_rejected(self, rng):
+        channels = random_channels(rng, n_users=3, n_tx=2)
+        with pytest.raises(ShapeError):
+            LinkSimulator().measure_ber(
+                channels, np.zeros((6, 3, 16, 2), dtype=complex)
+            )
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(n_ofdm_symbols=0)
+
+    def test_coded_grid_too_small_rejected(self, rng):
+        channels = random_channels(rng, n_sc=2)
+        bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+        sim = LinkSimulator(LinkConfig(use_coding=True, n_ofdm_symbols=1))
+        with pytest.raises(ConfigurationError):
+            sim.measure_ber(channels, bf)

@@ -1,0 +1,90 @@
+"""Tests for the 802.11ac MCS table and rate selection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.mcs import MCS_TABLE, data_rate_bps, mcs_entry, select_mcs
+
+
+class TestTable:
+    def test_ten_entries_ordered(self):
+        assert len(MCS_TABLE) == 10
+        assert [e.index for e in MCS_TABLE] == list(range(10))
+
+    def test_rates_monotone_in_index(self):
+        rates = [data_rate_bps(i, 80) for i in range(10)]
+        assert rates == sorted(rates)
+
+    def test_thresholds_monotone(self):
+        thresholds = [e.min_snr_db for e in MCS_TABLE]
+        assert thresholds == sorted(thresholds)
+
+    def test_bits_per_symbol(self):
+        assert mcs_entry(0).bits_per_symbol == 1
+        assert mcs_entry(4).bits_per_symbol == 4
+        assert mcs_entry(9).bits_per_symbol == 8
+
+    def test_bad_index(self):
+        with pytest.raises(ConfigurationError):
+            mcs_entry(10)
+        with pytest.raises(ConfigurationError):
+            mcs_entry(-1)
+
+
+class TestDataRate:
+    def test_known_value(self):
+        # MCS 4 @ 20 MHz, 1 stream: 56 tones * 4 bits * 3/4 / 4 us = 42 Mbit/s.
+        assert data_rate_bps(4, 20) == pytest.approx(42e6)
+
+    def test_short_gi_speedup(self):
+        long_gi = data_rate_bps(7, 40)
+        short_gi = data_rate_bps(7, 40, short_gi=True)
+        assert short_gi == pytest.approx(long_gi * 4.0 / 3.6)
+
+    def test_scales_with_streams(self):
+        assert data_rate_bps(5, 80, n_streams=2) == pytest.approx(
+            2 * data_rate_bps(5, 80)
+        )
+
+    def test_scales_with_bandwidth_tones(self):
+        # 80 MHz has 242 tones vs 56 at 20 MHz.
+        ratio = data_rate_bps(3, 80) / data_rate_bps(3, 20)
+        assert ratio == pytest.approx(242 / 56)
+
+    def test_invalid_streams(self):
+        with pytest.raises(ConfigurationError):
+            data_rate_bps(0, 20, n_streams=0)
+
+
+class TestSelectMcs:
+    def test_low_sinr_falls_back_to_mcs0(self):
+        assert select_mcs(-5.0).index == 0
+
+    def test_high_sinr_gets_top_mcs(self):
+        assert select_mcs(40.0).index == 9
+
+    def test_threshold_boundaries(self):
+        assert select_mcs(15.0).index == 4
+        assert select_mcs(14.9).index == 3
+
+    def test_backoff_is_conservative(self):
+        assert select_mcs(21.0).index == 6
+        assert select_mcs(21.0, backoff_db=3.0).index == 5
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_mcs(20.0, backoff_db=-1.0)
+
+    @given(sinr=st.floats(min_value=-20, max_value=60))
+    def test_selection_monotone(self, sinr):
+        lower = select_mcs(sinr)
+        higher = select_mcs(sinr + 5.0)
+        assert higher.index >= lower.index
+        # The chosen MCS never exceeds its own threshold requirement,
+        # except for the MCS-0 floor.
+        if lower.index > 0:
+            assert sinr >= lower.min_snr_db

@@ -1,0 +1,122 @@
+"""Tests for the SINR/leakage/sum-rate/EVM link metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.phy.metrics import (
+    LinkMetrics,
+    compute_link_metrics,
+    evm_rms,
+    leakage_ratio,
+    sinr_per_user,
+    sum_rate_bps_per_hz,
+)
+
+
+def diagonal_gains(n_sc: int, n_users: int, gain: float = 1.0) -> np.ndarray:
+    """Perfectly interference-free gains."""
+    return np.broadcast_to(
+        gain * np.eye(n_users, dtype=np.complex128), (n_sc, n_users, n_users)
+    ).copy()
+
+
+class TestSinr:
+    def test_interference_free_equals_snr(self):
+        gains = diagonal_gains(4, 2)
+        sinr = sinr_per_user(gains, noise_power=0.01)
+        np.testing.assert_allclose(sinr, 100.0)
+
+    def test_interference_lowers_sinr(self):
+        gains = diagonal_gains(1, 2)
+        gains[0, 0, 1] = 0.5  # user 0 hears user 1's stream
+        sinr = sinr_per_user(gains, noise_power=0.01)
+        assert sinr[0, 0] == pytest.approx(1.0 / (0.25 + 0.01))
+        assert sinr[0, 1] == pytest.approx(100.0)
+
+    def test_zero_noise_interference_limited(self):
+        gains = diagonal_gains(1, 2)
+        gains[0, 0, 1] = 0.1
+        sinr = sinr_per_user(gains, noise_power=0.0)
+        assert sinr[0, 0] == pytest.approx(100.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            sinr_per_user(np.zeros((4, 2, 3)), 0.1)
+        with pytest.raises(ShapeError):
+            sinr_per_user(np.zeros((2, 2)), 0.1)
+        with pytest.raises(ShapeError):
+            sinr_per_user(diagonal_gains(1, 2), -1.0)
+
+
+class TestLeakage:
+    def test_perfect_zf_has_zero_leakage(self):
+        assert leakage_ratio(diagonal_gains(8, 3)) == 0.0
+
+    def test_leakage_scales_with_off_diagonal_power(self):
+        gains = diagonal_gains(1, 2)
+        gains[0, 0, 1] = 1.0
+        # one off-diagonal unit against two diagonal units.
+        assert leakage_ratio(gains) == pytest.approx(0.5)
+
+    def test_zero_signal_is_infinite(self):
+        assert leakage_ratio(np.zeros((1, 2, 2))) == float("inf")
+
+
+class TestSumRate:
+    def test_matches_shannon_for_diagonal(self):
+        gains = diagonal_gains(4, 2)
+        rate = sum_rate_bps_per_hz(gains, noise_power=1.0)
+        assert rate == pytest.approx(2 * np.log2(2.0))
+
+    def test_interference_reduces_rate(self):
+        clean = diagonal_gains(4, 2)
+        dirty = clean.copy()
+        dirty[:, 0, 1] = 0.7
+        n0 = 0.1
+        assert sum_rate_bps_per_hz(dirty, n0) < sum_rate_bps_per_hz(clean, n0)
+
+    @given(
+        snr_db=st.floats(min_value=-10, max_value=40),
+        n_users=st.integers(min_value=1, max_value=4),
+    )
+    def test_rate_positive_and_monotone_in_snr(self, snr_db, n_users):
+        gains = diagonal_gains(2, n_users)
+        n0 = 10 ** (-snr_db / 10)
+        low = sum_rate_bps_per_hz(gains, n0 * 2)
+        high = sum_rate_bps_per_hz(gains, n0)
+        assert 0 < low < high
+
+
+class TestEvm:
+    def test_identical_symbols_zero_evm(self):
+        tx = np.array([1 + 1j, -1 - 1j]) / np.sqrt(2)
+        assert evm_rms(tx, tx) == 0.0
+
+    def test_known_offset(self):
+        tx = np.ones(8, dtype=np.complex128)
+        rx = tx + 0.1
+        assert evm_rms(tx, rx) == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            evm_rms(np.ones(3), np.ones(4))
+
+    def test_zero_reference_is_infinite(self):
+        assert evm_rms(np.zeros(4), np.ones(4)) == float("inf")
+
+
+class TestBundle:
+    def test_compute_link_metrics_fields(self):
+        gains = diagonal_gains(4, 2)
+        metrics = compute_link_metrics(gains, noise_power=0.01)
+        assert isinstance(metrics, LinkMetrics)
+        assert metrics.mean_sinr_db == pytest.approx(20.0)
+        assert metrics.min_sinr_db == pytest.approx(20.0)
+        assert metrics.leakage == 0.0
+        assert metrics.sum_rate_bps_per_hz > 0
+        assert len(metrics.as_row()) == 4

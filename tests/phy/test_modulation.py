@@ -1,0 +1,98 @@
+"""Tests for Gray-mapped QAM modulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.phy.modulation import QamModem
+
+ORDERS = (2, 4, 16, 64, 256)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+class TestPerOrder:
+    def test_unit_average_energy(self, order):
+        modem = QamModem(order)
+        energy = np.mean(np.abs(modem.constellation) ** 2)
+        assert energy == pytest.approx(1.0, rel=1e-12)
+
+    def test_round_trip_all_labels(self, order):
+        modem = QamModem(order)
+        bits_per = modem.bits_per_symbol
+        labels = np.arange(order)
+        bits = ((labels[:, None] >> np.arange(bits_per - 1, -1, -1)) & 1).reshape(-1)
+        symbols = modem.modulate(bits)
+        assert np.array_equal(modem.demodulate(symbols), bits)
+
+    def test_constellation_points_distinct(self, order):
+        modem = QamModem(order)
+        points = modem.constellation
+        distances = np.abs(points[:, None] - points[None, :])
+        np.fill_diagonal(distances, np.inf)
+        assert distances.min() > 1e-6
+
+    def test_gray_mapping_single_bit_neighbours(self, order):
+        """Nearest constellation neighbours differ in exactly one bit."""
+        if order == 2:
+            pytest.skip("BPSK has a single pair")
+        modem = QamModem(order)
+        points = modem.constellation
+        distances = np.abs(points[:, None] - points[None, :])
+        np.fill_diagonal(distances, np.inf)
+        min_distance = distances.min()
+        close = np.argwhere(np.isclose(distances, min_distance))
+        for a, b in close:
+            assert bin(int(a) ^ int(b)).count("1") == 1
+
+    def test_small_noise_does_not_flip(self, order, rng):
+        modem = QamModem(order)
+        bits = rng.integers(0, 2, 48 * modem.bits_per_symbol)
+        symbols = modem.modulate(bits)
+        min_dist = np.inf
+        points = modem.constellation
+        for i in range(len(points)):
+            others = np.delete(points, i)
+            min_dist = min(min_dist, np.min(np.abs(points[i] - others)))
+        noisy = symbols + (min_dist / 4) * np.exp(1j * rng.uniform(0, 2 * np.pi, symbols.shape))
+        assert np.array_equal(modem.demodulate(noisy), bits)
+
+
+@given(
+    order=st.sampled_from(ORDERS),
+    data=st.data(),
+)
+def test_round_trip_random_bits(order, data):
+    modem = QamModem(order)
+    n_symbols = data.draw(st.integers(min_value=1, max_value=64))
+    bits = data.draw(
+        st.lists(
+            st.integers(0, 1),
+            min_size=n_symbols * modem.bits_per_symbol,
+            max_size=n_symbols * modem.bits_per_symbol,
+        )
+    )
+    bits = np.asarray(bits)
+    assert np.array_equal(modem.demodulate(modem.modulate(bits)), bits)
+
+
+def test_invalid_order():
+    with pytest.raises(ConfigurationError):
+        QamModem(8)  # non-square, unsupported
+
+
+def test_partial_symbol_rejected():
+    with pytest.raises(ShapeError):
+        QamModem(16).modulate(np.zeros(3))
+
+
+def test_non_binary_bits_rejected():
+    with pytest.raises(ShapeError):
+        QamModem(4).modulate(np.array([0, 2]))
+
+
+def test_symbol_count():
+    assert QamModem(16).symbol_count(64) == 16
+    with pytest.raises(ShapeError):
+        QamModem(16).symbol_count(63)

@@ -1,0 +1,97 @@
+"""Tests for band plans, AWGN utilities, and rate/airtime models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.noise import awgn, noise_power, snr_db_to_linear, snr_linear_to_db
+from repro.phy.ofdm import BANDWIDTHS_MHZ, SUBCARRIERS, band_plan
+from repro.phy.rates import frame_airtime_s, phy_rate_bps
+
+
+class TestBandPlans:
+    def test_paper_subcarrier_counts(self):
+        # Table I / Sec. 5.2.1 of the paper.
+        assert band_plan(20).n_subcarriers == 56
+        assert band_plan(40).n_subcarriers == 114
+        assert band_plan(80).n_subcarriers == 242
+        assert band_plan(160).n_subcarriers == 484
+        assert band_plan(320).n_subcarriers == 996
+
+    def test_unknown_bandwidth_raises(self):
+        with pytest.raises(ConfigurationError):
+            band_plan(30)
+
+    def test_tone_grid_symmetric_and_spaced(self):
+        plan = band_plan(20)
+        tones = plan.tone_frequencies_hz()
+        assert len(tones) == 56
+        assert tones.sum() == pytest.approx(0.0, abs=1e-3)
+        assert np.allclose(np.diff(tones), plan.subcarrier_spacing_hz)
+
+    def test_symbol_duration_includes_guard(self):
+        plan = band_plan(20)
+        assert plan.symbol_duration_s == pytest.approx(4.0e-6)
+
+    def test_all_bandwidths_have_plans(self):
+        for bw in BANDWIDTHS_MHZ:
+            assert band_plan(bw).n_subcarriers == SUBCARRIERS[bw]
+
+
+class TestNoise:
+    def test_snr_conversions_inverse(self):
+        assert snr_linear_to_db(snr_db_to_linear(17.3)) == pytest.approx(17.3)
+
+    def test_noise_power(self):
+        assert noise_power(2.0, 3.0) == pytest.approx(2.0 / 10 ** 0.3)
+
+    def test_awgn_power_and_circularity(self):
+        noise = awgn((200_000,), power=0.5, rng=0)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(0.5, rel=0.02)
+        assert np.mean(noise.real * noise.imag) == pytest.approx(0.0, abs=0.01)
+
+    def test_awgn_zero_power(self):
+        assert not np.any(awgn((10,), power=0.0, rng=0))
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            awgn((4,), power=-1.0)
+
+    def test_invalid_linear_snr(self):
+        with pytest.raises(ConfigurationError):
+            snr_linear_to_db(0.0)
+
+
+class TestRates:
+    def test_rate_scales_with_bandwidth(self):
+        r20 = phy_rate_bps(20)
+        r80 = phy_rate_bps(80)
+        assert r80 / r20 == pytest.approx(242 / 56, rel=1e-9)
+
+    def test_rate_scales_with_modulation_and_code(self):
+        base = phy_rate_bps(20, bits_per_symbol=2, code_rate=0.5)
+        fancy = phy_rate_bps(20, bits_per_symbol=6, code_rate=0.75)
+        assert fancy / base == pytest.approx((6 * 0.75) / (2 * 0.5))
+
+    def test_airtime_has_preamble_floor(self):
+        assert frame_airtime_s(0, 20) == pytest.approx(36e-6)
+
+    def test_airtime_rounds_to_whole_symbols(self):
+        plan_symbol = band_plan(20).symbol_duration_s
+        one_bit = frame_airtime_s(1, 20)
+        assert one_bit == pytest.approx(36e-6 + plan_symbol)
+        # Filling the symbol exactly costs the same as one bit.
+        per_symbol_bits = int(56 * 2 * 0.5)
+        assert frame_airtime_s(per_symbol_bits, 20) == pytest.approx(one_bit)
+
+    def test_larger_payload_never_faster(self):
+        airtimes = [frame_airtime_s(b, 40) for b in range(0, 5000, 97)]
+        assert all(b >= a for a, b in zip(airtimes, airtimes[1:]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            phy_rate_bps(20, bits_per_symbol=0)
+        with pytest.raises(ConfigurationError):
+            phy_rate_bps(20, code_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            frame_airtime_s(-1, 20)

@@ -1,0 +1,132 @@
+"""Tests for the 802.11 scrambler and BCC block interleaver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.phy.interleaver import BlockInterleaver
+from repro.phy.scrambler import Scrambler, descramble, scramble
+
+
+class TestScrambler:
+    def test_sequence_has_full_period(self):
+        """The 7-bit LFSR with x^7+x^4+1 is maximal length: period 127."""
+        seq = Scrambler(seed=1).sequence
+        assert seq.size == 127
+        # A maximal-length sequence has 64 ones and 63 zeros.
+        assert int(seq.sum()) == 64
+
+    def test_involution(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=500)
+        scrambler = Scrambler(seed=0b1011101)
+        np.testing.assert_array_equal(
+            scrambler.descramble(scrambler.scramble(bits)), bits
+        )
+
+    def test_different_seeds_differ(self):
+        bits = np.zeros(127, dtype=np.int64)
+        assert not np.array_equal(
+            Scrambler(seed=1).scramble(bits), Scrambler(seed=2).scramble(bits)
+        )
+
+    def test_scrambling_whitens_constant_input(self):
+        """An all-zero payload becomes the scrambling sequence itself."""
+        out = Scrambler(seed=0b1011101).scramble(np.zeros(127, dtype=np.int64))
+        assert 50 <= int(out.sum()) <= 77
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scrambler(seed=0)
+
+    def test_wide_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scrambler(seed=128)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ShapeError):
+            Scrambler().scramble(np.array([0, 2]))
+
+    def test_empty_input(self):
+        assert Scrambler().scramble(np.array([], dtype=np.int64)).size == 0
+
+    def test_functional_api_roundtrip(self):
+        bits = np.random.default_rng(3).integers(0, 2, size=64)
+        np.testing.assert_array_equal(descramble(scramble(bits, 5), 5), bits)
+
+    @given(
+        seed=st.integers(min_value=1, max_value=127),
+        n=st.integers(min_value=0, max_value=400),
+    )
+    def test_involution_property(self, seed, n):
+        bits = np.random.default_rng(n).integers(0, 2, size=n)
+        np.testing.assert_array_equal(
+            scramble(descramble(bits, seed), seed), bits
+        )
+
+
+class TestInterleaver:
+    def test_permutation_is_bijection(self):
+        il = BlockInterleaver(n_cbps=224, n_bpsc=4)
+        assert np.unique(il.permutation).size == 224
+
+    def test_roundtrip_identity(self):
+        il = BlockInterleaver(n_cbps=224, n_bpsc=4)
+        bits = np.random.default_rng(0).integers(0, 2, size=224 * 3)
+        np.testing.assert_array_equal(il.deinterleave(il.interleave(bits)), bits)
+
+    def test_interleave_actually_permutes(self):
+        il = BlockInterleaver(n_cbps=224, n_bpsc=4)
+        bits = np.arange(224)
+        assert not np.array_equal(il.interleave(bits), bits)
+
+    def test_adjacent_bits_spread_across_tones(self):
+        """Consecutive coded bits land >= n_cbps/16 - s positions apart."""
+        il = BlockInterleaver(n_cbps=224, n_bpsc=4)
+        out_positions = il.permutation
+        gaps = np.abs(np.diff(out_positions[:16]))
+        assert np.min(gaps) >= 224 // 16 - 2
+
+    def test_burst_spread_beats_identity(self):
+        il = BlockInterleaver(n_cbps=224, n_bpsc=4)
+        # An un-interleaved stream has burst spread 1 by definition.
+        assert il.burst_spread(4) > 1
+
+    def test_for_symbol_paper_bands(self):
+        """All three paper tone counts get a usable geometry."""
+        for n_sc, expected_cols in [(56, 16), (114, 12), (242, 11)]:
+            il = BlockInterleaver.for_symbol(n_sc, 4)
+            assert il.n_cbps == n_sc * 4
+            assert il.n_columns == expected_cols
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(n_cbps=225, n_bpsc=4)
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(n_cbps=224, n_bpsc=0)
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(n_cbps=224, n_bpsc=4, n_columns=1)
+
+    def test_partial_block_rejected(self):
+        il = BlockInterleaver(n_cbps=224, n_bpsc=4)
+        with pytest.raises(ShapeError):
+            il.interleave(np.zeros(100))
+        with pytest.raises(ShapeError):
+            il.deinterleave(np.zeros(100))
+
+    @given(
+        n_bpsc=st.sampled_from([1, 2, 4, 6, 8]),
+        n_blocks=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    def test_roundtrip_property(self, n_bpsc, n_blocks, seed):
+        il = BlockInterleaver(n_cbps=16 * n_bpsc * 3, n_bpsc=n_bpsc)
+        bits = np.random.default_rng(seed).integers(
+            0, 2, size=il.n_cbps * n_blocks
+        )
+        np.testing.assert_array_equal(il.deinterleave(il.interleave(bits)), bits)
+        np.testing.assert_array_equal(il.interleave(il.deinterleave(bits)), bits)

@@ -1,0 +1,235 @@
+"""Tests for LLR demapping, soft Viterbi, RZF, and the extended TX chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.phy.coding import bcc_rate_half
+from repro.phy.link import LinkConfig, LinkSimulator
+from repro.phy.modulation import QamModem
+from repro.phy.precoding import (
+    interference_leakage,
+    normalize_columns,
+    regularized_zero_forcing,
+    zero_forcing,
+)
+
+
+def random_channels(n_samples, n_users, n_sc, n_rx, n_tx, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (n_samples, n_users, n_sc, n_rx, n_tx)
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+
+
+class TestLlr:
+    def test_sign_matches_hard_decision_qpsk(self):
+        modem = QamModem(4)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=200)
+        symbols = modem.modulate(bits)
+        llrs = modem.llr(symbols, noise_power=0.1)
+        hard_from_llr = (llrs < 0).astype(np.int64)
+        np.testing.assert_array_equal(hard_from_llr, bits)
+
+    def test_sign_matches_hard_decision_16qam(self):
+        modem = QamModem(16)
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=400)
+        noisy = modem.modulate(bits) + 0.01 * (
+            rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        )
+        llrs = modem.llr(noisy, noise_power=0.01)
+        np.testing.assert_array_equal(
+            (llrs < 0).astype(np.int64), modem.demodulate(noisy)
+        )
+
+    def test_magnitude_scales_with_confidence(self):
+        modem = QamModem(4)
+        clean = modem.modulate(np.array([0, 0]))
+        boundary = np.array([0.0 + 0.0j])  # equidistant from everything
+        llr_clean = modem.llr(clean, 0.1)
+        llr_edge = modem.llr(boundary, 0.1)
+        assert np.min(np.abs(llr_clean)) > np.max(np.abs(llr_edge))
+
+    def test_per_symbol_noise_array(self):
+        modem = QamModem(4)
+        symbols = modem.modulate(np.array([0, 0, 1, 1]))
+        llrs = modem.llr(symbols, noise_power=np.array([0.1, 10.0]))
+        # The noisier symbol's LLRs shrink by the noise ratio.
+        assert np.all(np.abs(llrs[:2]) > np.abs(llrs[2:]) * 50)
+
+    def test_nonpositive_noise_rejected(self):
+        modem = QamModem(4)
+        with pytest.raises(ShapeError):
+            modem.llr(np.array([1 + 1j]), 0.0)
+
+
+class TestSoftViterbi:
+    def test_noiseless_llrs_decode_exactly(self):
+        code = bcc_rate_half()
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, size=120)
+        coded = code.encode(bits)
+        llrs = (1.0 - 2.0 * coded) * 5.0  # strong correct beliefs
+        np.testing.assert_array_equal(code.decode_soft(llrs), bits)
+
+    def test_soft_beats_hard_at_moderate_noise(self):
+        """Soft decisions should produce no more errors than hard ones."""
+        code = bcc_rate_half()
+        modem = QamModem(4)
+        rng = np.random.default_rng(3)
+        n_info = 200
+        noise_power = 0.45
+        soft_errors = 0
+        hard_errors = 0
+        for trial in range(20):
+            bits = rng.integers(0, 2, size=n_info)
+            coded = code.encode(bits)
+            symbols = modem.modulate(coded)
+            noisy = symbols + np.sqrt(noise_power / 2) * (
+                rng.standard_normal(symbols.size)
+                + 1j * rng.standard_normal(symbols.size)
+            )
+            llrs = modem.llr(noisy, noise_power)
+            soft_errors += int(np.sum(code.decode_soft(llrs) != bits))
+            hard_errors += int(np.sum(code.decode(modem.demodulate(noisy)) != bits))
+        assert soft_errors <= hard_errors
+        assert hard_errors > 0  # the operating point actually stresses the code
+
+    def test_bad_llr_length(self):
+        code = bcc_rate_half()
+        with pytest.raises(ShapeError):
+            code.decode_soft(np.ones(7))
+
+    def test_too_short_codeword(self):
+        code = bcc_rate_half()
+        with pytest.raises(ShapeError):
+            code.decode_soft(np.ones(4))
+
+
+class TestRegularizedZeroForcing:
+    def test_high_power_limit_is_zf(self):
+        rng = np.random.default_rng(4)
+        h = rng.standard_normal((4, 3)) + 1j * rng.standard_normal((4, 3))
+        rzf = regularized_zero_forcing(h, noise_power=1e-12)
+        zf = zero_forcing(h)
+        np.testing.assert_allclose(rzf, zf, atol=1e-6)
+
+    def test_regularization_reduces_precoder_norm(self):
+        """Near-collinear users blow up ZF; RZF stays bounded."""
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        h = np.stack([base, base + 0.01 * rng.standard_normal(4)], axis=1)
+        zf_norm = np.linalg.norm(zero_forcing(h))
+        rzf_norm = np.linalg.norm(regularized_zero_forcing(h, noise_power=0.1))
+        assert rzf_norm < zf_norm / 10
+
+    def test_rzf_leaks_at_finite_snr(self):
+        rng = np.random.default_rng(6)
+        h = rng.standard_normal((4, 2)) + 1j * rng.standard_normal((4, 2))
+        w = normalize_columns(regularized_zero_forcing(h, noise_power=0.5))
+        assert interference_leakage(h, w) > 0
+
+    def test_invalid_arguments(self):
+        h = np.eye(2, dtype=np.complex128)
+        with pytest.raises(ShapeError):
+            regularized_zero_forcing(h, noise_power=-1.0)
+        with pytest.raises(ShapeError):
+            regularized_zero_forcing(h, noise_power=0.1, total_power=0.0)
+        with pytest.raises(ShapeError):
+            regularized_zero_forcing(np.zeros(3), noise_power=0.1)
+
+
+class TestLinkConfigOptions:
+    def test_soft_requires_coding(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(soft_decoding=True, use_coding=False)
+
+    def test_interleaver_requires_coding(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(use_interleaver=True, use_coding=False)
+
+    def test_unknown_precoder(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(precoder="dirty-paper")
+
+
+class TestLinkChainEndToEnd:
+    """The full chain stays correct under every option combination."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            LinkConfig(snr_db=30.0),
+            LinkConfig(snr_db=30.0, use_scrambler=True),
+            LinkConfig(snr_db=30.0, use_coding=True, n_ofdm_symbols=2),
+            LinkConfig(
+                snr_db=30.0,
+                use_coding=True,
+                use_interleaver=True,
+                use_scrambler=True,
+                n_ofdm_symbols=2,
+            ),
+            LinkConfig(
+                snr_db=30.0,
+                use_coding=True,
+                soft_decoding=True,
+                n_ofdm_symbols=2,
+            ),
+            LinkConfig(snr_db=30.0, precoder="rzf"),
+        ],
+        ids=["plain", "scrambled", "coded", "full-chain", "soft", "rzf"],
+    )
+    def test_ideal_feedback_near_zero_ber(self, config):
+        channels = random_channels(3, 2, 56, 1, 2, seed=7)
+        result = LinkSimulator(config).measure_ber_ideal(channels)
+        assert result.ber < 0.02
+
+    def test_soft_not_worse_than_hard_in_link(self):
+        channels = random_channels(4, 2, 56, 1, 2, seed=8)
+        hard = LinkSimulator(
+            LinkConfig(snr_db=9.0, use_coding=True, n_ofdm_symbols=2)
+        ).measure_ber_ideal(channels)
+        soft = LinkSimulator(
+            LinkConfig(
+                snr_db=9.0, use_coding=True, soft_decoding=True, n_ofdm_symbols=2
+            )
+        ).measure_ber_ideal(channels)
+        assert soft.ber <= hard.ber + 0.01
+
+    def test_rzf_not_worse_at_low_snr(self):
+        """At low SNR, RZF should not lose to pure ZF."""
+        channels = random_channels(4, 2, 28, 1, 2, seed=9)
+        zf = LinkSimulator(LinkConfig(snr_db=3.0)).measure_ber_ideal(channels)
+        rzf = LinkSimulator(
+            LinkConfig(snr_db=3.0, precoder="rzf")
+        ).measure_ber_ideal(channels)
+        assert rzf.ber <= zf.ber + 0.02
+
+    def test_measure_metrics_shapes_and_sanity(self):
+        channels = random_channels(2, 2, 16, 1, 2, seed=10)
+        sim = LinkSimulator(LinkConfig(snr_db=20.0))
+        from repro.phy.svd import beamforming_matrices
+
+        bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+        metrics = sim.measure_metrics(channels, bf)
+        assert metrics.leakage < 1e-10  # exact feedback -> perfect nulling
+        assert metrics.mean_sinr_db > 10.0
+        assert metrics.sum_rate_bps_per_hz > 0
+
+    def test_degraded_feedback_raises_leakage(self):
+        channels = random_channels(2, 2, 16, 1, 2, seed=11)
+        from repro.phy.svd import beamforming_matrices
+
+        bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+        rng = np.random.default_rng(12)
+        noisy_bf = bf + 0.2 * (
+            rng.standard_normal(bf.shape) + 1j * rng.standard_normal(bf.shape)
+        )
+        sim = LinkSimulator(LinkConfig(snr_db=20.0))
+        clean = sim.measure_metrics(channels, bf)
+        dirty = sim.measure_metrics(channels, noisy_bf)
+        assert dirty.leakage > clean.leakage
+        assert dirty.sum_rate_bps_per_hz < clean.sum_rate_bps_per_hz

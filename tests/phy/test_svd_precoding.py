@@ -1,0 +1,139 @@
+"""Tests for SVD beamforming and zero-forcing precoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.phy.precoding import (
+    interference_leakage,
+    normalize_columns,
+    zero_forcing,
+)
+from repro.phy.svd import (
+    beamforming_matrices,
+    beamforming_matrix,
+    dominant_left_singular_vectors,
+    effective_channel,
+)
+
+
+def random_channel(rng, *shape):
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+
+
+class TestBeamformingMatrix:
+    def test_columns_orthonormal(self, rng):
+        h = random_channel(rng, 3, 4)
+        v = beamforming_matrix(h, n_streams=2)
+        assert np.allclose(v.conj().T @ v, np.eye(2), atol=1e-10)
+
+    def test_maximizes_channel_gain(self, rng):
+        """The dominant right singular vector beats random directions."""
+        h = random_channel(rng, 2, 4)
+        v = beamforming_matrix(h, n_streams=1)
+        gain = np.linalg.norm(h @ v)
+        for _ in range(50):
+            w = random_channel(rng, 4, 1)
+            w /= np.linalg.norm(w)
+            assert np.linalg.norm(h @ w) <= gain + 1e-9
+
+    def test_gauge_fix_applied(self, rng):
+        h = random_channel(rng, 2, 3)
+        v = beamforming_matrix(h, n_streams=1)
+        assert abs(v[-1, 0].imag) < 1e-12
+        assert v[-1, 0].real >= 0
+
+    def test_no_gauge_fix(self, rng):
+        h = random_channel(rng, 2, 3)
+        v = beamforming_matrix(h, n_streams=1, gauge_fix=False)
+        # Still a valid singular vector even without the gauge.
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_batched_matches_single(self, rng):
+        h = random_channel(rng, 5, 7, 2, 3)
+        batched = beamforming_matrices(h, n_streams=1)
+        single = beamforming_matrix(h[2, 4], n_streams=1)
+        assert np.allclose(batched[2, 4], single)
+
+    def test_invalid_streams(self, rng):
+        with pytest.raises(ShapeError):
+            beamforming_matrix(random_channel(rng, 2, 3), n_streams=3)
+
+    def test_svd_identity_reconstruction(self, rng):
+        """U * S * Z† must reproduce H (Eq. (2) sanity)."""
+        h = random_channel(rng, 3, 3)
+        u, s, vh = np.linalg.svd(h)
+        assert np.allclose(u @ np.diag(s) @ vh, h)
+
+
+class TestCombiners:
+    def test_combiner_is_unit_norm(self, rng):
+        h = random_channel(rng, 4, 2, 3)
+        u = dominant_left_singular_vectors(h)
+        assert np.allclose(np.linalg.norm(u, axis=-1), 1.0)
+
+    def test_combiner_gain_equals_top_singular_value(self, rng):
+        h = random_channel(rng, 2, 4)
+        u1 = dominant_left_singular_vectors(h)
+        v1 = beamforming_matrix(h, n_streams=1, gauge_fix=False)[:, 0]
+        gain = np.abs(u1.conj() @ h @ v1)
+        assert gain == pytest.approx(np.linalg.svd(h)[1][0], rel=1e-10)
+
+
+class TestEffectiveChannel:
+    def test_stacks_columns(self, rng):
+        v1 = random_channel(rng, 4, 1)
+        v2 = random_channel(rng, 4)
+        h_eq = effective_channel([v1, v2])
+        assert h_eq.shape == (4, 2)
+        assert np.allclose(h_eq[:, 0], v1[:, 0])
+        assert np.allclose(h_eq[:, 1], v2)
+
+    def test_nt_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            effective_channel([random_channel(rng, 4, 1), random_channel(rng, 3, 1)])
+
+
+class TestZeroForcing:
+    def test_zero_inter_user_interference(self, rng):
+        h_eq = random_channel(rng, 4, 3)
+        w = zero_forcing(h_eq)
+        response = h_eq.conj().T @ w
+        off_diag = response - np.diag(np.diag(response))
+        assert np.allclose(off_diag, 0.0, atol=1e-9)
+
+    def test_diagonal_is_identity_before_normalization(self, rng):
+        h_eq = random_channel(rng, 4, 2)
+        w = zero_forcing(h_eq)
+        response = h_eq.conj().T @ w
+        assert np.allclose(np.diag(response), 1.0, atol=1e-9)
+
+    def test_column_normalization_preserves_nulls(self, rng):
+        h_eq = random_channel(rng, 4, 3)
+        w = normalize_columns(zero_forcing(h_eq))
+        assert np.allclose(np.linalg.norm(w, axis=0), 1.0)
+        response = h_eq.conj().T @ w
+        off_diag = response - np.diag(np.diag(response))
+        assert np.allclose(off_diag, 0.0, atol=1e-9)
+
+    def test_too_many_streams_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            zero_forcing(random_channel(rng, 2, 3))
+
+    def test_ridge_handles_collinear_users(self, rng):
+        v = random_channel(rng, 4, 1)
+        h_eq = np.concatenate([v, v + 1e-9 * random_channel(rng, 4, 1)], axis=1)
+        w = zero_forcing(h_eq, ridge=1e-6)
+        assert np.all(np.isfinite(w))
+
+
+class TestInterferenceLeakage:
+    def test_zero_for_perfect_zf(self, rng):
+        h_eq = random_channel(rng, 4, 3)
+        w = zero_forcing(h_eq)
+        assert interference_leakage(h_eq, w) < 1e-18
+
+    def test_positive_for_mismatched_precoder(self, rng):
+        h_eq = random_channel(rng, 4, 3)
+        wrong = zero_forcing(random_channel(rng, 4, 3))
+        assert interference_leakage(h_eq, wrong) > 1e-3

@@ -1,0 +1,139 @@
+"""Tests for the channel-aging / sounding-interval model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sounding.aging import (
+    AgingGoodputModel,
+    optimal_sounding_interval,
+    stale_sinr_db,
+    temporal_correlation,
+)
+
+
+class TestTemporalCorrelation:
+    def test_zero_delay_is_perfect(self):
+        assert temporal_correlation(10.0, 0.0) == 1.0
+
+    def test_zero_doppler_is_static(self):
+        assert temporal_correlation(0.0, 1.0) == 1.0
+
+    def test_decays_initially(self):
+        rhos = [temporal_correlation(5.0, t) for t in (0.0, 5e-3, 20e-3)]
+        assert rhos[0] > rhos[1] > rhos[2]
+
+    def test_first_null_of_j0(self):
+        """J0 crosses zero at 2*pi*fd*tau ~ 2.405."""
+        tau = 2.405 / (2 * np.pi * 10.0)
+        assert abs(temporal_correlation(10.0, tau)) < 1e-3
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            temporal_correlation(-1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            temporal_correlation(1.0, -0.1)
+
+
+class TestStaleSinr:
+    def test_perfect_correlation_preserves_sinr(self):
+        assert stale_sinr_db(20.0, 1.0, n_users=3) == pytest.approx(20.0)
+
+    def test_zero_correlation_kills_link(self):
+        assert stale_sinr_db(20.0, 0.0, n_users=3) < -50.0
+
+    def test_monotone_in_correlation(self):
+        values = [stale_sinr_db(25.0, rho, 3) for rho in (0.5, 0.9, 0.99)]
+        assert values[0] < values[1] < values[2]
+
+    def test_single_user_has_no_iui(self):
+        """Without co-scheduled users, staleness only costs signal power."""
+        single = stale_sinr_db(20.0, 0.9, n_users=1)
+        multi = stale_sinr_db(20.0, 0.9, n_users=4)
+        assert single > multi
+        # Single-user loss is exactly rho^2 in power.
+        assert single == pytest.approx(20.0 + 10 * np.log10(0.81), abs=1e-6)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            stale_sinr_db(20.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            stale_sinr_db(20.0, 0.5, n_users=0)
+
+    @given(
+        rho=st.floats(min_value=0.0, max_value=1.0),
+        sinr=st.floats(min_value=0.0, max_value=40.0),
+    )
+    def test_never_exceeds_fresh_sinr(self, rho, sinr):
+        assert stale_sinr_db(sinr, rho, n_users=2) <= sinr + 1e-9
+
+
+class TestGoodputModel:
+    def make_model(self, **overrides) -> AgingGoodputModel:
+        defaults = dict(
+            n_users=3,
+            bandwidth_mhz=80,
+            feedback_bits_per_user=20_000,
+            doppler_hz=5.0,
+            fresh_sinr_db=28.0,
+        )
+        defaults.update(overrides)
+        return AgingGoodputModel(**defaults)
+
+    def test_occupancy_falls_with_longer_interval(self):
+        model = self.make_model()
+        assert model.occupancy(2e-3) > model.occupancy(20e-3)
+
+    def test_sinr_falls_with_longer_interval(self):
+        model = self.make_model()
+        assert model.effective_sinr_db(1e-3) > model.effective_sinr_db(30e-3)
+
+    def test_goodput_has_interior_optimum(self):
+        """Too-frequent sounding wastes airtime; too-rare staleness
+        collapses the MCS — the optimum sits strictly inside."""
+        model = self.make_model()
+        grid = [0.7e-3, 5e-3, 80e-3]
+        goodputs = [model.goodput_bps(t) for t in grid]
+        assert goodputs[1] > goodputs[0]
+        assert goodputs[1] > goodputs[2]
+
+    def test_optimal_interval_in_paper_regime(self):
+        """Pedestrian Doppler -> optimum in the paper's ~1-20 ms band."""
+        interval, goodput = optimal_sounding_interval(self.make_model())
+        assert 0.5e-3 < interval < 25e-3
+        assert goodput > 0
+
+    def test_higher_doppler_sounds_more_often(self):
+        slow, _ = optimal_sounding_interval(self.make_model(doppler_hz=2.0))
+        fast, _ = optimal_sounding_interval(self.make_model(doppler_hz=20.0))
+        assert fast <= slow
+
+    def test_smaller_feedback_higher_goodput(self):
+        """The SplitBeam effect at the system level."""
+        dot11 = self.make_model(feedback_bits_per_user=20_000)
+        splitbeam = self.make_model(feedback_bits_per_user=4_000)
+        _, g_dot11 = optimal_sounding_interval(dot11)
+        _, g_split = optimal_sounding_interval(splitbeam)
+        assert g_split > g_dot11
+
+    def test_saturated_interval_zero_goodput(self):
+        model = self.make_model(feedback_bits_per_user=10**7)
+        assert model.goodput_bps(1e-3) == 0.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            self.make_model().goodput_bps(0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            self.make_model(n_users=0)
+        with pytest.raises(ConfigurationError):
+            self.make_model(doppler_hz=-1.0)
+
+    def test_empty_candidate_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_sounding_interval(self.make_model(), candidates_s=[])

@@ -1,0 +1,165 @@
+"""Tests for the periodic sounding campaign / overhead-rate model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sounding.campaign import (
+    MU_MIMO_SOUNDING_INTERVAL_S,
+    CampaignReport,
+    SoundingCampaign,
+    feedback_overhead_rate_bps,
+    intro_example_bits,
+    max_supportable_users,
+)
+from repro.standard.feedback import Dot11FeedbackConfig, bmr_bits
+
+
+class TestIntroExample:
+    def test_bit_count_matches_paper(self):
+        """Sec. I: 486 x 56 x 16 = 435,456 bits ≃ 54.43 kB."""
+        bits = intro_example_bits()
+        assert bits == 435_456
+        assert bits / 8 / 1000 == pytest.approx(54.432)
+
+    def test_overhead_rate_matches_paper(self):
+        """Sec. I: 435,456 / 0.01 ≃ 43.55 Mbit/s."""
+        rate = feedback_overhead_rate_bps(intro_example_bits(), 0.01)
+        assert rate / 1e6 == pytest.approx(43.5456)
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            intro_example_bits(n_subcarriers=0)
+
+
+class TestOverheadRate:
+    def test_linear_in_bits(self):
+        assert feedback_overhead_rate_bps(2000, 0.01) == 2 * feedback_overhead_rate_bps(1000, 0.01)
+
+    def test_inverse_in_interval(self):
+        assert feedback_overhead_rate_bps(1000, 0.005) == 2 * feedback_overhead_rate_bps(1000, 0.01)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            feedback_overhead_rate_bps(-1, 0.01)
+        with pytest.raises(ConfigurationError):
+            feedback_overhead_rate_bps(100, 0.0)
+
+
+class TestCampaignReport:
+    def make_report(self, round_airtime=1e-3, interval=10e-3):
+        return CampaignReport(
+            interval_s=interval,
+            round_duration_s=round_airtime * 1.2,
+            round_airtime_s=round_airtime,
+            feedback_airtime_s=round_airtime * 0.8,
+            feedback_bits_total=10_000,
+        )
+
+    def test_occupancy_fraction(self):
+        report = self.make_report(round_airtime=2e-3, interval=10e-3)
+        assert report.occupancy == pytest.approx(0.2)
+        assert report.data_fraction == pytest.approx(0.8)
+
+    def test_occupancy_clamped_at_one(self):
+        report = self.make_report(round_airtime=20e-3, interval=10e-3)
+        assert report.occupancy == 1.0
+        assert report.data_fraction == 0.0
+
+    def test_goodput_scales_with_data_fraction(self):
+        report = self.make_report(round_airtime=5e-3, interval=10e-3)
+        assert report.goodput_bps(100e6) == pytest.approx(50e6)
+
+    def test_goodput_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            self.make_report().goodput_bps(-1.0)
+
+    def test_feasibility(self):
+        assert self.make_report(round_airtime=1e-3).feasible
+        assert not self.make_report(round_airtime=9e-3, interval=10e-3).feasible
+
+
+class TestSoundingCampaign:
+    def test_report_consistent_with_schedule(self):
+        campaign = SoundingCampaign(
+            n_users=2, bandwidth_mhz=20, feedback_bits=5000
+        )
+        schedule = campaign.round_schedule()
+        report = campaign.report()
+        assert report.round_duration_s == pytest.approx(schedule.total_duration_s)
+        assert report.round_airtime_s == pytest.approx(schedule.airtime_s)
+        assert report.feedback_bits_total == 10_000
+
+    def test_more_users_more_airtime(self):
+        reports = [
+            SoundingCampaign(n, 20, feedback_bits=5000).report()
+            for n in (1, 2, 3)
+        ]
+        assert reports[0].round_airtime_s < reports[1].round_airtime_s < reports[2].round_airtime_s
+
+    def test_smaller_feedback_lower_occupancy(self):
+        """The SplitBeam effect: compressed BMR -> smaller sounding tax."""
+        config = Dot11FeedbackConfig(n_tx=3, n_rx=1, n_streams=1, bandwidth_mhz=80)
+        dot11 = SoundingCampaign(3, 80, feedback_bits=bmr_bits(config)).report()
+        splitbeam = SoundingCampaign(
+            3, 80, feedback_bits=bmr_bits(config) // 5
+        ).report()
+        assert splitbeam.occupancy < dot11.occupancy
+        assert splitbeam.overhead_rate_bps < dot11.overhead_rate_bps
+
+    def test_slow_sta_stretches_round(self):
+        fast = SoundingCampaign(2, 20, 5000, compute_times_s=0.0).report()
+        slow = SoundingCampaign(2, 20, 5000, compute_times_s=3e-3).report()
+        assert slow.round_duration_s > fast.round_duration_s
+        # Waiting does not occupy the medium.
+        assert slow.round_airtime_s == pytest.approx(fast.round_airtime_s)
+
+    def test_broadcast_vs_explicit_lists(self):
+        broadcast = SoundingCampaign(2, 20, 5000).report()
+        explicit = SoundingCampaign(2, 20, [5000, 5000], [0.0, 0.0]).report()
+        assert broadcast.feedback_bits_total == explicit.feedback_bits_total
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoundingCampaign(3, 20, [100, 100])
+        with pytest.raises(ConfigurationError):
+            SoundingCampaign(1, 20, 100, interval_s=0.0)
+
+    @given(
+        n_users=st.integers(min_value=1, max_value=6),
+        feedback_bits=st.integers(min_value=0, max_value=100_000),
+    )
+    def test_occupancy_bounds(self, n_users, feedback_bits):
+        report = SoundingCampaign(n_users, 40, feedback_bits).report()
+        assert 0.0 < report.occupancy <= 1.0
+        assert 0.0 <= report.data_fraction < 1.0
+        assert report.feedback_airtime_s <= report.round_airtime_s
+
+
+class TestMaxSupportableUsers:
+    def test_compression_supports_more_users(self):
+        config = Dot11FeedbackConfig(n_tx=4, n_rx=1, n_streams=1, bandwidth_mhz=80)
+        full = max_supportable_users(80, bmr_bits(config))
+        compressed = max_supportable_users(80, bmr_bits(config) // 8)
+        assert compressed >= full
+        assert full >= 1
+
+    def test_huge_feedback_supports_nobody(self):
+        assert max_supportable_users(20, 10**9, interval_s=1e-3) == 0
+
+    def test_respects_user_limit(self):
+        assert max_supportable_users(80, 0, user_limit=5) <= 5
+
+    def test_interval_matters(self):
+        tight = max_supportable_users(20, 20_000, interval_s=2e-3)
+        loose = max_supportable_users(
+            20, 20_000, interval_s=MU_MIMO_SOUNDING_INTERVAL_S
+        )
+        assert loose >= tight
+
+    def test_invalid_limit(self):
+        with pytest.raises(ConfigurationError):
+            max_supportable_users(20, 100, user_limit=0)

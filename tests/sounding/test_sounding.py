@@ -1,0 +1,127 @@
+"""Tests for the sounding-protocol simulator and delay accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.rates import SIFS_S
+from repro.sounding.delay import bm_reporting_delay
+from repro.sounding.frames import (
+    bmr_duration_s,
+    brp_duration_s,
+    ndp_duration_s,
+    ndpa_duration_s,
+)
+from repro.sounding.protocol import simulate_sounding
+
+
+class TestFrameDurations:
+    def test_ndpa_grows_with_users(self):
+        assert ndpa_duration_s(4, 20) >= ndpa_duration_s(1, 20)
+
+    def test_ndp_grows_with_streams(self):
+        assert ndp_duration_s(4, 20) == ndp_duration_s(1, 20) + 3 * 4e-6
+
+    def test_bmr_grows_with_payload(self):
+        assert bmr_duration_s(50_000, 20) > bmr_duration_s(500, 20)
+
+    def test_brp_is_short(self):
+        assert brp_duration_s(20) < 100e-6
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            ndpa_duration_s(0, 20)
+        with pytest.raises(ConfigurationError):
+            bmr_duration_s(-1, 20)
+
+
+class TestSoundingSimulation:
+    def test_event_sequence_structure(self):
+        schedule = simulate_sounding(
+            n_users=2,
+            bandwidth_mhz=20,
+            feedback_bits=[912, 912],
+            compute_times_s=[0.0, 0.0],
+        )
+        kinds = [e.kind for e in schedule.events]
+        assert kinds[0] == "NDPA"
+        assert kinds[2] == "NDP"
+        assert kinds.count("BMR") == 2
+        assert kinds.count("BRP") == 2
+
+    def test_events_contiguous(self):
+        schedule = simulate_sounding(
+            n_users=3,
+            bandwidth_mhz=40,
+            feedback_bits=[1000] * 3,
+            compute_times_s=[1e-4] * 3,
+        )
+        for prev, cur in zip(schedule.events, schedule.events[1:]):
+            assert cur.start_s == pytest.approx(prev.end_s)
+
+    def test_slow_sta_inserts_wait(self):
+        fast = simulate_sounding(2, 20, [912, 912], [0.0, 0.0])
+        slow = simulate_sounding(2, 20, [912, 912], [5e-3, 0.0])
+        assert not fast.events_of("WAIT")
+        waits = slow.events_of("WAIT")
+        assert len(waits) == 1
+        assert waits[0].station == 0
+        assert slow.total_duration_s > fast.total_duration_s
+
+    def test_second_user_computes_during_first_report(self):
+        """A compute time shorter than the elapsed exchange needs no wait."""
+        schedule = simulate_sounding(2, 20, [912, 912], [0.0, 150e-6])
+        assert not schedule.events_of("WAIT")
+
+    def test_airtime_excludes_waits_and_sifs(self):
+        schedule = simulate_sounding(2, 20, [912, 912], [5e-3, 0.0])
+        busy = schedule.airtime_s
+        assert busy < schedule.total_duration_s
+        sifs_total = sum(e.duration_s for e in schedule.events_of("SIFS"))
+        assert sifs_total == pytest.approx(5 * SIFS_S)
+
+    def test_smaller_feedback_less_airtime(self):
+        small = simulate_sounding(2, 20, [448, 448], [0.0, 0.0])
+        large = simulate_sounding(2, 20, [7168, 7168], [0.0, 0.0])
+        assert small.feedback_airtime_s < large.feedback_airtime_s
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_sounding(2, 20, [912], [0.0, 0.0])
+
+
+class TestEndToEndDelay:
+    def test_broadcast_scalars(self):
+        delay = bm_reporting_delay(
+            n_users=3,
+            bandwidth_mhz=20,
+            feedback_bits=912,
+            head_time_s=1e-4,
+            tail_time_s=2e-4,
+        )
+        assert delay.head_s == pytest.approx(1e-4)
+        assert delay.tail_s == pytest.approx(2e-4)
+        assert delay.total_s == delay.airtime_s + delay.tail_s
+
+    def test_paper_4x4_160mhz_under_10ms(self):
+        """The paper's headline: worst case stays below 10 ms."""
+        from repro.fpga import table3_latency_s
+
+        head = table3_latency_s(4, 160)
+        delay = bm_reporting_delay(
+            n_users=4,
+            bandwidth_mhz=160,
+            feedback_bits=484 * 16,
+            head_time_s=head,
+            tail_time_s=0.0,
+        )
+        assert delay.meets(10e-3)
+        assert delay.total_s > 1e-3  # not trivially zero
+
+    def test_budget_check_strict(self):
+        delay = bm_reporting_delay(1, 20, 912, 0.0, 0.0)
+        assert delay.meets(delay.total_s + 1e-12)
+        assert not delay.meets(delay.total_s)
+
+    def test_invalid_tail(self):
+        with pytest.raises(ConfigurationError):
+            bm_reporting_delay(1, 20, 912, 0.0, -1.0)

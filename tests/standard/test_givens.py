@@ -1,0 +1,104 @@
+"""Tests for the Givens-rotation decomposition (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.standard.givens import (
+    GivensAngles,
+    angle_counts,
+    givens_decompose,
+    givens_reconstruct,
+)
+from repro.utils.complexmat import fix_phase_gauge
+
+from tests.conftest import random_unitary_columns
+
+
+class TestAngleCounts:
+    @pytest.mark.parametrize(
+        "nt,nss,expected",
+        [
+            (2, 1, (1, 1)),
+            (3, 1, (2, 2)),
+            (4, 1, (3, 3)),
+            (3, 2, (3, 3)),
+            (4, 2, (5, 5)),
+            (4, 4, (6, 6)),
+            (8, 8, (28, 28)),
+        ],
+    )
+    def test_standard_table(self, nt, nss, expected):
+        assert angle_counts(nt, nss) == expected
+
+    def test_paper_example_8x8(self):
+        # Sec. I: "486 subcarriers x 56 angles/subcarrier" for 8x8.
+        n_phi, n_psi = angle_counts(8, 8)
+        assert n_phi + n_psi == 56
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            angle_counts(0, 1)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "nt,nss", [(2, 1), (3, 1), (4, 1), (3, 2), (4, 2), (4, 4), (8, 1)]
+    )
+    def test_exact_reconstruction(self, rng, nt, nss):
+        bf = random_unitary_columns(rng, nt, nss, batch=(4, 5))
+        angles = givens_decompose(bf)
+        rebuilt = givens_reconstruct(angles)
+        assert np.allclose(rebuilt, fix_phase_gauge(bf), atol=1e-10)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_property_random_unitary(self, seed):
+        rng = np.random.default_rng(seed)
+        nt = int(rng.integers(2, 6))
+        nss = int(rng.integers(1, nt + 1))
+        bf = random_unitary_columns(rng, nt, nss)
+        rebuilt = givens_reconstruct(givens_decompose(bf))
+        assert np.allclose(rebuilt, fix_phase_gauge(bf), atol=1e-10)
+
+    def test_reconstruction_beamforming_equivalent(self, rng):
+        """V and the reconstructed V-tilde give identical beam gains."""
+        h = (rng.standard_normal((1, 4)) + 1j * rng.standard_normal((1, 4))) / 2
+        _, _, vh = np.linalg.svd(h, full_matrices=True)
+        v = vh.conj().T[:, :1]
+        rebuilt = givens_reconstruct(givens_decompose(v))
+        assert np.abs(np.linalg.norm(h @ v) - np.linalg.norm(h @ rebuilt)) < 1e-10
+
+
+class TestAngleRanges:
+    def test_psi_in_first_quadrant(self, rng):
+        bf = random_unitary_columns(rng, 4, 2, batch=(30,))
+        angles = givens_decompose(bf)
+        assert np.all(angles.psi >= 0.0)
+        assert np.all(angles.psi <= np.pi / 2 + 1e-12)
+
+    def test_phi_shape(self, rng):
+        bf = random_unitary_columns(rng, 3, 1, batch=(7, 2))
+        angles = givens_decompose(bf)
+        assert angles.phi.shape == (7, 2, 2)
+        assert angles.psi.shape == (7, 2, 2)
+        assert angles.per_subcarrier == 4
+
+
+class TestValidation:
+    def test_wide_matrix_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            givens_decompose(rng.standard_normal((2, 3)))
+
+    def test_vector_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            givens_decompose(rng.standard_normal(4))
+
+    def test_inconsistent_angles_rejected(self):
+        bad = GivensAngles(
+            phi=np.zeros((5, 3)), psi=np.zeros((5, 2)), n_tx=3, n_streams=1
+        )
+        with pytest.raises(ShapeError):
+            givens_reconstruct(bad)

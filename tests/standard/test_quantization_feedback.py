@@ -1,0 +1,150 @@
+"""Tests for angle quantizers, BMR sizing (Eq. (9)), and FLOP models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.standard.feedback import (
+    Dot11FeedbackConfig,
+    bmr_bits,
+    compression_ratio,
+    csi_bits,
+)
+from repro.standard.flopmodel import (
+    COMPLEX_FLOP_FACTOR,
+    dot11_flops,
+    givens_flops,
+    svd_flops,
+)
+from repro.standard.givens import givens_decompose, givens_reconstruct
+from repro.standard.quantization import (
+    CODEBOOKS,
+    AngleQuantizer,
+    dequantize_angles,
+    quantize_angles,
+)
+from repro.utils.complexmat import fix_phase_gauge
+
+from tests.conftest import random_unitary_columns
+
+
+class TestQuantizers:
+    @given(
+        phi=st.floats(min_value=0.0, max_value=2 * np.pi, exclude_max=True),
+        b_phi=st.sampled_from([4, 6, 7, 9]),
+    )
+    @settings(max_examples=40)
+    def test_phi_quantization_error_bound(self, phi, b_phi):
+        q = AngleQuantizer(b_phi=b_phi, b_psi=b_phi - 2)
+        code = q.quantize_phi(np.array([phi]))
+        recovered = q.dequantize_phi(code)[0]
+        error = np.abs(np.angle(np.exp(1j * (recovered - phi))))
+        step = np.pi / 2 ** (b_phi - 1)
+        assert error <= step / 2 + 1e-12
+
+    @given(
+        psi=st.floats(min_value=0.0, max_value=np.pi / 2),
+        b_psi=st.sampled_from([2, 4, 5, 7]),
+    )
+    @settings(max_examples=40)
+    def test_psi_quantization_error_bound(self, psi, b_psi):
+        q = AngleQuantizer(b_phi=b_psi + 2, b_psi=b_psi)
+        recovered = q.dequantize_psi(q.quantize_psi(np.array([psi])))[0]
+        step = np.pi / 2 ** (b_psi + 1)
+        assert abs(recovered - psi) <= step / 2 + step / 4 + 1e-12
+
+    def test_codes_within_width(self, rng):
+        q = AngleQuantizer(b_phi=7, b_psi=5)
+        phi_codes = q.quantize_phi(rng.uniform(-10, 10, 1000))
+        psi_codes = q.quantize_psi(rng.uniform(0, np.pi / 2, 1000))
+        assert phi_codes.min() >= 0 and phi_codes.max() < 2**7
+        assert psi_codes.min() >= 0 and psi_codes.max() < 2**5
+
+    def test_named_codebooks(self):
+        assert AngleQuantizer.from_codebook("mu_high").bits_per_angle_pair == 16
+        assert set(CODEBOOKS) == {"su_low", "su_high", "mu_low", "mu_high"}
+        with pytest.raises(ConfigurationError):
+            AngleQuantizer.from_codebook("nope")
+
+    def test_invalid_widths(self):
+        with pytest.raises(ConfigurationError):
+            AngleQuantizer(b_phi=5, b_psi=7)
+
+    def test_higher_resolution_smaller_bf_error(self, rng):
+        bf = random_unitary_columns(rng, 3, 1, batch=(50,))
+        angles = givens_decompose(bf)
+        errors = {}
+        for name in ("su_low", "mu_high"):
+            q = AngleQuantizer.from_codebook(name)
+            codes = quantize_angles(angles, q)
+            rebuilt = givens_reconstruct(
+                dequantize_angles(*codes, q, 3, 1)
+            )
+            errors[name] = np.max(np.abs(rebuilt - fix_phase_gauge(bf)))
+        assert errors["mu_high"] < errors["su_low"]
+
+
+class TestFeedbackSizes:
+    def test_paper_compression_ratios(self):
+        """Fig. 9 caption: K ~= 1/2 for 2x2 and 2/3 for 3x3."""
+        two = compression_ratio(Dot11FeedbackConfig(2, 1, 1, 20))
+        three = compression_ratio(Dot11FeedbackConfig(3, 1, 1, 20))
+        assert two == pytest.approx(0.5, abs=0.02)
+        assert three == pytest.approx(2 / 3, abs=0.02)
+
+    def test_bmr_formula(self):
+        # 2x1 at 20 MHz with (9, 7): 8*2 + 56 * (9 + 7) = 912 bits.
+        config = Dot11FeedbackConfig(2, 1, 1, 20)
+        assert bmr_bits(config) == 8 * 2 + 56 * 16
+
+    def test_csi_bits(self):
+        assert csi_bits(Dot11FeedbackConfig(2, 1, 1, 20)) == 56 * 2 * 16
+
+    def test_bmr_grows_with_everything(self):
+        base = bmr_bits(Dot11FeedbackConfig(2, 1, 1, 20))
+        assert bmr_bits(Dot11FeedbackConfig(3, 1, 1, 20)) > base
+        assert bmr_bits(Dot11FeedbackConfig(2, 1, 1, 80)) > base
+        assert bmr_bits(Dot11FeedbackConfig(4, 4, 4, 20)) > base
+
+    def test_paper_headline_example(self):
+        """Sec. I: 8x8 @ 160 MHz ~ 54 kB with max angle resolution.
+
+        The paper computes 486 subcarriers x 56 angles x 16 bits; with
+        our 484-tone plan and per-angle (9+7)/2 = 8 bits the count lands
+        within a factor accounted for by their 16-bit-per-angle worst
+        case.
+        """
+        config = Dot11FeedbackConfig(8, 8, 8, 160)
+        bits = bmr_bits(config)
+        paper_bits = 486 * 56 * 16
+        # Same order of magnitude; exactly half when using 8-bit average.
+        assert bits == pytest.approx(paper_bits / 2, rel=0.02)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            Dot11FeedbackConfig(2, 1, 3, 20)
+
+
+class TestFlopModel:
+    def test_formulas(self):
+        assert svd_flops(2, 1, 10) == COMPLEX_FLOP_FACTOR * (4 * 2 + 22 * 8) * 10
+        assert givens_flops(2, 1, 10) == COMPLEX_FLOP_FACTOR * 8 * 10
+        assert dot11_flops(2, 1, n_subcarriers=10) == svd_flops(
+            2, 1, 10
+        ) + givens_flops(2, 1, 10)
+
+    def test_bandwidth_resolution(self):
+        assert dot11_flops(2, 1, bandwidth_mhz=20) == dot11_flops(
+            2, 1, n_subcarriers=56
+        )
+
+    def test_requires_subcarrier_info(self):
+        with pytest.raises(ConfigurationError):
+            dot11_flops(2, 1)
+
+    def test_scales_superlinearly_with_antennas(self):
+        assert dot11_flops(8, 8, n_subcarriers=56) > 8 * dot11_flops(
+            2, 2, n_subcarriers=56
+        )

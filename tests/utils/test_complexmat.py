@@ -1,0 +1,116 @@
+"""Tests for complex/real packing and phase-gauge fixing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ShapeError
+from repro.utils.complexmat import (
+    column_correlation,
+    complex_to_real,
+    fix_phase_gauge,
+    is_unitary_columns,
+    real_to_complex,
+)
+
+complex_arrays = hnp.arrays(
+    dtype=np.complex128,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=6),
+    elements=st.complex_numbers(
+        max_magnitude=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestPackingRoundTrip:
+    @given(values=complex_arrays)
+    def test_round_trip_preserves_values(self, values):
+        if values.ndim == 1:
+            packed = complex_to_real(values)
+            restored = real_to_complex(packed, values.shape)
+        else:
+            packed = complex_to_real(values)
+            restored = real_to_complex(packed, values.shape[1:])
+        assert np.allclose(restored, values)
+
+    def test_layout_is_real_then_imag(self):
+        values = np.array([1 + 2j, 3 + 4j])
+        assert np.array_equal(complex_to_real(values), [1.0, 3.0, 2.0, 4.0])
+
+    def test_batch_layout(self):
+        values = np.array([[1 + 2j], [3 - 4j]])
+        packed = complex_to_real(values)
+        assert packed.shape == (2, 2)
+        assert np.array_equal(packed, [[1.0, 2.0], [3.0, -4.0]])
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ShapeError):
+            real_to_complex(np.zeros(5), (2,))
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ShapeError):
+            complex_to_real(np.complex128(1j))
+
+
+class TestPhaseGauge:
+    def test_last_row_becomes_real_nonnegative(self, rng):
+        bf = rng.standard_normal((4, 2)) + 1j * rng.standard_normal((4, 2))
+        fixed = fix_phase_gauge(bf)
+        assert np.allclose(fixed[-1].imag, 0.0, atol=1e-12)
+        assert np.all(fixed[-1].real >= 0)
+
+    def test_idempotent(self, rng):
+        bf = rng.standard_normal((3, 2)) + 1j * rng.standard_normal((3, 2))
+        once = fix_phase_gauge(bf)
+        twice = fix_phase_gauge(once)
+        assert np.allclose(once, twice)
+
+    def test_column_directions_preserved(self, rng):
+        bf = rng.standard_normal((5, 3)) + 1j * rng.standard_normal((5, 3))
+        fixed = fix_phase_gauge(bf)
+        assert column_correlation(bf, fixed) == pytest.approx(1.0, abs=1e-10)
+
+    def test_batched(self, rng):
+        bf = rng.standard_normal((7, 4, 2)) + 1j * rng.standard_normal((7, 4, 2))
+        fixed = fix_phase_gauge(bf)
+        assert fixed.shape == bf.shape
+        assert np.allclose(fixed[:, -1, :].imag, 0.0, atol=1e-12)
+
+    def test_vector_input_rejected(self):
+        with pytest.raises(ShapeError):
+            fix_phase_gauge(np.ones(3))
+
+
+class TestUnitarity:
+    def test_identity_is_unitary(self):
+        assert is_unitary_columns(np.eye(4))
+
+    def test_scaled_identity_is_not(self):
+        assert not is_unitary_columns(2 * np.eye(4))
+
+    def test_qr_columns_are_unitary(self, rng):
+        a = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+        q, _ = np.linalg.qr(a)
+        assert is_unitary_columns(q[:, :3])
+
+
+class TestColumnCorrelation:
+    def test_identical_columns_score_one(self, rng):
+        bf = rng.standard_normal((4, 2)) + 1j * rng.standard_normal((4, 2))
+        assert column_correlation(bf, bf) == pytest.approx(1.0)
+
+    def test_phase_invariance(self, rng):
+        bf = rng.standard_normal((4, 2)) + 1j * rng.standard_normal((4, 2))
+        rotated = bf * np.exp(1j * rng.uniform(0, 2 * np.pi, size=(1, 2)))
+        assert column_correlation(bf, rotated) == pytest.approx(1.0)
+
+    def test_orthogonal_columns_score_zero(self):
+        lhs = np.array([[1.0], [0.0]], dtype=complex)
+        rhs = np.array([[0.0], [1.0]], dtype=complex)
+        assert column_correlation(lhs, rhs) == pytest.approx(0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            column_correlation(np.ones((2, 2)), np.ones((3, 2)))

@@ -1,0 +1,97 @@
+"""Tests for RNG helpers, table rendering, and argument validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.utils.rng import RngMixin, as_generator, spawn
+from repro.utils.tables import format_cell, render_table
+from repro.utils.validation import (
+    check_in_range,
+    check_member,
+    check_positive,
+    check_shape,
+)
+
+
+class TestRng:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_children_are_independent_and_deterministic(self):
+        kids_a = spawn(as_generator(1), 3)
+        kids_b = spawn(as_generator(1), 3)
+        for ka, kb in zip(kids_a, kids_b):
+            assert np.array_equal(ka.random(4), kb.random(4))
+        draws = [k.random() for k in spawn(as_generator(2), 4)]
+        assert len(set(draws)) == 4
+
+    def test_mixin(self):
+        class Thing(RngMixin):
+            pass
+
+        thing = Thing(seed=3)
+        first = thing.rng.random()
+        thing.reseed(3)
+        assert thing.rng.random() == first
+
+
+class TestTables:
+    def test_renders_aligned_columns(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xyz", 3]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line}) <= 2
+        assert "xyz" in text
+
+    def test_title_and_separator(self):
+        text = render_table(["col"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+        assert "=" in text.splitlines()[1]
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_format_cell_small_floats_use_scientific(self):
+        assert "e" in format_cell(1.5e-7) or "E" in format_cell(1.5e-7)
+
+    def test_format_cell_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_format_cell_bool_not_float(self):
+        assert format_cell(True) == "True"
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0.0)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0, 1)
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 1.5, 0, 1)
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 0.0, 0, 1, inclusive=False)
+
+    def test_check_shape(self):
+        check_shape("x", np.zeros((2, 3)), (2, None))
+        with pytest.raises(ShapeError):
+            check_shape("x", np.zeros((2, 3)), (3, None))
+        with pytest.raises(ShapeError):
+            check_shape("x", np.zeros(2), (2, 1))
+
+    def test_check_member(self):
+        check_member("x", "a", ("a", "b"))
+        with pytest.raises(ConfigurationError):
+            check_member("x", "c", ("a", "b"))
