@@ -1,0 +1,257 @@
+"""Hot-path wall-time benchmarks: seed loops vs vectorized kernels.
+
+Times every stage of the CSI -> feedback -> BER pipeline against the
+frozen pre-vectorization implementations in ``repro.perf.reference``
+(the link simulator carries its own frozen twin,
+``LinkSimulator.measure_ber_reference``) and writes the results to
+``benchmarks/results/BENCH_hotpaths.json`` so the perf trajectory is
+tracked across PRs.
+
+Stages:
+
+- ``sampler``            packetized multi-user CSI collection
+- ``givens``             Givens decompose + reconstruct
+- ``cbf_encode``/``cbf_decode``  802.11 report framing
+- ``link_ber``           the Sec. 5.2.2 BER procedure
+- ``evaluate_scheme``    the full figure-benchmark entry point at a
+                         Fig. 12-sized workload (3x3, 80 MHz, 50 BER
+                         samples) — target >= 10x vs the seed path
+- ``csinet_fwd``/``csinet_bwd``  conv-head DNN forward/backward
+
+Run with ``pytest benchmarks/bench_perf_hotpaths.py --perf`` or
+``python benchmarks/bench_perf_hotpaths.py`` (tier-1 never runs it; see
+``docs/perf.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.baselines import IdealSvdFeedback
+from repro.baselines.csinet import ConvSplitNet
+from repro.channels.environment import E1
+from repro.channels.sampler import CsiSampler
+from repro.config import Fidelity
+from repro.core.pipeline import evaluate_scheme
+from repro.datasets import build_dataset, dataset_spec
+from repro.nn.losses import NormalizedL1Loss
+from repro.perf import Benchmark, PerfReport
+from repro.perf.reference import (
+    reference_collect_session,
+    reference_decode_cbf,
+    reference_encode_cbf,
+    reference_givens_decompose,
+    reference_givens_reconstruct,
+)
+from repro.phy.link import LinkConfig, LinkSimulator
+from repro.phy.ofdm import band_plan
+from repro.phy.svd import beamforming_matrices
+from repro.standard.cbf import MimoControl, decode_cbf, encode_cbf
+from repro.standard.givens import givens_decompose, givens_reconstruct
+
+try:
+    from benchmarks.conftest import RESULTS_DIR, record_report
+except ModuleNotFoundError:  # direct `python benchmarks/bench_perf_hotpaths.py`
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    from benchmarks.conftest import RESULTS_DIR, record_report
+
+pytestmark = pytest.mark.perf
+
+JSON_NAME = "BENCH_hotpaths.json"
+
+#: Fig. 12 workload: 3x3 MU-MIMO at 80 MHz, 50 BER samples (the bench
+#: fidelity's test split), 16-QAM ZF links.
+FIG12_DATASET = "D10"
+FIG12_FIDELITY = Fidelity(
+    name="perf-fig12",
+    n_samples=500,  # 8:1:1 split -> 50 test samples, the Fig. 12 size
+    n_sessions=1,
+    epochs=1,
+    ber_samples=50,
+    ofdm_symbols=1,
+)
+
+
+class _ReferenceLinkSimulator(LinkSimulator):
+    """A simulator pinned to the frozen per-sample BER path."""
+
+    def measure_ber(self, channels, bf_estimates, rng=None):
+        return self.measure_ber_reference(channels, bf_estimates, rng=rng)
+
+
+def _random_channels(rng, n, users, n_sc, n_rx, n_tx):
+    shape = (n, users, n_sc, n_rx, n_tx)
+    return (
+        rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    ) / np.sqrt(2.0)
+
+
+def build_report() -> PerfReport:
+    bench = Benchmark(warmup=1, repeats=5)
+    report = PerfReport(
+        "hot-path benchmarks (seed reference vs vectorized)",
+        context={"workload": "fig12: 3x3 @ 80 MHz, 50 samples"},
+    )
+    rng = np.random.default_rng(7)
+
+    # -- sampler ---------------------------------------------------------------
+    n_packets = 300
+    sampler_args = dict(env=E1, n_users=2, n_rx=2, n_tx=3, band=band_plan(40))
+    baseline = bench.run(
+        "sampler/reference",
+        lambda: reference_collect_session(
+            CsiSampler(**sampler_args, rng=5), n_packets
+        ),
+        n_items=n_packets * 2,
+    )
+    optimized = bench.run(
+        "sampler/vectorized",
+        lambda: CsiSampler(**sampler_args, rng=5).collect_session(n_packets),
+        n_items=n_packets * 2,
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("sampler", baseline, optimized)
+
+    # -- givens ----------------------------------------------------------------
+    plan = band_plan(80)
+    bf = beamforming_matrices(
+        _random_channels(rng, 50, 3, plan.n_subcarriers, 3, 3), n_streams=1
+    )
+    baseline = bench.run(
+        "givens/reference",
+        lambda: reference_givens_reconstruct(reference_givens_decompose(bf)),
+        n_items=bf.shape[0] * bf.shape[1] * bf.shape[2],
+    )
+    optimized = bench.run(
+        "givens/vectorized",
+        lambda: givens_reconstruct(givens_decompose(bf)),
+        n_items=bf.shape[0] * bf.shape[1] * bf.shape[2],
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("givens", baseline, optimized)
+
+    # -- cbf encode/decode -----------------------------------------------------
+    control = MimoControl(
+        n_columns=1, n_rows=3, bandwidth_mhz=80, grouping=2, feedback_type="mu"
+    )
+    one_bf = bf[0, 0][..., :, :1]  # (S, Nt, 1)
+    frame = encode_cbf(one_bf, control)
+    assert frame == reference_encode_cbf(one_bf, control)
+    baseline = bench.run(
+        "cbf_encode/reference",
+        lambda: reference_encode_cbf(one_bf, control),
+        n_items=1,
+    )
+    optimized = bench.run(
+        "cbf_encode/vectorized", lambda: encode_cbf(one_bf, control), n_items=1
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("cbf_encode", baseline, optimized)
+    baseline = bench.run(
+        "cbf_decode/reference", lambda: reference_decode_cbf(frame), n_items=1
+    )
+    optimized = bench.run(
+        "cbf_decode/vectorized", lambda: decode_cbf(frame), n_items=1
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("cbf_decode", baseline, optimized)
+
+    # -- link BER (synthetic channels, fig-12 dimensions) ----------------------
+    channels = _random_channels(rng, 50, 3, plan.n_subcarriers, 3, 3)
+    link_bf = beamforming_matrices(channels, n_streams=1)[..., 0]
+    simulator = LinkSimulator(LinkConfig())
+    baseline = bench.run(
+        "link_ber/reference",
+        lambda: simulator.measure_ber_reference(channels, link_bf, rng=1),
+        n_items=channels.shape[0],
+    )
+    optimized = bench.run(
+        "link_ber/vectorized",
+        lambda: simulator.measure_ber(channels, link_bf, rng=1),
+        n_items=channels.shape[0],
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("link_ber", baseline, optimized)
+
+    # -- evaluate_scheme (the acceptance target: >= 10x) -----------------------
+    dataset = build_dataset(
+        dataset_spec(FIG12_DATASET), fidelity=FIG12_FIDELITY, seed=7
+    )
+    scheme = IdealSvdFeedback()
+    baseline = bench.run(
+        "evaluate_scheme/reference",
+        lambda: evaluate_scheme(
+            scheme, dataset, simulator=_ReferenceLinkSimulator(LinkConfig())
+        ),
+        n_items=dataset.splits.test.size,
+        meta={"dataset": FIG12_DATASET, "ber_samples": int(dataset.splits.test.size)},
+    )
+    optimized = bench.run(
+        "evaluate_scheme/vectorized",
+        lambda: evaluate_scheme(scheme, dataset),
+        n_items=dataset.splits.test.size,
+        meta={"dataset": FIG12_DATASET, "ber_samples": int(dataset.splits.test.size)},
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("evaluate_scheme", baseline, optimized)
+
+    # -- csinet forward/backward (no seed twin; trajectory tracking only) ------
+    input_dim = dataset.input_dim
+    model = ConvSplitNet(
+        input_dim=input_dim,
+        n_feature_channels=2 * dataset.spec.n_rx * dataset.spec.n_tx,
+        compression=1 / 8,
+        rng=0,
+    )
+    x, y = dataset.model_arrays(dataset.splits.test[:16])
+    loss = NormalizedL1Loss()
+    report.add(
+        bench.run(
+            "csinet_fwd", lambda: model.forward(x), n_items=x.shape[0]
+        )
+    )
+
+    def forward_backward():
+        prediction = model.forward(x)
+        loss.forward(prediction, y)
+        model.backward(loss.backward())
+
+    report.add(
+        bench.run("csinet_bwd", forward_backward, n_items=x.shape[0])
+    )
+    return report
+
+
+@pytest.mark.perf
+def test_perf_hotpaths():
+    report = build_report()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    report.write_json(os.path.join(RESULTS_DIR, JSON_NAME))
+    record_report("BENCH_hotpaths", report.render())
+    comparisons = {c["stage"]: c for c in report.to_dict()["comparisons"]}
+    # Regression guard: the tentpole target is >= 10x on evaluate_scheme
+    # (the committed BENCH_hotpaths.json records the measured number);
+    # assert a margin below it so a loaded CI box does not flake.
+    assert comparisons["evaluate_scheme"]["speedup"] >= 7.0
+    # The vectorized codecs must never regress below the seed loops.
+    for stage in ("sampler", "givens", "cbf_encode", "cbf_decode", "link_ber"):
+        assert comparisons[stage]["speedup"] >= 1.0, stage
+
+
+if __name__ == "__main__":
+    perf_report = build_report()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    perf_report.write_json(os.path.join(RESULTS_DIR, JSON_NAME))
+    print(perf_report.render())

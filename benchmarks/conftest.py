@@ -28,6 +28,32 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _REPORTS: list[str] = []
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--perf",
+        action="store_true",
+        default=False,
+        help="run the perf-marked hot-path benchmarks (skipped by default)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: hot-path wall-time benchmark; runs only with --perf so the "
+        "tier-1 suite stays fast",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--perf"):
+        return
+    skip_perf = pytest.mark.skip(reason="perf benchmark; pass --perf to run")
+    for item in items:
+        if item.get_closest_marker("perf") is not None:
+            item.add_marker(skip_perf)
+
+
 def record_report(name: str, text: str) -> None:
     """Register a rendered table for the terminal summary and save it."""
     _REPORTS.append(text)

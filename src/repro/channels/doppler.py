@@ -12,6 +12,7 @@ distinguish environment E2.
 from __future__ import annotations
 
 import numpy as np
+from scipy.signal import lfilter
 from scipy.special import j0
 
 from repro.errors import ConfigurationError
@@ -68,3 +69,23 @@ class ShadowingProcess:
         innovation = self.rng.normal(0.0, self.sigma_db * np.sqrt(1 - self.rho**2))
         self._state_db = self.rho * self._state_db + innovation
         return float(10.0 ** (self._state_db / 20.0))
+
+    def sample(self, n_samples: int) -> np.ndarray:
+        """Advance ``n_samples`` periods at once; return ``(n,)`` factors.
+
+        The AR(1) recursion runs as one C-level filter pass over a
+        single batched innovation draw, so long shadowing tracks cost a
+        few array operations instead of ``n`` Python steps.
+        """
+        if n_samples < 1:
+            raise ConfigurationError("n_samples must be >= 1")
+        if self.sigma_db == 0:
+            return np.ones(n_samples)
+        innovations = self.rng.normal(
+            0.0, self.sigma_db * np.sqrt(1 - self.rho**2), size=n_samples
+        )
+        series, _ = lfilter(
+            [1.0], [1.0, -self.rho], innovations, zi=[self.rho * self._state_db]
+        )
+        self._state_db = float(series[-1])
+        return 10.0 ** (series / 20.0)

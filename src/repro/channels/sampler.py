@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.channels.doppler import ShadowingProcess
+from repro.perf.profile import profiled
 from repro.channels.environment import Environment
 from repro.channels.tgac import TgacChannel
 from repro.phy.noise import awgn
@@ -88,16 +89,29 @@ class CsiSampler:
         self.dt_s = 1.0 / float(packet_rate_hz)
         self.rng = as_generator(rng)
 
-    def collect_session(self, n_packets: int) -> list[CsiBatch]:
+    @profiled("sampler.collect_session")
+    def collect_session(
+        self, n_packets: int, chunk_size: int = 256
+    ) -> list[CsiBatch]:
         """One measurement session: fresh channels, ``n_packets`` packets.
 
         Returns one :class:`CsiBatch` per user.  Each session models a
         distinct collection run (the paper repeats measurements with at
         least 4 hours in between): channels and placement jitter are
         redrawn.
+
+        Generation is chunked and fully array-based: per user,
+        ``chunk_size`` packets of channel evolution, shadowing, packet
+        drops, and CSI estimation noise are produced by a handful of
+        vectorized draws instead of per-packet Python steps.  The
+        packet-drop stream consumes ``self.rng`` exactly like the
+        original per-packet loop, so drop patterns (and therefore
+        sequence alignment) are reproducible per seed.
         """
         if n_packets < 1:
             raise ConfigurationError("n_packets must be >= 1")
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
         user_rngs = spawn(self.rng, self.n_users)
         # Each user occupies one of the room's fixed candidate locations
         # for the whole session (without replacement while possible).
@@ -128,27 +142,36 @@ class CsiSampler:
             for i in range(self.n_users)
         ]
 
+        # One uniform draw per (packet, user), C-ordered like the
+        # original per-packet loop drew them.
+        received = (
+            self.rng.random((n_packets, self.n_users))
+            >= self.env.packet_drop_rate
+        )
+
         collected: list[list[np.ndarray]] = [[] for _ in range(self.n_users)]
-        sequences: list[list[int]] = [[] for _ in range(self.n_users)]
-        for seq in range(n_packets):
+        start = 0
+        while start < n_packets:
+            length = min(chunk_size, n_packets - start)
             for i in range(self.n_users):
-                response = channels[i].step() * shadowing[i].step()
-                if self.rng.random() < self.env.packet_drop_rate:
-                    continue  # this user missed the packet
-                collected[i].append(self._estimate(response, user_rngs[i]))
-                sequences[i].append(seq)
+                block = channels[i].sample(length)
+                block *= shadowing[i].sample(length)[:, None, None, None]
+                block = block[received[start : start + length, i]]
+                collected[i].append(self._estimate_block(block, user_rngs[i]))
+            start += length
 
         batches = []
         for i in range(self.n_users):
-            if not collected[i]:
+            csi = np.concatenate(collected[i], axis=0)
+            if csi.shape[0] == 0:
                 raise ConfigurationError(
                     "a user received no packets; lower the drop rate or "
                     "collect more packets"
                 )
             batches.append(
                 CsiBatch(
-                    csi=np.stack(collected[i]),
-                    sequence=np.asarray(sequences[i], dtype=np.int64),
+                    csi=csi,
+                    sequence=np.nonzero(received[:, i])[0].astype(np.int64),
                 )
             )
         return batches
@@ -180,3 +203,21 @@ class CsiSampler:
         signal_power = float(np.mean(np.abs(response) ** 2))
         power = signal_power / (10.0 ** (self.env.csi_noise_snr_db / 10.0))
         return response + awgn(response.shape, power=power, rng=rng)
+
+    def _estimate_block(
+        self, responses: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Batched :meth:`_estimate` over ``(n, S, Nr, Nt)`` responses.
+
+        The noise power is calibrated per sample against that sample's
+        own mean power, matching the per-packet path.
+        """
+        if self.env.csi_noise_snr_db is None or responses.shape[0] == 0:
+            return responses
+        signal_power = np.mean(np.abs(responses) ** 2, axis=(1, 2, 3))
+        power = signal_power / (10.0 ** (self.env.csi_noise_snr_db / 10.0))
+        scale = np.sqrt(power / 2.0)[:, None, None, None]
+        noise = rng.standard_normal(responses.shape) + 1j * rng.standard_normal(
+            responses.shape
+        )
+        return responses + scale * noise

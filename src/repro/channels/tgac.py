@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from scipy.signal import lfilter
+
 from repro.errors import ConfigurationError
 from repro.channels.doppler import jakes_ar1_coefficient
 from repro.channels.spatial import correlation_sqrt, ula_correlation
@@ -399,16 +401,42 @@ class TgacChannel:
         return self._frequency_response()
 
     def sample(self, n_samples: int) -> np.ndarray:
-        """Collect ``n_samples`` consecutive CSI samples (n, S, Nr, Nt)."""
+        """Collect ``n_samples`` consecutive CSI samples (n, S, Nr, Nt).
+
+        Equivalent to ``n_samples`` calls to :meth:`step` but fully
+        vectorized: the AR(1) tap evolution runs as one C-level filter
+        pass over a single batched innovation draw, and the per-cluster
+        correlation shaping and tone steering are applied to all steps
+        in one einsum each.
+        """
         if n_samples < 1:
             raise ConfigurationError("n_samples must be >= 1")
-        out = np.empty(
-            (n_samples, self.band.n_subcarriers, self.n_rx, self.n_tx),
-            dtype=np.complex128,
+        rho = self._rho
+        innovation_scale = np.sqrt(1.0 - rho**2)
+        n_taps = self.profile.n_taps
+        tap_matrices = np.zeros(
+            (n_samples, n_taps, self.n_rx, self.n_tx), dtype=np.complex128
         )
-        for i in range(n_samples):
-            out[i] = self.step()
-        return out
+        for cluster in self._clusters:
+            innovations = self._draw_gaussian(
+                (n_samples,) + cluster.gains.shape
+            )
+            series, _ = lfilter(
+                [1.0],
+                [1.0, -rho],
+                innovation_scale * innovations,
+                axis=0,
+                zi=(rho * cluster.gains)[None],
+            )
+            cluster.gains = series[-1].copy()
+            shaped = np.einsum(
+                "rp,nlpq,qt->nlrt", cluster.rx_sqrt, series, cluster.tx_sqrt
+            )
+            tap_matrices[:, cluster.tap_indices] += (
+                cluster.amplitudes[None, :, None, None] * shaped
+            )
+        self._apply_los(tap_matrices)
+        return np.einsum("sl,nlrt->nsrt", self._tap_phases, tap_matrices)
 
     def current(self) -> np.ndarray:
         """Frequency response for the current tap gains (no time advance)."""
@@ -473,14 +501,19 @@ class TgacChannel:
             tap_matrices[cluster.tap_indices] += (
                 cluster.amplitudes[:, None, None] * shaped
             )
-        if self._los is not None:
-            k_linear = 10.0 ** (self.rician_k_db / 10.0)
-            nlos_scale = np.sqrt(1.0 / (k_linear + 1.0))
-            los_scale = np.sqrt(k_linear / (k_linear + 1.0))
-            tap_matrices *= nlos_scale
-            # First-tap LOS power matches that tap's average NLOS power.
-            first_amp = np.linalg.norm(
-                [c.amplitudes[0] for c in self._clusters if c.tap_indices[0] == 0]
-            )
-            tap_matrices[0] += los_scale * first_amp * self._los
+        self._apply_los(tap_matrices)
         return np.tensordot(self._tap_phases, tap_matrices, axes=(1, 0))
+
+    def _apply_los(self, tap_matrices: np.ndarray) -> None:
+        """Mix the Rician LOS component into ``(..., n_taps, Nr, Nt)``."""
+        if self._los is None:
+            return
+        k_linear = 10.0 ** (self.rician_k_db / 10.0)
+        nlos_scale = np.sqrt(1.0 / (k_linear + 1.0))
+        los_scale = np.sqrt(k_linear / (k_linear + 1.0))
+        tap_matrices *= nlos_scale
+        # First-tap LOS power matches that tap's average NLOS power.
+        first_amp = np.linalg.norm(
+            [c.amplitudes[0] for c in self._clusters if c.tap_indices[0] == 0]
+        )
+        tap_matrices[..., 0, :, :] += los_scale * first_amp * self._los

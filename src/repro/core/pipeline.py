@@ -71,17 +71,22 @@ def evaluate_scheme(
     indices: np.ndarray | None = None,
     link_config: LinkConfig | None = None,
     eval_dataset: CsiDataset | None = None,
+    simulator: LinkSimulator | None = None,
 ) -> SchemeEvaluation:
     """Score one scheme.
 
     ``eval_dataset`` enables cross-environment testing: the scheme was
     built for ``dataset`` but is evaluated on ``eval_dataset``'s test
     split (same topology, different environment), as in Fig. 12/13.
+    ``simulator`` overrides the link simulator (the perf benchmarks pass
+    one pinned to the reference BER path); ``link_config`` is ignored
+    when a simulator is given.
     """
     target = eval_dataset if eval_dataset is not None else dataset
     if indices is None:
         indices = target.splits.test
-    simulator = LinkSimulator(link_config or LinkConfig())
+    if simulator is None:
+        simulator = LinkSimulator(link_config or LinkConfig())
     bf = scheme.reconstruct_bf(target, indices)
     result = simulator.measure_ber(target.link_channels(indices), bf)
     return SchemeEvaluation(

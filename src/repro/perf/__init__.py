@@ -1,0 +1,37 @@
+"""Performance measurement subsystem.
+
+Three pieces:
+
+- :mod:`repro.perf.timer` — the :class:`Benchmark` runner producing
+  median/mean/min wall times and samples-per-second throughput;
+- :mod:`repro.perf.profile` — ``@profiled`` hooks and the ``record``
+  context manager for coarse where-did-the-time-go accounting;
+- :mod:`repro.perf.report` — :class:`PerfReport`, the JSON emitter
+  behind ``benchmarks/results/BENCH_hotpaths.json``.
+
+:mod:`repro.perf.reference` holds the frozen pre-vectorization hot-path
+implementations used for equivalence tests and before/after speedup
+tracking.  See ``docs/perf.md`` for how to run and read the benchmarks.
+"""
+
+from repro.perf.profile import (
+    ProfileEntry,
+    profile_summary,
+    profiled,
+    record,
+    reset_profiles,
+)
+from repro.perf.report import PerfReport
+from repro.perf.timer import Benchmark, BenchmarkResult, speedup
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkResult",
+    "PerfReport",
+    "ProfileEntry",
+    "profile_summary",
+    "profiled",
+    "record",
+    "reset_profiles",
+    "speedup",
+]

@@ -1,0 +1,103 @@
+"""Lightweight call-count/cumulative-time profiling hooks.
+
+``@profiled`` wraps a function so each call records its wall time into a
+process-wide registry; :func:`record` does the same for arbitrary code
+blocks.  Overhead is two ``perf_counter`` reads and a dict update per
+call — cheap enough to leave on the library's coarse hot-path entry
+points permanently, so a long experiment can be asked post-hoc where its
+time went via :func:`profile_summary`.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "profiled",
+    "record",
+    "profile_summary",
+    "reset_profiles",
+    "ProfileEntry",
+]
+
+
+@dataclass
+class ProfileEntry:
+    """Aggregated statistics for one profiled name."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+        }
+
+
+_REGISTRY: dict[str, ProfileEntry] = {}
+
+
+def _observe(name: str, elapsed_s: float) -> None:
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        entry = ProfileEntry(name=name)
+        _REGISTRY[name] = entry
+    entry.calls += 1
+    entry.total_s += elapsed_s
+    entry.max_s = max(entry.max_s, elapsed_s)
+
+
+def profiled(name: str | None = None):
+    """Decorator: record each call's wall time under ``name``.
+
+    ``name`` defaults to ``module.qualname`` of the wrapped function.
+    """
+
+    def decorate(fn):
+        label = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _observe(label, time.perf_counter() - start)
+
+        wrapper.__profiled_name__ = label
+        return wrapper
+
+    return decorate
+
+
+@contextmanager
+def record(name: str):
+    """Context manager: record the enclosed block's wall time."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _observe(name, time.perf_counter() - start)
+
+
+def profile_summary() -> "list[ProfileEntry]":
+    """All entries observed so far, slowest cumulative time first."""
+    return sorted(_REGISTRY.values(), key=lambda e: e.total_s, reverse=True)
+
+
+def reset_profiles() -> None:
+    """Clear the registry (e.g. between benchmark stages)."""
+    _REGISTRY.clear()

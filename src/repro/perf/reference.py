@@ -1,0 +1,297 @@
+"""Frozen pre-vectorization implementations of the hot paths.
+
+These are verbatim copies of the per-sample / per-tone / per-packet
+loops the library shipped with before the vectorization pass.  They are
+kept for two jobs:
+
+- **equivalence**: the test suite asserts the vectorized paths in
+  ``repro.standard.givens``, ``repro.standard.cbf``,
+  ``repro.phy.link``, and ``repro.channels.sampler`` reproduce these
+  outputs (bit-exactly where the wire format or RNG stream pins the
+  result);
+- **speedup tracking**: ``benchmarks/bench_perf_hotpaths.py`` times
+  each stage against its reference twin and records the ratio in
+  ``BENCH_hotpaths.json``.
+
+Do not "optimize" this module — its value is that it never changes.
+(The link-simulation reference lives on the simulator itself as
+:meth:`repro.phy.link.LinkSimulator.measure_ber_reference`, because it
+shares the simulator's internal helpers.  It inherits one deliberate
+change relative to the pre-vectorization release: singular vectors are
+pinned to the standard's canonical phase gauge, which relabels the
+noise realization of seed-pinned BER values without changing the
+algorithm or the statistics.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.doppler import ShadowingProcess
+from repro.channels.sampler import CsiBatch, CsiSampler
+from repro.channels.tgac import TgacChannel
+from repro.errors import ConfigurationError, ShapeError
+from repro.phy.noise import awgn
+from repro.standard.cbf import (
+    CbfReport,
+    MimoControl,
+    _delta_to_code,
+    _interleave_order,
+    _snr_to_code,
+    _DELTA_SNR_BITS,
+    grouped_tone_indices,
+)
+from repro.standard.givens import GivensAngles, angle_counts
+from repro.utils.bits import BitReader, BitWriter
+from repro.utils.rng import spawn
+
+__all__ = [
+    "reference_givens_decompose",
+    "reference_givens_reconstruct",
+    "reference_encode_cbf",
+    "reference_decode_cbf",
+    "reference_collect_session",
+]
+
+
+def reference_givens_decompose(bf: np.ndarray) -> GivensAngles:
+    """Seed ``givens_decompose``: full-matrix rotations, per-row copies."""
+    omega = np.asarray(bf, dtype=np.complex128).copy()
+    if omega.ndim < 2:
+        raise ShapeError("expected (..., Nt, Nss) beamforming matrices")
+    n_tx, n_streams = omega.shape[-2:]
+    if n_tx < n_streams:
+        raise ShapeError(f"Nt={n_tx} must be >= Nss={n_streams}")
+    batch_shape = omega.shape[:-2]
+
+    last_phase = np.exp(-1j * np.angle(omega[..., -1:, :]))
+    omega = omega * last_phase
+
+    m = min(n_streams, n_tx - 1)
+    phis: list[np.ndarray] = []
+    psis: list[np.ndarray] = []
+    for t in range(1, m + 1):
+        column = omega[..., t - 1 : n_tx - 1, t - 1]
+        phi_t = np.angle(column)
+        phis.append(phi_t)
+        rotation = np.ones(batch_shape + (n_tx, 1), dtype=np.complex128)
+        rotation[..., t - 1 : n_tx - 1, 0] = np.exp(-1j * phi_t)
+        omega = omega * rotation
+        for ell in range(t + 1, n_tx + 1):
+            top = omega[..., t - 1, t - 1].real
+            low = omega[..., ell - 1, t - 1].real
+            radius = np.hypot(top, low)
+            safe = np.maximum(radius, 1e-300)
+            cos_psi = np.clip(top / safe, -1.0, 1.0)
+            psi_lt = np.arccos(cos_psi)
+            psis.append(psi_lt)
+            sin_psi = np.sin(psi_lt)
+            row_t = omega[..., t - 1, :].copy()
+            row_l = omega[..., ell - 1, :].copy()
+            omega[..., t - 1, :] = (
+                cos_psi[..., None] * row_t + sin_psi[..., None] * row_l
+            )
+            omega[..., ell - 1, :] = (
+                -sin_psi[..., None] * row_t + cos_psi[..., None] * row_l
+            )
+
+    n_phi, n_psi = angle_counts(n_tx, n_streams)
+    phi = (
+        np.concatenate([p.reshape(batch_shape + (-1,)) for p in phis], axis=-1)
+        if phis
+        else np.zeros(batch_shape + (0,))
+    )
+    psi = (
+        np.stack(psis, axis=-1).reshape(batch_shape + (-1,))
+        if psis
+        else np.zeros(batch_shape + (0,))
+    )
+    if phi.shape[-1] != n_phi or psi.shape[-1] != n_psi:
+        raise ShapeError("internal angle-count mismatch")
+    return GivensAngles(phi=phi, psi=psi, n_tx=n_tx, n_streams=n_streams)
+
+
+def reference_givens_reconstruct(angles: GivensAngles) -> np.ndarray:
+    """Seed ``givens_reconstruct``: full-matrix rotation products."""
+    n_tx, n_streams = angles.n_tx, angles.n_streams
+    phi, psi = np.asarray(angles.phi), np.asarray(angles.psi)
+    batch_shape = phi.shape[:-1]
+    m = min(n_streams, n_tx - 1)
+
+    result = np.zeros(batch_shape + (n_tx, n_streams), dtype=np.complex128)
+    result[...] = np.eye(n_tx, n_streams, dtype=np.complex128)
+
+    phi_index = phi.shape[-1]
+    psi_index = psi.shape[-1]
+    for t in range(m, 0, -1):
+        n_psi_t = n_tx - t
+        psi_block = psi[..., psi_index - n_psi_t : psi_index]
+        psi_index -= n_psi_t
+        for ell in range(n_tx, t, -1):
+            psi_lt = psi_block[..., ell - t - 1]
+            cos_psi = np.cos(psi_lt)[..., None]
+            sin_psi = np.sin(psi_lt)[..., None]
+            row_t = result[..., t - 1, :].copy()
+            row_l = result[..., ell - 1, :].copy()
+            result[..., t - 1, :] = cos_psi * row_t - sin_psi * row_l
+            result[..., ell - 1, :] = sin_psi * row_t + cos_psi * row_l
+        n_phi_t = n_tx - t
+        phi_block = phi[..., phi_index - n_phi_t : phi_index]
+        phi_index -= n_phi_t
+        rotation = np.ones(batch_shape + (n_tx, 1), dtype=np.complex128)
+        rotation[..., t - 1 : n_tx - 1, 0] = np.exp(1j * phi_block)
+        result = result * rotation
+    if phi_index != 0 or psi_index != 0:
+        raise ShapeError("angle arrays inconsistent with (n_tx, n_streams)")
+    return result
+
+
+def reference_encode_cbf(
+    bf: np.ndarray,
+    control: MimoControl,
+    snr_db: "np.ndarray | float" = 30.0,
+    mu_delta_db: np.ndarray | None = None,
+) -> bytes:
+    """Seed ``encode_cbf``: one ``BitWriter.write`` per angle field."""
+    bf = np.asarray(bf, dtype=np.complex128)
+    expected = (control.n_subcarriers, control.n_rows, control.n_columns)
+    if bf.shape != expected:
+        raise ShapeError(f"bf shape {bf.shape} != expected {expected}")
+
+    tones = grouped_tone_indices(control.n_subcarriers, control.grouping)
+    angles = reference_givens_decompose(bf[tones])
+    quantizer = control.quantizer
+    phi_codes = quantizer.quantize_phi(angles.phi)
+    psi_codes = quantizer.quantize_psi(angles.psi)
+
+    snr = np.broadcast_to(
+        np.atleast_1d(np.asarray(snr_db, dtype=np.float64)),
+        (control.n_columns,),
+    )
+
+    writer = BitWriter()
+    control.pack(writer)
+    writer.write_array(_snr_to_code(snr), 8)
+    order, _ = _interleave_order(control.n_rows, control.n_columns)
+    for tone in range(tones.size):
+        for kind, idx in order:
+            if kind == "phi":
+                writer.write(int(phi_codes[tone, idx]), quantizer.b_phi)
+            else:
+                writer.write(int(psi_codes[tone, idx]), quantizer.b_psi)
+    if mu_delta_db is not None:
+        mu_delta_db = np.asarray(mu_delta_db, dtype=np.float64)
+        if mu_delta_db.shape != (control.n_subcarriers, control.n_columns):
+            raise ShapeError("bad mu_delta_db shape")
+        writer.write_array(_delta_to_code(mu_delta_db), _DELTA_SNR_BITS)
+    return writer.getvalue()
+
+
+def reference_decode_cbf(
+    data: bytes, expect_mu_exclusive: bool | None = None
+) -> CbfReport:
+    """Seed ``decode_cbf``: one ``BitReader.read`` per angle field."""
+    reader = BitReader(data)
+    control = MimoControl.unpack(reader)
+    snr_codes = reader.read_array(control.n_columns, 8)
+
+    n_phi, n_psi = angle_counts(control.n_rows, control.n_columns)
+    quantizer = control.quantizer
+    tones = grouped_tone_indices(control.n_subcarriers, control.grouping)
+    phi_codes = np.zeros((tones.size, n_phi), dtype=np.int64)
+    psi_codes = np.zeros((tones.size, n_psi), dtype=np.int64)
+    order, _ = _interleave_order(control.n_rows, control.n_columns)
+    for tone in range(tones.size):
+        for kind, idx in order:
+            if kind == "phi":
+                phi_codes[tone, idx] = reader.read(quantizer.b_phi)
+            else:
+                psi_codes[tone, idx] = reader.read(quantizer.b_psi)
+
+    mu_codes: np.ndarray | None = None
+    mu_bits = control.n_subcarriers * control.n_columns * _DELTA_SNR_BITS
+    if expect_mu_exclusive is None:
+        expect_mu_exclusive = reader.bits_remaining >= mu_bits
+    if expect_mu_exclusive:
+        mu_codes = reader.read_array(
+            control.n_subcarriers * control.n_columns, _DELTA_SNR_BITS
+        ).reshape(control.n_subcarriers, control.n_columns)
+    return CbfReport(
+        control=control,
+        snr_codes=snr_codes,
+        phi_codes=phi_codes,
+        psi_codes=psi_codes,
+        mu_delta_codes=mu_codes,
+    )
+
+
+def reference_collect_session(
+    sampler: CsiSampler, n_packets: int
+) -> "list[CsiBatch]":
+    """Seed ``CsiSampler.collect_session``: one Python step per packet.
+
+    Consumes ``sampler.rng`` for spawn/placement/drops exactly like both
+    the seed and vectorized paths, so the drop pattern (and therefore
+    the sequence numbers) match the vectorized output for equal seeds.
+    Per-user channel draws differ in order, so CSI values are only
+    statistically — not numerically — comparable.
+    """
+    if n_packets < 1:
+        raise ConfigurationError("n_packets must be >= 1")
+    user_rngs = spawn(sampler.rng, sampler.n_users)
+    offsets = sampler.env.location_offsets_deg()
+    replace = sampler.n_users > offsets.size
+    chosen = sampler.rng.choice(offsets, size=sampler.n_users, replace=replace)
+    channels = [
+        TgacChannel(
+            sampler.env.profile,
+            n_rx=sampler.n_rx,
+            n_tx=sampler.n_tx,
+            band=sampler.band,
+            doppler_hz=sampler.env.doppler_hz,
+            sample_interval_s=sampler.dt_s,
+            angle_offset_deg=float(chosen[i]),
+            rician_k_db=sampler.env.rician_k_db,
+            rng=user_rngs[i],
+        )
+        for i in range(sampler.n_users)
+    ]
+    shadowing = [
+        ShadowingProcess(
+            sigma_db=sampler.env.shadowing_sigma_db,
+            coherence_s=sampler.env.shadowing_coherence_s,
+            dt_s=sampler.dt_s,
+            rng=user_rngs[i],
+        )
+        for i in range(sampler.n_users)
+    ]
+
+    collected: list[list[np.ndarray]] = [[] for _ in range(sampler.n_users)]
+    sequences: list[list[int]] = [[] for _ in range(sampler.n_users)]
+    for seq in range(n_packets):
+        for i in range(sampler.n_users):
+            response = channels[i].step() * shadowing[i].step()
+            if sampler.rng.random() < sampler.env.packet_drop_rate:
+                continue
+            if sampler.env.csi_noise_snr_db is not None:
+                signal_power = float(np.mean(np.abs(response) ** 2))
+                power = signal_power / (
+                    10.0 ** (sampler.env.csi_noise_snr_db / 10.0)
+                )
+                response = response + awgn(
+                    response.shape, power=power, rng=user_rngs[i]
+                )
+            collected[i].append(response)
+            sequences[i].append(seq)
+
+    batches = []
+    for i in range(sampler.n_users):
+        if not collected[i]:
+            raise ConfigurationError("a user received no packets")
+        batches.append(
+            CsiBatch(
+                csi=np.stack(collected[i]),
+                sequence=np.asarray(sequences[i], dtype=np.int64),
+            )
+        )
+    return batches

@@ -1,0 +1,96 @@
+"""JSON perf reports: the machine-readable perf trajectory across PRs.
+
+A :class:`PerfReport` collects stage timings (and optional
+baseline-vs-optimized comparisons) and serializes them with enough
+environment context to interpret the numbers later.  The benchmark
+suite writes ``BENCH_hotpaths.json`` through this module; CI or future
+PRs can diff those files to catch hot-path regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.perf.timer import BenchmarkResult, speedup
+
+__all__ = ["PerfReport"]
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class PerfReport:
+    """Accumulates benchmark results and writes them as one JSON file."""
+
+    def __init__(self, title: str, context: dict | None = None) -> None:
+        self.title = title
+        self.context = {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            **(context or {}),
+        }
+        self._stages: list[BenchmarkResult] = []
+        self._comparisons: list[dict] = []
+
+    def add(self, result: BenchmarkResult) -> None:
+        """Record one stage timing."""
+        self._stages.append(result)
+
+    def add_comparison(
+        self,
+        stage: str,
+        baseline: BenchmarkResult,
+        optimized: BenchmarkResult,
+    ) -> float:
+        """Record a before/after pair; returns the speedup factor."""
+        factor = speedup(baseline, optimized)
+        self._comparisons.append(
+            {
+                "stage": stage,
+                "baseline": baseline.as_dict(),
+                "optimized": optimized.as_dict(),
+                "speedup": factor,
+            }
+        )
+        return factor
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "title": self.title,
+            "created_unix": time.time(),
+            "context": self.context,
+            "stages": [result.as_dict() for result in self._stages],
+            "comparisons": list(self._comparisons),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Serialize the report (2-space indent, trailing newline)."""
+        if not path:
+            raise ConfigurationError("report path must be non-empty")
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def render(self) -> str:
+        """Human-readable summary for terminal output."""
+        lines = [self.title, "=" * len(self.title)]
+        for result in self._stages:
+            lines.append(f"  {result}")
+        for comparison in self._comparisons:
+            lines.append(
+                "  {stage}: {before:.1f} ms -> {after:.1f} ms "
+                "({speedup:.1f}x)".format(
+                    stage=comparison["stage"],
+                    before=comparison["baseline"]["median_s"] * 1e3,
+                    after=comparison["optimized"]["median_s"] * 1e3,
+                    speedup=comparison["speedup"],
+                )
+            )
+        return "\n".join(lines)

@@ -102,6 +102,59 @@ class QamModem:
             labels = (i_labels << self._bits_q) | q_labels
         return self._unpack_labels(labels)
 
+    def pack_bit_labels(self, bits: np.ndarray) -> np.ndarray:
+        """Flat 0/1 bits -> integer constellation labels (no validation).
+
+        ``constellation[pack_bit_labels(bits)]`` equals
+        :meth:`modulate`; exposing the label layer lets hot paths count
+        bit errors by label XOR + popcount instead of re-expanding bits.
+        """
+        bits = np.asarray(bits).astype(np.int64).reshape(-1)
+        if bits.size % self.bits_per_symbol:
+            raise ShapeError(
+                f"bit count {bits.size} not divisible by "
+                f"{self.bits_per_symbol} bits/symbol"
+            )
+        return self._pack_labels(bits)
+
+    def hard_labels(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision integer labels of the nearest constellation points.
+
+        Same decisions as :meth:`demodulate` (the per-axis grid is
+        uniform, so rounding to the nearest amplitude index equals the
+        nearest-neighbour search) but O(1) per symbol instead of
+        O(levels); decision-boundary midpoints — a measure-zero set
+        under any noise distribution — may tie-break differently.
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128).reshape(-1)
+        if self.order == 2:
+            return (symbols.real > 0).astype(np.int64)
+        i_labels = self._grid_label(
+            symbols.real / self._scale, self._i_levels.size, self._bits_i
+        )
+        q_labels = self._grid_label(
+            symbols.imag / self._scale, self._q_levels.size, self._bits_q
+        )
+        return (i_labels << self._bits_q) | q_labels
+
+    @property
+    def popcount(self) -> np.ndarray:
+        """Bit-count lookup for label XOR values (0..order-1)."""
+        if not hasattr(self, "_popcount"):
+            values = np.arange(self.order)
+            counts = np.zeros(self.order, dtype=np.int64)
+            while values.any():
+                counts += values & 1
+                values >>= 1
+            self._popcount = counts
+        return self._popcount
+
+    def bit_errors_from_labels(
+        self, tx_labels: np.ndarray, rx_labels: np.ndarray
+    ) -> np.ndarray:
+        """Per-symbol bit-error counts between two label arrays."""
+        return self.popcount[np.bitwise_xor(tx_labels, rx_labels)]
+
     def llr(
         self, symbols: np.ndarray, noise_power: "float | np.ndarray"
     ) -> np.ndarray:
@@ -166,3 +219,15 @@ class QamModem:
     def _nearest_label(values: np.ndarray, levels: np.ndarray) -> np.ndarray:
         distance = np.abs(values[:, None] - levels[None, :])
         return np.argmin(distance, axis=1)
+
+    def _grid_label(
+        self, values: np.ndarray, n_levels: int, n_bits: int
+    ) -> np.ndarray:
+        """Nearest Gray label on the uniform PAM grid, by rounding.
+
+        Amplitude index ``i`` holds amplitude ``2 i - (n - 1)``; its
+        Gray label is ``gray(i)``.
+        """
+        index = np.rint((values + (n_levels - 1)) * 0.5).astype(np.int64)
+        np.clip(index, 0, n_levels - 1, out=index)
+        return index ^ (index >> 1)

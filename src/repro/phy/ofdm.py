@@ -10,6 +10,7 @@ tone spacing used by the channel generator's frequency grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -61,13 +62,24 @@ class BandPlan:
         return f"{self.bandwidth_mhz} MHz ({self.n_subcarriers} tones)"
 
 
+@lru_cache(maxsize=None)
+def _band_plan_cached(bandwidth_mhz: int) -> BandPlan:
+    return BandPlan(
+        bandwidth_mhz=bandwidth_mhz, n_subcarriers=SUBCARRIERS[bandwidth_mhz]
+    )
+
+
 def band_plan(bandwidth_mhz: int) -> BandPlan:
-    """Return the :class:`BandPlan` for a supported bandwidth in MHz."""
+    """Return the :class:`BandPlan` for a supported bandwidth in MHz.
+
+    Plans are immutable, so lookups are cached — callers on hot paths
+    (the CBF codec resolves the plan for every report) share one
+    instance per bandwidth.
+    """
     try:
-        n_sc = SUBCARRIERS[int(bandwidth_mhz)]
-    except (KeyError, ValueError):
+        return _band_plan_cached(int(bandwidth_mhz))
+    except (KeyError, ValueError, TypeError):
         raise ConfigurationError(
             f"unsupported bandwidth {bandwidth_mhz!r} MHz; "
             f"supported: {BANDWIDTHS_MHZ}"
         ) from None
-    return BandPlan(bandwidth_mhz=int(bandwidth_mhz), n_subcarriers=n_sc)

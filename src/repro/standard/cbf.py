@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import ConfigurationError, FeedbackError, ShapeError
+from repro.perf.profile import profiled
 from repro.phy.ofdm import band_plan
 from repro.standard.givens import (
     GivensAngles,
@@ -37,7 +38,13 @@ from repro.standard.givens import (
     givens_reconstruct,
 )
 from repro.standard.quantization import AngleQuantizer
-from repro.utils.bits import BitReader, BitWriter, bits_to_bytes
+from repro.utils.bits import (
+    BitReader,
+    BitWriter,
+    _shifts,
+    _weights,
+    bits_to_bytes,
+)
 
 __all__ = [
     "MimoControl",
@@ -278,6 +285,89 @@ def _interleave_order(n_rows: int, n_columns: int) -> tuple[list[tuple[str, int]
     return order, m
 
 
+def _round_blocks(n_rows: int, n_columns: int) -> list[tuple[int, int]]:
+    """Per Givens round: (start index into the angle family, block size).
+
+    Both angle families share the same block structure (``n_rows - t``
+    angles in round ``t``), so one list serves phi and psi.
+    """
+    blocks: list[tuple[int, int]] = []
+    base = 0
+    for t in range(1, min(n_columns, n_rows - 1) + 1):
+        blocks.append((base, n_rows - t))
+        base += n_rows - t
+    return blocks
+
+
+def _unpack_codes(codes: np.ndarray, width: int) -> np.ndarray:
+    """Expand ``(tones, n_angles)`` codes to MSB-first bits.
+
+    Returns ``(tones, n_angles, width)`` uint8; raises if any code does
+    not fit the field.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.size and (codes.min() < 0 or codes.max() >= (1 << width)):
+        raise FeedbackError(
+            f"angle codes outside [0, 2^{width}) cannot be packed"
+        )
+    return ((codes[..., None] >> _shifts(width)) & 1).astype(np.uint8)
+
+
+def _pack_angle_payload(
+    phi_codes: np.ndarray,
+    psi_codes: np.ndarray,
+    control: MimoControl,
+) -> np.ndarray:
+    """All grouped-tone angle fields as one flat MSB-first bit array.
+
+    Builds the standard's wire layout (per tone: per round, phi block
+    then psi block) with one bit-expansion per angle family and one
+    concatenation per Givens round — no per-field Python loop.
+    """
+    quantizer = control.quantizer
+    phi_bits = _unpack_codes(phi_codes, quantizer.b_phi)
+    psi_bits = _unpack_codes(psi_codes, quantizer.b_psi)
+    n_tones = phi_bits.shape[0]
+    parts: list[np.ndarray] = []
+    for base, block in _round_blocks(control.n_rows, control.n_columns):
+        parts.append(phi_bits[:, base : base + block].reshape(n_tones, -1))
+        parts.append(psi_bits[:, base : base + block].reshape(n_tones, -1))
+    return np.concatenate(parts, axis=1).reshape(-1)
+
+
+def _unpack_angle_payload(
+    bits: np.ndarray,
+    control: MimoControl,
+    n_tones: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`_pack_angle_payload`: bits -> (phi, psi) codes."""
+    quantizer = control.quantizer
+    n_phi, n_psi = angle_counts(control.n_rows, control.n_columns)
+    phi_codes = np.empty((n_tones, n_phi), dtype=np.int64)
+    psi_codes = np.empty((n_tones, n_psi), dtype=np.int64)
+    phi_weights = _weights(quantizer.b_phi)
+    psi_weights = _weights(quantizer.b_psi)
+    per_tone = bits.reshape(n_tones, -1)
+    column = 0
+    for base, block in _round_blocks(control.n_rows, control.n_columns):
+        width = block * quantizer.b_phi
+        chunk = per_tone[:, column : column + width]
+        phi_codes[:, base : base + block] = (
+            chunk.reshape(n_tones, block, quantizer.b_phi).astype(np.int64)
+            @ phi_weights
+        )
+        column += width
+        width = block * quantizer.b_psi
+        chunk = per_tone[:, column : column + width]
+        psi_codes[:, base : base + block] = (
+            chunk.reshape(n_tones, block, quantizer.b_psi).astype(np.int64)
+            @ psi_weights
+        )
+        column += width
+    return phi_codes, psi_codes
+
+
+@profiled("cbf.encode")
 def encode_cbf(
     bf: np.ndarray,
     control: MimoControl,
@@ -314,16 +404,12 @@ def encode_cbf(
         np.atleast_1d(np.asarray(snr_db, dtype=np.float64)), (control.n_columns,)
     )
 
-    writer = BitWriter()
+    writer = BitWriter(
+        capacity=cbf_payload_bits(control, include_mu_exclusive=mu_delta_db is not None)
+    )
     control.pack(writer)
     writer.write_array(_snr_to_code(snr), 8)
-    order, _ = _interleave_order(control.n_rows, control.n_columns)
-    for tone in range(tones.size):
-        for kind, idx in order:
-            if kind == "phi":
-                writer.write(int(phi_codes[tone, idx]), quantizer.b_phi)
-            else:
-                writer.write(int(psi_codes[tone, idx]), quantizer.b_psi)
+    writer.write_bits(_pack_angle_payload(phi_codes, psi_codes, control))
     if mu_delta_db is not None:
         mu_delta_db = np.asarray(mu_delta_db, dtype=np.float64)
         if mu_delta_db.shape != (control.n_subcarriers, control.n_columns):
@@ -335,6 +421,7 @@ def encode_cbf(
     return writer.getvalue()
 
 
+@profiled("cbf.decode")
 def decode_cbf(data: bytes, expect_mu_exclusive: bool | None = None) -> CbfReport:
     """Parse a compressed beamforming frame back into codes.
 
@@ -348,15 +435,10 @@ def decode_cbf(data: bytes, expect_mu_exclusive: bool | None = None) -> CbfRepor
     n_phi, n_psi = angle_counts(control.n_rows, control.n_columns)
     quantizer = control.quantizer
     tones = grouped_tone_indices(control.n_subcarriers, control.grouping)
-    phi_codes = np.zeros((tones.size, n_phi), dtype=np.int64)
-    psi_codes = np.zeros((tones.size, n_psi), dtype=np.int64)
-    order, _ = _interleave_order(control.n_rows, control.n_columns)
-    for tone in range(tones.size):
-        for kind, idx in order:
-            if kind == "phi":
-                phi_codes[tone, idx] = reader.read(quantizer.b_phi)
-            else:
-                psi_codes[tone, idx] = reader.read(quantizer.b_psi)
+    angle_bits = reader.read_bits(
+        tones.size * (n_phi * quantizer.b_phi + n_psi * quantizer.b_psi)
+    )
+    phi_codes, psi_codes = _unpack_angle_payload(angle_bits, control, tones.size)
 
     mu_codes: np.ndarray | None = None
     mu_bits = control.n_subcarriers * control.n_columns * _DELTA_SNR_BITS

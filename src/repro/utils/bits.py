@@ -6,6 +6,14 @@ heterogeneous widths (``b_phi``/``b_psi`` bits) back-to-back into octets.
 values are written most-significant-bit first and the final octet is
 zero-padded, matching how the feedback frames in ``repro.standard.cbf``
 are laid out.
+
+Performance notes: the writer accumulates into one preallocated,
+amortized-doubling ``uint8`` buffer (one ``np.packbits`` at the end),
+per-width shift/weight tables are cached module-wide so scalar writes
+allocate nothing, and :meth:`BitWriter.write_bits` /
+:meth:`BitReader.read_bits` move whole pre-expanded bit blocks in a
+single copy — the path the vectorized CBF codec uses to pack a full
+multi-tone angle payload per call.
 """
 
 from __future__ import annotations
@@ -15,6 +23,32 @@ import numpy as np
 from repro.errors import FeedbackError
 
 __all__ = ["BitWriter", "BitReader", "bits_to_bytes", "bytes_to_bits"]
+
+#: Cached MSB-first shift vectors, keyed by field width.
+_SHIFT_CACHE: dict[int, np.ndarray] = {}
+#: Cached MSB-first bit weights (1 << shift), keyed by field width.
+_WEIGHT_CACHE: dict[int, np.ndarray] = {}
+
+
+def _shifts(width: int) -> np.ndarray:
+    table = _SHIFT_CACHE.get(width)
+    if table is None:
+        table = np.arange(width - 1, -1, -1, dtype=np.int64)
+        _SHIFT_CACHE[width] = table
+    return table
+
+
+def _weights(width: int) -> np.ndarray:
+    table = _WEIGHT_CACHE.get(width)
+    if table is None:
+        table = np.left_shift(np.int64(1), _shifts(width))
+        _WEIGHT_CACHE[width] = table
+    return table
+
+
+def _check_width(width: int) -> None:
+    if width < 1 or width > 64:
+        raise FeedbackError(f"field width must be in [1, 64], got {width}")
 
 
 def bits_to_bytes(n_bits: int) -> int:
@@ -33,8 +67,8 @@ def bytes_to_bits(data: bytes) -> np.ndarray:
 class BitWriter:
     """Accumulates unsigned integers of arbitrary width into a byte string."""
 
-    def __init__(self) -> None:
-        self._bits: list[np.ndarray] = []
+    def __init__(self, capacity: int = 256) -> None:
+        self._buf = np.empty(max(int(capacity), 8), dtype=np.uint8)
         self._n_bits = 0
 
     @property
@@ -42,23 +76,31 @@ class BitWriter:
         """Bits written so far (before padding)."""
         return self._n_bits
 
+    def _reserve(self, extra: int) -> int:
+        """Grow the buffer for ``extra`` more bits; return the write offset."""
+        start = self._n_bits
+        needed = start + extra
+        if needed > self._buf.size:
+            grown = np.empty(max(needed, 2 * self._buf.size), dtype=np.uint8)
+            grown[:start] = self._buf[:start]
+            self._buf = grown
+        self._n_bits = needed
+        return start
+
     def write(self, value: int, width: int) -> None:
         """Append one unsigned integer using ``width`` bits, MSB first."""
-        if width < 1 or width > 64:
-            raise FeedbackError(f"field width must be in [1, 64], got {width}")
+        _check_width(width)
         value = int(value)
         if value < 0 or value >= (1 << width):
             raise FeedbackError(
                 f"value {value} does not fit in {width} unsigned bits"
             )
-        bits = (value >> np.arange(width - 1, -1, -1)) & 1
-        self._bits.append(bits.astype(np.uint8))
-        self._n_bits += width
+        start = self._reserve(width)
+        self._buf[start : start + width] = (value >> _shifts(width)) & 1
 
     def write_array(self, values: np.ndarray, width: int) -> None:
         """Append a flat array of equal-width unsigned integers."""
-        if width < 1 or width > 64:
-            raise FeedbackError(f"field width must be in [1, 64], got {width}")
+        _check_width(width)
         values = np.asarray(values, dtype=np.int64).reshape(-1)
         if values.size == 0:
             return
@@ -66,17 +108,25 @@ class BitWriter:
             raise FeedbackError(
                 f"array values outside [0, 2^{width}) cannot be packed"
             )
-        shifts = np.arange(width - 1, -1, -1)
-        bits = ((values[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
-        self._bits.append(bits.reshape(-1))
-        self._n_bits += width * values.size
+        bits = (values[:, None] >> _shifts(width)[None, :]) & 1
+        start = self._reserve(width * values.size)
+        self._buf[start : self._n_bits] = bits.reshape(-1)
+
+    def write_bits(self, bits: np.ndarray) -> None:
+        """Append a flat, pre-expanded MSB-first 0/1 array verbatim."""
+        bits = np.asarray(bits).reshape(-1)
+        if bits.size == 0:
+            return
+        if np.any((bits != 0) & (bits != 1)):
+            raise FeedbackError("write_bits expects 0/1 values")
+        start = self._reserve(bits.size)
+        self._buf[start : self._n_bits] = bits
 
     def getvalue(self) -> bytes:
         """Return the packed bytes (final octet zero-padded)."""
-        if not self._bits:
+        if self._n_bits == 0:
             return b""
-        stream = np.concatenate(self._bits)
-        return np.packbits(stream).tobytes()
+        return np.packbits(self._buf[: self._n_bits]).tobytes()
 
 
 class BitReader:
@@ -91,37 +141,36 @@ class BitReader:
         """Unread bits left in the stream (includes any pad bits)."""
         return self._bits.size - self._pos
 
-    def read(self, width: int) -> int:
-        """Consume ``width`` bits and return them as an unsigned integer."""
-        if width < 1 or width > 64:
-            raise FeedbackError(f"field width must be in [1, 64], got {width}")
-        if self._pos + width > self._bits.size:
+    def _consume(self, count: int) -> np.ndarray:
+        if self._pos + count > self._bits.size:
             raise FeedbackError(
-                f"bit stream exhausted: need {width} bits, "
+                f"bit stream exhausted: need {count} bits, "
                 f"have {self.bits_remaining}"
             )
-        chunk = self._bits[self._pos : self._pos + width]
-        self._pos += width
-        weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
-        return int(np.dot(chunk.astype(np.int64), weights))
+        chunk = self._bits[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read(self, width: int) -> int:
+        """Consume ``width`` bits and return them as an unsigned integer."""
+        _check_width(width)
+        chunk = self._consume(width)
+        return int(np.dot(chunk.astype(np.int64), _weights(width)))
 
     def read_array(self, count: int, width: int) -> np.ndarray:
         """Consume ``count`` equal-width fields into an int64 array."""
         if count < 0:
             raise FeedbackError("count must be non-negative")
-        if width < 1 or width > 64:
-            raise FeedbackError(f"field width must be in [1, 64], got {width}")
-        total = count * width
-        if self._pos + total > self._bits.size:
-            raise FeedbackError(
-                f"bit stream exhausted: need {total} bits, "
-                f"have {self.bits_remaining}"
-            )
-        chunk = self._bits[self._pos : self._pos + total]
-        self._pos += total
+        _check_width(width)
+        chunk = self._consume(count * width)
         matrix = chunk.reshape(count, width).astype(np.int64)
-        weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
-        return matrix @ weights
+        return matrix @ _weights(width)
+
+    def read_bits(self, count: int) -> np.ndarray:
+        """Consume ``count`` raw bits as an MSB-first 0/1 ``uint8`` array."""
+        if count < 0:
+            raise FeedbackError("count must be non-negative")
+        return self._consume(count).copy()
 
     def align_to_byte(self) -> None:
         """Skip pad bits up to the next octet boundary."""

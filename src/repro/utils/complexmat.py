@@ -20,6 +20,8 @@ __all__ = [
     "fix_phase_gauge",
     "is_unitary_columns",
     "column_correlation",
+    "batched_small_inverse",
+    "hermitian_inverse_diagonal",
 ]
 
 
@@ -94,6 +96,141 @@ def is_unitary_columns(matrix: np.ndarray, tol: float = 1e-8) -> bool:
         raise ShapeError("is_unitary_columns expects a 2-D matrix")
     gram = matrix.conj().T @ matrix
     return bool(np.allclose(gram, np.eye(matrix.shape[1]), atol=tol))
+
+
+def batched_small_inverse(matrices: np.ndarray) -> np.ndarray:
+    """Invert a batch of small square matrices without LAPACK round trips.
+
+    ``np.linalg.inv`` dispatches one LAPACK LU factorization per matrix,
+    which dominates hot paths that invert tens of thousands of 2x2/3x3
+    Gram matrices (the ZF precoder).  Orders 1-3 use the closed-form
+    adjugate/determinant inverse as pure elementwise array math; larger
+    orders fall back to ``np.linalg.inv``.  Any matrix whose closed-form
+    inverse comes out non-finite (numerically singular) is repaired with
+    ``np.linalg.pinv``, matching the LAPACK path's behaviour of falling
+    back to the pseudo-inverse.
+    """
+    matrices = np.asarray(matrices)
+    if matrices.ndim < 2 or matrices.shape[-1] != matrices.shape[-2]:
+        raise ShapeError(
+            f"expected square matrices (..., n, n), got {matrices.shape}"
+        )
+    n = matrices.shape[-1]
+    if n > 3:
+        try:
+            return np.linalg.inv(matrices)
+        except np.linalg.LinAlgError:
+            return np.linalg.pinv(matrices)
+    a = matrices
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        if n == 1:
+            inverse = 1.0 / a
+        elif n == 2:
+            det = a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+            inverse = np.empty_like(a)
+            inverse[..., 0, 0] = a[..., 1, 1]
+            inverse[..., 0, 1] = -a[..., 0, 1]
+            inverse[..., 1, 0] = -a[..., 1, 0]
+            inverse[..., 1, 1] = a[..., 0, 0]
+            inverse /= det[..., None, None]
+        else:
+            c00 = a[..., 1, 1] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 1]
+            c01 = a[..., 1, 2] * a[..., 2, 0] - a[..., 1, 0] * a[..., 2, 2]
+            c02 = a[..., 1, 0] * a[..., 2, 1] - a[..., 1, 1] * a[..., 2, 0]
+            det = (
+                a[..., 0, 0] * c00
+                + a[..., 0, 1] * c01
+                + a[..., 0, 2] * c02
+            )
+            inverse = np.empty_like(a)
+            inverse[..., 0, 0] = c00
+            inverse[..., 1, 0] = c01
+            inverse[..., 2, 0] = c02
+            inverse[..., 0, 1] = (
+                a[..., 0, 2] * a[..., 2, 1] - a[..., 0, 1] * a[..., 2, 2]
+            )
+            inverse[..., 1, 1] = (
+                a[..., 0, 0] * a[..., 2, 2] - a[..., 0, 2] * a[..., 2, 0]
+            )
+            inverse[..., 2, 1] = (
+                a[..., 0, 1] * a[..., 2, 0] - a[..., 0, 0] * a[..., 2, 1]
+            )
+            inverse[..., 0, 2] = (
+                a[..., 0, 1] * a[..., 1, 2] - a[..., 0, 2] * a[..., 1, 1]
+            )
+            inverse[..., 1, 2] = (
+                a[..., 0, 2] * a[..., 1, 0] - a[..., 0, 0] * a[..., 1, 2]
+            )
+            inverse[..., 2, 2] = (
+                a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+            )
+            inverse /= det[..., None, None]
+    bad = ~np.isfinite(inverse).all(axis=(-2, -1))
+    if np.any(bad):
+        inverse[bad] = np.linalg.pinv(a[bad])
+    return inverse
+
+
+def hermitian_inverse_diagonal(matrices: np.ndarray) -> np.ndarray:
+    """``diag(A^-1)`` (real) for batches of small Hermitian matrices.
+
+    The ZF noise-calibration step only needs the inverse Gram's
+    diagonal (``|ideal gain_i|^2 = sigma_i^2 / [(V†V)^-1]_ii``), so
+    computing the full inverse is wasted work.  Orders 1-3 use the
+    cofactor/determinant closed form as elementwise array math; larger
+    orders take the diagonal of ``np.linalg.inv``.  Entries whose
+    closed form comes out non-finite (singular Gram) are repaired with
+    ``np.linalg.pinv``.
+    """
+    matrices = np.asarray(matrices)
+    if matrices.ndim < 2 or matrices.shape[-1] != matrices.shape[-2]:
+        raise ShapeError(
+            f"expected square matrices (..., n, n), got {matrices.shape}"
+        )
+    n = matrices.shape[-1]
+    a = matrices
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        if n == 1:
+            diagonal = (1.0 / a[..., 0, 0]).real[..., None]
+        elif n == 2:
+            det = (
+                a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+            ).real
+            diagonal = (
+                np.stack([a[..., 1, 1].real, a[..., 0, 0].real], axis=-1)
+                / det[..., None]
+            )
+        elif n == 3:
+            m01 = (a[..., 0, 1] * a[..., 1, 0]).real
+            m02 = (a[..., 0, 2] * a[..., 2, 0]).real
+            m12 = (a[..., 1, 2] * a[..., 2, 1]).real
+            d0 = a[..., 0, 0].real
+            d1 = a[..., 1, 1].real
+            d2 = a[..., 2, 2].real
+            c00 = d1 * d2 - m12
+            c11 = d0 * d2 - m02
+            c22 = d0 * d1 - m01
+            det = (
+                a[..., 0, 0] * (a[..., 1, 1] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 1])
+                - a[..., 0, 1] * (a[..., 1, 0] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 0])
+                + a[..., 0, 2] * (a[..., 1, 0] * a[..., 2, 1] - a[..., 1, 1] * a[..., 2, 0])
+            ).real
+            diagonal = np.stack([c00, c11, c22], axis=-1) / det[..., None]
+        else:
+            try:
+                return np.diagonal(
+                    np.linalg.inv(a), axis1=-2, axis2=-1
+                ).real.copy()
+            except np.linalg.LinAlgError:
+                return np.diagonal(
+                    np.linalg.pinv(a), axis1=-2, axis2=-1
+                ).real.copy()
+    bad = ~np.isfinite(diagonal).all(axis=-1)
+    if np.any(bad):
+        diagonal[bad] = np.diagonal(
+            np.linalg.pinv(a[bad]), axis1=-2, axis2=-1
+        ).real
+    return diagonal
 
 
 def column_correlation(lhs: np.ndarray, rhs: np.ndarray) -> float:

@@ -171,3 +171,43 @@ class TestRoundTripProperties:
     def test_bytes_bits_inverse(self, payload):
         bits = bytes_to_bits(payload)
         assert np.packbits(bits).tobytes() == payload
+
+
+class TestRawBitBlocks:
+    """write_bits/read_bits, the whole-report packing path."""
+
+    def test_roundtrip_against_field_writes(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 1 << 7, size=50)
+        by_field = BitWriter()
+        for value in values:
+            by_field.write(int(value), 7)
+        shifts = np.arange(6, -1, -1)
+        bits = ((values[:, None] >> shifts) & 1).astype(np.uint8).reshape(-1)
+        by_block = BitWriter()
+        by_block.write_bits(bits)
+        assert by_block.getvalue() == by_field.getvalue()
+        reader = BitReader(by_block.getvalue())
+        np.testing.assert_array_equal(reader.read_bits(bits.size), bits)
+
+    def test_rejects_non_binary_values(self):
+        writer = BitWriter()
+        with pytest.raises(FeedbackError):
+            writer.write_bits(np.array([0, 1, 2]))
+        with pytest.raises(FeedbackError):
+            writer.write_bits(np.array([0.5, 0.9]))  # silent truncation trap
+        with pytest.raises(FeedbackError):
+            writer.write_bits(np.array([-1, 0]))
+
+    def test_empty_block_is_noop(self):
+        writer = BitWriter()
+        writer.write_bits(np.array([], dtype=np.uint8))
+        assert writer.bit_length == 0
+        assert writer.getvalue() == b""
+
+    def test_buffer_growth_preserves_contents(self):
+        writer = BitWriter(capacity=8)
+        pattern = np.tile(np.array([1, 0, 1, 1], dtype=np.uint8), 100)
+        writer.write_bits(pattern)
+        reader = BitReader(writer.getvalue())
+        np.testing.assert_array_equal(reader.read_bits(pattern.size), pattern)
