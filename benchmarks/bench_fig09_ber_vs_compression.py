@@ -8,55 +8,40 @@ K = 1/8 lands near the 802.11 BER.
 
 Full grid = 2 configs x 2 envs x 3 bandwidths x 4 compressions; at the
 default fast fidelity this trains 48 small models (a few minutes).
+
+The grid executes through ``repro.runtime``: the ``fig09`` scenario
+preset expands to 60 tasks, completed points are reused from the
+content-addressed cache under ``benchmarks/results/runtime_cache``, and
+``REPRO_RUNTIME_WORKERS=N`` fans the remaining ones out over N worker
+processes (results are bit-identical to serial execution either way).
+A deterministic JSON artifact lands next to the rendered table.
 """
 
-import pytest
+import os
 
 from repro.analysis.report import ExperimentReport
-from repro.baselines import Dot11Feedback
-from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
-from repro.phy.link import LinkConfig
+from repro.runtime import ExperimentEngine, get_scenario
+from repro.runtime.registry import DATASET_GRID as GRID
 
-from benchmarks.conftest import record_report
+from benchmarks.conftest import RESULTS_DIR, record_report, runtime_cache
 
-COMPRESSIONS = (1 / 32, 1 / 16, 1 / 8, 1 / 4)
-#: Table I ids by (config, env, bandwidth).
-GRID = {
-    ("2x2", "E1", 20): "D1", ("3x3", "E1", 20): "D2",
-    ("2x2", "E2", 20): "D3", ("3x3", "E2", 20): "D4",
-    ("2x2", "E1", 40): "D5", ("3x3", "E1", 40): "D6",
-    ("2x2", "E2", 40): "D7", ("3x3", "E2", 40): "D8",
-    ("2x2", "E1", 80): "D9", ("3x3", "E1", 80): "D10",
-    ("2x2", "E2", 80): "D11", ("3x3", "E2", 80): "D12",
-}
-LINK = LinkConfig(snr_db=20.0)
+JSON_NAME = "fig09_ber_vs_compression.json"
 
 
-def compute_report(caches, fidelity) -> ExperimentReport:
-    report = ExperimentReport(
-        "Fig. 9: BER vs compression rate (SplitBeam vs 802.11), 16-QAM @ 20 dB"
-    )
-    for (config, env, bandwidth), dataset_id in GRID.items():
-        dataset = caches.dataset(dataset_id, fidelity)
-        indices = dataset.splits.test[: fidelity.ber_samples]
-        for compression in COMPRESSIONS:
-            trained = caches.trained(dataset_id, fidelity, compression)
-            evaluation = evaluate_scheme(
-                SplitBeamFeedback(trained), dataset, indices, LINK
-            )
-            report.add(
-                f"{config} {env} {bandwidth} MHz SB 1/{round(1 / compression)}",
-                "BER",
-                evaluation.ber,
-            )
-        dot11 = evaluate_scheme(Dot11Feedback(), dataset, indices, LINK)
-        report.add(f"{config} {env} {bandwidth} MHz 802.11", "BER", dot11.ber)
+def compute_report(fidelity) -> ExperimentReport:
+    scenario = get_scenario("fig09", fidelity=fidelity)
+    engine = ExperimentEngine(cache=runtime_cache())
+    run = engine.run(scenario)
+    run.write_json(os.path.join(RESULTS_DIR, JSON_NAME))
+    report = ExperimentReport(scenario.title)
+    for entry in run.points:
+        report.add(entry["label"], "BER", entry["result"]["ber"])
     return report
 
 
-def test_fig09_ber_vs_compression(benchmark, caches, bench_fidelity):
+def test_fig09_ber_vs_compression(benchmark, bench_fidelity):
     report = benchmark.pedantic(
-        compute_report, args=(caches, bench_fidelity), rounds=1, iterations=1
+        compute_report, args=(bench_fidelity,), rounds=1, iterations=1
     )
     record_report("fig09_ber_vs_compression", report.render(precision=4))
 

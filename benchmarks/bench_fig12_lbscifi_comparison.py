@@ -12,6 +12,11 @@ LB-SciFi's at every K (the paper quotes a 78% average reduction);
 (ii) single- and cross-environment BERs are comparable between the two
 DNN schemes.
 
+The BER panel executes through ``repro.runtime`` (scenario preset
+``fig12-ber``): completed points are reused from the result cache, and
+``REPRO_RUNTIME_WORKERS=N`` parallelizes the four DNN trainings.  A
+deterministic JSON artifact lands next to the rendered table.
+
 80 MHz at TRANSFER fidelity trains four DNNs (~10 min); set
 REPRO_BENCH_FIG12_BW=40 or =20 for a faster pass.
 """
@@ -19,38 +24,18 @@ REPRO_BENCH_FIG12_BW=40 or =20 for a faster pass.
 import os
 
 from repro.analysis.report import ExperimentReport
-from repro.baselines import train_lbscifi
-from repro.config import Fidelity
 from repro.core.costs import splitbeam_head_flops
 from repro.core.model import SplitBeamNet, three_layer_widths
-from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
-from repro.core.training import train_splitbeam
-from repro.datasets import build_dataset, dataset_spec
-from repro.phy.link import LinkConfig
+from repro.phy.ofdm import band_plan
+from repro.runtime import ExperimentEngine, get_scenario
 from repro.standard.flopmodel import dot11_flops
 from repro.standard.givens import angle_counts
 
-from benchmarks.conftest import record_report
+from benchmarks.conftest import RESULTS_DIR, record_report, runtime_cache
 
 COMPRESSIONS = (1 / 32, 1 / 16, 1 / 8, 1 / 4)
-BER_COMPRESSION = 1 / 8
-LINK = LinkConfig(snr_db=20.0)
 
-#: Table I ids for the 3x3 datasets by (env, bandwidth).
-DATASET_IDS = {("E1", 20): "D2", ("E2", 20): "D4",
-               ("E1", 40): "D6", ("E2", 40): "D8",
-               ("E1", 80): "D10", ("E2", 80): "D12"}
-
-#: TRANSFER-like budget, trimmed for the wide 80 MHz inputs.
-FIG12_FIDELITY = Fidelity(
-    name="fig12",
-    n_samples=2000,
-    n_sessions=8,
-    epochs=50,
-    ber_samples=50,
-    ofdm_symbols=1,
-    reset_interval=8,
-)
+JSON_NAME = "fig12_lbscifi_comparison.json"
 
 
 def flops_panel(report: ExperimentReport, n_tx: int, n_sc: int) -> None:
@@ -77,50 +62,15 @@ def flops_panel(report: ExperimentReport, n_tx: int, n_sc: int) -> None:
 
 def compute_report() -> ExperimentReport:
     bandwidth = int(os.environ.get("REPRO_BENCH_FIG12_BW", "80"))
-    report = ExperimentReport(
-        f"Fig. 12: SplitBeam vs LB-SciFi, 3x3 @ {bandwidth} MHz"
-    )
-    fidelity = FIG12_FIDELITY
-    datasets = {
-        env: build_dataset(
-            dataset_spec(DATASET_IDS[(env, bandwidth)]),
-            fidelity=fidelity,
-            seed=7 if env == "E1" else 8,
-        )
-        for env in ("E1", "E2")
-    }
-    schemes = {}
-    for env, dataset in datasets.items():
-        schemes[("SplitBeam", env)] = SplitBeamFeedback(
-            train_splitbeam(
-                dataset, compression=BER_COMPRESSION, fidelity=fidelity, seed=0
-            )
-        )
-        schemes[("LB-SciFi", env)] = train_lbscifi(
-            dataset, compression=BER_COMPRESSION, fidelity=fidelity, seed=0
-        )
+    scenario = get_scenario("fig12-ber", bandwidth=bandwidth)
+    engine = ExperimentEngine(cache=runtime_cache())
+    run = engine.run(scenario)
+    run.write_json(os.path.join(RESULTS_DIR, JSON_NAME))
 
-    protocols = [
-        ("E1", "E1", "E1"), ("E2", "E2", "E2"),
-        ("E1/E2", "E1", "E2"), ("E2/E1", "E2", "E1"),
-    ]
-    for label, train_env, test_env in protocols:
-        test_ds = datasets[test_env]
-        indices = test_ds.splits.test[: fidelity.ber_samples]
-        for scheme_name in ("SplitBeam", "LB-SciFi"):
-            evaluation = evaluate_scheme(
-                schemes[(scheme_name, train_env)],
-                datasets[train_env],
-                indices=indices,
-                link_config=LINK,
-                eval_dataset=test_ds if test_env != train_env else None,
-            )
-            report.add(
-                f"BER {label} {scheme_name} (K=1/8)", "BER", evaluation.ber
-            )
-
-    n_sc = datasets["E1"].n_subcarriers
-    flops_panel(report, n_tx=3, n_sc=n_sc)
+    report = ExperimentReport(scenario.title)
+    for entry in run.points:
+        report.add(entry["label"], "BER", entry["result"]["ber"])
+    flops_panel(report, n_tx=3, n_sc=band_plan(bandwidth).n_subcarriers)
     return report
 
 

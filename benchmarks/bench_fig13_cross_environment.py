@@ -8,40 +8,21 @@ transfer to E1 better than the reverse.
 The paper's grid covers 20/40/80 MHz; the default bench runs 20 and
 40 MHz (80 MHz at transfer fidelity triples the runtime — set
 REPRO_BENCH_FIG13_BW="20,40,80" to include it).
+
+The grid executes through ``repro.runtime`` (scenario preset ``fig13``):
+completed points are reused from the content-addressed cache, and
+``REPRO_RUNTIME_WORKERS=N`` parallelizes the model trainings.  A
+deterministic JSON artifact lands next to the rendered table.
 """
 
 import os
 
 from repro.analysis.report import ExperimentReport
-from repro.baselines import Dot11Feedback
-from repro.config import Fidelity
-from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
-from repro.core.training import train_splitbeam
-from repro.datasets import build_dataset, dataset_spec
-from repro.phy.link import LinkConfig
+from repro.runtime import ExperimentEngine, get_scenario
 
-from benchmarks.conftest import record_report
+from benchmarks.conftest import RESULTS_DIR, record_report, runtime_cache
 
-COMPRESSION = 1 / 8
-LINK = LinkConfig(snr_db=20.0)
-DATASET_IDS = {
-    ("2x2", "E1", 20): "D1", ("3x3", "E1", 20): "D2",
-    ("2x2", "E2", 20): "D3", ("3x3", "E2", 20): "D4",
-    ("2x2", "E1", 40): "D5", ("3x3", "E1", 40): "D6",
-    ("2x2", "E2", 40): "D7", ("3x3", "E2", 40): "D8",
-    ("2x2", "E1", 80): "D9", ("3x3", "E1", 80): "D10",
-    ("2x2", "E2", 80): "D11", ("3x3", "E2", 80): "D12",
-}
-
-FIG13_FIDELITY = Fidelity(
-    name="fig13",
-    n_samples=2000,
-    n_sessions=8,
-    epochs=50,
-    ber_samples=50,
-    ofdm_symbols=1,
-    reset_interval=8,
-)
+JSON_NAME = "fig13_cross_environment.json"
 
 
 def compute_report() -> ExperimentReport:
@@ -49,57 +30,14 @@ def compute_report() -> ExperimentReport:
         int(b)
         for b in os.environ.get("REPRO_BENCH_FIG13_BW", "20,40").split(",")
     )
-    fidelity = FIG13_FIDELITY
-    report = ExperimentReport(
-        "Fig. 13: cross-environment BER, K = 1/8 "
-        "(X/Y = trained in X, tested in Y)"
-    )
-    for config in ("2x2", "3x3"):
-        for bandwidth in bandwidths:
-            datasets = {
-                env: build_dataset(
-                    dataset_spec(DATASET_IDS[(config, env, bandwidth)]),
-                    fidelity=fidelity,
-                    seed=7 if env == "E1" else 8,
-                )
-                for env in ("E1", "E2")
-            }
-            models = {
-                env: SplitBeamFeedback(
-                    train_splitbeam(
-                        datasets[env],
-                        compression=COMPRESSION,
-                        fidelity=fidelity,
-                        seed=0,
-                    )
-                )
-                for env in ("E1", "E2")
-            }
-            for train_env, test_env in (
-                ("E1", "E1"), ("E1", "E2"), ("E2", "E2"), ("E2", "E1"),
-            ):
-                test_ds = datasets[test_env]
-                evaluation = evaluate_scheme(
-                    models[train_env],
-                    datasets[train_env],
-                    indices=test_ds.splits.test[: fidelity.ber_samples],
-                    link_config=LINK,
-                    eval_dataset=test_ds if test_env != train_env else None,
-                )
-                report.add(
-                    f"{config} {bandwidth} MHz {train_env}/{test_env}",
-                    "BER",
-                    evaluation.ber,
-                )
-            dot11 = evaluate_scheme(
-                Dot11Feedback(),
-                datasets["E1"],
-                indices=datasets["E1"].splits.test[: fidelity.ber_samples],
-                link_config=LINK,
-            )
-            report.add(
-                f"{config} {bandwidth} MHz 802.11 (E1)", "BER", dot11.ber
-            )
+    scenario = get_scenario("fig13", bandwidths=bandwidths)
+    engine = ExperimentEngine(cache=runtime_cache())
+    run = engine.run(scenario)
+    run.write_json(os.path.join(RESULTS_DIR, JSON_NAME))
+
+    report = ExperimentReport(scenario.title)
+    for entry in run.points:
+        report.add(entry["label"], "BER", entry["result"]["ber"])
     return report
 
 

@@ -22,8 +22,16 @@ import pytest
 from repro.config import fidelity as fidelity_preset
 from repro.datasets import build_dataset, dataset_spec
 from repro.core.training import train_splitbeam
+from repro.runtime import ResultCache, default_cache_root
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def runtime_cache() -> ResultCache:
+    """The engine benches' result cache ($REPRO_RUNTIME_CACHE overrides)."""
+    return ResultCache(
+        default_cache_root(os.path.join(RESULTS_DIR, "runtime_cache"))
+    )
 
 _REPORTS: list[str] = []
 

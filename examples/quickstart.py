@@ -6,6 +6,11 @@ the IEEE 802.11 compressed-feedback baseline and the ideal (unquantized
 SVD) feedback on the paper's three axes: BER, STA computational load,
 and feedback size.
 
+To run whole experiment *grids* like this one declaratively — with
+worker-pool parallelism and content-addressed result caching — see
+``examples/scenario_engine.py`` and ``docs/runtime.md``
+(``repro.runtime``).
+
 Run:  python examples/quickstart.py
 """
 

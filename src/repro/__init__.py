@@ -22,7 +22,10 @@ Sub-packages
 - ``repro.baselines`` -- LB-SciFi and 802.11 feedback pipelines;
 - ``repro.sounding`` -- channel-sounding protocol and delay model;
 - ``repro.fpga`` -- FPGA latency model (Table III);
-- ``repro.analysis`` -- experiment reporting helpers.
+- ``repro.analysis`` -- experiment reporting helpers;
+- ``repro.perf`` -- wall-clock benchmarks and profiling hooks;
+- ``repro.runtime`` -- scenario registry, worker-pool experiment
+  engine, and content-addressed result caching (``docs/runtime.md``).
 
 See DESIGN.md for the full system inventory and per-experiment index.
 """
@@ -78,6 +81,13 @@ from repro.sounding import (
     feedback_overhead_rate_bps,
 )
 from repro.fpga import table3_latency_s, splitbeam_latency_s
+from repro.runtime import (
+    ExperimentEngine,
+    ResultCache,
+    Scenario,
+    get_scenario,
+    scenario_names,
+)
 
 __all__ = [
     "__version__",
@@ -145,4 +155,10 @@ __all__ = [
     "feedback_overhead_rate_bps",
     "table3_latency_s",
     "splitbeam_latency_s",
+    # runtime orchestration
+    "ExperimentEngine",
+    "ResultCache",
+    "Scenario",
+    "get_scenario",
+    "scenario_names",
 ]

@@ -34,7 +34,12 @@ class Dot11Feedback(FeedbackScheme):
     def reconstruct_bf(
         self, dataset: CsiDataset, indices: np.ndarray
     ) -> np.ndarray:
-        bf_true = dataset.link_bf(indices)  # (n, users, S, Nt), gauge-fixed
+        # dataset.link_bf is gauge-fixed (n, users, S, Nt).
+        return self.quantize_reconstruct(dataset.link_bf(indices))
+
+    def quantize_reconstruct(self, bf_true: np.ndarray) -> np.ndarray:
+        """Round-trip ``(..., S, Nt)`` beamforming vectors through the
+        standard's quantized-angle pipeline (no dataset required)."""
         angles = givens_decompose(bf_true[..., :, None])
         phi_codes, psi_codes = quantize_angles(angles, self.quantizer)
         recovered = dequantize_angles(

@@ -10,6 +10,15 @@ into the goodput left for data at an SINR-selected MCS.
 
 This is the integration surface the examples and the end-to-end tests
 drive; each constituent model is unit-tested in its own package.
+
+The campaign loop executes through :mod:`repro.runtime.executor`: each
+sounding round is a pure measurement task, and the RNG/scheme logic
+runs in ``resolve`` hooks in the coordinating process, in round order.
+Fixed-scheme (802.11-only) sessions have no cross-round coupling, so
+their rounds form an edge-free DAG that a worker pool runs in parallel;
+adaptive sessions are a feedback chain (the controller reacts to each
+round before the next is planned) and always execute in-process.
+Results are identical for any worker count either way.
 """
 
 from __future__ import annotations
@@ -19,12 +28,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.adaptive import AdaptiveCompressionController, QosProfile
-from repro.core.training import TrainedSplitBeam, predict_bf
+from repro.core.training import TrainedSplitBeam
 from repro.core.zoo import ModelZoo, NetworkConfiguration
 from repro.datasets.builder import CsiDataset
 from repro.errors import ConfigurationError
 from repro.phy.link import LinkConfig, LinkSimulator
 from repro.phy.mcs import data_rate_bps, select_mcs
+from repro.runtime.executor import Task, run_tasks
 from repro.sounding.campaign import MU_MIMO_SOUNDING_INTERVAL_S, SoundingCampaign
 from repro.standard.feedback import Dot11FeedbackConfig, bmr_bits
 
@@ -106,6 +116,12 @@ class NetworkSession:
         BER ceiling and objective weighting for the adaptive controller.
     samples_per_round:
         CSI samples measured per sounding round (more = smoother BER).
+    n_workers:
+        Worker processes for the round measurements (``None`` reads
+        ``$REPRO_RUNTIME_WORKERS``; the default 1 stays in-process).
+        Only fixed-scheme sessions parallelize — an adaptive session's
+        rounds are a controller feedback chain with nothing to overlap,
+        so it always runs in-process.  Results never depend on this.
     """
 
     def __init__(
@@ -118,6 +134,7 @@ class NetworkSession:
         interval_s: float = MU_MIMO_SOUNDING_INTERVAL_S,
         samples_per_round: int = 8,
         seed: int = 0,
+        n_workers: int | None = None,
     ) -> None:
         if samples_per_round < 1:
             raise ConfigurationError("samples_per_round must be >= 1")
@@ -137,6 +154,7 @@ class NetworkSession:
         self.interval_s = float(interval_s)
         self.samples_per_round = int(samples_per_round)
         self.rng = np.random.default_rng(seed)
+        self.n_workers = n_workers
         self.trained_models = trained_models
         self.controller: AdaptiveCompressionController | None = None
         if zoo is not None:
@@ -162,28 +180,44 @@ class NetworkSession:
             )
         )
 
-    def _measure_round(
-        self, indices: np.ndarray
-    ) -> tuple[str, int, float, float]:
-        """Returns (scheme label, feedback bits, BER, mean SINR dB)."""
-        channels = self.dataset.link_channels(indices)
+    def _round_params(self, indices: np.ndarray) -> dict:
+        """Parameters for one ``session_round`` task (pure measurement).
+
+        Ships only the round's data slices (and the model, for DNN
+        rounds) — not the dataset — so a worker pool never pickles the
+        full CSI tensors.
+        """
         if self.controller is not None and self.trained_models is not None:
             entry = self.controller.current
             trained = self.trained_models[entry.model.bottleneck_dim]
-            bf = predict_bf(
-                trained.model, self.dataset, indices, quantizer=trained.quantizer
-            )
-            scheme = entry.model.label()
-            bits = entry.feedback_bits
+            x, _ = self.dataset.model_arrays(indices)
+            scheme = {
+                "kind": "model",
+                "label": entry.model.label(),
+                "bits": entry.feedback_bits,
+                "model": trained.model,
+                "quantizer": trained.quantizer,
+                "x": x,
+            }
         else:
-            from repro.baselines.dot11 import Dot11Feedback
+            scheme = {
+                "kind": "dot11",
+                "bits": self._dot11_bits(),
+                "bf_true": self.dataset.link_bf(indices),
+            }
+        return {
+            "channels": self.dataset.link_channels(indices),
+            "link_config": self.link.config,
+            "scheme": scheme,
+        }
 
-            bf = Dot11Feedback().reconstruct_bf(self.dataset, indices)
-            scheme = "802.11"
-            bits = self._dot11_bits()
-        ber = self.link.measure_ber(channels, bf).ber
-        metrics = self.link.measure_metrics(channels, bf)
-        return scheme, bits, ber, metrics.mean_sinr_db
+    def _observe(self, ber: float, actions: "list[str]") -> None:
+        """Feed one round's BER to the controller; record its action."""
+        if self.controller is not None:
+            self.controller.observe(ber)
+            actions.append(self.controller.history[-1][1])
+        else:
+            actions.append("n/a")
 
     # -- public API -----------------------------------------------------------
 
@@ -191,20 +225,52 @@ class NetworkSession:
         """Simulate ``n_rounds`` sounding rounds and aggregate a report."""
         if n_rounds < 1:
             raise ConfigurationError("n_rounds must be >= 1")
-        report = SessionReport()
         pool = self.dataset.splits.test
         n_users = self.dataset.n_users
-        for round_index in range(n_rounds):
-            indices = self.rng.choice(
-                pool, size=min(self.samples_per_round, pool.size), replace=False
+        actions: list[str] = []
+        # Adaptive sessions are a feedback chain: round i's scheme
+        # choice needs round i-1's BER observed first, so the DAG is a
+        # line and a pool would only add pickling overhead — run those
+        # in-process.  Fixed-scheme rounds are independent tasks.
+        chained = self.controller is not None
+
+        # The resolve hooks run in the coordinator, in round order (for
+        # the chain: after the previous round's BER has been observed),
+        # preserving the serial loop's exact RNG and controller
+        # trajectory.
+        def make_resolve(round_index: int):
+            def resolve(dep_results: dict) -> dict:
+                if chained and round_index > 0:
+                    prev = dep_results[f"round-{round_index - 1:04d}"]
+                    self._observe(prev["ber"], actions)
+                indices = self.rng.choice(
+                    pool,
+                    size=min(self.samples_per_round, pool.size),
+                    replace=False,
+                )
+                return self._round_params(indices)
+
+            return resolve
+
+        tasks = [
+            Task(
+                task_id=f"round-{i:04d}",
+                fn="repro.runtime.tasks:session_round",
+                deps=(f"round-{i - 1:04d}",) if chained and i > 0 else (),
+                resolve=make_resolve(i),
             )
-            scheme, bits, ber, sinr_db = self._measure_round(indices)
+            for i in range(n_rounds)
+        ]
+        results = run_tasks(tasks, n_workers=1 if chained else self.n_workers)
+        if chained:
+            self._observe(results[f"round-{n_rounds - 1:04d}"]["ber"], actions)
+        else:
+            actions = ["n/a"] * n_rounds
 
-            action = "n/a"
-            if self.controller is not None:
-                self.controller.observe(ber)
-                action = self.controller.history[-1][1]
-
+        report = SessionReport()
+        for round_index in range(n_rounds):
+            measured = results[f"round-{round_index:04d}"]
+            bits = measured["feedback_bits"]
             campaign = SoundingCampaign(
                 n_users=n_users,
                 bandwidth_mhz=self.dataset.spec.bandwidth_mhz,
@@ -212,7 +278,7 @@ class NetworkSession:
                 interval_s=self.interval_s,
             )
             occupancy = campaign.report().occupancy
-            mcs = select_mcs(sinr_db, backoff_db=3.0)
+            mcs = select_mcs(measured["mean_sinr_db"], backoff_db=3.0)
             rate = data_rate_bps(
                 mcs.index,
                 self.dataset.spec.bandwidth_mhz,
@@ -222,14 +288,14 @@ class NetworkSession:
             report.rounds.append(
                 RoundRecord(
                     index=round_index,
-                    scheme=scheme,
+                    scheme=measured["scheme"],
                     feedback_bits=bits,
-                    ber=ber,
-                    mean_sinr_db=sinr_db,
+                    ber=measured["ber"],
+                    mean_sinr_db=measured["mean_sinr_db"],
                     occupancy=occupancy,
                     mcs_index=mcs.index,
                     goodput_bps=goodput,
-                    controller_action=action,
+                    controller_action=actions[round_index],
                 )
             )
         return report

@@ -30,6 +30,7 @@ __all__ = [
     "TrainedSplitBeam",
     "train_splitbeam",
     "predict_bf",
+    "bf_from_model_inputs",
     "ber_of_model",
 ]
 
@@ -184,17 +185,39 @@ def predict_bf(
     feedback -> tail), i.e. including over-the-air quantization error.
     """
     x, _ = dataset.model_arrays(indices)
+    return bf_from_model_inputs(
+        model,
+        x,
+        n_users=dataset.n_users,
+        n_subcarriers=dataset.n_subcarriers,
+        n_tx=dataset.spec.n_tx,
+        quantizer=quantizer,
+    )
+
+
+def bf_from_model_inputs(
+    model: Module,
+    x: np.ndarray,
+    n_users: int,
+    n_subcarriers: int,
+    n_tx: int,
+    quantizer: BottleneckQuantizer | None = None,
+) -> np.ndarray:
+    """:func:`predict_bf` core on pre-extracted model inputs.
+
+    ``x`` holds one row per (sample, user) as produced by
+    :meth:`CsiDataset.model_arrays`; callers that cannot (or should
+    not) ship a whole dataset — e.g. session round tasks on a worker
+    pool — extract the rows once and call this directly.
+    """
     if isinstance(model, SplitBeamNet) and quantizer is not None:
         outputs = SplitExecutor(model, quantizer).run(x)
     else:
         model.eval()
         outputs = model.forward(x)
-    n = indices.shape[0]
-    users = dataset.n_users
-    n_sc = dataset.n_subcarriers
-    n_tx = dataset.spec.n_tx
-    bf = real_to_complex(outputs, (n_sc, n_tx))
-    return bf.reshape(n, users, n_sc, n_tx)
+    n = x.shape[0] // n_users
+    bf = real_to_complex(outputs, (n_subcarriers, n_tx))
+    return bf.reshape(n, n_users, n_subcarriers, n_tx)
 
 
 def ber_of_model(

@@ -1,0 +1,77 @@
+"""``repro.runtime``: parallel experiment orchestration.
+
+The figure benchmarks, sweeps, and session campaigns all expand to grids
+of *pure, seeded* measurement tasks.  This package turns those grids
+into explicit plans and executes them with reuse:
+
+- :mod:`repro.runtime.spec` — declarative :class:`Scenario` specs
+  (dataset, scheme, link grids) expressed as plain JSON-able mappings;
+- :mod:`repro.runtime.registry` — named scenario presets covering the
+  paper's figures plus new workloads (160 MHz, mobility, multi-user
+  scaling, cross-environment matrices);
+- :mod:`repro.runtime.planner` — expands a scenario into a DAG of
+  tasks with stable content-addressed keys;
+- :mod:`repro.runtime.executor` — runs task DAGs on a worker pool
+  (with a deterministic in-process fallback); results are bit-identical
+  to serial execution because every task is a pure function of its
+  parameters;
+- :mod:`repro.runtime.cache` — content-addressed result store keyed by
+  (task spec, code version) so re-runs and overlapping scenarios skip
+  completed points;
+- :mod:`repro.runtime.engine` — the :class:`ExperimentEngine` tying
+  planner, executor, and cache together.
+
+See ``docs/runtime.md`` for the scenario format, cache layout, worker
+model, and determinism guarantees.
+"""
+
+from repro.runtime.cache import ResultCache, default_cache_root
+from repro.runtime.engine import EngineRun, ExperimentEngine
+from repro.runtime.executor import (
+    Task,
+    TaskExecutionError,
+    resolve_worker_count,
+    run_tasks,
+)
+from repro.runtime.hashing import canonical_json, code_version, task_key
+from repro.runtime.planner import PlannedTask, plan_scenario
+from repro.runtime.registry import get_scenario, register_scenario, scenario_names
+from repro.runtime.spec import (
+    Scenario,
+    dot11,
+    fidelity_from_dict,
+    fidelity_to_dict,
+    grid,
+    ideal,
+    lbscifi,
+    point,
+    splitbeam,
+)
+
+__all__ = [
+    "Scenario",
+    "point",
+    "grid",
+    "dot11",
+    "ideal",
+    "lbscifi",
+    "splitbeam",
+    "fidelity_to_dict",
+    "fidelity_from_dict",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "PlannedTask",
+    "plan_scenario",
+    "Task",
+    "TaskExecutionError",
+    "run_tasks",
+    "resolve_worker_count",
+    "ResultCache",
+    "default_cache_root",
+    "canonical_json",
+    "code_version",
+    "task_key",
+    "EngineRun",
+    "ExperimentEngine",
+]

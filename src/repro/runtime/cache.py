@@ -1,0 +1,102 @@
+"""Content-addressed result store for completed experiment points.
+
+Layout: one JSON file per task under the cache root, named by the task
+key (sha256 of canonical spec + code version, see
+:mod:`repro.runtime.hashing`):
+
+    <root>/<key>.json   ->   {"schema_version": 1, "key": ..., "spec": ...,
+                              "result": ...}
+
+Because the key embeds the code version, a library change silently
+invalidates every entry (old files are simply never addressed again);
+``prune`` removes unaddressable leftovers.  Writes are atomic
+(write-to-temp + rename), so a crashed run leaves a resumable cache:
+the next run reuses every completed point and recomputes only the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultCache", "default_cache_root"]
+
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_ENV = "REPRO_RUNTIME_CACHE"
+
+
+def default_cache_root(fallback: "str | None" = None) -> str:
+    """$REPRO_RUNTIME_CACHE, else ``fallback``, else the in-repo default.
+
+    The benchmarks pass their results directory as ``fallback`` so the
+    environment variable can redirect the cache (e.g. to scratch
+    storage) without editing any bench.
+    """
+    configured = os.environ.get(CACHE_ENV)
+    if configured:
+        return configured
+    if fallback is not None:
+        return fallback
+    return os.path.join("benchmarks", "results", "runtime_cache")
+
+
+class ResultCache:
+    """A directory of content-addressed task results."""
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        if not str(root):
+            raise ConfigurationError("cache root must be non-empty")
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str):
+        """The cached result for ``key``, or ``None`` on miss/corruption."""
+        path = self.path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        return payload.get("result")
+
+    def put(self, key: str, spec, result) -> Path:
+        """Store one completed point (atomic write; last writer wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "spec": spec,
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def keys(self) -> "list[str]":
+        """Keys of every entry currently on disk (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def prune(self, live_keys) -> int:
+        """Delete entries not in ``live_keys``; returns how many went."""
+        live = set(live_keys)
+        removed = 0
+        for key in self.keys():
+            if key not in live:
+                self.path(key).unlink(missing_ok=True)
+                removed += 1
+        return removed

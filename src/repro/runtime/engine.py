@@ -1,0 +1,161 @@
+"""The experiment engine: plan, cache-check, execute, store, report.
+
+:class:`ExperimentEngine` is the orchestration entry point the figure
+benchmarks and examples use::
+
+    engine = ExperimentEngine(cache=ResultCache("benchmarks/results/runtime_cache"),
+                              n_workers=4)
+    run = engine.run(get_scenario("fig09"))
+    engine.write_results(run, "benchmarks/results/fig09.json")
+
+Determinism contract: ``run.to_dict()`` is byte-identical whatever the
+worker count and whether points came from workers or the cache, because
+every task is a pure seeded function and cache keys embed the code
+version.  Wall-clock statistics live on the :class:`EngineRun` object
+only — the JSON artifact carries no timestamps, so re-runs diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import resolve_worker_count, run_tasks
+from repro.runtime.hashing import code_version
+from repro.runtime.planner import plan_scenario
+from repro.runtime.spec import Scenario
+
+__all__ = ["EngineRun", "ExperimentEngine"]
+
+#: Bump when the result-artifact layout changes incompatibly.
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class EngineRun:
+    """The outcome of one scenario execution."""
+
+    scenario: str
+    title: str
+    fidelity: dict
+    points: "list[dict]"  # {"label", "key", "result"} in scenario order
+    n_tasks: int
+    n_cached: int
+    n_executed: int
+    n_workers: int
+    wall_s: float = 0.0
+    code_version: str = ""
+
+    def result(self, label: str) -> dict:
+        """The result mapping for one point label."""
+        for entry in self.points:
+            if entry["label"] == label:
+                return entry["result"]
+        raise ConfigurationError(f"no point labelled {label!r}")
+
+    def values(self, metric: str = "ber") -> "dict[str, float]":
+        """``{label: result[metric]}`` over all points."""
+        return {p["label"]: p["result"][metric] for p in self.points}
+
+    def to_dict(self) -> dict:
+        """Deterministic artifact payload (no timestamps, no wall time)."""
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "title": self.title,
+            "fidelity": self.fidelity,
+            "code_version": self.code_version,
+            "points": self.points,
+        }
+
+    def write_json(self, path: "str | os.PathLike") -> None:
+        """Write the artifact (2-space indent, sorted keys, trailing \\n)."""
+        if not str(path):
+            raise ConfigurationError("result path must be non-empty")
+        directory = os.path.dirname(str(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class ExperimentEngine:
+    """Runs scenarios through the planner, cache, and worker pool.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`ResultCache` (or ``None`` to always recompute).
+    n_workers:
+        Worker processes; ``None`` reads ``$REPRO_RUNTIME_WORKERS``
+        (default 1 = the deterministic in-process executor).
+    """
+
+    def __init__(
+        self,
+        cache: "ResultCache | None" = None,
+        n_workers: "int | None" = None,
+    ) -> None:
+        self.cache = cache
+        self.n_workers = resolve_worker_count(n_workers)
+
+    def run(self, scenario: Scenario) -> EngineRun:
+        """Execute every point of ``scenario`` (reusing cached ones)."""
+        start = time.perf_counter()
+        version = code_version()
+        planned = plan_scenario(
+            scenario, version=version, n_workers=self.n_workers
+        )
+        results: "dict[int, dict]" = {}
+        to_run = []
+        for entry in planned:
+            cached = self.cache.get(entry.key) if self.cache else None
+            if cached is not None:
+                results[entry.index] = cached
+            else:
+                to_run.append(entry)
+
+        by_task_id = {entry.task.task_id: entry for entry in to_run}
+
+        def persist(task_id: str, result) -> None:
+            # Store each point the moment it completes, so an
+            # interrupted run resumes from every finished point.
+            if self.cache is not None:
+                entry = by_task_id[task_id]
+                self.cache.put(entry.key, entry.spec, result)
+
+        executed = run_tasks(
+            [entry.task for entry in to_run],
+            n_workers=self.n_workers,
+            on_result=persist,
+        )
+        for entry in to_run:
+            results[entry.index] = executed[entry.task.task_id]
+        return EngineRun(
+            scenario=scenario.name,
+            title=scenario.title,
+            fidelity=dict(scenario.fidelity),
+            points=[
+                {
+                    "label": entry.label,
+                    "key": entry.key,
+                    "result": results[entry.index],
+                }
+                for entry in planned
+            ],
+            n_tasks=len(planned),
+            n_cached=len(planned) - len(to_run),
+            n_executed=len(to_run),
+            n_workers=self.n_workers,
+            wall_s=time.perf_counter() - start,
+            code_version=version,
+        )
+
+    def write_results(self, run: EngineRun, path: "str | os.PathLike") -> None:
+        """Alias for :meth:`EngineRun.write_json` (symmetry with ``run``)."""
+        run.write_json(path)

@@ -1,0 +1,239 @@
+"""Task-DAG execution: worker-pool sharding with a serial fallback.
+
+A :class:`Task` names a *pure* function (an importable ``"module:name"``
+string, or a picklable callable) and the parameters it receives as a
+single mapping.  Because tasks are pure and fully seeded, the result of
+:func:`run_tasks` is bit-identical whatever the worker count — the pool
+only changes wall time, never values.
+
+Dependencies form a DAG.  A dependent task may compute its parameters
+from its dependencies' results through a ``resolve`` hook, which runs in
+the coordinating process, in plan order — sequential logic (such as an
+adaptive controller reacting round by round) stays deterministic while
+the measurement itself still ships to a worker.
+
+Sharding: tasks carrying the same ``shard`` label are executed by the
+same worker in plan order, so per-process memoization (e.g. one worker
+building one dataset that several tasks reuse) stays effective.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import traceback
+import warnings
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "Task",
+    "TaskExecutionError",
+    "run_tasks",
+    "resolve_worker_count",
+]
+
+#: Environment variable consulted when ``n_workers`` is not given.
+WORKERS_ENV = "REPRO_RUNTIME_WORKERS"
+
+
+class TaskExecutionError(ReproError):
+    """A task raised inside the executor (serial or worker process)."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One pure unit of work in a DAG.
+
+    Parameters
+    ----------
+    task_id:
+        Unique name; dependency edges and the result dict use it.
+    fn:
+        ``"module:callable"`` or a picklable callable taking one mapping.
+    params:
+        The argument mapping (ignored when ``resolve`` is given).
+    deps:
+        Task ids that must complete first.
+    resolve:
+        Optional hook ``resolve({dep_id: result, ...}) -> params`` run in
+        the coordinator, in plan order, once all ``deps`` completed.
+    shard:
+        Optional affinity label: tasks sharing a shard run serially on
+        one worker (within a wave), preserving plan order.
+    """
+
+    task_id: str
+    fn: "str | Callable[[Mapping], object]"
+    params: Mapping | None = None
+    deps: tuple[str, ...] = ()
+    resolve: "Callable[[dict], Mapping] | None" = None
+    shard: str | None = None
+
+
+def resolve_worker_count(n_workers: "int | None") -> int:
+    """Effective worker count: explicit value, else $REPRO_RUNTIME_WORKERS, else 1."""
+    if n_workers is None:
+        raw = os.environ.get(WORKERS_ENV, "1")
+        try:
+            n_workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if n_workers < 1:
+        raise ConfigurationError("n_workers must be >= 1")
+    return int(n_workers)
+
+
+def _call(fn, params: Mapping | None):
+    if isinstance(fn, str):
+        module_name, _, attr = fn.partition(":")
+        if not module_name or not attr:
+            raise ConfigurationError(
+                f"task fn must be 'module:callable', got {fn!r}"
+            )
+        fn = getattr(importlib.import_module(module_name), attr)
+    return fn(dict(params or {}))
+
+
+def _run_chunk(payload):
+    """Worker entry point: run one shard chunk serially, in plan order."""
+    out = []
+    for task_id, fn, params in payload:
+        try:
+            out.append((task_id, _call(fn, params)))
+        except Exception:
+            # Chain-free raise: the original exception (and its cause)
+            # may not survive pickling back to the coordinator.
+            raise TaskExecutionError(
+                f"task {task_id!r} failed in worker:\n{traceback.format_exc()}"
+            ) from None
+    return out
+
+
+def _topological(tasks: Sequence[Task]) -> list[Task]:
+    """Kahn's algorithm preserving plan order; rejects cycles/bad edges."""
+    by_id: dict[str, Task] = {}
+    for task in tasks:
+        if task.task_id in by_id:
+            raise ConfigurationError(f"duplicate task id {task.task_id!r}")
+        by_id[task.task_id] = task
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in by_id:
+                raise ConfigurationError(
+                    f"task {task.task_id!r} depends on unknown task {dep!r}"
+                )
+    ordered: list[Task] = []
+    done: set[str] = set()
+    pending = list(tasks)
+    while pending:
+        ready = [t for t in pending if set(t.deps) <= done]
+        if not ready:
+            cycle = sorted(t.task_id for t in pending)
+            raise ConfigurationError(f"task graph has a cycle among {cycle}")
+        ordered.extend(ready)
+        done.update(t.task_id for t in ready)
+        pending = [t for t in pending if t.task_id not in done]
+    return ordered
+
+
+def _params_for(task: Task, results: dict) -> Mapping | None:
+    if task.resolve is None:
+        return task.params
+    return task.resolve({dep: results[dep] for dep in task.deps})
+
+
+def _run_serial(ordered: Sequence[Task], on_result=None) -> dict:
+    results: dict = {}
+    for task in ordered:
+        params = _params_for(task, results)
+        try:
+            results[task.task_id] = _call(task.fn, params)
+        except (ConfigurationError, TaskExecutionError):
+            raise
+        except Exception as exc:
+            raise TaskExecutionError(
+                f"task {task.task_id!r} failed: {exc!r}"
+            ) from exc
+        if on_result is not None:
+            on_result(task.task_id, results[task.task_id])
+    return results
+
+
+def _make_pool(n_workers: int):
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    context = multiprocessing.get_context(method)
+    return context.Pool(processes=n_workers)
+
+
+def _run_pool(ordered: Sequence[Task], n_workers: int, on_result=None) -> dict:
+    results: dict = {}
+    done: set[str] = set()
+    pending = list(ordered)
+    try:
+        pool = _make_pool(min(n_workers, len(pending)))
+    except (OSError, ValueError, ImportError) as exc:
+        warnings.warn(
+            f"worker pool unavailable ({exc!r}); falling back to the "
+            "deterministic in-process executor",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return _run_serial(ordered, on_result)
+    with pool:
+        while pending:
+            wave = [t for t in pending if set(t.deps) <= done]
+            chunks: dict[object, list[Task]] = {}
+            for task in wave:
+                key = task.shard if task.shard is not None else ("", task.task_id)
+                chunks.setdefault(key, []).append(task)
+            payloads = []
+            for chunk in chunks.values():
+                payloads.append(
+                    [
+                        (t.task_id, t.fn, dict(_params_for(t, results) or {}))
+                        for t in chunk
+                    ]
+                )
+            handles = [
+                pool.apply_async(_run_chunk, (payload,)) for payload in payloads
+            ]
+            for handle in handles:
+                for task_id, result in handle.get():
+                    results[task_id] = result
+                    if on_result is not None:
+                        on_result(task_id, result)
+            done.update(t.task_id for t in wave)
+            pending = [t for t in pending if t.task_id not in done]
+    return results
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    n_workers: "int | None" = None,
+    on_result: "Callable[[str, object], None] | None" = None,
+) -> dict:
+    """Execute a task DAG; returns ``{task_id: result}``.
+
+    ``n_workers=1`` (the default when ``$REPRO_RUNTIME_WORKERS`` is
+    unset) runs everything in-process.  With more workers, independent
+    tasks run on a process pool — results are identical either way.
+
+    ``on_result(task_id, result)`` fires in the coordinator as each
+    task completes, before the run finishes — the engine persists cache
+    entries through it, so an interrupted run keeps its completed
+    points.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return {}
+    ordered = _topological(tasks)
+    n_workers = resolve_worker_count(n_workers)
+    if n_workers <= 1 or len(tasks) == 1:
+        return _run_serial(ordered, on_result)
+    return _run_pool(ordered, n_workers, on_result)

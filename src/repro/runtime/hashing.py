@@ -1,0 +1,59 @@
+"""Stable hashing for task specs and the repository's code version.
+
+A cached result is only reusable if (a) the task spec is byte-for-byte
+the same and (b) the code that produced it has not changed.  Specs are
+hashed through a canonical JSON form (sorted keys, no whitespace), and
+the code version is a digest over every ``repro`` source file, so any
+edit to the library invalidates the cache wholesale — coarse, but it
+can never serve a stale number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["canonical_json", "code_version", "task_key"]
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN."""
+    try:
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"spec is not canonically JSON-serializable: {exc}"
+        ) from exc
+
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro/**/*.py`` source file (cached per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+def task_key(spec, version: str | None = None) -> str:
+    """Content address of one task: sha256 of (canonical spec, code version)."""
+    payload = canonical_json(
+        {"spec": spec, "code": code_version() if version is None else version}
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,434 @@
+"""Named scenario presets: the paper's figures and new workloads.
+
+Adding an experiment grid to the reproduction no longer means writing a
+driver script with hand-rolled loops — register a builder here and every
+consumer (benchmarks, examples, ad-hoc runs) gets planning, worker-pool
+execution, and result caching from :class:`~repro.runtime.engine.
+ExperimentEngine` for free.
+
+Presets
+-------
+``fig09``             BER vs compression grid (12 datasets x 4 K + 802.11)
+``fig12-ber``         SplitBeam vs LB-SciFi, single/cross environment
+``fig13``             cross-environment BER matrix for 2x2 and 3x3
+``synthetic-160mhz``  the 160 MHz coded-BER grid (D13-D15)
+``multiuser-scaling`` STA count 2 -> 4 at 160 MHz (D13-D15)
+``mobility-sweep``    channel re-randomization cadence as a mobility proxy
+``cross-env-matrix``  full train x test environment matrix at one config
+``snr-sweep``         BER vs operating SNR for the three core schemes
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.config import FAST, Fidelity
+from repro.errors import ConfigurationError
+from repro.runtime.spec import (
+    Scenario,
+    dot11,
+    fidelity_to_dict,
+    ideal,
+    lbscifi,
+    point,
+    splitbeam,
+)
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "FIG12_FIDELITY",
+    "FIG13_FIDELITY",
+    "FIG10_FIDELITY",
+]
+
+#: Table I ids by (config, env, bandwidth) for the experimental datasets.
+DATASET_GRID = {
+    ("2x2", "E1", 20): "D1", ("3x3", "E1", 20): "D2",
+    ("2x2", "E2", 20): "D3", ("3x3", "E2", 20): "D4",
+    ("2x2", "E1", 40): "D5", ("3x3", "E1", 40): "D6",
+    ("2x2", "E2", 40): "D7", ("3x3", "E2", 40): "D8",
+    ("2x2", "E1", 80): "D9", ("3x3", "E1", 80): "D10",
+    ("2x2", "E2", 80): "D11", ("3x3", "E2", 80): "D12",
+}
+
+#: Dataset-build seeds used throughout the figure benches.
+ENV_SEEDS = {"E1": 7, "E2": 8}
+
+LINK_20DB = {"snr_db": 20.0}
+
+#: TRANSFER-like budget, trimmed for the wide 80 MHz inputs (Fig. 12).
+FIG12_FIDELITY = Fidelity(
+    name="fig12",
+    n_samples=2000,
+    n_sessions=8,
+    epochs=50,
+    ber_samples=50,
+    ofdm_symbols=1,
+    reset_interval=8,
+)
+
+#: Cross-environment budget for the Fig. 13 matrix.
+FIG13_FIDELITY = Fidelity(
+    name="fig13",
+    n_samples=2000,
+    n_sessions=8,
+    epochs=50,
+    ber_samples=50,
+    ofdm_symbols=1,
+    reset_interval=8,
+)
+
+#: Reduced budget for the widest-band (160 MHz) models.
+FIG10_FIDELITY = Fidelity(
+    name="fig10",
+    n_samples=320,
+    n_sessions=4,
+    epochs=14,
+    ber_samples=24,
+    ofdm_symbols=1,
+    reset_interval=40,
+)
+
+_SCENARIOS: "dict[str, Callable[..., Scenario]]" = {}
+
+
+def register_scenario(name: str):
+    """Decorator registering ``fn(fidelity, **kwargs) -> Scenario``."""
+
+    def decorate(fn):
+        if name in _SCENARIOS:
+            raise ConfigurationError(f"scenario {name!r} already registered")
+        _SCENARIOS[name] = fn
+        return fn
+
+    return decorate
+
+
+def get_scenario(
+    name: str, fidelity: "Fidelity | None" = None, **kwargs
+) -> Scenario:
+    """Build a registered scenario (``fidelity=None`` = preset default)."""
+    try:
+        builder = _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; options: {scenario_names()}"
+        ) from None
+    return builder(fidelity=fidelity, **kwargs)
+
+
+def scenario_names() -> "list[str]":
+    return sorted(_SCENARIOS)
+
+
+def _fid(fidelity: "Fidelity | None", default: Fidelity) -> Fidelity:
+    return default if fidelity is None else fidelity
+
+
+@register_scenario("fig09")
+def _fig09(fidelity: "Fidelity | None" = None) -> Scenario:
+    """Fig. 9: BER vs compression, SplitBeam vs 802.11, full Table I grid."""
+    fidelity = _fid(fidelity, FAST)
+    compressions = (1 / 32, 1 / 16, 1 / 8, 1 / 4)
+    points = []
+    for (config, env, bandwidth), dataset_id in DATASET_GRID.items():
+        prefix = f"{config} {env} {bandwidth} MHz"
+        for compression in compressions:
+            points.append(
+                point(
+                    f"{prefix} SB 1/{round(1 / compression)}",
+                    dataset_id,
+                    splitbeam(compression),
+                    dataset_seed=7,
+                    link=LINK_20DB,
+                    ber_samples=fidelity.ber_samples,
+                )
+            )
+        points.append(
+            point(
+                f"{prefix} 802.11",
+                dataset_id,
+                dot11(),
+                dataset_seed=7,
+                link=LINK_20DB,
+                ber_samples=fidelity.ber_samples,
+            )
+        )
+    return Scenario(
+        name="fig09",
+        title="Fig. 9: BER vs compression rate (SplitBeam vs 802.11), "
+        "16-QAM @ 20 dB",
+        fidelity=fidelity_to_dict(fidelity),
+        points=tuple(points),
+    )
+
+
+@register_scenario("fig12-ber")
+def _fig12_ber(
+    fidelity: "Fidelity | None" = None, bandwidth: int = 80
+) -> Scenario:
+    """Fig. 12 BER panel: SplitBeam vs LB-SciFi, single and cross env."""
+    fidelity = _fid(fidelity, FIG12_FIDELITY)
+    dataset_ids = {
+        env: DATASET_GRID[("3x3", env, bandwidth)] for env in ("E1", "E2")
+    }
+    protocols = [
+        ("E1", "E1", "E1"), ("E2", "E2", "E2"),
+        ("E1/E2", "E1", "E2"), ("E2/E1", "E2", "E1"),
+    ]
+    schemes = {"SplitBeam": splitbeam(1 / 8), "LB-SciFi": lbscifi(1 / 8)}
+    points = []
+    for label, train_env, test_env in protocols:
+        for scheme_name, scheme in schemes.items():
+            cross = test_env != train_env
+            points.append(
+                point(
+                    f"BER {label} {scheme_name} (K=1/8)",
+                    dataset_ids[train_env],
+                    scheme,
+                    dataset_seed=ENV_SEEDS[train_env],
+                    eval_dataset_id=dataset_ids[test_env] if cross else None,
+                    eval_dataset_seed=ENV_SEEDS[test_env],
+                    link=LINK_20DB,
+                    ber_samples=fidelity.ber_samples,
+                )
+            )
+    return Scenario(
+        name="fig12-ber",
+        title=f"Fig. 12: SplitBeam vs LB-SciFi, 3x3 @ {bandwidth} MHz",
+        fidelity=fidelity_to_dict(fidelity),
+        points=tuple(points),
+    )
+
+
+@register_scenario("fig13")
+def _fig13(
+    fidelity: "Fidelity | None" = None,
+    bandwidths: Sequence[int] = (20, 40),
+) -> Scenario:
+    """Fig. 13: cross-environment BER matrix, K = 1/8."""
+    fidelity = _fid(fidelity, FIG13_FIDELITY)
+    points = []
+    for config in ("2x2", "3x3"):
+        for bandwidth in bandwidths:
+            ids = {
+                env: DATASET_GRID[(config, env, bandwidth)]
+                for env in ("E1", "E2")
+            }
+            for train_env, test_env in (
+                ("E1", "E1"), ("E1", "E2"), ("E2", "E2"), ("E2", "E1"),
+            ):
+                cross = test_env != train_env
+                points.append(
+                    point(
+                        f"{config} {bandwidth} MHz {train_env}/{test_env}",
+                        ids[train_env],
+                        splitbeam(1 / 8),
+                        dataset_seed=ENV_SEEDS[train_env],
+                        eval_dataset_id=ids[test_env] if cross else None,
+                        eval_dataset_seed=ENV_SEEDS[test_env],
+                        link=LINK_20DB,
+                        ber_samples=fidelity.ber_samples,
+                    )
+                )
+            points.append(
+                point(
+                    f"{config} {bandwidth} MHz 802.11 (E1)",
+                    ids["E1"],
+                    dot11(),
+                    dataset_seed=ENV_SEEDS["E1"],
+                    link=LINK_20DB,
+                    ber_samples=fidelity.ber_samples,
+                )
+            )
+    return Scenario(
+        name="fig13",
+        title="Fig. 13: cross-environment BER, K = 1/8 "
+        "(X/Y = trained in X, tested in Y)",
+        fidelity=fidelity_to_dict(fidelity),
+        points=tuple(points),
+    )
+
+
+@register_scenario("synthetic-160mhz")
+def _synthetic_160mhz(fidelity: "Fidelity | None" = None) -> Scenario:
+    """The paper's widest band: coded BER on D13-D15 at 160 MHz."""
+    fidelity = _fid(fidelity, FIG10_FIDELITY)
+    link = {"snr_db": 20.0, "use_coding": True, "n_ofdm_symbols": 1}
+    points = []
+    for config, dataset_id in (("2x2", "D13"), ("3x3", "D14"), ("4x4", "D15")):
+        for scheme_name, scheme in (
+            ("SplitBeam", splitbeam(1 / 8)),
+            ("LB-SciFi", lbscifi(1 / 8)),
+            ("802.11", dot11()),
+        ):
+            points.append(
+                point(
+                    f"{config} {scheme_name}",
+                    dataset_id,
+                    scheme,
+                    dataset_seed=7,
+                    link=link,
+                    ber_samples=fidelity.ber_samples,
+                )
+            )
+    return Scenario(
+        name="synthetic-160mhz",
+        title="160 MHz synthetic (D13-D15): coded BER, K = 1/8",
+        fidelity=fidelity_to_dict(fidelity),
+        points=tuple(points),
+    )
+
+
+@register_scenario("multiuser-scaling")
+def _multiuser_scaling(fidelity: "Fidelity | None" = None) -> Scenario:
+    """MU-MIMO group size scaling: 2, 3, 4 STAs at 160 MHz."""
+    fidelity = _fid(fidelity, FIG10_FIDELITY)
+    link = {"snr_db": 20.0, "use_coding": True, "n_ofdm_symbols": 1}
+    points = []
+    for n_users, dataset_id in ((2, "D13"), (3, "D14"), (4, "D15")):
+        points.append(
+            point(
+                f"{n_users} users 802.11",
+                dataset_id,
+                dot11(),
+                dataset_seed=7,
+                link=link,
+                ber_samples=fidelity.ber_samples,
+            )
+        )
+        points.append(
+            point(
+                f"{n_users} users SplitBeam (K=1/8)",
+                dataset_id,
+                splitbeam(1 / 8),
+                dataset_seed=7,
+                link=link,
+                ber_samples=fidelity.ber_samples,
+            )
+        )
+    return Scenario(
+        name="multiuser-scaling",
+        title="Multi-user scaling: BER vs MU-MIMO group size @ 160 MHz",
+        fidelity=fidelity_to_dict(fidelity),
+        points=tuple(points),
+    )
+
+
+@register_scenario("mobility-sweep")
+def _mobility_sweep(
+    fidelity: "Fidelity | None" = None,
+    dataset_id: str = "D5",
+    reset_intervals: Sequence[int] = (4, 8, 16, 40),
+) -> Scenario:
+    """Channel re-randomization cadence as a station-mobility proxy.
+
+    A smaller ``reset_interval`` means channels decorrelate faster
+    within a collection session — the high-mobility regime the paper's
+    sounding-interval discussion targets.
+    """
+    fidelity = _fid(fidelity, FAST)
+    points = []
+    for interval in reset_intervals:
+        for scheme_name, scheme in (
+            ("802.11", dot11()),
+            ("SplitBeam (K=1/8)", splitbeam(1 / 8)),
+        ):
+            points.append(
+                point(
+                    f"reset={interval} {scheme_name}",
+                    dataset_id,
+                    scheme,
+                    dataset_seed=7,
+                    reset_interval=int(interval),
+                    link=LINK_20DB,
+                    ber_samples=fidelity.ber_samples,
+                )
+            )
+    return Scenario(
+        name="mobility-sweep",
+        title=f"Mobility sweep: BER vs channel reset interval ({dataset_id})",
+        fidelity=fidelity_to_dict(fidelity),
+        points=tuple(points),
+    )
+
+
+@register_scenario("cross-env-matrix")
+def _cross_env_matrix(
+    fidelity: "Fidelity | None" = None,
+    config: str = "3x3",
+    bandwidths: Sequence[int] = (20, 40, 80),
+) -> Scenario:
+    """Full train x test environment matrix for one antenna config."""
+    fidelity = _fid(fidelity, FIG13_FIDELITY)
+    points = []
+    for bandwidth in bandwidths:
+        ids = {
+            env: DATASET_GRID[(config, env, bandwidth)] for env in ("E1", "E2")
+        }
+        for train_env in ("E1", "E2"):
+            for test_env in ("E1", "E2"):
+                cross = test_env != train_env
+                points.append(
+                    point(
+                        f"{bandwidth} MHz {train_env}/{test_env}",
+                        ids[train_env],
+                        splitbeam(1 / 8),
+                        dataset_seed=ENV_SEEDS[train_env],
+                        eval_dataset_id=ids[test_env] if cross else None,
+                        eval_dataset_seed=ENV_SEEDS[test_env],
+                        link=LINK_20DB,
+                        ber_samples=fidelity.ber_samples,
+                    )
+                )
+            points.append(
+                point(
+                    f"{bandwidth} MHz 802.11 ({train_env})",
+                    ids[train_env],
+                    dot11(),
+                    dataset_seed=ENV_SEEDS[train_env],
+                    link=LINK_20DB,
+                    ber_samples=fidelity.ber_samples,
+                )
+            )
+    return Scenario(
+        name="cross-env-matrix",
+        title=f"Cross-environment matrix: {config}, K = 1/8",
+        fidelity=fidelity_to_dict(fidelity),
+        points=tuple(points),
+    )
+
+
+@register_scenario("snr-sweep")
+def _snr_sweep(
+    fidelity: "Fidelity | None" = None,
+    dataset_id: str = "D1",
+    snrs_db: Sequence[float] = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+) -> Scenario:
+    """BER vs operating SNR for ideal / 802.11 / SplitBeam feedback."""
+    fidelity = _fid(fidelity, FAST)
+    points = []
+    for snr_db in snrs_db:
+        for scheme_name, scheme in (
+            ("ideal", ideal()),
+            ("802.11", dot11()),
+            ("SplitBeam (K=1/8)", splitbeam(1 / 8)),
+        ):
+            points.append(
+                point(
+                    f"{snr_db:g} dB {scheme_name}",
+                    dataset_id,
+                    scheme,
+                    dataset_seed=7,
+                    link={"snr_db": float(snr_db)},
+                    ber_samples=fidelity.ber_samples,
+                )
+            )
+    return Scenario(
+        name="snr-sweep",
+        title=f"BER vs SNR ({dataset_id})",
+        fidelity=fidelity_to_dict(fidelity),
+        points=tuple(points),
+    )

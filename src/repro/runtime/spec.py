@@ -1,0 +1,166 @@
+"""Declarative scenario specs: JSON-able experiment-grid descriptions.
+
+A :class:`Scenario` is a named, ordered tuple of *points*.  Each point
+is a plain mapping — dataset, scheme, link parameters, BER sample
+budget — that fully determines one measurement; nothing about it is
+code, so points hash stably (for the result cache) and pickle cheaply
+(for the worker pool).  The helpers below build well-formed points so
+scenario authors never hand-write the nesting.
+
+Point shape (see ``docs/runtime.md``)::
+
+    {
+      "label":        "2x2 E1 20 MHz SB 1/8",      # unique display name
+      "dataset":      {"id": "D1", "seed": 7, "reset_interval": None},
+      "eval_dataset": None | {...},                 # cross-env testing
+      "scheme":       {"kind": "splitbeam", "compression": 0.125, "seed": 0},
+      "link":         {"snr_db": 20.0, ...},        # LinkConfig overrides
+      "ber_samples":  50 | None,                    # test[:n] (None = all)
+    }
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import asdict, dataclass
+
+from repro.config import Fidelity
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Scenario",
+    "point",
+    "grid",
+    "dot11",
+    "ideal",
+    "splitbeam",
+    "lbscifi",
+    "fidelity_to_dict",
+    "fidelity_from_dict",
+]
+
+#: Scheme kinds `repro.runtime.tasks.run_point` knows how to build.
+SCHEME_KINDS = ("dot11", "ideal", "splitbeam", "lbscifi")
+
+
+def fidelity_to_dict(fidelity: Fidelity) -> dict:
+    """A :class:`Fidelity` as a plain JSON-able mapping."""
+    return asdict(fidelity)
+
+
+def fidelity_from_dict(payload: Mapping) -> Fidelity:
+    """Rebuild a :class:`Fidelity` from :func:`fidelity_to_dict` output."""
+    return Fidelity(**dict(payload))
+
+
+def dot11() -> dict:
+    """The IEEE 802.11 compressed-feedback baseline."""
+    return {"kind": "dot11"}
+
+
+def ideal() -> dict:
+    """Unquantized SVD feedback (the BER floor)."""
+    return {"kind": "ideal"}
+
+
+def splitbeam(compression: float = 1 / 8, seed: int = 0) -> dict:
+    """A SplitBeam model trained at ``compression`` with ``seed``."""
+    return {"kind": "splitbeam", "compression": float(compression), "seed": int(seed)}
+
+
+def lbscifi(compression: float = 1 / 8, seed: int = 0) -> dict:
+    """An LB-SciFi autoencoder trained at ``compression``."""
+    return {"kind": "lbscifi", "compression": float(compression), "seed": int(seed)}
+
+
+def point(
+    label: str,
+    dataset_id: str,
+    scheme: Mapping,
+    *,
+    dataset_seed: int = 7,
+    reset_interval: "int | None" = None,
+    eval_dataset_id: "str | None" = None,
+    eval_dataset_seed: int = 7,
+    eval_reset_interval: "int | None" = None,
+    link: "Mapping | None" = None,
+    ber_samples: "int | None" = None,
+) -> dict:
+    """One well-formed scenario point (see the module docstring)."""
+    scheme = dict(scheme)
+    if scheme.get("kind") not in SCHEME_KINDS:
+        raise ConfigurationError(
+            f"unknown scheme kind {scheme.get('kind')!r}; options: {SCHEME_KINDS}"
+        )
+    eval_dataset = None
+    if eval_dataset_id is not None:
+        eval_dataset = {
+            "id": str(eval_dataset_id),
+            "seed": int(eval_dataset_seed),
+            "reset_interval": eval_reset_interval,
+        }
+    return {
+        "label": str(label),
+        "dataset": {
+            "id": str(dataset_id),
+            "seed": int(dataset_seed),
+            "reset_interval": reset_interval,
+        },
+        "eval_dataset": eval_dataset,
+        "scheme": scheme,
+        "link": dict(link or {}),
+        "ber_samples": None if ber_samples is None else int(ber_samples),
+    }
+
+
+def grid(**axes: Sequence) -> "list[dict]":
+    """Cross product of named axes, in the given axis order.
+
+    >>> grid(env=("E1", "E2"), k=(1, 2))[0]
+    {'env': 'E1', 'k': 1}
+    """
+    names = list(axes)
+    return [
+        dict(zip(names, values))
+        for values in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, ordered experiment grid at one fidelity."""
+
+    name: str
+    title: str
+    fidelity: Mapping
+    points: tuple
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if not self.points:
+            raise ConfigurationError(f"scenario {self.name!r} has no points")
+        fidelity_from_dict(self.fidelity)  # validates field names/values
+        labels = set()
+        for entry in self.points:
+            for field_name in ("label", "dataset", "scheme"):
+                if field_name not in entry:
+                    raise ConfigurationError(
+                        f"scenario {self.name!r}: point missing {field_name!r}"
+                    )
+            if entry["label"] in labels:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: duplicate label {entry['label']!r}"
+                )
+            labels.add(entry["label"])
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    def task_specs(self) -> "list[dict]":
+        """Points merged with the scenario fidelity — the hashable specs."""
+        fidelity = dict(self.fidelity)
+        return [{**entry, "fidelity": fidelity} for entry in self.points]

@@ -20,6 +20,10 @@ class TestSweepPoint:
         point = SweepPoint(parameter=5.0, mean_ber=0.1, ci_halfwidth=0.0, n_seeds=1)
         assert point.low == point.high == pytest.approx(0.1)
 
+    def test_hand_built_point_has_no_seed_bers(self):
+        point = SweepPoint(parameter=5.0, mean_ber=0.1, ci_halfwidth=0.0, n_seeds=1)
+        assert point.seed_bers == ()
+
 
 class TestBerSweep:
     def test_ber_decreases_with_snr(self, smoke_dataset_2x2):
@@ -75,3 +79,41 @@ class TestBerSweep:
             ber_sweep(
                 Dot11Feedback(), smoke_dataset_2x2, snrs_db=[10.0], n_seeds=0
             )
+
+    def test_empty_indices_rejected(self, smoke_dataset_2x2):
+        # An empty test split used to silently produce a degenerate
+        # zero-bit BER mean; it must be a configuration error.
+        import numpy as np
+
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            ber_sweep(
+                Dot11Feedback(),
+                smoke_dataset_2x2,
+                snrs_db=[10.0],
+                indices=np.array([], dtype=int),
+            )
+
+    def test_seed_bers_recorded(self, smoke_dataset_2x2):
+        (point,) = ber_sweep(
+            Dot11Feedback(),
+            smoke_dataset_2x2,
+            snrs_db=[10.0],
+            indices=smoke_dataset_2x2.splits.test[:4],
+            n_seeds=3,
+        )
+        assert len(point.seed_bers) == 3
+        assert point.mean_ber == pytest.approx(
+            sum(point.seed_bers) / len(point.seed_bers)
+        )
+
+    def test_workers_do_not_change_results(self, smoke_dataset_2x2):
+        kwargs = dict(
+            snrs_db=[10.0, 20.0],
+            indices=smoke_dataset_2x2.splits.test[:4],
+            n_seeds=2,
+        )
+        serial = ber_sweep(Dot11Feedback(), smoke_dataset_2x2, **kwargs)
+        pooled = ber_sweep(
+            Dot11Feedback(), smoke_dataset_2x2, n_workers=2, **kwargs
+        )
+        assert serial == pooled

@@ -78,6 +78,15 @@ class TestDot11Session:
         assert report.mean_goodput_bps == 0.0
         assert report.mean_occupancy == 0.0
 
+    def test_workers_do_not_change_records(self, dataset):
+        serial = NetworkSession(dataset, samples_per_round=4, seed=9).run(3)
+        pooled = NetworkSession(
+            dataset, samples_per_round=4, seed=9, n_workers=2
+        ).run(3)
+        assert [r.__dict__ for r in serial.rounds] == [
+            r.__dict__ for r in pooled.rounds
+        ]
+
 
 class TestSplitBeamSession:
     def test_splitbeam_lowers_occupancy(self, dataset, splitbeam_setup):
@@ -110,6 +119,30 @@ class TestSplitBeamSession:
         assert all(
             r.controller_action in ("hold", "step-down") for r in report.rounds
         )
+
+    def test_controller_trajectory_worker_invariant(
+        self, dataset, splitbeam_setup
+    ):
+        # The controller chain resolves round by round in the
+        # coordinator, so a worker pool must reproduce the serial
+        # trajectory (actions and measurements) exactly.
+        zoo, models = splitbeam_setup
+
+        def build(n_workers):
+            return NetworkSession(
+                dataset,
+                zoo=zoo,
+                trained_models=models,
+                samples_per_round=4,
+                seed=6,
+                n_workers=n_workers,
+            ).run(3)
+
+        serial = build(1)
+        pooled = build(2)
+        assert [r.__dict__ for r in serial.rounds] == [
+            r.__dict__ for r in pooled.rounds
+        ]
 
     def test_goodput_accounting_positive(self, dataset, splitbeam_setup):
         zoo, models = splitbeam_setup

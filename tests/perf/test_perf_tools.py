@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -83,6 +84,60 @@ class TestProfiling:
         assert entries["unit.block"].calls == 1
         reset_profiles()
 
+    def test_registry_aggregates_and_sorts_by_total_time(self):
+        reset_profiles()
+
+        @profiled("unit.slow")
+        def slow():
+            time.sleep(0.002)
+
+        @profiled("unit.fast")
+        def fast():
+            return None
+
+        for _ in range(3):
+            fast()
+        slow()
+        entries = profile_summary()
+        assert [e.name for e in entries] == ["unit.slow", "unit.fast"]
+        fast_entry = entries[1]
+        assert fast_entry.calls == 3
+        assert fast_entry.mean_s == pytest.approx(fast_entry.total_s / 3)
+        assert fast_entry.max_s <= fast_entry.total_s
+        payload = fast_entry.as_dict()
+        assert payload["name"] == "unit.fast"
+        assert payload["calls"] == 3
+        reset_profiles()
+
+    def test_default_profiled_name_is_module_qualname(self):
+        reset_profiles()
+
+        @profiled()
+        def some_unit_fn():
+            return 1
+
+        some_unit_fn()
+        (entry,) = profile_summary()
+        assert entry.name.endswith("some_unit_fn")
+        assert entry.name == some_unit_fn.__profiled_name__
+        assert __name__ in entry.name
+        reset_profiles()
+
+    def test_library_entry_points_are_instrumented(self, smoke_dataset_2x2):
+        # The permanent @profiled hooks on the hot-path entry points are
+        # what makes post-hoc "where did the time go" queries possible.
+        from repro.phy.link import LinkConfig, LinkSimulator
+
+        reset_profiles()
+        indices = smoke_dataset_2x2.splits.test[:2]
+        LinkSimulator(LinkConfig()).measure_ber(
+            smoke_dataset_2x2.link_channels(indices),
+            smoke_dataset_2x2.link_bf(indices),
+        )
+        entries = {e.name: e for e in profile_summary()}
+        assert entries["link.measure_ber"].calls == 1
+        reset_profiles()
+
     def test_profiled_preserves_exceptions_and_name(self):
         reset_profiles()
 
@@ -117,6 +172,46 @@ class TestPerfReport:
         assert payload["comparisons"][0]["stage"] == "stage"
         assert "speedup" in payload["comparisons"][0]
         assert "stage/ref" in report.render()
+
+    def test_json_file_round_trip_preserves_stages_and_comparisons(
+        self, tmp_path
+    ):
+        # The cross-PR perf trajectory depends on reading committed
+        # BENCH_hotpaths.json files back: every stage statistic and
+        # comparison must survive a full write -> parse cycle intact.
+        bench = Benchmark(warmup=0, repeats=3)
+        report = PerfReport("round trip", context={"workload": "unit"})
+        baseline = bench.run("s/ref", lambda: sum(range(200)), n_items=7)
+        optimized = bench.run("s/fast", lambda: None, n_items=7)
+        report.add(baseline)
+        report.add(optimized)
+        report.add_comparison("s", baseline, optimized)
+        path = tmp_path / "r.json"
+        report.write_json(str(path))
+        payload = json.loads(path.read_text())
+
+        assert payload["schema_version"] == 1
+        by_name = {stage["name"]: stage for stage in payload["stages"]}
+        for result in (baseline, optimized):
+            stage = by_name[result.name]
+            assert stage["median_s"] == result.median_s
+            assert stage["mean_s"] == result.mean_s
+            assert stage["min_s"] == result.min_s
+            assert stage["max_s"] == result.max_s
+            assert stage["repeats"] == result.repeats
+            assert stage["n_items"] == 7
+            assert stage["items_per_s"] == result.items_per_s
+        comparison = payload["comparisons"][0]
+        assert comparison["baseline"] == baseline.as_dict()
+        assert comparison["optimized"] == optimized.as_dict()
+        assert comparison["speedup"] == pytest.approx(
+            baseline.median_s / optimized.median_s
+        )
+        assert isinstance(payload["created_unix"], float)
+
+    def test_write_json_rejects_empty_path(self):
+        with pytest.raises(ConfigurationError):
+            PerfReport("x").write_json("")
 
     def test_reference_module_importable(self):
         # The frozen seed implementations must stay importable — the

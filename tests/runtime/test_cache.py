@@ -1,0 +1,88 @@
+"""Tests for content addressing and the result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache
+from repro.runtime.hashing import canonical_json, code_version, task_key
+
+
+class TestHashing:
+    def test_canonical_json_order_invariant(self):
+        assert canonical_json({"b": 1, "a": {"d": 2, "c": 3}}) == canonical_json(
+            {"a": {"c": 3, "d": 2}, "b": 1}
+        )
+
+    def test_canonical_json_rejects_non_json(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"x": object()})
+        with pytest.raises(ConfigurationError):
+            canonical_json({"x": float("nan")})
+
+    def test_task_key_stable_and_spec_sensitive(self):
+        spec = {"dataset": {"id": "D1", "seed": 7}, "scheme": {"kind": "dot11"}}
+        reordered = {
+            "scheme": {"kind": "dot11"},
+            "dataset": {"seed": 7, "id": "D1"},
+        }
+        assert task_key(spec) == task_key(reordered)
+        assert task_key(spec) != task_key({**spec, "ber_samples": 5})
+
+    def test_task_key_embeds_code_version(self):
+        spec = {"a": 1}
+        assert task_key(spec, "v1") != task_key(spec, "v2")
+        # Default version is this checkout's digest, cached per process.
+        assert task_key(spec) == task_key(spec, code_version())
+        assert len(code_version()) == 64
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = task_key({"x": 1}, "v")
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1}, {"ber": 0.25})
+        assert cache.get(key) == {"ber": 0.25}
+        assert cache.keys() == [key]
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 2}, "v")
+        cache.put(key, {"x": 2}, {"ber": 0.5})
+        cache.path(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        # A renamed/copied file must not serve a result for the wrong key.
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 3}, "v")
+        other = task_key({"x": 4}, "v")
+        cache.put(key, {"x": 3}, {"ber": 0.125})
+        cache.path(other).write_text(cache.path(key).read_text())
+        assert cache.get(other) is None
+
+    def test_entry_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 5}, "v")
+        path = cache.put(key, {"x": 5}, {"ber": 0.0})
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["key"] == key
+        assert payload["spec"] == {"x": 5}
+
+    def test_prune(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [task_key({"x": i}, "v") for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"x": i}, i)
+        assert cache.prune(keys[:1]) == 2
+        assert cache.keys() == sorted(keys[:1])
+
+    def test_empty_root_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache("")

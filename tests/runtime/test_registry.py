@@ -1,0 +1,141 @@
+"""Tests for scenario specs and the named preset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FAST, SMOKE
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    Scenario,
+    canonical_json,
+    dot11,
+    fidelity_from_dict,
+    fidelity_to_dict,
+    get_scenario,
+    grid,
+    point,
+    scenario_names,
+    splitbeam,
+)
+
+
+class TestSpecHelpers:
+    def test_fidelity_round_trip(self):
+        assert fidelity_from_dict(fidelity_to_dict(FAST)) == FAST
+
+    def test_grid_cross_product_order(self):
+        cells = grid(env=("E1", "E2"), k=(1, 2))
+        assert cells == [
+            {"env": "E1", "k": 1},
+            {"env": "E1", "k": 2},
+            {"env": "E2", "k": 1},
+            {"env": "E2", "k": 2},
+        ]
+
+    def test_point_shape(self):
+        entry = point(
+            "x",
+            "D1",
+            splitbeam(1 / 8, seed=3),
+            eval_dataset_id="D3",
+            eval_dataset_seed=8,
+            link={"snr_db": 15.0},
+            ber_samples=12,
+        )
+        assert entry["dataset"] == {"id": "D1", "seed": 7, "reset_interval": None}
+        assert entry["eval_dataset"]["id"] == "D3"
+        assert entry["scheme"] == {
+            "kind": "splitbeam",
+            "compression": 0.125,
+            "seed": 3,
+        }
+        assert entry["ber_samples"] == 12
+
+    def test_unknown_scheme_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            point("x", "D1", {"kind": "quantum"})
+
+    def test_scenario_validation(self):
+        fidelity = fidelity_to_dict(SMOKE)
+        good = point("a", "D1", dot11())
+        with pytest.raises(ConfigurationError):
+            Scenario(name="s", title="t", fidelity=fidelity, points=())
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                name="s", title="t", fidelity=fidelity, points=(good, good)
+            )
+        bad_fidelity = {**fidelity, "bogus_knob": 1}
+        with pytest.raises(TypeError):
+            Scenario(
+                name="s", title="t", fidelity=bad_fidelity, points=(good,)
+            )
+
+    def test_task_specs_merge_fidelity(self):
+        scenario = Scenario(
+            name="s",
+            title="t",
+            fidelity=fidelity_to_dict(SMOKE),
+            points=(point("a", "D1", dot11()),),
+        )
+        (spec,) = scenario.task_specs()
+        assert spec["fidelity"]["name"] == "smoke"
+        assert spec["label"] == "a"
+
+
+class TestRegistry:
+    def test_expected_presets_registered(self):
+        names = scenario_names()
+        for expected in (
+            "fig09",
+            "fig12-ber",
+            "fig13",
+            "synthetic-160mhz",
+            "multiuser-scaling",
+            "mobility-sweep",
+            "cross-env-matrix",
+            "snr-sweep",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("fig99")
+
+    def test_every_preset_builds_canonical_specs(self):
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            assert scenario.n_points > 0
+            # Every point must hash (JSON-able) — the cache depends on it.
+            canonical_json(scenario.task_specs())
+            labels = [entry["label"] for entry in scenario.points]
+            assert len(labels) == len(set(labels))
+
+    def test_fig09_covers_full_grid(self):
+        scenario = get_scenario("fig09", fidelity=SMOKE)
+        # 12 datasets x (4 compressions + 802.11).
+        assert scenario.n_points == 60
+        assert scenario.fidelity["name"] == "smoke"
+        labels = {entry["label"] for entry in scenario.points}
+        assert "3x3 E2 80 MHz SB 1/8" in labels
+        assert "2x2 E1 20 MHz 802.11" in labels
+
+    def test_fig13_cross_env_points_carry_eval_dataset(self):
+        scenario = get_scenario("fig13", bandwidths=(20,))
+        by_label = {entry["label"]: entry for entry in scenario.points}
+        cross = by_label["2x2 20 MHz E1/E2"]
+        assert cross["dataset"]["id"] == "D1"
+        assert cross["eval_dataset"] == {
+            "id": "D3",
+            "seed": 8,
+            "reset_interval": None,
+        }
+        same = by_label["2x2 20 MHz E1/E1"]
+        assert same["eval_dataset"] is None
+
+    def test_mobility_sweep_varies_reset_interval(self):
+        scenario = get_scenario("mobility-sweep", fidelity=SMOKE)
+        intervals = {
+            entry["dataset"]["reset_interval"] for entry in scenario.points
+        }
+        assert intervals == {4, 8, 16, 40}
