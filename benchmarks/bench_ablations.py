@@ -124,7 +124,7 @@ def test_ablation_loss_functions(benchmark, caches, bench_fidelity):
         ):
             # Train from scratch under each loss, same budget and seed.
             from repro.core.model import SplitBeamNet, three_layer_widths
-            from repro.core.training import _training_config
+            from repro.core.training import splitbeam_training_config
 
             model = SplitBeamNet(
                 three_layer_widths(dataset.input_dim, 1 / 8), rng=0
@@ -132,7 +132,7 @@ def test_ablation_loss_functions(benchmark, caches, bench_fidelity):
             trainer = Trainer(
                 model,
                 loss=loss,
-                config=_training_config(dataset, bench_fidelity, seed=0),
+                config=splitbeam_training_config(bench_fidelity, seed=0),
             )
             x_train, y_train = dataset.train_arrays()
             x_val, y_val = dataset.val_arrays()

@@ -18,36 +18,24 @@ measured values for EXPERIMENTS.md.
 
 160 MHz models are the most expensive to train; this bench uses a
 reduced sample budget (documented in EXPERIMENTS.md).
+
+The grid executes through ``repro.runtime``: the ``synthetic-160mhz``
+scenario preset expands to 9 (config x scheme) tasks — trainings
+included — that fan out over ``$REPRO_RUNTIME_WORKERS`` workers and
+memoize in the content-addressed result cache, with a deterministic
+JSON artifact next to the rendered table.
 """
 
 import os
 
-import pytest
-
 from repro.analysis.report import ExperimentReport
-from repro.baselines import Dot11Feedback, train_lbscifi
-from repro.config import Fidelity
-from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
-from repro.core.training import train_splitbeam
-from repro.datasets import build_dataset, dataset_spec
-from repro.phy.link import LinkConfig
+from repro.runtime import ExperimentEngine, get_scenario
+from repro.runtime.registry import FIG10_FIDELITY
 
-from benchmarks.conftest import record_report
+from benchmarks.conftest import RESULTS_DIR, record_report, runtime_cache
 
 DATASETS = {"2x2": "D13", "3x3": "D14", "4x4": "D15"}
-COMPRESSION = 1 / 8
-LINK = LinkConfig(snr_db=20.0, use_coding=True, n_ofdm_symbols=1)
-
-#: Reduced budget for the widest-band models (trainable in ~2 min each).
-FIG10_FIDELITY = Fidelity(
-    name="fig10",
-    n_samples=320,
-    n_sessions=4,
-    epochs=14,
-    ber_samples=24,
-    ofdm_symbols=1,
-    reset_interval=40,
-)
+JSON_NAME = "fig10_160mhz_synthetic.json"
 
 
 def compute_report() -> ExperimentReport:
@@ -56,26 +44,16 @@ def compute_report() -> ExperimentReport:
         from repro.config import PAPER
 
         fidelity = PAPER
+    scenario = get_scenario("synthetic-160mhz", fidelity=fidelity)
+    run = ExperimentEngine(cache=runtime_cache()).run(scenario)
+    run.write_json(os.path.join(RESULTS_DIR, JSON_NAME))
     report = ExperimentReport(
         "Fig. 10: BER and STA FLOPs @ 160 MHz, BCC 1/2, K = 1/8"
     )
-    for config, dataset_id in DATASETS.items():
-        dataset = build_dataset(
-            dataset_spec(dataset_id), fidelity=fidelity, seed=7
-        )
-        indices = dataset.splits.test[: fidelity.ber_samples]
-        trained = train_splitbeam(
-            dataset, compression=COMPRESSION, fidelity=fidelity, seed=0
-        )
-        lbscifi = train_lbscifi(
-            dataset, compression=COMPRESSION, fidelity=fidelity, seed=0
-        )
-        for scheme in (SplitBeamFeedback(trained), lbscifi, Dot11Feedback()):
-            evaluation = evaluate_scheme(scheme, dataset, indices, LINK)
-            short = evaluation.scheme_name.split(" (")[0]
-            report.add(f"{config} {short}", "BER", evaluation.ber)
-            report.add(f"{config} {short}", "FLOPs x1e5",
-                       evaluation.sta_flops / 1e5)
+    for entry in run.points:
+        report.add(entry["label"], "BER", entry["result"]["ber"])
+        report.add(entry["label"], "FLOPs x1e5",
+                   entry["result"]["sta_flops"] / 1e5)
     return report
 
 

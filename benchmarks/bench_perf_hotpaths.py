@@ -23,6 +23,12 @@ Stages:
                          a warm re-run must execute zero simulations and
                          worker counts must not change a single byte of
                          the result JSON
+- ``zoo/*``              zoo training through the engine on a 4-model
+                         grid: cold vs warm (content-addressed
+                         checkpoint store), and 1 vs 4 worker
+                         processes; a warm rebuild must train zero
+                         epochs and worker counts must not change a
+                         byte of the manifest or weights
 
 Run with ``pytest benchmarks/bench_perf_hotpaths.py --perf`` or
 ``python benchmarks/bench_perf_hotpaths.py`` (tier-1 never runs it; see
@@ -365,6 +371,97 @@ def build_report() -> PerfReport:
     report.add(warm)
     report.add_comparison("engine_cache", cold_serial, warm)
     report.add_comparison("engine_workers", cold_serial, cold_workers)
+
+    # -- zoo training: cold/warm checkpoint store and 1-vs-N workers -----------
+    from repro.core.zoo_builder import train_zoo
+    from repro.perf import profile_summary, reset_profiles
+    from repro.runtime import CheckpointStore, TrainingGrid, zoo_entry
+    from repro.runtime.spec import fidelity_to_dict
+
+    zoo_grid = TrainingGrid(
+        name="perf-zoo",
+        title="zoo benchmark: a 4-model compression ladder on D1",
+        fidelity=fidelity_to_dict(ENGINE_FIDELITY),
+        entries=tuple(
+            zoo_entry(
+                f"D1 K=1/{round(1 / k)}",
+                "D1",
+                compression=k,
+                ber_samples=ENGINE_FIDELITY.ber_samples,
+            )
+            for k in (1 / 32, 1 / 16, 1 / 8, 1 / 4)
+        ),
+    )
+    workdir = tempfile.mkdtemp(prefix="repro-zoo-bench-")
+    last_build: dict[int, object] = {}
+
+    def cold_build(n_workers: int):
+        # A fresh store and empty per-process memos each call, so every
+        # repeat pays the full cold (training) cost.
+        clear_memos()
+        store = CheckpointStore(os.path.join(workdir, f"cold-{next(counter)}"))
+        build = train_zoo(zoo_grid, store=store, n_workers=n_workers)
+        assert build.n_trained == zoo_grid.n_entries
+        last_build[n_workers] = build
+        return build
+
+    try:
+        zoo_cold_serial = bench.run(
+            "zoo/cold_1worker",
+            lambda: cold_build(1),
+            n_items=zoo_grid.n_entries,
+            repeats=2,
+            warmup=0,
+            meta={"n_entries": zoo_grid.n_entries},
+        )
+        zoo_cold_workers = bench.run(
+            f"zoo/cold_{ENGINE_WORKERS}workers",
+            lambda: cold_build(ENGINE_WORKERS),
+            n_items=zoo_grid.n_entries,
+            repeats=2,
+            warmup=0,
+            meta={
+                "n_entries": zoo_grid.n_entries,
+                "n_workers": ENGINE_WORKERS,
+                "cpu_count": os.cpu_count(),
+            },
+        )
+        # Determinism: worker count must not change a byte of the
+        # manifest (which digests every weight tensor via state_sha256).
+        assert json.dumps(
+            last_build[1].to_dict(), sort_keys=True
+        ) == json.dumps(last_build[ENGINE_WORKERS].to_dict(), sort_keys=True)
+
+        warm_store = CheckpointStore(os.path.join(workdir, "warm"))
+        train_zoo(zoo_grid, store=warm_store, n_workers=1)
+
+        def warm_build():
+            clear_memos()
+            reset_profiles()
+            build = train_zoo(zoo_grid, store=warm_store, n_workers=1)
+            # A warm rebuild loads every model from the checkpoint
+            # store: zero trainings, zero epochs, zero link simulations.
+            assert build.n_trained == 0
+            profiled = {entry.name for entry in profile_summary()}
+            assert "trainer.fit" not in profiled
+            assert "trainer.epoch" not in profiled
+            return build
+
+        zoo_warm = bench.run(
+            "zoo/warm_checkpoints",
+            warm_build,
+            n_items=zoo_grid.n_entries,
+            repeats=3,
+            warmup=0,
+            meta={"n_entries": zoo_grid.n_entries},
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    report.add(zoo_cold_serial)
+    report.add(zoo_cold_workers)
+    report.add(zoo_warm)
+    report.add_comparison("zoo_checkpoints", zoo_cold_serial, zoo_warm)
+    report.add_comparison("zoo_workers", zoo_cold_serial, zoo_cold_workers)
     return report
 
 
@@ -385,10 +482,14 @@ def test_perf_hotpaths():
     # A warm content-addressed cache must beat recomputation outright
     # (it reads six JSON files instead of training four DNNs).
     assert comparisons["engine_cache"]["speedup"] >= 5.0
+    # Likewise a warm checkpoint store must beat retraining the zoo
+    # outright (it loads four .npz files instead of training 4 DNNs).
+    assert comparisons["zoo_checkpoints"]["speedup"] >= 5.0
     # Worker scaling is hardware-dependent; assert the >= 2x target only
     # where four workers actually have four cores to land on.
     if (os.cpu_count() or 1) >= 4:
         assert comparisons["engine_workers"]["speedup"] >= 2.0
+        assert comparisons["zoo_workers"]["speedup"] >= 2.0
 
 
 if __name__ == "__main__":

@@ -6,46 +6,38 @@ tapered 7-layer model.  Expected paper shapes: deeper/wider models can
 reduce BER but cost orders of magnitude more head MACs, and *more
 parameters do not guarantee better accuracy* (the paper's overfitting
 observation).
+
+The architecture family is the ``table2-architectures`` training-grid
+preset, built through ``repro.core.zoo_builder.train_zoo``: trainings
+fan out over ``$REPRO_RUNTIME_WORKERS`` worker processes and finished
+models persist in the content-addressed checkpoint store under
+``benchmarks/results/checkpoint_store``, so a re-run at the same
+fidelity loads weights instead of retraining.
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.core.costs import splitbeam_head_flops
-from repro.core.pipeline import SplitBeamFeedback, evaluate_scheme
-from repro.core.training import train_splitbeam
-from repro.phy.link import LinkConfig
+from repro.core.zoo_builder import train_zoo
 
-from benchmarks.conftest import record_report
-
-#: Table II rows for 20 MHz (D = 224); head widths are the bold prefix.
-ARCHITECTURES = {
-    "3-layer (Table II highlight)": [224, 28, 28, 224],
-    "wide 5-layer": [224, 896, 1792, 896, 224],
-    "tapered 6-layer": [224, 896, 896, 448, 448, 224],
-}
-LINK = LinkConfig(snr_db=20.0)
+from benchmarks.conftest import checkpoint_store, record_report
 
 
-def compute_report(caches, fidelity) -> ExperimentReport:
-    dataset = caches.dataset("D1", fidelity)
-    indices = dataset.splits.test[: fidelity.ber_samples]
+def compute_report(fidelity) -> ExperimentReport:
+    result = train_zoo(
+        "table2-architectures", fidelity=fidelity, store=checkpoint_store()
+    )
     report = ExperimentReport("Table II: bottleneck structure vs BER (2x2, 20 MHz)")
-    for name, widths in ARCHITECTURES.items():
-        trained = train_splitbeam(
-            dataset, widths=widths, fidelity=fidelity, seed=0
-        )
-        evaluation = evaluate_scheme(
-            SplitBeamFeedback(trained), dataset, indices, LINK
-        )
-        label = f"{name} [{trained.model.label()}]"
-        report.add(label, "BER", evaluation.ber)
-        report.add(label, "|B|", trained.model.bottleneck_dim)
-        report.add(label, "head MACs", trained.model.head_macs())
+    for row in result.entries:
+        entry = result.entry(row["label"])
+        label = f"{row['label']} [{entry.model.label()}]"
+        report.add(label, "BER", row["measured_ber"])
+        report.add(label, "|B|", entry.model.bottleneck_dim)
+        report.add(label, "head MACs", entry.model.head_macs())
     return report
 
 
-def test_table02_bottleneck_architectures(benchmark, caches, bench_fidelity):
+def test_table02_bottleneck_architectures(benchmark, bench_fidelity):
     report = benchmark.pedantic(
-        compute_report, args=(caches, bench_fidelity), rounds=1, iterations=1
+        compute_report, args=(bench_fidelity,), rounds=1, iterations=1
     )
     record_report("table02_bottleneck_architectures", report.render(precision=4))
 

@@ -22,7 +22,12 @@ import pytest
 from repro.config import fidelity as fidelity_preset
 from repro.datasets import build_dataset, dataset_spec
 from repro.core.training import train_splitbeam
-from repro.runtime import ResultCache, default_cache_root
+from repro.runtime import (
+    CheckpointStore,
+    ResultCache,
+    default_cache_root,
+    default_checkpoint_root,
+)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -31,6 +36,13 @@ def runtime_cache() -> ResultCache:
     """The engine benches' result cache ($REPRO_RUNTIME_CACHE overrides)."""
     return ResultCache(
         default_cache_root(os.path.join(RESULTS_DIR, "runtime_cache"))
+    )
+
+
+def checkpoint_store() -> CheckpointStore:
+    """The zoo benches' weight store ($REPRO_RUNTIME_CHECKPOINTS overrides)."""
+    return CheckpointStore(
+        default_checkpoint_root(os.path.join(RESULTS_DIR, "checkpoint_store"))
     )
 
 _REPORTS: list[str] = []

@@ -19,13 +19,13 @@ import numpy as np
 
 from repro import (
     FAST,
+    BottleneckQuantizer,
     LinkConfig,
     LinkSimulator,
-    ModelZoo,
     QosProfile,
     build_dataset,
     dataset_spec,
-    train_splitbeam,
+    train_zoo,
 )
 from repro.core.adaptive import AdaptiveCompressionController, select_model
 from repro.core.training import predict_bf
@@ -41,15 +41,22 @@ def main() -> None:
     print(f"Building dataset {spec} ...")
     dataset = build_dataset(spec, fidelity=FAST, seed=7)
 
-    print("Training the compression ladder (offline phase) ...")
-    zoo = ModelZoo()
-    trained_by_k = {}
-    for k in COMPRESSIONS:
-        trained = train_splitbeam(dataset, compression=k, fidelity=FAST, seed=1)
-        entry = zoo.register_trained(trained, notes=f"K=1/{round(1 / k)}")
-        trained_by_k[entry.model.bottleneck_dim] = trained
+    print("Training the compression ladder (offline phase, repro.runtime) ...")
+    result = train_zoo(
+        "compression-ladder",
+        fidelity=FAST,
+        compressions=COMPRESSIONS,
+        train_seed=1,
+    )
+    zoo = result.zoo()
+    quantizer_by_b = {
+        entry.model.bottleneck_dim: BottleneckQuantizer(entry.quantizer_bits)
+        for entry in (result.entry(label) for label in result.labels())
+    }
+    for label in result.labels():
+        entry = result.entry(label)
         print(
-            f"  K=1/{round(1 / k):<3} {entry.model.label():>16} | "
+            f"  {entry.notes:<7} {entry.model.label():>16} | "
             f"measured BER {entry.measured_ber:.4f} | "
             f"feedback {entry.feedback_bits} bits"
         )
@@ -77,10 +84,12 @@ def main() -> None:
     for round_index in range(10):
         active = dataset if round_index < 5 else drifted
         entry = controller.current
-        trained = trained_by_k[entry.model.bottleneck_dim]
         indices = rng.choice(active.splits.test, size=8, replace=False)
         bf = predict_bf(
-            trained.model, active, indices, quantizer=trained.quantizer
+            entry.model,
+            active,
+            indices,
+            quantizer=quantizer_by_b[entry.model.bottleneck_dim],
         )
         ber = simulator.measure_ber(active.link_channels(indices), bf).ber
         controller.observe(ber)

@@ -10,7 +10,7 @@ goodput left for data at the SINR-selected MCS.
 Run:  python examples/network_session.py
 """
 
-from repro import FAST, ModelZoo, QosProfile, build_dataset, dataset_spec, train_splitbeam
+from repro import FAST, QosProfile, build_dataset, dataset_spec, train_zoo
 from repro.core.session import NetworkSession
 from repro.utils.tables import render_table
 
@@ -22,14 +22,16 @@ def main() -> None:
     print(f"Building dataset {spec} ...")
     dataset = build_dataset(spec, fidelity=FAST, seed=7)
 
-    print("Training the SplitBeam ladder (K = 1/8, 1/4) ...")
-    zoo = ModelZoo()
-    models = {}
-    for k in (1 / 8, 1 / 4):
-        trained = train_splitbeam(dataset, compression=k, fidelity=FAST, seed=0)
-        entry = zoo.register_trained(trained)
-        models[entry.model.bottleneck_dim] = trained
-        print(f"  K=1/{round(1 / k)}: measured BER {entry.measured_ber:.4f}")
+    print("Training the SplitBeam ladder (K = 1/8, 1/4) through repro.runtime ...")
+    # The grid runs on the engine's executor ($REPRO_RUNTIME_WORKERS
+    # fans it out) and the session deploys the zoo entries directly —
+    # see examples/zoo_training.py for checkpoint-store warm rebuilds.
+    result = train_zoo(
+        "compression-ladder", fidelity=FAST, compressions=(1 / 8, 1 / 4)
+    )
+    zoo = result.zoo()
+    for row in result.entries:
+        print(f"  {row['label']}: measured BER {row['measured_ber']:.4f}")
 
     qos = QosProfile(max_ber=0.05, mu=0.6)
     sessions = {
@@ -37,7 +39,6 @@ def main() -> None:
         "SplitBeam": NetworkSession(
             dataset,
             zoo=zoo,
-            trained_models=models,
             qos=qos,
             samples_per_round=6,
             seed=11,

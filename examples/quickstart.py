@@ -9,7 +9,11 @@ and feedback size.
 To run whole experiment *grids* like this one declaratively — with
 worker-pool parallelism and content-addressed result caching — see
 ``examples/scenario_engine.py`` and ``docs/runtime.md``
-(``repro.runtime``).
+(``repro.runtime``).  Training a whole *zoo* of models (many
+configurations and compression levels, with warm weight-checkpoint
+rebuilds) works the same way: ``examples/zoo_training.py`` and the
+"Training grids and the checkpoint store" section of
+``docs/runtime.md``.
 
 Run:  python examples/quickstart.py
 """

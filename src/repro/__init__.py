@@ -65,6 +65,9 @@ from repro.core import (
     NetworkConfiguration,
     ZooEntry,
     ModelZoo,
+    ZooBuilder,
+    ZooBuildResult,
+    train_zoo,
     QosProfile,
     select_model,
     AdaptiveCompressionController,
@@ -82,11 +85,15 @@ from repro.sounding import (
 )
 from repro.fpga import table3_latency_s, splitbeam_latency_s
 from repro.runtime import (
+    CheckpointStore,
     ExperimentEngine,
     ResultCache,
     Scenario,
+    TrainingGrid,
     get_scenario,
+    get_training_grid,
     scenario_names,
+    training_grid_names,
 )
 
 __all__ = [
@@ -128,6 +135,9 @@ __all__ = [
     "NetworkConfiguration",
     "ZooEntry",
     "ModelZoo",
+    "ZooBuilder",
+    "ZooBuildResult",
+    "train_zoo",
     "QosProfile",
     "select_model",
     "AdaptiveCompressionController",
@@ -156,9 +166,13 @@ __all__ = [
     "table3_latency_s",
     "splitbeam_latency_s",
     # runtime orchestration
+    "CheckpointStore",
     "ExperimentEngine",
     "ResultCache",
     "Scenario",
+    "TrainingGrid",
     "get_scenario",
+    "get_training_grid",
     "scenario_names",
+    "training_grid_names",
 ]

@@ -34,12 +34,14 @@ from repro.core.costs import (
 from repro.core.training import (
     TrainedSplitBeam,
     train_splitbeam,
+    splitbeam_training_config,
     predict_bf,
     ber_of_model,
 )
 from repro.core.bop import BopConstraints, BopTrial, BopResult, solve_bop
 from repro.core.pipeline import SchemeEvaluation, evaluate_scheme, compare_schemes
 from repro.core.zoo import NetworkConfiguration, ZooEntry, ModelZoo
+from repro.core.zoo_builder import ZooBuilder, ZooBuildResult, train_zoo
 from repro.core.adaptive import (
     QosProfile,
     SelectionOutcome,
@@ -65,6 +67,7 @@ __all__ = [
     "StaCostModel",
     "TrainedSplitBeam",
     "train_splitbeam",
+    "splitbeam_training_config",
     "predict_bf",
     "ber_of_model",
     "BopConstraints",
@@ -77,6 +80,9 @@ __all__ = [
     "NetworkConfiguration",
     "ZooEntry",
     "ModelZoo",
+    "ZooBuilder",
+    "ZooBuildResult",
+    "train_zoo",
     "QosProfile",
     "SelectionOutcome",
     "select_model",

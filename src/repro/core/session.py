@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.adaptive import AdaptiveCompressionController, QosProfile
+from repro.core.split import BottleneckQuantizer
 from repro.core.training import TrainedSplitBeam
 from repro.core.zoo import ModelZoo, NetworkConfiguration
 from repro.datasets.builder import CsiDataset
@@ -108,10 +109,18 @@ class NetworkSession:
     dataset:
         Supplies the channel realizations each round samples from (its
         network configuration defines the MU-MIMO group).
-    trained:
-        The SplitBeam models available (from the zoo bucket matching the
-        dataset's configuration), keyed by bottleneck width, or ``None``
-        for an 802.11-only session.
+    zoo:
+        The :class:`ModelZoo` holding the SplitBeam ladder for the
+        dataset's configuration (e.g. from
+        :func:`repro.core.zoo_builder.train_zoo`), or ``None`` for an
+        802.11-only session.  Models and their bottleneck quantizers
+        come straight from the zoo entries.
+    trained_models:
+        Optional override keyed by bottleneck width: use these
+        :class:`TrainedSplitBeam` objects (model + quantizer) instead of
+        the zoo entries' own — e.g. to drive a session with
+        freshly-trained models before they are published.  Requires
+        ``zoo``.
     qos:
         BER ceiling and objective weighting for the adaptive controller.
     samples_per_round:
@@ -138,10 +147,10 @@ class NetworkSession:
     ) -> None:
         if samples_per_round < 1:
             raise ConfigurationError("samples_per_round must be >= 1")
-        if (zoo is None) != (trained_models is None):
+        if trained_models is not None and zoo is None:
             raise ConfigurationError(
-                "zoo and trained_models must be provided together "
-                "(or both omitted for an 802.11-only session)"
+                "trained_models is an override of zoo entries and "
+                "requires a zoo (omit both for an 802.11-only session)"
             )
         self.dataset = dataset
         self.config = NetworkConfiguration(
@@ -163,6 +172,19 @@ class NetworkSession:
                 raise ConfigurationError(
                     f"zoo has no models for {self.config.label()}"
                 )
+            if trained_models is not None:
+                # The controller may walk the whole ladder at runtime; a
+                # partial override would only surface as a KeyError
+                # several rounds in.
+                missing = sorted(
+                    {e.model.bottleneck_dim for e in candidates}
+                    - set(trained_models)
+                )
+                if missing:
+                    raise ConfigurationError(
+                        "trained_models must cover every candidate "
+                        f"bottleneck width; missing {missing}"
+                    )
             self.controller = AdaptiveCompressionController(
                 candidates, self.qos
             )
@@ -187,16 +209,27 @@ class NetworkSession:
         rounds) — not the dataset — so a worker pool never pickles the
         full CSI tensors.
         """
-        if self.controller is not None and self.trained_models is not None:
+        if self.controller is not None:
             entry = self.controller.current
-            trained = self.trained_models[entry.model.bottleneck_dim]
+            if self.trained_models is not None:
+                trained = self.trained_models[entry.model.bottleneck_dim]
+                model, quantizer = trained.model, trained.quantizer
+            else:
+                # The zoo entry carries everything the STA deploys: the
+                # trained model and its bottleneck quantizer width.
+                model = entry.model
+                quantizer = (
+                    BottleneckQuantizer(entry.quantizer_bits)
+                    if entry.quantizer_bits is not None
+                    else None
+                )
             x, _ = self.dataset.model_arrays(indices)
             scheme = {
                 "kind": "model",
                 "label": entry.model.label(),
                 "bits": entry.feedback_bits,
-                "model": trained.model,
-                "quantizer": trained.quantizer,
+                "model": model,
+                "quantizer": quantizer,
                 "x": x,
             }
         else:

@@ -29,6 +29,7 @@ from repro.utils.complexmat import real_to_complex
 __all__ = [
     "TrainedSplitBeam",
     "train_splitbeam",
+    "splitbeam_training_config",
     "predict_bf",
     "bf_from_model_inputs",
     "ber_of_model",
@@ -67,7 +68,13 @@ class TrainedSplitBeam:
         )
 
 
-def _training_config(dataset: CsiDataset, fidelity: Fidelity, seed: int) -> TrainingConfig:
+def splitbeam_training_config(fidelity: Fidelity, seed: int) -> TrainingConfig:
+    """The Sec. IV-D training recipe at one fidelity.
+
+    Public because the zoo builder hashes this config (alongside the
+    dataset spec and widths) into its checkpoint keys — any recipe
+    change must invalidate stored weights.
+    """
     # Documented deviation from Sec. IV-D: the paper uses SGD for its
     # synthetic datasets and Adam for the experimental ones.  In this
     # stack plain SGD at lr 1e-3 diverges (without gradient clipping)
@@ -143,7 +150,7 @@ def train_splitbeam(
         # the network — the position of the over-the-air quantizer — and
         # is an exact pass-through in eval mode.
         model.network.layers.insert(1, QuantizationNoise(qat_bits, rng=seed))
-    config = _training_config(dataset, fidelity, seed)
+    config = splitbeam_training_config(fidelity, seed)
 
     validation_metric = None
     if checkpoint_on == "ber":

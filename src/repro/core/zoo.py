@@ -17,18 +17,27 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigurationError, DatasetError
 from repro.core.costs import splitbeam_feedback_bits, splitbeam_head_flops
 from repro.core.model import SplitBeamNet
 from repro.core.training import TrainedSplitBeam
-from repro.nn.serialize import load_state, save_state
+from repro.nn.serialize import load_state, save_state, state_dict, state_digest
 from repro.phy.ofdm import band_plan
 
 __all__ = ["NetworkConfiguration", "ZooEntry", "ModelZoo"]
 
 _MANIFEST_NAME = "zoo_manifest.json"
+
+#: The zoo's own content-addressed weight filenames, e.g.
+#: ``2x1_20MHz_224-28-28-224_0f3a9c21bd5e.npz`` — save() only ever
+#: cleans files matching this (or referenced by a manifest it wrote),
+#: never unrelated ``.npz`` artifacts.
+_WEIGHT_FILE_RE = re.compile(
+    r"^\d+x\d+_\d+MHz_\d+(?:-\d+)+_[0-9a-f]{12}\.npz$"
+)
 
 
 @dataclass(frozen=True)
@@ -208,15 +217,37 @@ class ModelZoo:
     # -- persistence -----------------------------------------------------------
 
     def save(self, directory: str) -> None:
-        """Write all weights (npz) plus a JSON manifest to ``directory``."""
+        """Write all weights (npz) plus a JSON manifest to ``directory``.
+
+        Weight filenames are content-addressed (they embed a digest of
+        the parameters), so re-saving a retrained zoo writes *new*
+        files and the manifest/weights pairing stays consistent at
+        every crash point: before the manifest commits, the old
+        manifest still references the old (untouched) files; after, the
+        new one references the new files.  Files the previous manifest
+        referenced but the new one no longer does are removed last, so
+        a shrunk or re-keyed zoo never leaves orphaned weights —
+        unrelated ``.npz`` artifacts the zoo never wrote are left
+        alone.
+        """
         os.makedirs(directory, exist_ok=True)
+        previous = self._manifest_weights(directory)
         manifest: list[dict] = []
         for config, bucket in self._entries.items():
-            for i, entry in enumerate(bucket):
+            for entry in bucket:
+                digest = state_digest(state_dict(entry.model))
                 filename = (
-                    f"{config.label().replace('@', '_')}_{entry.model.label()}.npz"
+                    f"{config.label().replace('@', '_')}_"
+                    f"{entry.model.label()}_{digest[:12]}.npz"
                 )
-                save_state(entry.model, os.path.join(directory, filename))
+                # Atomic per-file write; identical weights re-save to
+                # the same (byte-identical) name, retrained ones to a
+                # fresh name, never truncating a referenced file.
+                tmp = os.path.join(
+                    directory, f"{filename}.tmp.{os.getpid()}.npz"
+                )
+                save_state(entry.model, tmp)
+                os.replace(tmp, os.path.join(directory, filename))
                 manifest.append(
                     {
                         "config": asdict(config),
@@ -228,8 +259,70 @@ class ModelZoo:
                         "weights": filename,
                     }
                 )
-        with open(os.path.join(directory, _MANIFEST_NAME), "w") as fh:
+        # Commit the new manifest (atomically) before removing orphans:
+        # at every crash point the manifest on disk references exactly
+        # the (content-addressed) weights it was written against, so
+        # :meth:`load` never breaks and never pairs old metadata with
+        # new weights.
+        manifest_path = os.path.join(directory, _MANIFEST_NAME)
+        tmp_manifest = f"{manifest_path}.tmp.{os.getpid()}"
+        with open(tmp_manifest, "w") as fh:
             json.dump({"version": 1, "entries": manifest}, fh, indent=2)
+        os.replace(tmp_manifest, manifest_path)
+        # Cleanup scope: files the previous manifest referenced, plus
+        # zoo-pattern weight files a crash between an earlier manifest
+        # commit and its cleanup may have left unreferenced.
+        leaked = {
+            name
+            for name in os.listdir(directory)
+            if _WEIGHT_FILE_RE.match(name)
+        }
+        referenced = {item["weights"] for item in manifest}
+        for name in (previous | leaked) - referenced:
+            path = os.path.join(directory, name)
+            if os.path.exists(path):
+                os.remove(path)
+        self._sweep_save_leftovers(directory)
+
+    @staticmethod
+    def _sweep_save_leftovers(directory: str, min_age_s: float = 3600.0) -> None:
+        """Remove aged ``*.tmp.*`` residue of crashed earlier saves.
+
+        Scoped to the zoo's own temp naming (weight-pattern or manifest
+        prefixes only) and to files older than ``min_age_s``, so a
+        concurrent save's in-flight files and unrelated artifacts are
+        never touched.
+        """
+        import time
+
+        now = time.time()
+        for name in os.listdir(directory):
+            if ".tmp." not in name:
+                continue
+            base = name.split(".tmp.")[0]
+            if base != _MANIFEST_NAME and not _WEIGHT_FILE_RE.match(base):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                if now - os.path.getmtime(path) >= min_age_s:
+                    os.remove(path)
+            except OSError:
+                pass  # vanished under us or unreadable: leave it
+
+    @staticmethod
+    def _manifest_weights(directory: str) -> "set[str]":
+        """Weight filenames the manifest already in ``directory`` references."""
+        manifest_path = os.path.join(directory, _MANIFEST_NAME)
+        try:
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+            return {
+                str(item["weights"])
+                for item in manifest.get("entries", [])
+                if "weights" in item
+            }
+        except (OSError, ValueError, TypeError, AttributeError):
+            return set()
 
     @classmethod
     def load(cls, directory: str) -> "ModelZoo":

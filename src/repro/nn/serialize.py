@@ -13,7 +13,13 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.nn.module import Module
 
-__all__ = ["state_dict", "load_state_dict", "save_state", "load_state"]
+__all__ = [
+    "state_dict",
+    "load_state_dict",
+    "save_state",
+    "load_state",
+    "state_digest",
+]
 
 
 def state_dict(model: Module) -> dict[str, np.ndarray]:
@@ -42,6 +48,30 @@ def load_state_dict(model: Module, state: dict[str, np.ndarray]) -> None:
                 f"expected {param.data.shape}"
             )
         param.data = value.copy()
+
+
+def state_digest(state: dict[str, np.ndarray]) -> str:
+    """sha256 over a state dict (order-independent).
+
+    Covers each array's name, dtype, shape, and raw bytes — used for
+    content-addressed weight filenames (:meth:`ModelZoo.save`) and as
+    the integrity check the runtime checkpoint store verifies before
+    serving persisted weights.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        value = np.ascontiguousarray(state[name])
+        digest.update(name.encode())
+        digest.update(b"\0")
+        digest.update(str(value.dtype).encode())
+        digest.update(b"\0")
+        digest.update(repr(value.shape).encode())
+        digest.update(b"\0")
+        digest.update(value.tobytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
 
 
 def save_state(model: Module, path: str) -> None:

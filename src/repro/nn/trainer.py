@@ -21,6 +21,7 @@ from repro.nn.module import Module
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.schedulers import LRScheduler, MultiStepLR
 from repro.nn.serialize import load_state_dict, state_dict
+from repro.perf import profiled
 from repro.utils.rng import as_generator
 
 __all__ = ["TrainingConfig", "TrainingHistory", "Trainer"]
@@ -114,6 +115,7 @@ class Trainer:
 
     # -- public API -----------------------------------------------------------
 
+    @profiled("trainer.fit")
     def fit(
         self,
         train_inputs: np.ndarray,
@@ -132,7 +134,23 @@ class Trainer:
             )
         if train_inputs.shape[0] == 0:
             raise TrainingError("empty training set")
+        if (val_inputs is None) != (val_targets is None):
+            # A half-provided split used to silently disable validation
+            # (and with it best-checkpoint restoration) — a recipe for
+            # quietly shipping last-epoch weights.  Fail loudly instead.
+            raise TrainingError(
+                "val_inputs and val_targets must be provided together "
+                "(or both omitted to train without validation)"
+            )
         has_validation = val_inputs is not None and val_targets is not None
+        if has_validation:
+            val_inputs = np.asarray(val_inputs, dtype=np.float64)
+            val_targets = np.asarray(val_targets, dtype=np.float64)
+            if val_inputs.shape[0] != val_targets.shape[0]:
+                raise TrainingError(
+                    f"validation input/target sample counts differ: "
+                    f"{val_inputs.shape[0]} vs {val_targets.shape[0]}"
+                )
 
         optimizer = self._build_optimizer()
         scheduler = self._build_scheduler(optimizer)
@@ -190,6 +208,7 @@ class Trainer:
 
     # -- internals --------------------------------------------------------------
 
+    @profiled("trainer.epoch")
     def _run_epoch(
         self,
         inputs: np.ndarray,
@@ -200,19 +219,20 @@ class Trainer:
         count = inputs.shape[0]
         order = rng.permutation(count) if self.config.shuffle else np.arange(count)
         total = 0.0
-        batches = 0
         for start in range(0, count, self.config.batch_size):
             index = order[start : start + self.config.batch_size]
             batch_in = inputs[index]
             batch_target = targets[index]
             optimizer.zero_grad()
             prediction = self.model.forward(batch_in)
-            total += self.loss.forward(prediction, batch_target)
+            # Losses reduce to a per-sample mean, so the epoch loss must
+            # weight each batch by its sample count — otherwise a ragged
+            # final batch (e.g. 1 sample at batch size 16) counts 16x.
+            total += self.loss.forward(prediction, batch_target) * index.size
             self.model.backward(self.loss.backward())
             self._clip_gradients()
             optimizer.step()
-            batches += 1
-        return total / max(batches, 1)
+        return total / count
 
     def _clip_gradients(self) -> None:
         """Scale all gradients so their global L2 norm stays bounded."""

@@ -26,6 +26,11 @@ model, and determinism guarantees.
 """
 
 from repro.runtime.cache import ResultCache, default_cache_root
+from repro.runtime.checkpoints import (
+    Checkpoint,
+    CheckpointStore,
+    default_checkpoint_root,
+)
 from repro.runtime.engine import EngineRun, ExperimentEngine
 from repro.runtime.executor import (
     Task,
@@ -33,11 +38,24 @@ from repro.runtime.executor import (
     resolve_worker_count,
     run_tasks,
 )
-from repro.runtime.hashing import canonical_json, code_version, task_key
+from repro.runtime.hashing import (
+    canonical_json,
+    code_version,
+    state_digest,
+    task_key,
+)
 from repro.runtime.planner import PlannedTask, plan_scenario
-from repro.runtime.registry import get_scenario, register_scenario, scenario_names
+from repro.runtime.registry import (
+    get_scenario,
+    get_training_grid,
+    register_scenario,
+    register_training_grid,
+    scenario_names,
+    training_grid_names,
+)
 from repro.runtime.spec import (
     Scenario,
+    TrainingGrid,
     dot11,
     fidelity_from_dict,
     fidelity_to_dict,
@@ -46,11 +64,14 @@ from repro.runtime.spec import (
     lbscifi,
     point,
     splitbeam,
+    zoo_entry,
 )
 
 __all__ = [
     "Scenario",
+    "TrainingGrid",
     "point",
+    "zoo_entry",
     "grid",
     "dot11",
     "ideal",
@@ -61,6 +82,9 @@ __all__ = [
     "register_scenario",
     "get_scenario",
     "scenario_names",
+    "register_training_grid",
+    "get_training_grid",
+    "training_grid_names",
     "PlannedTask",
     "plan_scenario",
     "Task",
@@ -69,8 +93,12 @@ __all__ = [
     "resolve_worker_count",
     "ResultCache",
     "default_cache_root",
+    "Checkpoint",
+    "CheckpointStore",
+    "default_checkpoint_root",
     "canonical_json",
     "code_version",
+    "state_digest",
     "task_key",
     "EngineRun",
     "ExperimentEngine",

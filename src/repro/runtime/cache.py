@@ -22,12 +22,96 @@ from pathlib import Path
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ResultCache", "default_cache_root"]
+__all__ = [
+    "ResultCache",
+    "default_cache_root",
+    "sweep_stale_tmp",
+    "sweep_stale_tmp_once",
+]
 
 SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default cache location.
 CACHE_ENV = "REPRO_RUNTIME_CACHE"
+
+
+def _tmp_writer_alive(path: Path) -> bool:
+    """Whether the pid embedded in a ``<stem>.tmp.<pid>[...]`` name is live.
+
+    Write-temp files carry their writer's pid precisely so concurrent
+    processes sharing one store never collide; a sweep must therefore
+    only remove files whose writer is gone (crashed), never one that is
+    mid-``put``.  Unparseable names count as dead (sweepable).
+    """
+    parts = path.name.split(".tmp.")
+    if len(parts) != 2:
+        return False
+    try:
+        pid = int(parts[1].split(".")[0])
+    except ValueError:
+        return False
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, PermissionError):  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+#: Temp files younger than this are never swept: their pid may belong
+#: to a writer on *another host* sharing the store root (NFS scratch),
+#: where local liveness checks say nothing.  Real writes finish in
+#: milliseconds, so any genuinely in-flight file is far younger.
+STALE_TMP_GRACE_S = 300.0
+
+
+def sweep_stale_tmp(root: Path, pattern: str = "*.tmp.*") -> int:
+    """Remove crashed writers' ``*.tmp.*`` leftovers under ``root``.
+
+    Shared by :class:`ResultCache` and
+    :class:`~repro.runtime.checkpoints.CheckpointStore`.  A file is
+    only removed when it is both older than :data:`STALE_TMP_GRACE_S`
+    (so a concurrent writer on another host is safe) and its pid names
+    no locally running process (so a stuck local writer is safe).
+    """
+    import time
+
+    removed = 0
+    if not root.is_dir():
+        return removed
+    now = time.time()
+    for stale in root.glob(pattern):
+        try:
+            age = now - stale.stat().st_mtime
+        except OSError:
+            continue  # vanished under us: someone else swept it
+        if age < STALE_TMP_GRACE_S or _tmp_writer_alive(stale):
+            continue
+        stale.unlink(missing_ok=True)
+        removed += 1
+    return removed
+
+
+_SWEPT_ROOTS: "set[str]" = set()
+
+
+def sweep_stale_tmp_once(root: Path) -> int:
+    """First-write sweep: clear a root's crash leftovers once per process.
+
+    ``put`` hot paths call this instead of scanning the directory on
+    every write — leftovers only appear when a *previous* process died
+    mid-write, so one sweep per (process, root) recovers them without
+    O(entries) work per stored result.  ``prune`` still sweeps
+    unconditionally.
+    """
+    resolved = os.path.abspath(str(root))
+    if resolved in _SWEPT_ROOTS:
+        return 0
+    _SWEPT_ROOTS.add(resolved)
+    return sweep_stale_tmp(root)
 
 
 def default_cache_root(fallback: "str | None" = None) -> str:
@@ -78,6 +162,11 @@ class ResultCache:
             "result": result,
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        # A writer that crashed between write_text and os.replace leaves
+        # its temp file behind; the first put per (process, root)
+        # sweeps dead writers' leftovers — live pids, including our own
+        # in-flight files, are never touched.
+        sweep_stale_tmp_once(self.root)
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
         os.replace(tmp, path)
         return path
@@ -92,11 +181,16 @@ class ResultCache:
         return len(self.keys())
 
     def prune(self, live_keys) -> int:
-        """Delete entries not in ``live_keys``; returns how many went."""
+        """Delete entries not in ``live_keys``; returns how many went.
+
+        Also sweeps leftover ``*.tmp.*`` write-temp files — the residue
+        of writers that crashed mid-:meth:`put`, which no key ever
+        addresses again.  Temp files of still-running writers survive.
+        """
         live = set(live_keys)
         removed = 0
         for key in self.keys():
             if key not in live:
                 self.path(key).unlink(missing_ok=True)
                 removed += 1
-        return removed
+        return removed + sweep_stale_tmp(self.root)

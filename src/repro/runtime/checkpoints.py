@@ -1,0 +1,197 @@
+"""Content-addressed checkpoint store for trained model weights.
+
+The zoo builder (``repro.core.zoo_builder``) persists every finished
+training run here so a warm rebuild loads weights instead of spending
+epochs.  Layout: two files per checkpoint under the store root, named by
+the training key (sha256 of the canonical training spec — dataset,
+widths, training config — plus the repro source digest, namespaced
+``kind="train"`` so it can never collide with a result-cache address):
+
+    <root>/<key>.npz    ->  the model state dict (np.savez)
+    <root>/<key>.json   ->  {"schema_version": 1, "key": ..., "spec": ...,
+                             "state_sha256": ..., "meta": ...}
+
+The metadata JSON is written *after* the weights and acts as the commit
+marker: :meth:`CheckpointStore.get` refuses entries whose weights are
+missing or whose bytes no longer hash to the recorded ``state_sha256``,
+so a half-written or corrupted checkpoint is a miss, never a wrong
+model.  Because the key embeds the source digest, any library edit
+silently invalidates every checkpoint (exactly like the result cache);
+``prune`` clears unaddressable leftovers and stale write-temp files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import sweep_stale_tmp, sweep_stale_tmp_once
+from repro.runtime.hashing import state_digest
+
+__all__ = ["Checkpoint", "CheckpointStore", "default_checkpoint_root"]
+
+SCHEMA_VERSION = 1
+
+#: Namespace passed as ``task_key(..., kind=...)`` for training keys.
+CHECKPOINT_KIND = "train"
+
+#: Environment variable overriding the default store location.
+CHECKPOINTS_ENV = "REPRO_RUNTIME_CHECKPOINTS"
+
+
+def default_checkpoint_root(fallback: "str | None" = None) -> str:
+    """$REPRO_RUNTIME_CHECKPOINTS, else ``fallback``, else the in-repo default."""
+    configured = os.environ.get(CHECKPOINTS_ENV)
+    if configured:
+        return configured
+    if fallback is not None:
+        return fallback
+    return os.path.join("benchmarks", "results", "checkpoint_store")
+
+
+@dataclass
+class Checkpoint:
+    """One persisted training run: weights plus its recorded metadata.
+
+    ``state_sha256`` is the integrity digest :meth:`CheckpointStore.get`
+    already verified against the ``.npz`` bytes — consumers (the zoo
+    builder's manifest rows) reuse it instead of re-hashing the state.
+    """
+
+    key: str
+    spec: dict
+    state: "dict[str, np.ndarray]"
+    meta: dict = field(default_factory=dict)
+    state_sha256: str = ""
+
+
+class CheckpointStore:
+    """A directory of content-addressed trained-model checkpoints."""
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        if not str(root):
+            raise ConfigurationError("checkpoint store root must be non-empty")
+        self.root = Path(root)
+
+    def weight_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def meta_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- read -----------------------------------------------------------------
+
+    def get(self, key: str) -> "Checkpoint | None":
+        """The checkpoint for ``key``, or ``None`` on miss/corruption."""
+        try:
+            payload = json.loads(self.meta_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            return None
+        try:
+            with np.load(self.weight_path(key)) as data:
+                state = {name: data[name] for name in data.files}
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile):
+            # A truncated/garbled .npz (torn write, partial copy) is a
+            # miss to retrain, never a crash: BadZipFile and EOFError
+            # are what np.load raises on mangled zip containers.
+            return None
+        if state_digest(state) != payload.get("state_sha256"):
+            # Weights on disk no longer match what the metadata recorded
+            # (torn write, manual edit): treat as a miss and retrain.
+            return None
+        return Checkpoint(
+            key=key,
+            spec=payload.get("spec", {}),
+            state=state,
+            meta=payload.get("meta", {}),
+            state_sha256=payload["state_sha256"],
+        )
+
+    # -- write ----------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        spec,
+        state: "dict[str, np.ndarray]",
+        meta: "dict | None" = None,
+        state_sha256: "str | None" = None,
+    ) -> Path:
+        """Persist one finished training run (atomic; last writer wins).
+
+        The weights land first, the metadata JSON last — its presence is
+        the commit marker ``get`` keys off, so a crash mid-write leaves
+        only sweepable temp files or an unreferenced ``.npz``, never a
+        readable-but-wrong checkpoint.  ``state_sha256`` lets a caller
+        that already digested ``state`` skip the re-hash.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        weight_path = self.weight_path(key)
+        meta_path = self.meta_path(key)
+        tmp_weights = weight_path.with_suffix(f".tmp.{os.getpid()}.npz")
+        tmp_meta = meta_path.with_suffix(f".tmp.{os.getpid()}")
+        # First put per (process, root): sweep dead writers' leftovers;
+        # live pids — including our own in-flight files — are spared.
+        sweep_stale_tmp_once(self.root)
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "spec": spec,
+            "state_sha256": state_sha256 or state_digest(state),
+            "meta": dict(meta or {}),
+        }
+        np.savez(tmp_weights, **state)
+        os.replace(tmp_weights, weight_path)
+        tmp_meta.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        os.replace(tmp_meta, meta_path)
+        return meta_path
+
+    # -- maintenance -----------------------------------------------------------
+
+    def keys(self) -> "list[str]":
+        """Keys of every committed checkpoint on disk (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.stem
+            for p in self.root.glob("*.json")
+            if self.weight_path(p.stem).exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def prune(self, live_keys) -> int:
+        """Delete checkpoints not in ``live_keys``; returns files removed.
+
+        Also removes orphans (weights without metadata or vice versa)
+        and stale ``*.tmp.*`` write-temp files of crashed writers.
+        """
+        live = set(live_keys)
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in list(self.root.glob("*.json")) + list(self.root.glob("*.npz")):
+            name = path.name
+            if ".tmp." in name:
+                continue  # handled by the sweep below
+            key = path.stem
+            if key in live:
+                # Never touch a live key, even half-committed: a
+                # concurrent writer may sit between its weight rename
+                # and its metadata commit, and a genuine crash residue
+                # is harmless (get() misses; the next put overwrites).
+                continue
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed + sweep_stale_tmp(self.root)

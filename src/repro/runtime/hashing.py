@@ -16,7 +16,13 @@ from pathlib import Path
 
 from repro.errors import ConfigurationError
 
-__all__ = ["canonical_json", "code_version", "task_key"]
+#: Re-exported because runtime stores address and verify weights by it;
+#: the implementation lives next to ``state_dict`` in
+#: :mod:`repro.nn.serialize` so the core/nn layers never import the
+#: orchestration package.
+from repro.nn.serialize import state_digest
+
+__all__ = ["canonical_json", "code_version", "task_key", "state_digest"]
 
 
 def canonical_json(obj) -> str:
@@ -51,9 +57,18 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
-def task_key(spec, version: str | None = None) -> str:
-    """Content address of one task: sha256 of (canonical spec, code version)."""
-    payload = canonical_json(
-        {"spec": spec, "code": code_version() if version is None else version}
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()
+def task_key(spec, version: str | None = None, *, kind: str | None = None) -> str:
+    """Content address of one task: sha256 of (canonical spec, code version).
+
+    ``kind`` namespaces the address space: stores holding different
+    artifact families (measurement results vs training checkpoints) use
+    distinct kinds so their keys can never collide, even for an
+    identical spec.  ``None`` (the default) keeps the original
+    result-cache addresses.
+    """
+    payload = {"spec": spec, "code": code_version() if version is None else version}
+    if kind is not None:
+        payload["kind"] = str(kind)
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+

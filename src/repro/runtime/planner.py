@@ -21,7 +21,7 @@ from repro.runtime.executor import Task
 from repro.runtime.hashing import task_key
 from repro.runtime.spec import Scenario
 
-__all__ = ["PlannedTask", "plan_scenario", "measurement_spec"]
+__all__ = ["PlannedTask", "plan_scenario", "measurement_spec", "shard_labels"]
 
 #: The engine's point-task entry point (importable in worker processes).
 POINT_FN = "repro.runtime.tasks:run_point"
@@ -55,13 +55,15 @@ class PlannedTask:
     task: Task
 
 
-def _shard_labels(specs, n_workers: int) -> "list[str | None]":
+def shard_labels(specs, n_workers: int) -> "list[str | None]":
     """Shard by dataset when that still saturates the pool.
 
     Tasks sharing a dataset profit from landing on one worker (its
     per-process memo builds the dataset once), but pinning them together
     is only worth it when there are clearly more dataset groups than
-    workers — otherwise sharding would serialize the scenario.
+    workers — otherwise sharding would serialize the scenario.  Any spec
+    carrying a ``{"dataset": {"id", "seed"}}`` mapping works — scenario
+    points and zoo-training entries alike.
     """
     datasets = [
         (spec["dataset"]["id"], spec["dataset"]["seed"]) for spec in specs
@@ -78,7 +80,7 @@ def plan_scenario(
 ) -> "list[PlannedTask]":
     """Expand a scenario into keyed, shard-labelled executor tasks."""
     specs = scenario.task_specs()
-    shards = _shard_labels(specs, n_workers)
+    shards = shard_labels(specs, n_workers)
     planned = []
     for index, (spec, shard) in enumerate(zip(specs, shards)):
         key = task_key(measurement_spec(spec), version)

@@ -1,4 +1,5 @@
-"""Named scenario presets: the paper's figures and new workloads.
+"""Named scenario and training-grid presets: the paper's figures and
+new workloads.
 
 Adding an experiment grid to the reproduction no longer means writing a
 driver script with hand-rolled loops — register a builder here and every
@@ -6,8 +7,8 @@ consumer (benchmarks, examples, ad-hoc runs) gets planning, worker-pool
 execution, and result caching from :class:`~repro.runtime.engine.
 ExperimentEngine` for free.
 
-Presets
--------
+Scenario presets
+----------------
 ``fig09``             BER vs compression grid (12 datasets x 4 K + 802.11)
 ``fig12-ber``         SplitBeam vs LB-SciFi, single/cross environment
 ``fig13``             cross-environment BER matrix for 2x2 and 3x3
@@ -16,6 +17,12 @@ Presets
 ``mobility-sweep``    channel re-randomization cadence as a mobility proxy
 ``cross-env-matrix``  full train x test environment matrix at one config
 ``snr-sweep``         BER vs operating SNR for the three core schemes
+
+Training-grid presets (``repro.core.zoo_builder.train_zoo``)
+------------------------------------------------------------
+``compression-ladder``   one dataset, a ladder of compression levels
+``table2-architectures`` the Table II architecture families on D1
+``cross-env``            2x2/3x3 models per environment (the Fig. 13 zoo)
 """
 
 from __future__ import annotations
@@ -26,18 +33,23 @@ from repro.config import FAST, Fidelity
 from repro.errors import ConfigurationError
 from repro.runtime.spec import (
     Scenario,
+    TrainingGrid,
     dot11,
     fidelity_to_dict,
     ideal,
     lbscifi,
     point,
     splitbeam,
+    zoo_entry,
 )
 
 __all__ = [
     "register_scenario",
     "get_scenario",
     "scenario_names",
+    "register_training_grid",
+    "get_training_grid",
+    "training_grid_names",
     "FIG12_FIDELITY",
     "FIG13_FIDELITY",
     "FIG10_FIDELITY",
@@ -121,6 +133,40 @@ def get_scenario(
 
 def scenario_names() -> "list[str]":
     return sorted(_SCENARIOS)
+
+
+_TRAINING_GRIDS: "dict[str, Callable[..., TrainingGrid]]" = {}
+
+
+def register_training_grid(name: str):
+    """Decorator registering ``fn(fidelity, **kwargs) -> TrainingGrid``."""
+
+    def decorate(fn):
+        if name in _TRAINING_GRIDS:
+            raise ConfigurationError(
+                f"training grid {name!r} already registered"
+            )
+        _TRAINING_GRIDS[name] = fn
+        return fn
+
+    return decorate
+
+
+def get_training_grid(
+    name: str, fidelity: "Fidelity | None" = None, **kwargs
+) -> TrainingGrid:
+    """Build a registered training grid (``fidelity=None`` = preset default)."""
+    try:
+        builder = _TRAINING_GRIDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown training grid {name!r}; options: {training_grid_names()}"
+        ) from None
+    return builder(fidelity=fidelity, **kwargs)
+
+
+def training_grid_names() -> "list[str]":
+    return sorted(_TRAINING_GRIDS)
 
 
 def _fid(fidelity: "Fidelity | None", default: Fidelity) -> Fidelity:
@@ -398,6 +444,116 @@ def _cross_env_matrix(
         title=f"Cross-environment matrix: {config}, K = 1/8",
         fidelity=fidelity_to_dict(fidelity),
         points=tuple(points),
+    )
+
+
+#: Table II architecture families at 20 MHz (D = 224); the 3-layer row
+#: is the paper's highlighted deployment model.
+TABLE2_ARCHITECTURES: "dict[str, tuple[int, ...]]" = {
+    "3-layer (Table II highlight)": (224, 28, 28, 224),
+    "wide 5-layer": (224, 896, 1792, 896, 224),
+    "tapered 6-layer": (224, 896, 896, 448, 448, 224),
+}
+
+
+@register_training_grid("compression-ladder")
+def _compression_ladder(
+    fidelity: "Fidelity | None" = None,
+    dataset_id: str = "D1",
+    dataset_seed: int = 7,
+    compressions: Sequence[float] = (1 / 16, 1 / 8, 1 / 4),
+    train_seed: int = 0,
+) -> TrainingGrid:
+    """A ladder of compression levels for one configuration.
+
+    This is the zoo the adaptive controller (Sec. IV-C) walks at
+    runtime: several models for one ``NetworkConfiguration``, most
+    compressed first.
+    """
+    fidelity = _fid(fidelity, FAST)
+    entries = tuple(
+        zoo_entry(
+            f"{dataset_id} K=1/{round(1 / k)}",
+            dataset_id,
+            dataset_seed=dataset_seed,
+            compression=k,
+            train_seed=train_seed,
+            ber_samples=fidelity.ber_samples,
+            notes=f"K=1/{round(1 / k)}",
+        )
+        for k in compressions
+    )
+    return TrainingGrid(
+        name="compression-ladder",
+        title=f"Compression ladder on {dataset_id}",
+        fidelity=fidelity_to_dict(fidelity),
+        entries=entries,
+    )
+
+
+@register_training_grid("table2-architectures")
+def _table2_architectures(
+    fidelity: "Fidelity | None" = None,
+    dataset_id: str = "D1",
+    train_seed: int = 0,
+) -> TrainingGrid:
+    """The Table II bottleneck-architecture families (2x2 @ 20 MHz)."""
+    fidelity = _fid(fidelity, FAST)
+    entries = tuple(
+        zoo_entry(
+            name,
+            dataset_id,
+            widths=widths,
+            train_seed=train_seed,
+            ber_samples=fidelity.ber_samples,
+            notes=name,
+        )
+        for name, widths in TABLE2_ARCHITECTURES.items()
+    )
+    return TrainingGrid(
+        name="table2-architectures",
+        title="Table II: bottleneck structure study (2x2, 20 MHz)",
+        fidelity=fidelity_to_dict(fidelity),
+        entries=entries,
+    )
+
+
+@register_training_grid("cross-env")
+def _cross_env_zoo(
+    fidelity: "Fidelity | None" = None,
+    configs: Sequence[str] = ("2x2", "3x3"),
+    bandwidths: Sequence[int] = (20, 40),
+    compressions: Sequence[float] = (1 / 8,),
+    train_seed: int = 0,
+) -> TrainingGrid:
+    """One model per (configuration, environment, bandwidth, K).
+
+    The offline zoo behind the Fig. 13 cross-environment story: a STA
+    roaming between E1 and E2 needs a trained model for each.
+    """
+    fidelity = _fid(fidelity, FIG13_FIDELITY)
+    entries = []
+    for config in configs:
+        for bandwidth in bandwidths:
+            for env in ("E1", "E2"):
+                dataset_id = DATASET_GRID[(config, env, bandwidth)]
+                for k in compressions:
+                    entries.append(
+                        zoo_entry(
+                            f"{config} {env} {bandwidth} MHz K=1/{round(1 / k)}",
+                            dataset_id,
+                            dataset_seed=ENV_SEEDS[env],
+                            compression=k,
+                            train_seed=train_seed,
+                            ber_samples=fidelity.ber_samples,
+                            notes=f"{env} K=1/{round(1 / k)}",
+                        )
+                    )
+    return TrainingGrid(
+        name="cross-env",
+        title="Cross-environment model zoo (E1 + E2 per configuration)",
+        fidelity=fidelity_to_dict(fidelity),
+        entries=tuple(entries),
     )
 
 

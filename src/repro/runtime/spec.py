@@ -38,6 +38,8 @@ __all__ = [
     "lbscifi",
     "fidelity_to_dict",
     "fidelity_from_dict",
+    "TrainingGrid",
+    "zoo_entry",
 ]
 
 #: Scheme kinds `repro.runtime.tasks.run_point` knows how to build.
@@ -164,3 +166,110 @@ class Scenario:
         """Points merged with the scenario fidelity — the hashable specs."""
         fidelity = dict(self.fidelity)
         return [{**entry, "fidelity": fidelity} for entry in self.points]
+
+
+# -- zoo-training grids ----------------------------------------------------------
+
+
+def zoo_entry(
+    label: str,
+    dataset_id: str,
+    *,
+    dataset_seed: int = 7,
+    reset_interval: "int | None" = None,
+    compression: float = 1 / 8,
+    widths: "Sequence[int] | None" = None,
+    activation: str = "leaky_relu",
+    qat_bits: "int | None" = None,
+    quantizer_bits: "int | None" = 16,
+    train_seed: int = 0,
+    checkpoint_on: str = "loss",
+    link: "Mapping | None" = None,
+    ber_samples: "int | None" = None,
+    notes: str = "",
+) -> dict:
+    """One well-formed training-grid entry (a JSON-able mapping).
+
+    ``widths`` pins a full Table II architecture; when ``None`` the
+    builder derives the 3-layer widths from ``compression`` and the
+    dataset's input dimension.  ``link`` overrides the
+    :class:`~repro.phy.link.LinkConfig` of the test-split BER
+    measurement recorded on the zoo entry; ``ber_samples`` caps its
+    sample count (``None`` = the grid fidelity's ``ber_samples``).
+    """
+    return {
+        "label": str(label),
+        "dataset": {
+            "id": str(dataset_id),
+            "seed": int(dataset_seed),
+            "reset_interval": reset_interval,
+        },
+        "model": {
+            "compression": None if widths is not None else float(compression),
+            "widths": None if widths is None else [int(w) for w in widths],
+            "activation": str(activation),
+            "qat_bits": None if qat_bits is None else int(qat_bits),
+        },
+        "train": {
+            "seed": int(train_seed),
+            "checkpoint_on": str(checkpoint_on),
+        },
+        "quantizer_bits": None if quantizer_bits is None else int(quantizer_bits),
+        "link": dict(link or {}),
+        "ber_samples": None if ber_samples is None else int(ber_samples),
+        "notes": str(notes),
+    }
+
+
+@dataclass(frozen=True)
+class TrainingGrid:
+    """A named, ordered grid of zoo-training entries at one fidelity.
+
+    The training analogue of :class:`Scenario`: each entry is a plain
+    mapping built by :func:`zoo_entry` — dataset, architecture, training
+    seed — that fully determines one ``train_splitbeam`` run, so entries
+    hash stably (for the checkpoint store) and pickle cheaply (for the
+    worker pool).
+    """
+
+    name: str
+    title: str
+    fidelity: Mapping
+    entries: tuple
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("training grid name must be non-empty")
+        if not self.entries:
+            raise ConfigurationError(f"training grid {self.name!r} has no entries")
+        fidelity_from_dict(self.fidelity)  # validates field names/values
+        labels = set()
+        for entry in self.entries:
+            for field_name in ("label", "dataset", "model", "train"):
+                if field_name not in entry:
+                    raise ConfigurationError(
+                        f"training grid {self.name!r}: entry missing "
+                        f"{field_name!r}"
+                    )
+            model = entry["model"]
+            if model.get("widths") is None and model.get("compression") is None:
+                raise ConfigurationError(
+                    f"training grid {self.name!r}: entry "
+                    f"{entry['label']!r} needs widths or compression"
+                )
+            if entry["label"] in labels:
+                raise ConfigurationError(
+                    f"training grid {self.name!r}: duplicate label "
+                    f"{entry['label']!r}"
+                )
+            labels.add(entry["label"])
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.entries)
+
+    def task_specs(self) -> "list[dict]":
+        """Entries merged with the grid fidelity — the hashable specs."""
+        fidelity = dict(self.fidelity)
+        return [{**entry, "fidelity": fidelity} for entry in self.entries]

@@ -19,7 +19,13 @@ from repro.config import Fidelity
 from repro.errors import ConfigurationError
 from repro.phy.link import LinkConfig, LinkSimulator
 
-__all__ = ["run_point", "link_ber_point", "session_round", "clear_memos"]
+__all__ = [
+    "run_point",
+    "link_ber_point",
+    "session_round",
+    "train_zoo_entry",
+    "clear_memos",
+]
 
 _DATASETS: dict = {}
 _SCHEMES: dict = {}
@@ -127,6 +133,55 @@ def run_point(params: Mapping) -> dict:
         "sta_flops": float(evaluation.sta_flops),
         "feedback_bits": int(evaluation.feedback_bits),
         "n_samples": int(np.asarray(indices).size),
+    }
+
+
+def train_zoo_entry(params: Mapping) -> dict:
+    """Train one zoo model; the zoo builder's task function.
+
+    ``params`` is a training-grid entry merged with its fidelity and
+    with the architecture widths already resolved (see
+    :meth:`repro.runtime.spec.TrainingGrid.task_specs` and
+    :mod:`repro.core.zoo_builder`).  Returns everything the coordinator
+    needs to reconstruct the trained model without the dataset: the
+    state dict, the architecture, the measured test BER, and a history
+    summary.  Pure and fully seeded, so results are bit-identical
+    whichever worker (or the coordinator itself) runs the training.
+    """
+    from repro.core.training import train_splitbeam
+    from repro.nn.serialize import state_dict
+
+    fidelity = params["fidelity"]
+    dataset = _get_dataset(params["dataset"], fidelity)
+    model_spec = params["model"]
+    train_spec = params["train"]
+    trained = train_splitbeam(
+        dataset,
+        widths=list(model_spec["widths"]),
+        fidelity=_fidelity(fidelity),
+        checkpoint_on=train_spec["checkpoint_on"],
+        quantizer_bits=params["quantizer_bits"],
+        activation=model_spec["activation"],
+        qat_bits=model_spec["qat_bits"],
+        seed=train_spec["seed"],
+    )
+    measured = trained.test_ber(
+        link_config=LinkConfig(**params.get("link", {})),
+        max_samples=params["ber_samples"],
+    ).ber
+    history = trained.history
+    return {
+        "state": state_dict(trained.model),
+        "widths": list(trained.model.widths),
+        "activation": trained.model.activation_name,
+        "measured_ber": float(measured),
+        "history": {
+            "n_epochs": len(history),
+            "best_epoch": int(history.best_epoch),
+            "best_val_metric": float(history.best_val_metric),
+            "final_train_loss": float(history.train_loss[-1]),
+            "stopped_early": bool(history.stopped_early),
+        },
     }
 
 

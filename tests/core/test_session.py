@@ -34,12 +34,40 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             NetworkSession(dataset, zoo=ModelZoo(), trained_models={})
 
-    def test_zoo_and_models_must_pair(self, dataset, splitbeam_setup):
-        zoo, models = splitbeam_setup
-        with pytest.raises(ConfigurationError):
-            NetworkSession(dataset, zoo=zoo, trained_models=None)
+    def test_models_override_requires_zoo(self, dataset, splitbeam_setup):
+        _, models = splitbeam_setup
         with pytest.raises(ConfigurationError):
             NetworkSession(dataset, zoo=None, trained_models=models)
+
+    def test_partial_models_override_rejected(self, dataset, splitbeam_setup):
+        # The controller can walk the whole ladder; a partial override
+        # must fail at construction, not as a KeyError rounds later.
+        zoo, _ = splitbeam_setup
+        with pytest.raises(ConfigurationError, match="missing"):
+            NetworkSession(dataset, zoo=zoo, trained_models={})
+
+    def test_zoo_alone_is_enough(self, dataset, splitbeam_setup):
+        # The zoo entries carry model + quantizer width, so a session
+        # needs no separate trained-model lookup.
+        zoo, _ = splitbeam_setup
+        report = NetworkSession(
+            dataset, zoo=zoo, samples_per_round=4, seed=3
+        ).run(2)
+        assert all(r.scheme != "802.11" for r in report.rounds)
+
+    def test_zoo_only_matches_trained_models(self, dataset, splitbeam_setup):
+        # Deploying from zoo entries must reproduce the trained-model
+        # override exactly (same models, same quantizer width).
+        zoo, models = splitbeam_setup
+        from_zoo = NetworkSession(
+            dataset, zoo=zoo, samples_per_round=4, seed=7
+        ).run(3)
+        overridden = NetworkSession(
+            dataset, zoo=zoo, trained_models=models, samples_per_round=4, seed=7
+        ).run(3)
+        assert [r.__dict__ for r in from_zoo.rounds] == [
+            r.__dict__ for r in overridden.rounds
+        ]
 
     def test_invalid_samples_per_round(self, dataset):
         with pytest.raises(ConfigurationError):

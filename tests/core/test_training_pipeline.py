@@ -52,12 +52,12 @@ class TestTraining:
                 smoke_dataset_2x2, fidelity=SMOKE, checkpoint_on="accuracy"
             )
 
-    def test_training_config_uses_adam(self, smoke_dataset_2x2):
+    def test_training_config_uses_adam(self):
         # Documented deviation from Sec. IV-D: Adam everywhere (plain
         # SGD diverges/under-trains on the wide 160 MHz models here).
-        from repro.core.training import _training_config
+        from repro.core.training import splitbeam_training_config
 
-        config = _training_config(smoke_dataset_2x2, SMOKE, seed=0)
+        config = splitbeam_training_config(SMOKE, seed=0)
         assert config.optimizer == "adam"
 
     def test_ber_checkpointing_runs(self, smoke_dataset_2x2):

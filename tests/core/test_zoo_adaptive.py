@@ -139,6 +139,144 @@ class TestModelZoo:
             restored.model.forward(x), original.model.forward(x)
         )
 
+    def test_save_removes_unreferenced_npz(self, tmp_path):
+        # Saving a shrunk/re-keyed zoo over an old directory must not
+        # leave orphaned weight files behind the new manifest.
+        big = ModelZoo()
+        big.register(make_entry(1 / 8, 0.013, seed=1))
+        big.register(make_entry(1 / 4, 0.007, seed=2))
+        big.save(str(tmp_path))
+        npz_before = {p.name for p in tmp_path.glob("*.npz")}
+        assert len(npz_before) == 2
+
+        small = ModelZoo()
+        small.register(make_entry(1 / 8, 0.02, seed=3))
+        small.save(str(tmp_path))
+        npz_after = {p.name for p in tmp_path.glob("*.npz")}
+        assert len(npz_after) == 1
+        # Round trip: the reloaded zoo is exactly the new one, and the
+        # old K=1/4 weights are gone from disk.
+        loaded = ModelZoo.load(str(tmp_path))
+        assert len(loaded) == 1
+        assert loaded.candidates(CONFIG)[0].measured_ber == 0.02
+        assert not (npz_after - {p.name for p in tmp_path.glob("*.npz")})
+
+    def test_save_keeps_unrelated_files(self, tmp_path):
+        # Only weights the previous manifest referenced are cleaned;
+        # unrelated files — even .npz ones the zoo never wrote — survive.
+        readme = tmp_path / "README.txt"
+        readme.write_text("not a weight file")
+        foreign = tmp_path / "my_experiment.npz"
+        foreign.write_bytes(b"someone else's arrays")
+        old = ModelZoo()
+        old.register(make_entry(1 / 4, 0.01, seed=4))
+        old.save(str(tmp_path))
+        new = ModelZoo()
+        new.register(make_entry(1 / 8, 0.01))
+        new.save(str(tmp_path))
+        assert readme.exists()
+        assert foreign.exists()
+        # ... while the superseded zoo weight file is gone.
+        assert len(list(tmp_path.glob("*.npz"))) == 2  # foreign + new model
+
+    def test_save_interrupted_cleanup_keeps_zoo_loadable(
+        self, tmp_path, monkeypatch
+    ):
+        # The new manifest commits before superseded weights are
+        # removed, so a crash during the cleanup never strands a
+        # manifest that references missing files.
+        old = ModelZoo()
+        old.register(make_entry(1 / 4, 0.01, seed=4))
+        old.save(str(tmp_path))
+        new = ModelZoo()
+        new.register(make_entry(1 / 8, 0.02))
+
+        def exploding_remove(path):
+            raise OSError("simulated crash during orphan cleanup")
+
+        monkeypatch.setattr("repro.core.zoo.os.remove", exploding_remove)
+        with pytest.raises(OSError, match="simulated crash"):
+            new.save(str(tmp_path))
+        monkeypatch.undo()
+        loaded = ModelZoo.load(str(tmp_path))
+        assert len(loaded) == 1
+        assert loaded.candidates(CONFIG)[0].measured_ber == 0.02
+
+    def test_save_crash_before_manifest_keeps_old_zoo_intact(
+        self, tmp_path, monkeypatch
+    ):
+        # Retrained weights get content-addressed (new) filenames, so a
+        # crash before the new manifest commits leaves the OLD manifest
+        # paired with the OLD weights — never old metadata over new
+        # parameters.
+        old = ModelZoo()
+        old.register(make_entry(1 / 8, 0.01, seed=1))
+        old.save(str(tmp_path))
+        retrained = ModelZoo()
+        retrained.register(make_entry(1 / 8, 0.02, seed=2))
+
+        def exploding_dump(*args, **kwargs):
+            raise OSError("simulated crash before manifest commit")
+
+        monkeypatch.setattr("repro.core.zoo.json.dump", exploding_dump)
+        with pytest.raises(OSError, match="simulated crash"):
+            retrained.save(str(tmp_path))
+        monkeypatch.undo()
+        loaded = ModelZoo.load(str(tmp_path))
+        restored = loaded.candidates(CONFIG)[0]
+        assert restored.measured_ber == 0.01  # the OLD zoo, consistently
+        x = np.random.default_rng(0).standard_normal((2, CONFIG.input_dim))
+        np.testing.assert_allclose(
+            restored.model.forward(x),
+            old.candidates(CONFIG)[0].model.forward(x),
+        )
+
+    def test_save_sweeps_aged_crash_leftovers(self, tmp_path):
+        # A crash mid-save strands '<weights>.npz.tmp.<pid>.npz' /
+        # 'zoo_manifest.json.tmp.<pid>' files; the next save removes
+        # them once aged (young ones might belong to a concurrent
+        # save), leaving unrelated tmp files alone.
+        import os
+        import time
+
+        stale_weight = tmp_path / (
+            "2x1_20MHz_224-28-28-224_0123456789ab.npz.tmp.4242.npz"
+        )
+        stale_weight.write_bytes(b"torn")
+        stale_manifest = tmp_path / "zoo_manifest.json.tmp.4242"
+        stale_manifest.write_text("{torn")
+        fresh = tmp_path / (
+            "2x1_20MHz_224-14-14-224_ba9876543210.npz.tmp.4243.npz"
+        )
+        fresh.write_bytes(b"in flight")
+        unrelated = tmp_path / "notes.txt.tmp.4242"
+        unrelated.write_text("not ours")
+        old = time.time() - 7200.0
+        for path in (stale_weight, stale_manifest, unrelated):
+            os.utime(path, (old, old))
+
+        zoo = ModelZoo()
+        zoo.register(make_entry(1 / 8, 0.01))
+        zoo.save(str(tmp_path))
+        assert not stale_weight.exists()
+        assert not stale_manifest.exists()
+        assert fresh.exists()  # young: possibly a concurrent save
+        assert unrelated.exists()  # not the zoo's naming
+
+    def test_save_writes_weights_atomically(self, tmp_path):
+        # Re-saving over the same directory reuses filenames; weights go
+        # through tmp+rename (no in-place truncation) and leave no
+        # write-temp residue behind.
+        zoo = ModelZoo()
+        zoo.register(make_entry(1 / 8, 0.01, seed=1))
+        zoo.save(str(tmp_path))
+        again = ModelZoo()
+        again.register(make_entry(1 / 8, 0.02, seed=2))
+        again.save(str(tmp_path))
+        assert not list(tmp_path.glob("*.tmp.*"))
+        loaded = ModelZoo.load(str(tmp_path))
+        assert loaded.candidates(CONFIG)[0].measured_ber == 0.02
+
     def test_load_missing_manifest(self, tmp_path):
         with pytest.raises(DatasetError):
             ModelZoo.load(str(tmp_path))

@@ -6,6 +6,7 @@ import pytest
 from repro.errors import ShapeError, TrainingError
 from repro.nn.flops import count_flops, count_macs, count_parameters
 from repro.nn.layers import Dropout, Linear, ReLU, Sequential, Tanh
+from repro.nn.losses import NormalizedL1Loss
 from repro.nn.serialize import load_state, load_state_dict, save_state, state_dict
 from repro.nn.trainer import Trainer, TrainingConfig
 
@@ -73,6 +74,97 @@ class TestTrainer:
         model = Sequential([Linear(6, 6, rng=0)])
         with pytest.raises(TrainingError):
             Trainer(model).fit(np.zeros((4, 6)), np.zeros((5, 6)))
+
+    def test_ragged_final_batch_weighted_by_sample_count(self, rng):
+        # 21 samples at batch size 16 -> batches of 16 and 5.  The epoch
+        # loss must be the sample-weighted mean of the (per-sample-mean)
+        # batch losses, not the plain mean over batches — the old code
+        # let the 5-sample tail count as much as the 16-sample head.
+        x, y = linear_task(rng, n=21)
+
+        class SpyLoss(NormalizedL1Loss):
+            def __init__(self):
+                super().__init__()
+                self.batches = []  # (loss value, sample count)
+
+            def forward(self, prediction, target):
+                value = super().forward(prediction, target)
+                self.batches.append((value, prediction.shape[0]))
+                return value
+
+        loss = SpyLoss()
+        model = Sequential([Linear(6, 6, rng=0)])
+        trainer = Trainer(
+            model, loss=loss, config=TrainingConfig(epochs=1, seed=0)
+        )
+        history = trainer.fit(x, y)
+        assert [count for _, count in loss.batches] == [16, 5]
+        weighted = sum(v * n for v, n in loss.batches) / 21
+        unweighted = sum(v for v, _ in loss.batches) / 2
+        assert history.train_loss[0] == pytest.approx(weighted, rel=1e-12)
+        assert history.train_loss[0] != pytest.approx(unweighted, rel=1e-6)
+
+    def test_divisible_batches_match_plain_mean(self, rng):
+        # With equal-sized batches the weighting is a no-op.
+        x, y = linear_task(rng, n=32)
+
+        class SpyLoss(NormalizedL1Loss):
+            def __init__(self):
+                super().__init__()
+                self.values = []
+
+            def forward(self, prediction, target):
+                value = super().forward(prediction, target)
+                self.values.append(value)
+                return value
+
+        loss = SpyLoss()
+        model = Sequential([Linear(6, 6, rng=0)])
+        trainer = Trainer(
+            model, loss=loss, config=TrainingConfig(epochs=1, seed=0)
+        )
+        history = trainer.fit(x, y)
+        assert history.train_loss[0] == pytest.approx(
+            sum(loss.values) / len(loss.values), rel=1e-12
+        )
+
+    def test_half_provided_validation_split_raises(self, rng):
+        # One of val_inputs/val_targets alone used to silently disable
+        # validation (and checkpointing); now it is a loud error.
+        x, y = linear_task(rng)
+        model = Sequential([Linear(6, 6, rng=0)])
+        trainer = Trainer(model, config=TrainingConfig(epochs=2, seed=0))
+        with pytest.raises(TrainingError, match="together"):
+            trainer.fit(x, y, val_inputs=x[:8])
+        with pytest.raises(TrainingError, match="together"):
+            trainer.fit(x, y, val_targets=y[:8])
+
+    def test_mismatched_validation_counts_raise(self, rng):
+        x, y = linear_task(rng)
+        model = Sequential([Linear(6, 6, rng=0)])
+        with pytest.raises(TrainingError, match="validation"):
+            Trainer(model).fit(x, y, x[:8], y[:7])
+
+    def test_validation_arrays_coerced_to_float64(self, rng):
+        # Validation splits get the same float64 coercion as training
+        # data, whatever the caller hands in.
+        x, y = linear_task(rng)
+        seen = []
+
+        def metric(m, xv, yv):
+            seen.append((xv.dtype, yv.dtype))
+            return 0.0
+
+        model = Sequential([Linear(6, 6, rng=0)])
+        trainer = Trainer(
+            model,
+            config=TrainingConfig(epochs=1, seed=0),
+            validation_metric=metric,
+        )
+        trainer.fit(
+            x, y, x[:8].astype(np.float32), y[:8].astype(np.float32)
+        )
+        assert seen == [(np.dtype(np.float64), np.dtype(np.float64))]
 
     def test_deterministic_given_seed(self, rng):
         x, y = linear_task(rng)

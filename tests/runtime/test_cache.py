@@ -6,9 +6,28 @@ import json
 
 import pytest
 
+import subprocess
+import sys
+
 from repro.errors import ConfigurationError
 from repro.runtime.cache import ResultCache
 from repro.runtime.hashing import canonical_json, code_version, task_key
+
+
+def dead_pid() -> int:
+    """A pid guaranteed to belong to no running process."""
+    proc = subprocess.Popen([sys.executable, "-c", ""])
+    proc.wait()
+    return proc.pid
+
+
+def backdate(path) -> None:
+    """Age a file past the sweep's young-writer grace period."""
+    import os
+    import time
+
+    old = time.time() - 3600.0
+    os.utime(path, (old, old))
 
 
 class TestHashing:
@@ -38,6 +57,37 @@ class TestHashing:
         # Default version is this checkout's digest, cached per process.
         assert task_key(spec) == task_key(spec, code_version())
         assert len(code_version()) == 64
+
+    def test_task_key_kind_namespaces(self):
+        # Checkpoint keys must never collide with result-cache keys for
+        # the same spec; kind=None keeps the original addresses.
+        spec = {"a": 1}
+        assert task_key(spec, "v") != task_key(spec, "v", kind="train")
+        assert task_key(spec, "v", kind="train") != task_key(
+            spec, "v", kind="other"
+        )
+        assert task_key(spec, "v", kind="train") == task_key(
+            spec, "v", kind="train"
+        )
+
+    def test_state_digest_covers_names_shapes_and_bytes(self):
+        import numpy as np
+
+        from repro.runtime.hashing import state_digest
+
+        state = {"p0.w": np.arange(6.0).reshape(2, 3), "p1.b": np.ones(2)}
+        same = {k: v.copy() for k, v in state.items()}
+        assert state_digest(state) == state_digest(same)
+        renamed = {"p0.x": state["p0.w"], "p1.b": state["p1.b"]}
+        assert state_digest(state) != state_digest(renamed)
+        reshaped = {
+            "p0.w": state["p0.w"].reshape(3, 2),
+            "p1.b": state["p1.b"],
+        }
+        assert state_digest(state) != state_digest(reshaped)
+        perturbed = {k: v.copy() for k, v in state.items()}
+        perturbed["p1.b"][0] += 1e-12
+        assert state_digest(state) != state_digest(perturbed)
 
 
 class TestResultCache:
@@ -82,6 +132,96 @@ class TestResultCache:
             cache.put(key, {"x": i}, i)
         assert cache.prune(keys[:1]) == 2
         assert cache.keys() == sorted(keys[:1])
+
+    def test_prune_sweeps_stale_tmp_files(self, tmp_path):
+        # A writer that crashes between write_text and os.replace leaves
+        # a <key>.tmp.<pid> file that no key ever addresses; prune must
+        # clear those alongside dead entries.
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 1}, "v")
+        cache.put(key, {"x": 1}, {"ber": 0.5})
+        gone = dead_pid()
+        stale = tmp_path / f"{key}.tmp.{gone}"
+        stale.write_text("{interrupted")
+        other = tmp_path / f"deadbeef.tmp.{gone}"
+        other.write_text("{interrupted")
+        backdate(stale)
+        backdate(other)
+        assert cache.prune([key]) == 2
+        assert not stale.exists() and not other.exists()
+        assert cache.get(key) == {"ber": 0.5}
+
+    def test_prune_spares_recent_tmp_files(self, tmp_path):
+        # A dead-pid temp file younger than the grace period could be a
+        # live writer on another host sharing the root; it stays until
+        # it has aged.
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 11}, "v")
+        cache.put(key, {"x": 11}, 1)
+        young = tmp_path / f"{key}.tmp.{dead_pid()}"
+        young.write_text("{mid-write elsewhere}")
+        assert cache.prune([key]) == 0
+        assert young.exists()
+        backdate(young)
+        assert cache.prune([key]) == 1
+        assert not young.exists()
+
+    def test_first_put_sweeps_stale_tmp_once_per_root(self, tmp_path):
+        # The first put a process makes into a root clears crashed
+        # writers' leftovers; later puts skip the directory scan (the
+        # hot path pays O(1), prune still sweeps unconditionally).
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 2}, "v")
+        gone = dead_pid()
+        stale = tmp_path / f"{key}.tmp.{gone}"
+        stale.write_text("{interrupted")
+        other = tmp_path / f"deadbeef.tmp.{gone}"
+        other.write_text("{interrupted")
+        backdate(stale)
+        backdate(other)
+        cache.put(key, {"x": 2}, {"ber": 0.25})
+        assert not stale.exists() and not other.exists()
+        assert cache.get(key) == {"ber": 0.25}
+        # New residue after the first put stays until prune runs.
+        late = tmp_path / f"deadbeef.tmp.{gone}"
+        late.write_text("{interrupted")
+        backdate(late)
+        cache.put(task_key({"x": 22}, "v"), {"x": 22}, 1)
+        assert late.exists()
+        cache.prune(cache.keys())
+        assert not late.exists()
+
+    def test_sweep_spares_live_writers(self, tmp_path):
+        # The pid baked into a temp name marks its writer; a file whose
+        # writer is still running is an in-flight atomic write, not
+        # residue — neither put nor prune may delete it.
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 9}, "v")
+        live = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(30)"]
+        )
+        try:
+            other_writer = tmp_path / f"{key}.tmp.{live.pid}"
+            other_writer.write_text("{mid-write")
+            backdate(other_writer)  # old, but its writer is still alive
+            cache.put(key, {"x": 9}, {"ber": 0.125})
+            assert other_writer.exists()
+            assert cache.prune([key]) == 0
+            assert other_writer.exists()
+        finally:
+            live.kill()
+            live.wait()
+        # Once its writer is gone, prune reclaims it.
+        assert cache.prune([key]) == 1
+        assert not other_writer.exists()
+
+    def test_tmp_files_are_not_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 3}, "v")
+        cache.put(key, {"x": 3}, 1)
+        (tmp_path / f"{key}.tmp.4242").write_text("{interrupted")
+        assert cache.keys() == [key]
+        assert len(cache) == 1
 
     def test_empty_root_rejected(self):
         with pytest.raises(ConfigurationError):

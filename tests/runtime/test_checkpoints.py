@@ -1,0 +1,181 @@
+"""Tests for the content-addressed checkpoint store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.checkpoints import CHECKPOINT_KIND, CheckpointStore
+from repro.runtime.hashing import task_key
+
+
+def dead_pid() -> int:
+    """A pid guaranteed to belong to no running process."""
+    import subprocess
+    import sys
+
+    proc = subprocess.Popen([sys.executable, "-c", ""])
+    proc.wait()
+    return proc.pid
+
+
+def backdate(path) -> None:
+    """Age a file past the sweep's young-writer grace period."""
+    import os
+    import time
+
+    old = time.time() - 3600.0
+    os.utime(path, (old, old))
+
+
+def _state(seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "p0.weight": rng.standard_normal((4, 3)),
+        "p0.bias": rng.standard_normal(3),
+    }
+
+
+def _key(i: int) -> str:
+    return task_key({"x": i}, "v", kind=CHECKPOINT_KIND)
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        key = _key(1)
+        assert store.get(key) is None
+        state = _state()
+        store.put(key, {"x": 1}, state, meta={"measured_ber": 0.25})
+        loaded = store.get(key)
+        assert loaded is not None
+        assert loaded.key == key
+        assert loaded.spec == {"x": 1}
+        assert loaded.meta == {"measured_ber": 0.25}
+        assert set(loaded.state) == set(state)
+        for name in state:
+            np.testing.assert_array_equal(loaded.state[name], state[name])
+        assert store.keys() == [key]
+        assert len(store) == 1
+
+    def test_missing_weights_is_a_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = _key(2)
+        store.put(key, {"x": 2}, _state())
+        store.weight_path(key).unlink()
+        assert store.get(key) is None
+        assert store.keys() == []
+
+    def test_corrupted_weights_are_a_miss(self, tmp_path):
+        # Weights whose bytes no longer hash to the recorded digest must
+        # not be served — retraining beats silently loading a wrong model.
+        store = CheckpointStore(tmp_path)
+        key = _key(3)
+        store.put(key, {"x": 3}, _state())
+        other = _state(seed=9)
+        np.savez(store.weight_path(key), **other)
+        assert store.get(key) is None
+
+    def test_truncated_npz_is_a_miss(self, tmp_path):
+        # A torn write can leave a half-written zip container; np.load
+        # raises BadZipFile/EOFError on those, which get must swallow
+        # (retrain), never propagate into a warm rebuild.
+        store = CheckpointStore(tmp_path)
+        key = _key(10)
+        store.put(key, {"x": 10}, _state())
+        raw = store.weight_path(key).read_bytes()
+        store.weight_path(key).write_bytes(raw[: len(raw) // 2])
+        assert store.get(key) is None
+        store.weight_path(key).write_bytes(b"PK")  # zip magic, no content
+        assert store.get(key) is None
+
+    def test_corrupt_meta_is_a_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = _key(4)
+        store.put(key, {"x": 4}, _state())
+        store.meta_path(key).write_text("{not json")
+        assert store.get(key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key, other = _key(5), _key(6)
+        store.put(key, {"x": 5}, _state())
+        store.meta_path(other).write_text(store.meta_path(key).read_text())
+        np.savez(store.weight_path(other), **_state())
+        assert store.get(other) is None
+
+    def test_meta_layout(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = _key(7)
+        path = store.put(key, {"x": 7}, _state(), meta={"widths": [4, 2, 4]})
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["key"] == key
+        assert payload["spec"] == {"x": 7}
+        assert payload["meta"] == {"widths": [4, 2, 4]}
+        assert len(payload["state_sha256"]) == 64
+
+    def test_prune_removes_dead_orphans_and_tmp(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        keys = [_key(i) for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, {"x": i}, _state(i))
+        # An orphaned npz (no metadata), plus a stale write-temp file.
+        np.savez(store.weight_path("feed1234"), **_state())
+        leftover = tmp_path / f"{keys[0]}.tmp.{dead_pid()}"
+        leftover.write_text("{interrupted")
+        backdate(leftover)
+        removed = store.prune(keys[:1])
+        # 2 dead checkpoints x 2 files + 1 orphan + 1 temp file.
+        assert removed == 6
+        assert store.keys() == [keys[0]]
+        assert store.get(keys[0]) is not None
+
+    def test_prune_spares_half_committed_live_keys(self, tmp_path):
+        # A concurrent writer sits between its weight rename and its
+        # metadata commit; prune must never delete a live key's files,
+        # committed or not.
+        store = CheckpointStore(tmp_path)
+        key = _key(11)
+        np.savez(store.weight_path(key), **_state())  # weights, no meta yet
+        assert store.prune([key]) == 0
+        assert store.weight_path(key).exists()
+        # The same half-written pair for a *dead* key is fair game.
+        other = _key(12)
+        np.savez(store.weight_path(other), **_state())
+        assert store.prune([key]) == 1
+        assert not store.weight_path(other).exists()
+
+    def test_put_overwrites_and_sweeps_stale_tmp(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        key = _key(8)
+        stale = tmp_path / f"{key}.tmp.{dead_pid()}.npz"
+        stale.write_bytes(b"partial")
+        backdate(stale)
+        store.put(key, {"x": 8}, _state(1), meta={"v": 1})
+        store.put(key, {"x": 8}, _state(2), meta={"v": 2})
+        assert not stale.exists()
+        loaded = store.get(key)
+        assert loaded.meta == {"v": 2}
+        np.testing.assert_array_equal(
+            loaded.state["p0.weight"], _state(2)["p0.weight"]
+        )
+
+    def test_empty_root_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore("")
+
+    def test_default_root_env_override(self, tmp_path, monkeypatch):
+        from repro.runtime.checkpoints import (
+            CHECKPOINTS_ENV,
+            default_checkpoint_root,
+        )
+
+        monkeypatch.delenv(CHECKPOINTS_ENV, raising=False)
+        assert default_checkpoint_root("fallback") == "fallback"
+        assert default_checkpoint_root().endswith("checkpoint_store")
+        monkeypatch.setenv(CHECKPOINTS_ENV, str(tmp_path / "elsewhere"))
+        assert default_checkpoint_root("fallback") == str(tmp_path / "elsewhere")
