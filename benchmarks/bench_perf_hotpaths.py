@@ -66,12 +66,20 @@ from repro.standard.cbf import MimoControl, decode_cbf, encode_cbf
 from repro.standard.givens import givens_decompose, givens_reconstruct
 
 try:
-    from benchmarks.conftest import RESULTS_DIR, record_report
+    from benchmarks.conftest import (
+        RESULTS_DIR,
+        record_report,
+        write_hotpaths_json,
+    )
 except ModuleNotFoundError:  # direct `python benchmarks/bench_perf_hotpaths.py`
     sys.path.insert(
         0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     )
-    from benchmarks.conftest import RESULTS_DIR, record_report
+    from benchmarks.conftest import (
+        RESULTS_DIR,
+        record_report,
+        write_hotpaths_json,
+    )
 
 pytestmark = pytest.mark.perf
 
@@ -469,7 +477,11 @@ def build_report() -> PerfReport:
 def test_perf_hotpaths():
     report = build_report()
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    report.write_json(os.path.join(RESULTS_DIR, JSON_NAME))
+    # Merge-preserving write: the campaign/* stages belong to
+    # bench_network_campaign.py and must survive this suite's runs.
+    write_hotpaths_json(
+        report, os.path.join(RESULTS_DIR, JSON_NAME), owns_campaign=False
+    )
     record_report("BENCH_hotpaths", report.render())
     comparisons = {c["stage"]: c for c in report.to_dict()["comparisons"]}
     # Regression guard: the tentpole target is >= 10x on evaluate_scheme
@@ -495,5 +507,7 @@ def test_perf_hotpaths():
 if __name__ == "__main__":
     perf_report = build_report()
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    perf_report.write_json(os.path.join(RESULTS_DIR, JSON_NAME))
+    write_hotpaths_json(
+        perf_report, os.path.join(RESULTS_DIR, JSON_NAME), owns_campaign=False
+    )
     print(perf_report.render())

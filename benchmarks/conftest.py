@@ -74,6 +74,62 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(skip_perf)
 
 
+#: The campaign bench owns exactly these families inside the shared
+#: BENCH_hotpaths.json; bench_perf_hotpaths.py owns everything else.
+CAMPAIGN_STAGE_PREFIX = "campaign/"
+CAMPAIGN_COMPARISON_PREFIX = "campaign_"
+
+
+def write_hotpaths_json(report, path: str, owns_campaign: bool) -> None:
+    """Write one bench's stages into the co-owned ``BENCH_hotpaths.json``.
+
+    ``benchmarks/bench_perf_hotpaths.py`` (``owns_campaign=False``) and
+    ``benchmarks/bench_network_campaign.py`` (``owns_campaign=True``)
+    share the file: each writer replaces only the stage/comparison
+    families it owns and preserves the other's, so the benches can run
+    independently, in any order, without erasing each other's results.
+    The hot-path suite owns the envelope (title/context).
+    """
+    import json
+
+    def campaign_stage(stage: dict) -> bool:
+        return stage["name"].startswith(CAMPAIGN_STAGE_PREFIX)
+
+    def campaign_comparison(comparison: dict) -> bool:
+        return comparison["stage"].startswith(CAMPAIGN_COMPARISON_PREFIX)
+
+    fresh = report.to_dict()
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        existing = None
+    if existing is not None:
+        def theirs(item, is_campaign) -> bool:
+            return is_campaign(item) != owns_campaign
+
+        preserved_stages = [
+            s for s in existing.get("stages", []) if theirs(s, campaign_stage)
+        ]
+        preserved_comparisons = [
+            c
+            for c in existing.get("comparisons", [])
+            if theirs(c, campaign_comparison)
+        ]
+        if owns_campaign:
+            # Keep the hot-path suite's envelope and stage ordering.
+            merged = dict(existing)
+            merged["stages"] = preserved_stages + fresh["stages"]
+            merged["comparisons"] = preserved_comparisons + fresh["comparisons"]
+            fresh = merged
+        else:
+            fresh["stages"] = fresh["stages"] + preserved_stages
+            fresh["comparisons"] = fresh["comparisons"] + preserved_comparisons
+    with open(path, "w") as handle:
+        json.dump(fresh, handle, indent=2)
+        handle.write("\n")
+
+
 def record_report(name: str, text: str) -> None:
     """Register a rendered table for the terminal summary and save it."""
     _REPORTS.append(text)

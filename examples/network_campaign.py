@@ -1,0 +1,160 @@
+"""Network campaign demo: heterogeneous STAs at scale on the runtime engine.
+
+The paper's headline scenario (Sec. I + IV-B): an AP sounding many
+heterogeneous STAs — different bandwidths, QoS profiles, device cost
+models, Doppler spreads, and feedback schemes — every 10 ms, with each
+SplitBeam STA's adaptive controller walking its compression ladder as
+mobility episodes push the measured BER around.  The campaign runs
+twice to show the caching contract: the cold run trains the ladders
+and measures every STA-round; the warm run replays everything from the
+content-addressed stores and executes zero link simulations.
+
+Run:  python examples/network_campaign.py
+      python examples/network_campaign.py --preset mobility-episodes
+      REPRO_RUNTIME_WORKERS=4 python examples/network_campaign.py
+      python examples/network_campaign.py --fidelity smoke --stas 6 --rounds 3
+"""
+
+import argparse
+import shutil
+import tempfile
+
+from repro import fidelity as fidelity_preset
+from repro.core.network import run_campaign
+from repro.runtime import CheckpointStore, ResultCache, campaign_names
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--preset",
+        default="network-scale",
+        choices=campaign_names(),
+        help="registered campaign preset to run",
+    )
+    parser.add_argument(
+        "--fidelity",
+        default="fast",
+        help="fidelity preset (smoke keeps the demo to a few seconds)",
+    )
+    parser.add_argument(
+        "--stas", type=int, default=None, help="override the STA count"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="override the round count"
+    )
+    parser.add_argument(
+        "--gamma-scale",
+        type=float,
+        default=None,
+        help="loosen every QoS tier's BER ceiling by this factor "
+        "(network-scale only; smoke-fidelity models need ~10x to stay "
+        "selectable)",
+    )
+    args = parser.parse_args()
+    fidelity = fidelity_preset(args.fidelity)
+
+    overrides = {}
+    if args.stas is not None:
+        overrides["n_stas"] = args.stas
+    if args.rounds is not None:
+        overrides["n_rounds"] = args.rounds
+    if args.gamma_scale is not None:
+        if args.preset != "network-scale":
+            parser.error(
+                f"--gamma-scale applies to the network-scale preset only; "
+                f"{args.preset!r} has no QoS-tier scaling override"
+            )
+        overrides["gamma_scale"] = args.gamma_scale
+
+    workdir = tempfile.mkdtemp(prefix="repro-campaign-")
+    cache = ResultCache(f"{workdir}/rounds")
+    store = CheckpointStore(f"{workdir}/checkpoints")
+
+    try:
+        demo(args, fidelity, overrides, cache, store)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def demo(args, fidelity, overrides, cache, store) -> None:
+    print(f"Running campaign preset {args.preset!r} (fidelity={fidelity.name}) ...")
+    cold = run_campaign(
+        args.preset, fidelity=fidelity, cache=cache, store=store, **overrides
+    )
+    print(
+        f"cold run: trained {cold.zoo_trained} ladder model(s), executed "
+        f"{cold.n_executed_rounds} STA-rounds with {cold.n_workers} "
+        f"worker(s) in {cold.wall_s:.2f} s"
+    )
+
+    warm = run_campaign(
+        args.preset, fidelity=fidelity, cache=cache, store=store, **overrides
+    )
+    print(
+        f"warm run: executed {warm.n_executed_rounds} STA-rounds "
+        f"({warm.n_cached_rounds} replayed from {cache.root}) in "
+        f"{warm.wall_s:.2f} s"
+    )
+    assert warm.n_executed_rounds == 0, "warm re-run must not simulate a link"
+
+    sta_rows = [
+        [
+            row["name"],
+            row["config"],
+            row["mode"],
+            row["summary"]["mean_ber"],
+            int(row["summary"]["mean_feedback_bits"]),
+            row["summary"]["qos_violations"],
+            row["summary"]["saturated"],
+            "/".join(
+                f"{row['summary'][key]}" for key in ("step_downs", "step_ups")
+            ),
+        ]
+        for row in warm.stas
+    ]
+    print()
+    print(
+        render_table(
+            ["STA", "config", "mode", "mean BER", "fb bits", "γ viol",
+             "saturated", "down/up"],
+            sta_rows,
+            title=warm.title,
+        )
+    )
+
+    round_rows = [
+        [
+            row["round"] + 1,
+            f"{100 * row['occupancy']:.1f}%",
+            f"{row['occupancy_ratio']:.3f}",
+            "yes" if row["feasible"] else "NO",
+            row["goodput_bps"] / 1e6,
+        ]
+        for row in warm.rounds
+    ]
+    print()
+    print(
+        render_table(
+            ["round", "occupancy", "raw ratio", "fits 10 ms", "goodput Mb/s"],
+            round_rows,
+            title="Aggregate sounding cost per round",
+        )
+    )
+
+    summary = warm.summary
+    print(
+        f"\n{summary['n_stas']} STAs, {summary['n_rounds']} rounds: modes "
+        f"{summary['modes']}, mean occupancy "
+        f"{100 * summary['mean_occupancy']:.1f}% (max raw ratio "
+        f"{summary['max_occupancy_ratio']:.3f}), "
+        f"{summary['hard_qos_failures']} hard QoS failure(s), "
+        f"{summary['deadline_misses']} deadline miss(es).  Manifests are "
+        "byte-identical for any worker count, and warm re-runs replay "
+        "entirely from the content-addressed caches (docs/runtime.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,11 @@ from repro.baselines import Dot11Feedback, IdealSvdFeedback, LbSciFi, train_lbsc
 from repro.phy import LinkConfig, LinkSimulator
 from repro.channels import Environment, E1, E2, SYNTHETIC, environment
 from repro.core.session import NetworkSession, SessionReport
+from repro.core.network import (
+    NetworkCampaign,
+    NetworkCampaignResult,
+    run_campaign,
+)
 from repro.sounding import (
     bm_reporting_delay,
     simulate_sounding,
@@ -87,9 +92,12 @@ from repro.fpga import table3_latency_s, splitbeam_latency_s
 from repro.runtime import (
     CheckpointStore,
     ExperimentEngine,
+    NetworkCampaignSpec,
     ResultCache,
     Scenario,
     TrainingGrid,
+    campaign_names,
+    get_campaign,
     get_scenario,
     get_training_grid,
     scenario_names,
@@ -156,9 +164,12 @@ __all__ = [
     "E2",
     "SYNTHETIC",
     "environment",
-    # sessions / sounding / fpga
+    # sessions / campaigns / sounding / fpga
     "NetworkSession",
     "SessionReport",
+    "NetworkCampaign",
+    "NetworkCampaignResult",
+    "run_campaign",
     "bm_reporting_delay",
     "simulate_sounding",
     "SoundingCampaign",
@@ -171,8 +182,11 @@ __all__ = [
     "ResultCache",
     "Scenario",
     "TrainingGrid",
+    "NetworkCampaignSpec",
     "get_scenario",
     "get_training_grid",
+    "get_campaign",
     "scenario_names",
     "training_grid_names",
+    "campaign_names",
 ]

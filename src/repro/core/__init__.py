@@ -49,6 +49,11 @@ from repro.core.adaptive import (
     AdaptiveCompressionController,
 )
 from repro.core.session import NetworkSession, SessionReport, RoundRecord
+from repro.core.network import (
+    NetworkCampaign,
+    NetworkCampaignResult,
+    run_campaign,
+)
 
 __all__ = [
     "SplitBeamNet",
@@ -90,4 +95,7 @@ __all__ = [
     "NetworkSession",
     "SessionReport",
     "RoundRecord",
+    "NetworkCampaign",
+    "NetworkCampaignResult",
+    "run_campaign",
 ]

@@ -107,9 +107,12 @@ def select_model(
         delay = costs.end_to_end_delay_s(
             entry.head_flops, entry.tail_flops, entry.feedback_bits
         )
-        if delay >= qos.max_delay_s:
+        # Eq. (7d) is an inequality budget (delay <= tau), mirroring the
+        # (7c) BER check above: a model that lands exactly on the
+        # deadline is feasible.
+        if delay > qos.max_delay_s:
             rejected.append(
-                (entry, f"delay {delay * 1e3:.3f} ms >= τ={qos.max_delay_s * 1e3:.3f} ms")
+                (entry, f"delay {delay * 1e3:.3f} ms > τ={qos.max_delay_s * 1e3:.3f} ms")
             )
             continue
         objective = costs.bop_objective(
@@ -146,6 +149,7 @@ class AdaptiveCompressionController:
         qos: QosProfile,
         patience: int = 3,
         step_up_margin: float = 0.5,
+        initial: "ZooEntry | None" = None,
     ) -> None:
         if not candidates:
             raise ConfigurationError("controller needs at least one candidate")
@@ -158,8 +162,19 @@ class AdaptiveCompressionController:
         self.qos = qos
         self.patience = patience
         self.step_up_margin = step_up_margin
-        # Start at the most accurate (least compressed) rung.
+        # Start at the most accurate (least compressed) rung unless the
+        # caller already ran the Eq. (7) selection — then deploy its
+        # choice and adapt from there.
         self._index = len(self.ladder) - 1
+        if initial is not None:
+            for index, entry in enumerate(self.ladder):
+                if entry is initial:
+                    self._index = index
+                    break
+            else:
+                raise ConfigurationError(
+                    "initial model must be one of the candidates"
+                )
         self._good_streak = 0
         self.history: list[tuple[float, str]] = []
 
@@ -177,6 +192,11 @@ class AdaptiveCompressionController:
             if self._index < len(self.ladder) - 1:
                 self._index += 1
                 action = "step-down"
+            else:
+                # Already at the safest rung with γ still violated: a
+                # hard QoS failure, not an in-band hold — campaign
+                # post-mortems count these separately.
+                action = "saturated"
             self._good_streak = 0
         elif measured_ber < self.step_up_margin * self.qos.max_ber:
             self._good_streak += 1
@@ -188,6 +208,11 @@ class AdaptiveCompressionController:
             self._good_streak = 0
         self.history.append((measured_ber, action))
         return self.current
+
+    @property
+    def saturated_count(self) -> int:
+        """Rounds where γ was violated with no safer rung left."""
+        return sum(1 for _, action in self.history if action == "saturated")
 
     @property
     def airtime_savings(self) -> float:

@@ -39,7 +39,67 @@ from repro.runtime.executor import Task, run_tasks
 from repro.sounding.campaign import MU_MIMO_SOUNDING_INTERVAL_S, SoundingCampaign
 from repro.standard.feedback import Dot11FeedbackConfig, bmr_bits
 
-__all__ = ["RoundRecord", "SessionReport", "NetworkSession"]
+__all__ = [
+    "RoundRecord",
+    "SessionReport",
+    "NetworkSession",
+    "dot11_round_scheme",
+    "entry_round_scheme",
+]
+
+
+def dot11_round_scheme(dataset: CsiDataset, indices: np.ndarray) -> dict:
+    """The 802.11 payload for one ``session_round``/``network_round`` task.
+
+    Ships the ground-truth beamforming slice the standard quantizer
+    reconstructs from — never the dataset itself.
+    """
+    spec = dataset.spec
+    bits = bmr_bits(
+        Dot11FeedbackConfig(
+            n_tx=spec.n_tx,
+            n_rx=spec.n_rx,
+            n_streams=1,
+            bandwidth_mhz=spec.bandwidth_mhz,
+        )
+    )
+    return {
+        "kind": "dot11",
+        "bits": bits,
+        "bf_true": dataset.link_bf(indices),
+    }
+
+
+def entry_round_scheme(
+    dataset: CsiDataset,
+    indices: np.ndarray,
+    entry,
+    trained: "TrainedSplitBeam | None" = None,
+) -> dict:
+    """A zoo entry's payload for one round task (model + inputs).
+
+    ``trained`` optionally overrides the entry's model/quantizer with a
+    freshly-trained pair (the :class:`NetworkSession` ``trained_models``
+    path); by default the entry carries everything the STA deploys.
+    """
+    if trained is not None:
+        model, quantizer = trained.model, trained.quantizer
+    else:
+        model = entry.model
+        quantizer = (
+            BottleneckQuantizer(entry.quantizer_bits)
+            if entry.quantizer_bits is not None
+            else None
+        )
+    x, _ = dataset.model_arrays(indices)
+    return {
+        "kind": "model",
+        "label": entry.model.label(),
+        "bits": entry.feedback_bits,
+        "model": model,
+        "quantizer": quantizer,
+        "x": x,
+    }
 
 
 @dataclass(frozen=True)
@@ -191,17 +251,6 @@ class NetworkSession:
 
     # -- internals --------------------------------------------------------------
 
-    def _dot11_bits(self) -> int:
-        spec = self.dataset.spec
-        return bmr_bits(
-            Dot11FeedbackConfig(
-                n_tx=spec.n_tx,
-                n_rx=spec.n_rx,
-                n_streams=1,
-                bandwidth_mhz=spec.bandwidth_mhz,
-            )
-        )
-
     def _round_params(self, indices: np.ndarray) -> dict:
         """Parameters for one ``session_round`` task (pure measurement).
 
@@ -211,33 +260,14 @@ class NetworkSession:
         """
         if self.controller is not None:
             entry = self.controller.current
-            if self.trained_models is not None:
-                trained = self.trained_models[entry.model.bottleneck_dim]
-                model, quantizer = trained.model, trained.quantizer
-            else:
-                # The zoo entry carries everything the STA deploys: the
-                # trained model and its bottleneck quantizer width.
-                model = entry.model
-                quantizer = (
-                    BottleneckQuantizer(entry.quantizer_bits)
-                    if entry.quantizer_bits is not None
-                    else None
-                )
-            x, _ = self.dataset.model_arrays(indices)
-            scheme = {
-                "kind": "model",
-                "label": entry.model.label(),
-                "bits": entry.feedback_bits,
-                "model": model,
-                "quantizer": quantizer,
-                "x": x,
-            }
+            trained = (
+                self.trained_models[entry.model.bottleneck_dim]
+                if self.trained_models is not None
+                else None
+            )
+            scheme = entry_round_scheme(self.dataset, indices, entry, trained)
         else:
-            scheme = {
-                "kind": "dot11",
-                "bits": self._dot11_bits(),
-                "bf_true": self.dataset.link_bf(indices),
-            }
+            scheme = dot11_round_scheme(self.dataset, indices)
         return {
             "channels": self.dataset.link_channels(indices),
             "link_config": self.link.config,
@@ -310,14 +340,18 @@ class NetworkSession:
                 feedback_bits=bits,
                 interval_s=self.interval_s,
             )
-            occupancy = campaign.report().occupancy
+            campaign_report = campaign.report()
+            occupancy = campaign_report.occupancy
             mcs = select_mcs(measured["mean_sinr_db"], backoff_db=3.0)
             rate = data_rate_bps(
                 mcs.index,
                 self.dataset.spec.bandwidth_mhz,
                 n_streams=1,
             )
-            goodput = rate * max(1.0 - occupancy, 0.0) * n_users
+            # Routed through the report so a round whose sounding
+            # exchange overruns the interval reports zero goodput
+            # instead of whatever airtime the clamp left over.
+            goodput = campaign_report.goodput_bps(rate * n_users)
             report.rounds.append(
                 RoundRecord(
                     index=round_index,

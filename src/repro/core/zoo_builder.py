@@ -237,17 +237,9 @@ class ZooBuildResult:
 
     def write_json(self, path) -> None:
         """Write the manifest (2-space indent, sorted keys, trailing \\n)."""
-        import json
-        import os
+        from repro.utils.artifacts import write_json_artifact
 
-        if not str(path):
-            raise ConfigurationError("manifest path must be non-empty")
-        directory = os.path.dirname(str(path))
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_json_artifact(path, self.to_dict())
 
 
 class ZooBuilder:

@@ -46,14 +46,18 @@ from repro.runtime.hashing import (
 )
 from repro.runtime.planner import PlannedTask, plan_scenario
 from repro.runtime.registry import (
+    campaign_names,
+    get_campaign,
     get_scenario,
     get_training_grid,
+    register_campaign,
     register_scenario,
     register_training_grid,
     scenario_names,
     training_grid_names,
 )
 from repro.runtime.spec import (
+    NetworkCampaignSpec,
     Scenario,
     TrainingGrid,
     dot11,
@@ -62,16 +66,21 @@ from repro.runtime.spec import (
     grid,
     ideal,
     lbscifi,
+    mobility_episode,
     point,
     splitbeam,
+    sta_profile,
     zoo_entry,
 )
 
 __all__ = [
     "Scenario",
     "TrainingGrid",
+    "NetworkCampaignSpec",
     "point",
     "zoo_entry",
+    "sta_profile",
+    "mobility_episode",
     "grid",
     "dot11",
     "ideal",
@@ -85,6 +94,9 @@ __all__ = [
     "register_training_grid",
     "get_training_grid",
     "training_grid_names",
+    "register_campaign",
+    "get_campaign",
+    "campaign_names",
     "PlannedTask",
     "plan_scenario",
     "Task",

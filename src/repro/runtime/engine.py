@@ -17,7 +17,6 @@ only — the JSON artifact carries no timestamps, so re-runs diff clean.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import dataclass
@@ -28,6 +27,7 @@ from repro.runtime.executor import resolve_worker_count, run_tasks
 from repro.runtime.hashing import code_version
 from repro.runtime.planner import plan_scenario
 from repro.runtime.spec import Scenario
+from repro.utils.artifacts import write_json_artifact
 
 __all__ = ["EngineRun", "ExperimentEngine"]
 
@@ -74,14 +74,7 @@ class EngineRun:
 
     def write_json(self, path: "str | os.PathLike") -> None:
         """Write the artifact (2-space indent, sorted keys, trailing \\n)."""
-        if not str(path):
-            raise ConfigurationError("result path must be non-empty")
-        directory = os.path.dirname(str(path))
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_json_artifact(path, self.to_dict())
 
 
 class ExperimentEngine:

@@ -23,6 +23,13 @@ Training-grid presets (``repro.core.zoo_builder.train_zoo``)
 ``compression-ladder``   one dataset, a ladder of compression levels
 ``table2-architectures`` the Table II architecture families on D1
 ``cross-env``            2x2/3x3 models per environment (the Fig. 13 zoo)
+
+Network-campaign presets (``repro.core.network.run_campaign``)
+--------------------------------------------------------------
+``network-scale``      N heterogeneous STAs (datasets x QoS x devices x
+                       Doppler x schemes) under the 10 ms deadline
+``heterogeneous-qos``  one configuration, γ/τ/µ + device-tier spread
+``mobility-episodes``  calm -> mobility/blockage burst -> recovery
 """
 
 from __future__ import annotations
@@ -32,14 +39,17 @@ from collections.abc import Callable, Mapping, Sequence
 from repro.config import FAST, Fidelity
 from repro.errors import ConfigurationError
 from repro.runtime.spec import (
+    NetworkCampaignSpec,
     Scenario,
     TrainingGrid,
     dot11,
     fidelity_to_dict,
     ideal,
     lbscifi,
+    mobility_episode,
     point,
     splitbeam,
+    sta_profile,
     zoo_entry,
 )
 
@@ -50,6 +60,9 @@ __all__ = [
     "register_training_grid",
     "get_training_grid",
     "training_grid_names",
+    "register_campaign",
+    "get_campaign",
+    "campaign_names",
     "FIG12_FIDELITY",
     "FIG13_FIDELITY",
     "FIG10_FIDELITY",
@@ -167,6 +180,38 @@ def get_training_grid(
 
 def training_grid_names() -> "list[str]":
     return sorted(_TRAINING_GRIDS)
+
+
+_CAMPAIGNS: "dict[str, Callable[..., NetworkCampaignSpec]]" = {}
+
+
+def register_campaign(name: str):
+    """Decorator registering ``fn(fidelity, **kwargs) -> NetworkCampaignSpec``."""
+
+    def decorate(fn):
+        if name in _CAMPAIGNS:
+            raise ConfigurationError(f"campaign {name!r} already registered")
+        _CAMPAIGNS[name] = fn
+        return fn
+
+    return decorate
+
+
+def get_campaign(
+    name: str, fidelity: "Fidelity | None" = None, **kwargs
+) -> NetworkCampaignSpec:
+    """Build a registered campaign (``fidelity=None`` = preset default)."""
+    try:
+        builder = _CAMPAIGNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown campaign {name!r}; options: {campaign_names()}"
+        ) from None
+    return builder(fidelity=fidelity, **kwargs)
+
+
+def campaign_names() -> "list[str]":
+    return sorted(_CAMPAIGNS)
 
 
 def _fid(fidelity: "Fidelity | None", default: Fidelity) -> Fidelity:
@@ -554,6 +599,168 @@ def _cross_env_zoo(
         title="Cross-environment model zoo (E1 + E2 per configuration)",
         fidelity=fidelity_to_dict(fidelity),
         entries=tuple(entries),
+    )
+
+
+#: Device tiers for heterogeneous campaigns: a watch-class wearable, the
+#: default low-power STA, and a laptop-class client (Sec. IV-B's
+#: "heterogeneous devices" axis).
+DEVICE_TIERS: "tuple[dict, ...]" = (
+    {"sta_flops_per_s": 0.5e9, "tx_energy_per_bit_j": 8e-8},
+    {},
+    {"sta_flops_per_s": 8e9, "tx_energy_per_bit_j": 3e-8},
+)
+
+#: QoS tiers: a latency/BER-critical flow, the default profile, and a
+#: best-effort bulk flow (the "wide range of performance requirements").
+QOS_TIERS: "tuple[dict, ...]" = (
+    {"max_ber": 0.02, "max_delay_s": 6e-3, "mu": 0.7},
+    {"max_ber": 0.05, "max_delay_s": 10e-3, "mu": 0.5},
+    {"max_ber": 0.10, "max_delay_s": 10e-3, "mu": 0.3},
+)
+
+
+@register_campaign("network-scale")
+def _network_scale(
+    fidelity: "Fidelity | None" = None,
+    n_stas: int = 16,
+    n_rounds: int = 10,
+    gamma_scale: float = 1.0,
+) -> NetworkCampaignSpec:
+    """The headline workload: an AP serving ``n_stas`` heterogeneous STAs.
+
+    STAs cycle through datasets (two bandwidths x two environments),
+    device tiers, QoS tiers, Doppler spreads, compression ladders, and
+    feedback schemes (every fourth STA runs plain 802.11), all sounded
+    under the 10 ms MU-MIMO deadline the paper's intro argues from.
+
+    ``gamma_scale`` loosens (or tightens) every tier's BER ceiling —
+    reduced-fidelity runs train rougher models, so smoke-scale demos
+    pass ``gamma_scale > 1`` to keep the SplitBeam path selectable
+    instead of collapsing everyone onto the 802.11 fallback.
+    """
+    fidelity = _fid(fidelity, FAST)
+    if gamma_scale <= 0:
+        raise ConfigurationError("gamma_scale must be positive")
+    dataset_keys = (
+        ("2x2", "E1", 20), ("2x2", "E1", 40),
+        ("2x2", "E2", 20), ("2x2", "E2", 40),
+    )
+    ladders = ((1 / 16, 1 / 8), (1 / 8, 1 / 4))
+    dopplers = (1.0, 3.0, 8.0)
+    stas = []
+    for i in range(n_stas):
+        config, env, bandwidth = dataset_keys[i % len(dataset_keys)]
+        qos = dict(QOS_TIERS[i % len(QOS_TIERS)])
+        qos["max_ber"] = min(qos["max_ber"] * gamma_scale, 1.0)
+        stas.append(
+            sta_profile(
+                f"sta{i:03d}",
+                DATASET_GRID[(config, env, bandwidth)],
+                dataset_seed=ENV_SEEDS[env],
+                scheme="dot11" if i % 4 == 3 else "splitbeam",
+                compressions=ladders[i % len(ladders)],
+                cost=DEVICE_TIERS[i % len(DEVICE_TIERS)],
+                doppler_hz=dopplers[i % len(dopplers)],
+                seed=i,
+                **qos,
+            )
+        )
+    return NetworkCampaignSpec(
+        name="network-scale",
+        title=f"Network scale: {n_stas} heterogeneous STAs @ 10 ms sounding",
+        fidelity=fidelity_to_dict(fidelity),
+        stas=tuple(stas),
+        n_rounds=int(n_rounds),
+    )
+
+
+@register_campaign("heterogeneous-qos")
+def _heterogeneous_qos(
+    fidelity: "Fidelity | None" = None,
+    dataset_id: str = "D1",
+    n_stas: int = 12,
+    n_rounds: int = 8,
+) -> NetworkCampaignSpec:
+    """One configuration, a spread of QoS/device demands (Sec. IV-B).
+
+    Every STA shares the channel and model ladder; only γ/τ/µ and the
+    device cost model vary — from a BER target so strict no trained
+    model satisfies it (the STA falls back to 802.11, the paper's
+    explicit escape hatch) to best-effort profiles that ride the most
+    compressed rung.  A static channel (zero Doppler) isolates the
+    QoS axis.
+    """
+    fidelity = _fid(fidelity, FAST)
+    stas = []
+    for i in range(n_stas):
+        frac = i / max(n_stas - 1, 1)
+        stas.append(
+            sta_profile(
+                f"qos{i:03d}",
+                dataset_id,
+                compressions=(1 / 16, 1 / 8, 1 / 4),
+                # γ sweeps 1e-4 (infeasible for any rung -> 802.11
+                # fallback) up to 0.2 (anything goes); τ tightens from
+                # 10 ms down to 4 ms at the latency-critical end.
+                max_ber=1e-4 * (0.2 / 1e-4) ** frac,
+                max_delay_s=4e-3 + 6e-3 * frac,
+                mu=0.1 + 0.8 * frac,
+                cost=DEVICE_TIERS[i % len(DEVICE_TIERS)],
+                doppler_hz=0.0,
+                seed=i,
+            )
+        )
+    return NetworkCampaignSpec(
+        name="heterogeneous-qos",
+        title=f"Heterogeneous QoS: {n_stas} STAs on {dataset_id}, "
+        "γ from 1e-4 to 0.2",
+        fidelity=fidelity_to_dict(fidelity),
+        stas=tuple(stas),
+        n_rounds=int(n_rounds),
+    )
+
+
+@register_campaign("mobility-episodes")
+def _mobility_episodes(
+    fidelity: "Fidelity | None" = None,
+    dataset_id: str = "D5",
+    n_stas: int = 8,
+    n_rounds: int = 12,
+) -> NetworkCampaignSpec:
+    """Mid-campaign mobility bursts driving the adaptive controllers.
+
+    Three phases: calm (pedestrian Doppler), a mobility + blockage
+    burst (everyone's CSI ages faster, the operating SNR sags, measured
+    BER drifts up, controllers step down the ladder), then recovery
+    (controllers ramp back up after ``patience`` clean rounds).
+    """
+    fidelity = _fid(fidelity, FAST)
+    burst = n_rounds // 3
+    recovery = 2 * n_rounds // 3
+    stas = tuple(
+        sta_profile(
+            f"mob{i:03d}",
+            dataset_id,
+            compressions=(1 / 16, 1 / 8, 1 / 4),
+            doppler_hz=(2.0, 4.0)[i % 2],
+            cost=DEVICE_TIERS[i % len(DEVICE_TIERS)],
+            seed=i,
+        )
+        for i in range(n_stas)
+    )
+    return NetworkCampaignSpec(
+        name="mobility-episodes",
+        title=f"Mobility episodes: {n_stas} STAs, burst rounds "
+        f"[{burst}, {recovery})",
+        fidelity=fidelity_to_dict(fidelity),
+        stas=stas,
+        n_rounds=int(n_rounds),
+        episodes=(
+            mobility_episode(0),
+            mobility_episode(burst, doppler_scale=10.0, snr_offset_db=-3.0),
+            mobility_episode(recovery, doppler_scale=1.0),
+        ),
     )
 
 

@@ -40,6 +40,9 @@ __all__ = [
     "fidelity_from_dict",
     "TrainingGrid",
     "zoo_entry",
+    "NetworkCampaignSpec",
+    "sta_profile",
+    "mobility_episode",
 ]
 
 #: Scheme kinds `repro.runtime.tasks.run_point` knows how to build.
@@ -273,3 +276,162 @@ class TrainingGrid:
         """Entries merged with the grid fidelity — the hashable specs."""
         fidelity = dict(self.fidelity)
         return [{**entry, "fidelity": fidelity} for entry in self.entries]
+
+
+# -- network campaigns -----------------------------------------------------------
+
+#: Per-STA feedback modes ``repro.core.network`` knows how to deploy.
+STA_SCHEME_KINDS = ("splitbeam", "dot11")
+
+
+def sta_profile(
+    name: str,
+    dataset_id: str,
+    *,
+    dataset_seed: int = 7,
+    reset_interval: "int | None" = None,
+    scheme: str = "splitbeam",
+    compressions: Sequence[float] = (1 / 8, 1 / 4),
+    quantizer_bits: "int | None" = 16,
+    train_seed: int = 0,
+    max_ber: float = 0.05,
+    max_delay_s: float = 10e-3,
+    mu: float = 0.5,
+    cost: "Mapping | None" = None,
+    doppler_hz: float = 3.0,
+    samples_per_round: int = 4,
+    seed: int = 0,
+) -> dict:
+    """One well-formed heterogeneous-STA profile (a JSON-able mapping).
+
+    The device side of the paper's "heterogeneous devices and a wide
+    range of performance requirements" scenario: each STA carries its
+    own dataset (antenna configuration + bandwidth + environment), QoS
+    profile (the Eq. (7) γ/τ/µ knobs), device cost model (``cost``
+    overrides :class:`~repro.core.costs.StaCostModel` fields), feedback
+    scheme (a SplitBeam compression ladder, or the 802.11 baseline),
+    and mobility (``doppler_hz`` drives the round-to-round CSI aging
+    that makes measured BER drift).
+    """
+    if scheme not in STA_SCHEME_KINDS:
+        raise ConfigurationError(
+            f"unknown STA scheme {scheme!r}; options: {STA_SCHEME_KINDS}"
+        )
+    compressions = tuple(float(k) for k in compressions)
+    if scheme == "splitbeam" and not compressions:
+        raise ConfigurationError(
+            f"STA {name!r}: a splitbeam profile needs at least one "
+            "compression level"
+        )
+    if doppler_hz < 0:
+        raise ConfigurationError("doppler_hz must be non-negative")
+    if samples_per_round < 1:
+        raise ConfigurationError("samples_per_round must be >= 1")
+    return {
+        "name": str(name),
+        "dataset": {
+            "id": str(dataset_id),
+            "seed": int(dataset_seed),
+            "reset_interval": reset_interval,
+        },
+        "scheme": {
+            "kind": str(scheme),
+            "compressions": sorted(compressions),
+            "quantizer_bits": (
+                None if quantizer_bits is None else int(quantizer_bits)
+            ),
+            "train_seed": int(train_seed),
+        },
+        "qos": {
+            "max_ber": float(max_ber),
+            "max_delay_s": float(max_delay_s),
+            "mu": float(mu),
+        },
+        "cost": dict(cost or {}),
+        "doppler_hz": float(doppler_hz),
+        "samples_per_round": int(samples_per_round),
+        "seed": int(seed),
+    }
+
+
+def mobility_episode(
+    start_round: int,
+    *,
+    doppler_scale: float = 1.0,
+    snr_offset_db: float = 0.0,
+) -> dict:
+    """One mid-campaign environment shift, effective from ``start_round``.
+
+    ``doppler_scale`` multiplies every STA's own Doppler spread (a
+    mobility burst: people start moving); ``snr_offset_db`` shifts the
+    operating SNR (a blockage / interference episode).  An episode
+    stays in force until the next one's ``start_round``.
+    """
+    if start_round < 0:
+        raise ConfigurationError("start_round must be non-negative")
+    if doppler_scale < 0:
+        raise ConfigurationError("doppler_scale must be non-negative")
+    return {
+        "start_round": int(start_round),
+        "doppler_scale": float(doppler_scale),
+        "snr_offset_db": float(snr_offset_db),
+    }
+
+
+@dataclass(frozen=True)
+class NetworkCampaignSpec:
+    """A named multi-STA network campaign at one fidelity.
+
+    The network analogue of :class:`Scenario`: an AP sounding ``stas``
+    (each a :func:`sta_profile` mapping) every ``interval_s`` for
+    ``n_rounds`` rounds, under a shared base link (``link`` overrides
+    :class:`~repro.phy.link.LinkConfig`) and an ordered tuple of
+    :func:`mobility_episode` environment shifts.  Everything is plain
+    JSON-able data, so per-round measurements hash stably for the
+    result cache and the spec pickles cheaply.
+    """
+
+    name: str
+    title: str
+    fidelity: Mapping
+    stas: tuple
+    n_rounds: int
+    interval_s: float = 10e-3
+    link: Mapping = ()
+    episodes: tuple = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("campaign name must be non-empty")
+        if not self.stas:
+            raise ConfigurationError(f"campaign {self.name!r} has no STAs")
+        if self.n_rounds < 1:
+            raise ConfigurationError("n_rounds must be >= 1")
+        if self.interval_s <= 0:
+            raise ConfigurationError("interval_s must be positive")
+        fidelity_from_dict(self.fidelity)  # validates field names/values
+        object.__setattr__(self, "link", dict(self.link or {}))
+        names = set()
+        for sta in self.stas:
+            for field_name in ("name", "dataset", "scheme", "qos"):
+                if field_name not in sta:
+                    raise ConfigurationError(
+                        f"campaign {self.name!r}: STA missing {field_name!r}"
+                    )
+            if sta["name"] in names:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: duplicate STA name "
+                    f"{sta['name']!r}"
+                )
+            names.add(sta["name"])
+        starts = [episode["start_round"] for episode in self.episodes]
+        if starts != sorted(starts):
+            raise ConfigurationError(
+                f"campaign {self.name!r}: episodes must be ordered by "
+                "start_round"
+            )
+
+    @property
+    def n_stas(self) -> int:
+        return len(self.stas)

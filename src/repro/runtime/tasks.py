@@ -23,6 +23,7 @@ __all__ = [
     "run_point",
     "link_ber_point",
     "session_round",
+    "network_round",
     "train_zoo_entry",
     "clear_memos",
 ]
@@ -246,3 +247,17 @@ def session_round(params: Mapping) -> dict:
         "ber": float(ber),
         "mean_sinr_db": float(metrics.mean_sinr_db),
     }
+
+
+def network_round(params: Mapping) -> dict:
+    """One STA-round of a :class:`~repro.core.network.NetworkCampaign`.
+
+    The same pure measurement as :func:`session_round`; the campaign
+    coordinator additionally pins the round's mobility/aging-degraded
+    operating SNR into ``link_config``, which is echoed back so the
+    campaign manifest records the environment each BER was measured
+    under.
+    """
+    measured = session_round(params)
+    measured["effective_snr_db"] = float(params["link_config"].snr_db)
+    return measured

@@ -32,6 +32,7 @@ __all__ = [
     "intro_example_bits",
     "CampaignReport",
     "SoundingCampaign",
+    "combine_reports",
     "max_supportable_users",
 ]
 
@@ -82,9 +83,21 @@ class CampaignReport:
     feedback_bits_total: int
 
     @property
+    def occupancy_ratio(self) -> float:
+        """Unclamped airtime-to-interval ratio of the sounding exchange.
+
+        Exceeds 1.0 when one round's airtime alone overflows the
+        interval — the honest "how overloaded is this schedule" number
+        that :attr:`occupancy` (a medium *fraction*, capped at 1.0)
+        deliberately hides.  Downstream viability checks should look at
+        this (or :attr:`feasible`), never at the clamped fraction.
+        """
+        return self.round_airtime_s / self.interval_s
+
+    @property
     def occupancy(self) -> float:
         """Fraction of all airtime consumed by the sounding exchange."""
-        return min(self.round_airtime_s / self.interval_s, 1.0)
+        return min(self.occupancy_ratio, 1.0)
 
     @property
     def feedback_occupancy(self) -> float:
@@ -102,9 +115,18 @@ class CampaignReport:
         return max(1.0 - self.occupancy, 0.0)
 
     def goodput_bps(self, data_rate_bps: float) -> float:
-        """Residual application throughput at a given PHY data rate."""
+        """Residual application throughput at a given PHY data rate.
+
+        An infeasible round (one sounding exchange does not fit inside
+        the interval) yields 0.0: the schedule never reaches steady
+        state, so reporting ``rate * data_fraction`` would describe a
+        network that cannot exist.  Check :attr:`feasible` /
+        :attr:`occupancy_ratio` for *why* the goodput vanished.
+        """
         if data_rate_bps < 0:
             raise ConfigurationError("data_rate_bps must be non-negative")
+        if not self.feasible:
+            return 0.0
         return data_rate_bps * self.data_fraction
 
     @property
@@ -180,6 +202,31 @@ class SoundingCampaign:
         )
 
 
+def combine_reports(reports: "Sequence[CampaignReport]") -> CampaignReport:
+    """One steady-state report for several co-scheduled sounding groups.
+
+    A heterogeneous network (STAs on different bandwidths, so different
+    frame durations) sounds as one group per bandwidth, back to back on
+    the shared medium within the same interval.  Durations, airtimes,
+    and feedback bits therefore add; the interval must match across
+    groups.
+    """
+    if not reports:
+        raise ConfigurationError("need at least one report to combine")
+    interval_s = reports[0].interval_s
+    if any(r.interval_s != interval_s for r in reports):
+        raise ConfigurationError(
+            "combined groups must share one sounding interval"
+        )
+    return CampaignReport(
+        interval_s=interval_s,
+        round_duration_s=sum(r.round_duration_s for r in reports),
+        round_airtime_s=sum(r.round_airtime_s for r in reports),
+        feedback_airtime_s=sum(r.feedback_airtime_s for r in reports),
+        feedback_bits_total=sum(r.feedback_bits_total for r in reports),
+    )
+
+
 def max_supportable_users(
     bandwidth_mhz: int,
     feedback_bits_per_user: int,
@@ -189,14 +236,19 @@ def max_supportable_users(
 ) -> int:
     """Largest user count whose sounding round fits inside the interval.
 
-    Rounds grow linearly with users (each adds a BRP/BMR pair), so this
-    walks up until the round no longer fits.  Returns 0 when even a
-    single user cannot be sounded in time.
+    Every extra user appends a (SIFS, BRP, SIFS, BMR) block to the
+    round, so the duration grows monotonically with the user count and
+    feasibility is a monotone predicate: feasible at ``n`` implies
+    feasible at every count below ``n``.  That licenses a
+    doubling-then-bisection search — O(log limit) simulated rounds
+    instead of the O(limit) linear walk (and O(limit^2) frame events,
+    since each probe simulates all of its users).  Returns 0 when even
+    a single user cannot be sounded in time.
     """
     if user_limit < 1:
         raise ConfigurationError("user_limit must be >= 1")
-    supported = 0
-    for n_users in range(1, user_limit + 1):
+
+    def fits(n_users: int) -> bool:
         campaign = SoundingCampaign(
             n_users=n_users,
             bandwidth_mhz=bandwidth_mhz,
@@ -204,7 +256,25 @@ def max_supportable_users(
             compute_times_s=compute_time_s,
             interval_s=interval_s,
         )
-        if not campaign.report().feasible:
-            break
-        supported = n_users
-    return supported
+        return campaign.report().feasible
+
+    if not fits(1):
+        return 0
+    # Doubling phase: bracket the boundary with [low feasible, high
+    # infeasible) probes, stopping early when the limit itself fits.
+    low = 1
+    high = 2
+    while high <= user_limit and fits(high):
+        low, high = high, high * 2
+    if high > user_limit and low == user_limit:
+        return user_limit
+    high = min(high, user_limit + 1)
+    # Bisection: invariant low feasible, high infeasible (or just past
+    # the limit, which the clamp above makes equivalent).
+    while high - low > 1:
+        mid = (low + high) // 2
+        if fits(mid):
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,5 +1,6 @@
-"""Shared utilities: complex/real packing, RNG handling, validation, tables."""
+"""Shared utilities: complex/real packing, RNG, validation, tables, artifacts."""
 
+from repro.utils.artifacts import write_json_artifact
 from repro.utils.complexmat import (
     complex_to_real,
     real_to_complex,
@@ -35,4 +36,5 @@ __all__ = [
     "check_in_range",
     "check_shape",
     "check_member",
+    "write_json_artifact",
 ]

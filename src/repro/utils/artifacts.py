@@ -1,0 +1,33 @@
+"""Deterministic JSON artifact writing.
+
+Every manifest emitter in the reproduction (`EngineRun`,
+`ZooBuildResult`, `NetworkCampaignResult`) promises byte-identical
+output for identical content — the artifacts are diffed across worker
+counts and cold/warm runs.  That contract (2-space indent, sorted keys,
+one trailing newline) lives here once so a format tweak can never move
+one artifact family out of sync with the others.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ConfigurationError
+
+__all__ = ["write_json_artifact"]
+
+
+def write_json_artifact(path: "str | os.PathLike", payload) -> None:
+    """Write ``payload`` as a deterministic JSON file at ``path``.
+
+    Parent directories are created as needed.
+    """
+    if not str(path):
+        raise ConfigurationError("artifact path must be non-empty")
+    directory = os.path.dirname(str(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

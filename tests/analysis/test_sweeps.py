@@ -24,6 +24,31 @@ class TestSweepPoint:
         point = SweepPoint(parameter=5.0, mean_ber=0.1, ci_halfwidth=0.0, n_seeds=1)
         assert point.seed_bers == ()
 
+    @pytest.mark.parametrize(
+        "mean_ber,ci_halfwidth",
+        [
+            (0.0, 0.0),
+            (0.0, 0.02),  # interval would dip below 0
+            (1e-6, 0.05),
+            (1.0, 0.0),
+            (1.0, 0.02),  # interval would poke above 1
+            (1.0 - 1e-6, 0.05),
+        ],
+    )
+    def test_near_boundary_interval_stays_in_unit_range(
+        self, mean_ber, ci_halfwidth
+    ):
+        # A BER is a probability: the normal-approximation CI may
+        # overshoot [0, 1] near the boundaries but low/high never do.
+        point = SweepPoint(
+            parameter=0.0,
+            mean_ber=mean_ber,
+            ci_halfwidth=ci_halfwidth,
+            n_seeds=2,
+        )
+        assert 0.0 <= point.low <= point.high <= 1.0
+        assert point.low <= mean_ber <= point.high
+
 
 class TestBerSweep:
     def test_ber_decreases_with_snr(self, smoke_dataset_2x2):
@@ -38,6 +63,9 @@ class TestBerSweep:
         assert points[0].mean_ber > points[1].mean_ber
 
     def test_single_seed_has_zero_halfwidth(self, smoke_dataset_2x2):
+        # Degenerate statistics: one seed means no spread estimate — the
+        # halfwidth must be exactly 0.0 (not NaN from a ddof=1 std) and
+        # the single measurement is recorded as a length-1 seed_bers.
         points = ber_sweep(
             IdealSvdFeedback(),
             smoke_dataset_2x2,
@@ -47,6 +75,24 @@ class TestBerSweep:
         )
         assert points[0].ci_halfwidth == 0.0
         assert points[0].n_seeds == 1
+        assert len(points[0].seed_bers) == 1
+        assert points[0].seed_bers[0] == points[0].mean_ber
+        assert points[0].low == points[0].high == points[0].mean_ber
+
+    def test_measured_boundary_means_stay_clamped(self, smoke_dataset_2x2):
+        # At extreme SNRs the measured means sit against the [0, 1]
+        # boundaries; the reported interval must stay inside.
+        points = ber_sweep(
+            IdealSvdFeedback(),
+            smoke_dataset_2x2,
+            snrs_db=[-30.0, 60.0],
+            indices=smoke_dataset_2x2.splits.test[:4],
+            n_seeds=3,
+        )
+        for point in points:
+            assert 0.0 <= point.low <= point.high <= 1.0
+        # 60 dB on ideal feedback: essentially error-free.
+        assert points[1].mean_ber == pytest.approx(0.0, abs=1e-3)
 
     def test_seeds_produce_nonnegative_halfwidth(self, smoke_dataset_2x2):
         points = ber_sweep(

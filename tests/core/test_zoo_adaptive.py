@@ -339,6 +339,44 @@ class TestSelectModel:
         outcome = select_model(ModelZoo(), CONFIG, QosProfile())
         assert outcome.fell_back
 
+    def test_ber_boundary_exactly_gamma_is_feasible(self):
+        # Eq. (7c) is "<= gamma": a model measuring exactly the ceiling
+        # must not be rejected.
+        zoo = ModelZoo()
+        zoo.register(make_entry(1 / 8, 0.05))
+        outcome = select_model(zoo, CONFIG, QosProfile(max_ber=0.05))
+        assert not outcome.fell_back
+        assert outcome.rejected == []
+
+    def test_delay_boundary_exactly_tau_is_feasible(self):
+        # Eq. (7d) is "<= tau", mirroring the BER boundary: a model
+        # whose end-to-end delay lands exactly on the deadline is
+        # feasible, not rejected.
+        zoo = ModelZoo()
+        entry = make_entry(1 / 8, 0.01)
+        zoo.register(entry)
+        costs = StaCostModel()
+        exact = costs.end_to_end_delay_s(
+            entry.head_flops, entry.tail_flops, entry.feedback_bits
+        )
+        outcome = select_model(
+            zoo,
+            CONFIG,
+            QosProfile(max_ber=0.05, max_delay_s=exact),
+            cost_model=costs,
+        )
+        assert not outcome.fell_back
+        assert outcome.rejected == []
+        # ... while any deadline strictly below it still rejects.
+        tighter = select_model(
+            zoo,
+            CONFIG,
+            QosProfile(max_ber=0.05, max_delay_s=exact * (1 - 1e-9)),
+            cost_model=costs,
+        )
+        assert tighter.fell_back
+        assert all("delay" in reason for _, reason in tighter.rejected)
+
 
 class TestAdaptiveController:
     def make_controller(self, **kwargs) -> AdaptiveCompressionController:
@@ -350,6 +388,24 @@ class TestAdaptiveController:
     def test_starts_safest(self):
         controller = self.make_controller()
         assert controller.current.compression == pytest.approx(1 / 4, abs=0.01)
+
+    def test_initial_entry_sets_the_starting_rung(self):
+        entries = ladder({1 / 32: 0.08, 1 / 8: 0.02, 1 / 4: 0.01})
+        controller = AdaptiveCompressionController(
+            entries, QosProfile(max_ber=0.05), initial=entries[1]
+        )
+        assert controller.current is entries[1]
+        # Adaptation still walks the full ladder from there.
+        controller.observe(0.2)
+        assert controller.current.compression == pytest.approx(1 / 4, abs=0.01)
+
+    def test_initial_entry_must_be_a_candidate(self):
+        entries = ladder({1 / 8: 0.02, 1 / 4: 0.01})
+        stranger = make_entry(1 / 16, 0.03)
+        with pytest.raises(ConfigurationError, match="candidates"):
+            AdaptiveCompressionController(
+                entries, QosProfile(), initial=stranger
+            )
 
     def test_steps_up_after_patience_good_rounds(self):
         controller = self.make_controller(patience=3)
@@ -389,6 +445,26 @@ class TestAdaptiveController:
         controller.observe(0.2)
         actions = [a for _, a in controller.history]
         assert actions == ["step-up", "step-down"]
+
+    def test_violation_at_safest_rung_recorded_as_saturated(self):
+        # A BER violation with no safer rung left is a hard QoS
+        # failure; history must distinguish it from an in-band hold so
+        # campaign post-mortems can count it.
+        controller = self.make_controller()
+        controller.observe(0.2)  # starts at the safest rung
+        assert controller.history == [(0.2, "saturated")]
+        assert controller.saturated_count == 1
+        # An in-band measurement is still a plain hold.
+        controller.observe(0.04)
+        assert controller.history[-1] == (0.04, "hold")
+        assert controller.saturated_count == 1
+
+    def test_saturated_repeats_while_violating(self):
+        controller = self.make_controller()
+        for _ in range(3):
+            controller.observe(0.5)
+        assert [a for _, a in controller.history] == ["saturated"] * 3
+        assert controller.saturated_count == 3
 
     def test_airtime_savings_grow_with_compression(self):
         controller = self.make_controller(patience=1)

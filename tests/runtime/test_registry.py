@@ -8,10 +8,12 @@ from repro.config import FAST, SMOKE
 from repro.errors import ConfigurationError
 from repro.runtime import (
     Scenario,
+    campaign_names,
     canonical_json,
     dot11,
     fidelity_from_dict,
     fidelity_to_dict,
+    get_campaign,
     get_scenario,
     grid,
     point,
@@ -139,3 +141,68 @@ class TestRegistry:
             entry["dataset"]["reset_interval"] for entry in scenario.points
         }
         assert intervals == {4, 8, 16, 40}
+
+
+class TestCampaignRegistry:
+    def test_expected_campaign_presets_registered(self):
+        names = campaign_names()
+        for expected in (
+            "network-scale",
+            "heterogeneous-qos",
+            "mobility-episodes",
+        ):
+            assert expected in names
+
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_campaign("campaign-of-the-month")
+
+    def test_every_campaign_preset_builds_canonical_specs(self):
+        from repro.core.network import campaign_round_spec
+
+        for name in campaign_names():
+            spec = get_campaign(name, fidelity=SMOKE)
+            assert spec.n_stas > 0
+            # Every round spec must hash — the result cache depends on it.
+            canonical_json(campaign_round_spec(spec, spec.stas[0], 0))
+
+    def test_network_scale_is_heterogeneous(self):
+        spec = get_campaign("network-scale", fidelity=SMOKE)
+        assert spec.n_stas == 16
+        datasets = {sta["dataset"]["id"] for sta in spec.stas}
+        assert len(datasets) >= 2  # several bandwidths/environments
+        schemes = {sta["scheme"]["kind"] for sta in spec.stas}
+        assert schemes == {"splitbeam", "dot11"}
+        gammas = {sta["qos"]["max_ber"] for sta in spec.stas}
+        assert len(gammas) >= 2
+        flops = {
+            sta["cost"].get("sta_flops_per_s", 2e9) for sta in spec.stas
+        }
+        assert len(flops) >= 2  # device tiers
+        dopplers = {sta["doppler_hz"] for sta in spec.stas}
+        assert len(dopplers) >= 2
+
+    def test_network_scale_scales_to_hundreds(self):
+        spec = get_campaign("network-scale", fidelity=SMOKE, n_stas=200)
+        assert spec.n_stas == 200
+        assert len({sta["name"] for sta in spec.stas}) == 200
+
+    def test_heterogeneous_qos_spans_gamma_and_tau_ranges(self):
+        spec = get_campaign("heterogeneous-qos", fidelity=SMOKE)
+        gammas = sorted(sta["qos"]["max_ber"] for sta in spec.stas)
+        assert gammas[0] == pytest.approx(1e-4)
+        assert gammas[-1] == pytest.approx(0.2)
+        delays = sorted(sta["qos"]["max_delay_s"] for sta in spec.stas)
+        assert delays[0] == pytest.approx(4e-3)
+        assert delays[-1] == pytest.approx(10e-3)
+        # Static channel: the QoS axis is isolated from mobility.
+        assert all(sta["doppler_hz"] == 0.0 for sta in spec.stas)
+
+    def test_mobility_episodes_are_ordered_phases(self):
+        spec = get_campaign("mobility-episodes", fidelity=SMOKE)
+        assert len(spec.episodes) == 3
+        starts = [episode["start_round"] for episode in spec.episodes]
+        assert starts == sorted(starts)
+        assert spec.episodes[1]["doppler_scale"] > 1.0
+        assert spec.episodes[1]["snr_offset_db"] < 0.0
+        assert spec.episodes[2]["doppler_scale"] == 1.0

@@ -11,6 +11,7 @@ from repro.sounding.campaign import (
     MU_MIMO_SOUNDING_INTERVAL_S,
     CampaignReport,
     SoundingCampaign,
+    combine_reports,
     feedback_overhead_rate_bps,
     intro_example_bits,
     max_supportable_users,
@@ -69,9 +70,27 @@ class TestCampaignReport:
         assert report.occupancy == 1.0
         assert report.data_fraction == 0.0
 
+    def test_occupancy_ratio_unclamped(self):
+        # The honest overload signal: 20 ms of airtime every 10 ms is a
+        # 2.0 ratio, not a saturated-looking 1.0.
+        report = self.make_report(round_airtime=20e-3, interval=10e-3)
+        assert report.occupancy_ratio == pytest.approx(2.0)
+        feasible = self.make_report(round_airtime=2e-3, interval=10e-3)
+        assert feasible.occupancy_ratio == pytest.approx(feasible.occupancy)
+
     def test_goodput_scales_with_data_fraction(self):
         report = self.make_report(round_airtime=5e-3, interval=10e-3)
         assert report.goodput_bps(100e6) == pytest.approx(50e6)
+
+    def test_infeasible_round_reports_zero_goodput(self):
+        # round_duration 9 ms * 1.2 > 10 ms: the exchange cannot repeat
+        # every interval, so there is no steady state to report goodput
+        # for — even though the clamped occupancy leaves airtime over.
+        report = self.make_report(round_airtime=9e-3, interval=10e-3)
+        assert not report.feasible
+        assert report.occupancy < 1.0
+        assert report.data_fraction > 0.0
+        assert report.goodput_bps(100e6) == 0.0
 
     def test_goodput_rejects_negative_rate(self):
         with pytest.raises(ConfigurationError):
@@ -139,6 +158,37 @@ class TestSoundingCampaign:
         assert report.feedback_airtime_s <= report.round_airtime_s
 
 
+class TestCombineReports:
+    def test_sums_heterogeneous_groups(self):
+        twenty = SoundingCampaign(2, 20, feedback_bits=5000).report()
+        eighty = SoundingCampaign(3, 80, feedback_bits=20_000).report()
+        combined = combine_reports([twenty, eighty])
+        assert combined.round_airtime_s == pytest.approx(
+            twenty.round_airtime_s + eighty.round_airtime_s
+        )
+        assert combined.round_duration_s == pytest.approx(
+            twenty.round_duration_s + eighty.round_duration_s
+        )
+        assert combined.feedback_bits_total == 5000 * 2 + 20_000 * 3
+        assert combined.occupancy_ratio == pytest.approx(
+            twenty.occupancy_ratio + eighty.occupancy_ratio
+        )
+
+    def test_single_report_is_identity(self):
+        report = SoundingCampaign(2, 40, feedback_bits=8000).report()
+        assert combine_reports([report]) == report
+
+    def test_mismatched_intervals_rejected(self):
+        a = SoundingCampaign(1, 20, 100, interval_s=10e-3).report()
+        b = SoundingCampaign(1, 20, 100, interval_s=5e-3).report()
+        with pytest.raises(ConfigurationError):
+            combine_reports([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine_reports([])
+
+
 class TestMaxSupportableUsers:
     def test_compression_supports_more_users(self):
         config = Dot11FeedbackConfig(n_tx=4, n_rx=1, n_streams=1, bandwidth_mhz=80)
@@ -163,3 +213,48 @@ class TestMaxSupportableUsers:
     def test_invalid_limit(self):
         with pytest.raises(ConfigurationError):
             max_supportable_users(20, 100, user_limit=0)
+
+    @staticmethod
+    def _linear_walk(
+        bandwidth_mhz, feedback_bits, interval_s, user_limit
+    ) -> int:
+        """The O(limit) reference implementation the search replaced."""
+        supported = 0
+        for n_users in range(1, user_limit + 1):
+            report = SoundingCampaign(
+                n_users=n_users,
+                bandwidth_mhz=bandwidth_mhz,
+                feedback_bits=feedback_bits,
+                interval_s=interval_s,
+            ).report()
+            if not report.feasible:
+                break
+            supported = n_users
+        return supported
+
+    @pytest.mark.parametrize("bandwidth_mhz", [20, 40, 80, 160])
+    @pytest.mark.parametrize(
+        "feedback_bits", [0, 500, 5_000, 50_000, 500_000]
+    )
+    @pytest.mark.parametrize("interval_s", [2e-3, 10e-3])
+    def test_bisection_matches_linear_walk(
+        self, bandwidth_mhz, feedback_bits, interval_s
+    ):
+        # The doubling-then-bisection search must agree with the linear
+        # walk everywhere: boundary inside the range, at 0, and pinned
+        # at the user limit.
+        limit = 24
+        assert max_supportable_users(
+            bandwidth_mhz,
+            feedback_bits,
+            interval_s=interval_s,
+            user_limit=limit,
+        ) == self._linear_walk(
+            bandwidth_mhz, feedback_bits, interval_s, limit
+        )
+
+    @pytest.mark.parametrize("user_limit", [1, 2, 3, 7, 8, 9])
+    def test_bisection_matches_linear_walk_at_small_limits(self, user_limit):
+        assert max_supportable_users(
+            40, 20_000, user_limit=user_limit
+        ) == self._linear_walk(40, 20_000, 10e-3, user_limit)
