@@ -16,7 +16,18 @@ Stages:
 - ``evaluate_scheme``    the full figure-benchmark entry point at a
                          Fig. 12-sized workload (3x3, 80 MHz, 50 BER
                          samples) — target >= 10x vs the seed path
-- ``csinet_fwd``/``csinet_bwd``  conv-head DNN forward/backward
+- ``conv_fwd``/``conv_bwd``      one Conv1d layer, strided im2col vs
+                         the frozen per-kernel-position loops
+- ``csinet_fwd``/``csinet_bwd``  conv-head DNN forward/backward vs a
+                         reference-pinned twin model
+- ``train_step``         a full ladder-rung training run (epoch
+                         pipeline + fused clip/Adam) vs the frozen
+                         loop trainer — trained weights asserted
+                         bit-identical
+- ``dispatch``           executor worker-pool dispatch of many small
+                         tasks sharing one large payload: inline
+                         per-task shipping vs the content-addressed
+                         payload store
 - ``engine/*``           the ``repro.runtime`` orchestration engine on a
                          6-point scenario: cold vs warm (content-
                          addressed) cache, and 1 vs 4 worker processes;
@@ -32,7 +43,9 @@ Stages:
 
 Run with ``pytest benchmarks/bench_perf_hotpaths.py --perf`` or
 ``python benchmarks/bench_perf_hotpaths.py`` (tier-1 never runs it; see
-``docs/perf.md``).
+``docs/perf.md``).  ``python benchmarks/bench_perf_hotpaths.py
+--train-smoke`` runs only the train_step reference/vectorized
+equivalence at smoke scale (the CI training smoke).
 """
 
 from __future__ import annotations
@@ -48,11 +61,19 @@ from repro.baselines.csinet import ConvSplitNet
 from repro.channels.environment import E1
 from repro.channels.sampler import CsiSampler
 from repro.config import Fidelity
+from repro.core.model import SplitBeamNet, three_layer_widths
 from repro.core.pipeline import evaluate_scheme
 from repro.datasets import build_dataset, dataset_spec
+from repro.nn.conv import Conv1d
 from repro.nn.losses import NormalizedL1Loss
+from repro.nn.serialize import state_dict
+from repro.nn.trainer import Trainer, TrainingConfig
 from repro.perf import Benchmark, PerfReport
 from repro.perf.reference import (
+    ReferenceConv1d,
+    ReferenceNormalizedL1Loss,
+    ReferenceTrainer,
+    pin_reference_nn,
     reference_collect_session,
     reference_decode_cbf,
     reference_encode_cbf,
@@ -154,6 +175,123 @@ class _ReferenceLinkSimulator(LinkSimulator):
 
     def measure_ber(self, channels, bf_estimates, rng=None):
         return self.measure_ber_reference(channels, bf_estimates, rng=rng)
+
+
+#: Training-stage workload: the paper's primary dataset (the zoo's
+#: compression-ladder substrate) at the engine benchmark fidelity.
+TRAIN_DATASET = "D1"
+TRAIN_COMPRESSION = 1 / 8
+
+
+def _train_step_stage(bench, report, fidelity, assert_identical=True):
+    """Time the frozen loop trainer vs the fused trainer on one rung.
+
+    Both sides train the same ladder rung (same init seed, same data,
+    same schedule); the trained weights are asserted bit-identical —
+    the vectorized trainer replays the reference arithmetic exactly.
+    Returns the (baseline, optimized) results for the comparison row.
+    """
+    train_set = build_dataset(
+        dataset_spec(TRAIN_DATASET), fidelity=fidelity, seed=7
+    )
+    x, y = train_set.model_arrays(train_set.splits.train)
+    widths = three_layer_widths(train_set.input_dim, TRAIN_COMPRESSION)
+    config = TrainingConfig(
+        epochs=fidelity.epochs, batch_size=16, optimizer="adam", seed=0
+    )
+    n_items = x.shape[0] * config.epochs
+    meta = {
+        "dataset": TRAIN_DATASET,
+        "widths": [int(w) for w in widths],
+        "epochs": config.epochs,
+        "n_train": int(x.shape[0]),
+    }
+
+    def fit(trainer_cls):
+        model = SplitBeamNet(widths, rng=3)
+        trainer_cls(model, config=config).fit(x, y)
+        return model
+
+    if assert_identical:
+        state_ref = state_dict(fit(ReferenceTrainer))
+        state_vec = state_dict(fit(Trainer))
+        for key in state_ref:
+            assert np.array_equal(state_ref[key], state_vec[key]), key
+
+    baseline = bench.run(
+        "train_step/reference",
+        lambda: fit(ReferenceTrainer),
+        n_items=n_items,
+        meta=meta,
+    )
+    optimized = bench.run(
+        "train_step/vectorized",
+        lambda: fit(Trainer),
+        n_items=n_items,
+        meta=meta,
+    )
+    report.add(baseline)
+    report.add(optimized)
+    return baseline, optimized
+
+
+def _dispatch_stage(bench, report, n_tasks=24, n_workers=2):
+    """Pool dispatch of a task *chain* sharing one large payload.
+
+    The shape of a campaign feedback chain: round ``r`` depends on
+    round ``r-1``, so every round is its own wave, and each wave's
+    message used to re-ship the deployed model.  (A single wave would
+    not show this — pickling one packed message already dedups shared
+    objects within it.)  Reference ships the payload inline in every
+    wave; the optimized side interns it in a :class:`PayloadStore`, so
+    it crosses the process boundary once per worker instead of once
+    per round.  Both sides must return identical digests.
+    """
+    from repro.runtime import PayloadStore, Task, run_tasks
+
+    # Model-sized payload: ~4 MB, the order of a SplitBeam state dict.
+    blob = np.random.default_rng(5).standard_normal((512, 1024))
+    meta = {
+        "n_tasks": n_tasks,
+        "n_workers": n_workers,
+        "payload_mb": round(blob.nbytes / 1e6, 2),
+        "chained": True,
+    }
+
+    def tasks_for(payload):
+        return [
+            Task(
+                task_id=f"probe-{index:03d}",
+                fn="repro.runtime.tasks:payload_probe",
+                params={"blob": payload, "row": index},
+                deps=(f"probe-{index - 1:03d}",) if index else (),
+            )
+            for index in range(n_tasks)
+        ]
+
+    def run_inline():
+        return run_tasks(tasks_for(blob), n_workers=n_workers)
+
+    def run_interned():
+        with PayloadStore() as store:
+            return run_tasks(
+                tasks_for(store.intern(blob)),
+                n_workers=n_workers,
+                payloads=store,
+            )
+
+    assert run_inline() == run_interned()
+    baseline = bench.run(
+        "dispatch/reference", run_inline, n_items=n_tasks, repeats=3,
+        warmup=0, meta=meta,
+    )
+    optimized = bench.run(
+        "dispatch/interned", run_interned, n_items=n_tasks, repeats=3,
+        warmup=0, meta=meta,
+    )
+    report.add(baseline)
+    report.add(optimized)
+    return baseline, optimized
 
 
 def _random_channels(rng, n, users, n_sc, n_rx, n_tx):
@@ -278,30 +416,95 @@ def build_report() -> PerfReport:
     report.add(optimized)
     report.add_comparison("evaluate_scheme", baseline, optimized)
 
-    # -- csinet forward/backward (no seed twin; trajectory tracking only) ------
+    # -- bare Conv1d: strided im2col vs the frozen per-position loops ----------
+    conv_batch = 16
+    conv_x = rng.standard_normal((conv_batch, 18, plan.n_subcarriers // 2))
+    conv_g = rng.standard_normal((conv_batch, 8, plan.n_subcarriers // 2))
+    conv_vec = Conv1d(18, 8, kernel_size=5, rng=0)
+    conv_ref = Conv1d(18, 8, kernel_size=5, rng=0)
+    conv_ref.__class__ = ReferenceConv1d
+    # The im2col forward is bit-identical to the frozen loops.
+    assert np.array_equal(conv_vec.forward(conv_x), conv_ref.forward(conv_x))
+    baseline = bench.run(
+        "conv_fwd/reference",
+        lambda: conv_ref.forward(conv_x),
+        n_items=conv_batch,
+    )
+    optimized = bench.run(
+        "conv_fwd/vectorized",
+        lambda: conv_vec.forward(conv_x),
+        n_items=conv_batch,
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("conv_fwd", baseline, optimized)
+    baseline = bench.run(
+        "conv_bwd/reference",
+        lambda: conv_ref.backward(conv_g),
+        n_items=conv_batch,
+    )
+    optimized = bench.run(
+        "conv_bwd/vectorized",
+        lambda: conv_vec.backward(conv_g),
+        n_items=conv_batch,
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("conv_bwd", baseline, optimized)
+
+    # -- csinet forward/backward vs a reference-pinned twin model --------------
     input_dim = dataset.input_dim
-    model = ConvSplitNet(
+    csinet_args = dict(
         input_dim=input_dim,
         n_feature_channels=2 * dataset.spec.n_rx * dataset.spec.n_tx,
         compression=1 / 8,
         rng=0,
     )
+    model = ConvSplitNet(**csinet_args)
+    model_ref = ConvSplitNet(**csinet_args)  # same rng -> same weights
+    pin_reference_nn(model_ref)
     x, y = dataset.model_arrays(dataset.splits.test[:16])
     loss = NormalizedL1Loss()
-    report.add(
-        bench.run(
-            "csinet_fwd", lambda: model.forward(x), n_items=x.shape[0]
-        )
+    loss_ref = ReferenceNormalizedL1Loss()
+    assert np.array_equal(model.forward(x), model_ref.forward(x))
+    baseline = bench.run(
+        "csinet_fwd/reference",
+        lambda: model_ref.forward(x),
+        n_items=x.shape[0],
     )
-
-    def forward_backward():
-        prediction = model.forward(x)
-        loss.forward(prediction, y)
-        model.backward(loss.backward())
-
-    report.add(
-        bench.run("csinet_bwd", forward_backward, n_items=x.shape[0])
+    optimized = bench.run(
+        "csinet_fwd/vectorized", lambda: model.forward(x), n_items=x.shape[0]
     )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("csinet_fwd", baseline, optimized)
+
+    def forward_backward(net, net_loss):
+        prediction = net.forward(x)
+        net_loss.forward(prediction, y)
+        net.backward(net_loss.backward())
+
+    baseline = bench.run(
+        "csinet_bwd/reference",
+        lambda: forward_backward(model_ref, loss_ref),
+        n_items=x.shape[0],
+    )
+    optimized = bench.run(
+        "csinet_bwd/vectorized",
+        lambda: forward_backward(model, loss),
+        n_items=x.shape[0],
+    )
+    report.add(baseline)
+    report.add(optimized)
+    report.add_comparison("csinet_bwd", baseline, optimized)
+
+    # -- train_step: the fused trainer vs the frozen loop trainer --------------
+    train_stage = _train_step_stage(bench, report, ENGINE_FIDELITY)
+    report.add_comparison("train_step", *train_stage)
+
+    # -- dispatch: inline payload shipping vs the interned store ---------------
+    dispatch_stage = _dispatch_stage(bench, report)
+    report.add_comparison("dispatch", *dispatch_stage)
 
     # -- runtime engine: cold/warm cache and 1-vs-N workers --------------------
     import itertools
@@ -378,7 +581,11 @@ def build_report() -> PerfReport:
     report.add(cold_workers)
     report.add(warm)
     report.add_comparison("engine_cache", cold_serial, warm)
-    report.add_comparison("engine_workers", cold_serial, cold_workers)
+    # Worker scaling only means something with cores to scale onto;
+    # below the gate the txt report renders this row as skipped.
+    report.add_comparison(
+        "engine_workers", cold_serial, cold_workers, requires_cpus=4
+    )
 
     # -- zoo training: cold/warm checkpoint store and 1-vs-N workers -----------
     from repro.core.zoo_builder import train_zoo
@@ -469,7 +676,9 @@ def build_report() -> PerfReport:
     report.add(zoo_cold_workers)
     report.add(zoo_warm)
     report.add_comparison("zoo_checkpoints", zoo_cold_serial, zoo_warm)
-    report.add_comparison("zoo_workers", zoo_cold_serial, zoo_cold_workers)
+    report.add_comparison(
+        "zoo_workers", zoo_cold_serial, zoo_cold_workers, requires_cpus=4
+    )
     return report
 
 
@@ -491,6 +700,18 @@ def test_perf_hotpaths():
     # The vectorized codecs must never regress below the seed loops.
     for stage in ("sampler", "givens", "cbf_encode", "cbf_decode", "link_ber"):
         assert comparisons[stage]["speedup"] >= 1.0, stage
+    # The vectorized training stack must never regress below the frozen
+    # loop implementations (the measured ratios live in the JSON; the
+    # floors sit below the observed medians so a loaded box does not
+    # flake).  train_step is bit-identity-pinned, bandwidth-bound
+    # float64 work shared by both sides — its win is structural
+    # overhead only, so its floor is parity within timer noise.
+    assert comparisons["conv_fwd"]["speedup"] >= 1.2
+    assert comparisons["conv_bwd"]["speedup"] >= 1.2
+    assert comparisons["csinet_fwd"]["speedup"] >= 1.1
+    assert comparisons["csinet_bwd"]["speedup"] >= 1.05
+    assert comparisons["dispatch"]["speedup"] >= 1.5
+    assert comparisons["train_step"]["speedup"] >= 0.9
     # A warm content-addressed cache must beat recomputation outright
     # (it reads six JSON files instead of training four DNNs).
     assert comparisons["engine_cache"]["speedup"] >= 5.0
@@ -504,7 +725,30 @@ def test_perf_hotpaths():
         assert comparisons["zoo_workers"]["speedup"] >= 2.0
 
 
+def train_smoke() -> None:
+    """CI smoke: train_step reference-vs-vectorized equivalence at smoke scale.
+
+    Runs the :func:`_train_step_stage` workload at the ``smoke``
+    fidelity preset — the bit-identity assertion is the point; the
+    timings are printed for information only (no JSON is written and
+    no speedup is asserted, so a noisy CI box cannot flake).
+    """
+    from repro.config import fidelity as fidelity_preset
+
+    bench = Benchmark(warmup=0, repeats=2)
+    report = PerfReport("train_step smoke (reference vs vectorized)")
+    baseline, optimized = _train_step_stage(
+        bench, report, fidelity_preset("smoke")
+    )
+    report.add_comparison("train_step", baseline, optimized)
+    print(report.render())
+    print("train_step smoke: trained weights bit-identical")
+
+
 if __name__ == "__main__":
+    if "--train-smoke" in sys.argv:
+        train_smoke()
+        sys.exit(0)
     perf_report = build_report()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     write_hotpaths_json(

@@ -62,6 +62,7 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.checkpoints import CheckpointStore
 from repro.runtime.executor import Task, resolve_worker_count, run_tasks
 from repro.runtime.hashing import code_version, task_key
+from repro.runtime.payloads import PayloadStore
 from repro.runtime.spec import (
     NetworkCampaignSpec,
     TrainingGrid,
@@ -317,8 +318,17 @@ class _StaState:
             % (2**31 - 1),
         )
 
-    def round_params(self, round_index: int, interval_s, episodes) -> dict:
-        """Task parameters for one round (slices + model, no dataset)."""
+    def round_params(
+        self, round_index: int, interval_s, episodes, payloads=None
+    ) -> dict:
+        """Task parameters for one round (slices + model, no dataset).
+
+        With a payload store, the deployed model/quantizer (shared by
+        every round on the same rung) travel as content-addressed
+        references — each worker materializes the model once per
+        campaign instead of once per round task.  The unique per-round
+        slices travel inline, so coordinator memory stays O(one round).
+        """
         rung = (
             self.controller.current if self.controller is not None else None
         )
@@ -326,7 +336,9 @@ class _StaState:
         dataset = self._dataset()
         indices = self.round_indices(round_index)
         if rung is not None:
-            scheme = entry_round_scheme(dataset, indices, rung)
+            scheme = entry_round_scheme(
+                dataset, indices, rung, payloads=payloads
+            )
         else:
             scheme = dot11_round_scheme(dataset, indices)
         return {
@@ -527,7 +539,10 @@ class NetworkCampaign:
                 )
             states.append(state)
 
-        tasks, by_task_id, n_cached = self._plan_rounds(states, version)
+        payloads = PayloadStore()
+        tasks, by_task_id, n_cached = self._plan_rounds(
+            states, version, payloads
+        )
 
         def persist(task_id: str, result) -> None:
             # Store each round the moment it completes, so an
@@ -540,7 +555,13 @@ class NetworkCampaign:
                     result,
                 )
 
-        executed = run_tasks(tasks, n_workers=self.n_workers, on_result=persist)
+        with payloads:
+            executed = run_tasks(
+                tasks,
+                n_workers=self.n_workers,
+                on_result=persist,
+                payloads=payloads,
+            )
 
         # Drain: record every executed round.  observe() is idempotent
         # and the ascending sweep keeps chain order, so rounds already
@@ -560,7 +581,9 @@ class NetworkCampaign:
             wall_s=time.perf_counter() - start,
         )
 
-    def _plan_rounds(self, states: "list[_StaState]", version: str):
+    def _plan_rounds(
+        self, states: "list[_StaState]", version: str, payloads=None
+    ):
         """Cache-walk every STA and build tasks for the rest.
 
         A SplitBeam STA is a feedback chain: its cached *prefix* is
@@ -628,13 +651,15 @@ class NetworkCampaign:
                             if needs_dep
                             else ()
                         ),
-                        resolve=self._make_resolve(state, round_index),
+                        resolve=self._make_resolve(
+                            state, round_index, payloads
+                        ),
                     )
                 )
                 by_task_id[task_id] = (state, round_index)
         return tasks, by_task_id, n_cached
 
-    def _make_resolve(self, state: _StaState, round_index: int):
+    def _make_resolve(self, state: _StaState, round_index: int, payloads=None):
         spec = self.spec
 
         def resolve(dep_results: dict) -> dict:
@@ -644,7 +669,7 @@ class NetworkCampaign:
                     dep_results[f"{state.name}/round-{round_index - 1:04d}"],
                 )
             return state.round_params(
-                round_index, spec.interval_s, spec.episodes
+                round_index, spec.interval_s, spec.episodes, payloads
             )
 
         return resolve

@@ -36,6 +36,7 @@ from repro.errors import ConfigurationError
 from repro.phy.link import LinkConfig, LinkSimulator
 from repro.phy.mcs import data_rate_bps, select_mcs
 from repro.runtime.executor import Task, run_tasks
+from repro.runtime.payloads import PayloadStore
 from repro.sounding.campaign import MU_MIMO_SOUNDING_INTERVAL_S, SoundingCampaign
 from repro.standard.feedback import Dot11FeedbackConfig, bmr_bits
 
@@ -52,7 +53,10 @@ def dot11_round_scheme(dataset: CsiDataset, indices: np.ndarray) -> dict:
     """The 802.11 payload for one ``session_round``/``network_round`` task.
 
     Ships the ground-truth beamforming slice the standard quantizer
-    reconstructs from — never the dataset itself.
+    reconstructs from — never the dataset itself.  The slice is unique
+    per round, so it travels inline: interning it would pin every
+    round's arrays in the payload store for the whole run for zero
+    dedup benefit.
     """
     spec = dataset.spec
     bits = bmr_bits(
@@ -75,12 +79,19 @@ def entry_round_scheme(
     indices: np.ndarray,
     entry,
     trained: "TrainedSplitBeam | None" = None,
+    payloads: "PayloadStore | None" = None,
 ) -> dict:
     """A zoo entry's payload for one round task (model + inputs).
 
     ``trained`` optionally overrides the entry's model/quantizer with a
     freshly-trained pair (the :class:`NetworkSession` ``trained_models``
     path); by default the entry carries everything the STA deploys.
+
+    With ``payloads``, the model and quantizer are interned: the pair
+    is shared by every round that deploys the same rung, so each worker
+    deserializes it once per run instead of once per round task.  The
+    per-round input rows are unique, so they always travel inline
+    (interning them would pin every round's arrays for the whole run).
     """
     if trained is not None:
         model, quantizer = trained.model, trained.quantizer
@@ -92,6 +103,9 @@ def entry_round_scheme(
             else None
         )
     x, _ = dataset.model_arrays(indices)
+    if payloads is not None:
+        model = payloads.intern(model)
+        quantizer = payloads.intern(quantizer)
     return {
         "kind": "model",
         "label": entry.model.label(),
@@ -251,12 +265,16 @@ class NetworkSession:
 
     # -- internals --------------------------------------------------------------
 
-    def _round_params(self, indices: np.ndarray) -> dict:
+    def _round_params(
+        self, indices: np.ndarray, payloads: "PayloadStore | None" = None
+    ) -> dict:
         """Parameters for one ``session_round`` task (pure measurement).
 
         Ships only the round's data slices (and the model, for DNN
         rounds) — not the dataset — so a worker pool never pickles the
-        full CSI tensors.
+        full CSI tensors.  The run-shared model/quantizer are interned
+        in the payload store when one is given; the unique per-round
+        slices travel inline.
         """
         if self.controller is not None:
             entry = self.controller.current
@@ -265,7 +283,9 @@ class NetworkSession:
                 if self.trained_models is not None
                 else None
             )
-            scheme = entry_round_scheme(self.dataset, indices, entry, trained)
+            scheme = entry_round_scheme(
+                self.dataset, indices, entry, trained, payloads=payloads
+            )
         else:
             scheme = dot11_round_scheme(self.dataset, indices)
         return {
@@ -301,6 +321,8 @@ class NetworkSession:
         # the chain: after the previous round's BER has been observed),
         # preserving the serial loop's exact RNG and controller
         # trajectory.
+        payloads = PayloadStore()
+
         def make_resolve(round_index: int):
             def resolve(dep_results: dict) -> dict:
                 if chained and round_index > 0:
@@ -311,7 +333,7 @@ class NetworkSession:
                     size=min(self.samples_per_round, pool.size),
                     replace=False,
                 )
-                return self._round_params(indices)
+                return self._round_params(indices, payloads)
 
             return resolve
 
@@ -324,7 +346,12 @@ class NetworkSession:
             )
             for i in range(n_rounds)
         ]
-        results = run_tasks(tasks, n_workers=1 if chained else self.n_workers)
+        with payloads:
+            results = run_tasks(
+                tasks,
+                n_workers=1 if chained else self.n_workers,
+                payloads=payloads,
+            )
         if chained:
             self._observe(results[f"round-{n_rounds - 1:04d}"]["ber"], actions)
         else:

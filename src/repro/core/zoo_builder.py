@@ -51,6 +51,7 @@ from repro.errors import ConfigurationError
 from repro.nn.serialize import load_state_dict
 from repro.runtime.checkpoints import CHECKPOINT_KIND, CheckpointStore
 from repro.runtime.executor import Task, resolve_worker_count, run_tasks
+from repro.runtime.payloads import PayloadStore
 from repro.runtime.hashing import code_version, state_digest, task_key
 from repro.runtime.planner import shard_labels
 from repro.runtime.spec import TrainingGrid, fidelity_from_dict
@@ -146,13 +147,29 @@ def plan_training_grid(
     grid: TrainingGrid,
     version: "str | None" = None,
     n_workers: int = 1,
+    payloads: "PayloadStore | None" = None,
 ) -> "list[PlannedTraining]":
-    """Expand a training grid into keyed, shard-labelled executor tasks."""
+    """Expand a training grid into keyed, shard-labelled executor tasks.
+
+    With a payload store, the spec sub-mappings every entry repeats
+    (the grid fidelity, the shared link settings, each dataset recipe)
+    are interned once and referenced from the task parameters; keys and
+    the recorded :attr:`PlannedTraining.spec` always use the raw spec.
+    """
     specs = [_resolve_entry(spec) for spec in grid.task_specs()]
     shards = shard_labels(specs, n_workers)
     planned = []
     for index, (spec, shard) in enumerate(zip(specs, shards)):
         key = task_key(checkpoint_spec(spec), version, kind=CHECKPOINT_KIND)
+        params = spec
+        if payloads is not None:
+            params = {
+                **spec,
+                "dataset": payloads.intern(spec["dataset"]),
+                "fidelity": payloads.intern(spec["fidelity"]),
+            }
+            if "link" in spec:
+                params["link"] = payloads.intern(spec["link"])
         planned.append(
             PlannedTraining(
                 index=index,
@@ -162,7 +179,7 @@ def plan_training_grid(
                 task=Task(
                     task_id=f"{index:04d}:{spec['label']}",
                     fn=TRAIN_FN,
-                    params=spec,
+                    params=params,
                     shard=shard,
                 ),
             )
@@ -266,8 +283,9 @@ class ZooBuilder:
         """Train (or checkpoint-load) every entry of ``grid``."""
         start = time.perf_counter()
         version = code_version()
+        payloads = PayloadStore()
         planned = plan_training_grid(
-            grid, version=version, n_workers=self.n_workers
+            grid, version=version, n_workers=self.n_workers, payloads=payloads
         )
         results: "dict[int, dict]" = {}
         to_run: "list[PlannedTraining]" = []
@@ -307,11 +325,13 @@ class ZooBuilder:
                     state_sha256=result["state_sha256"],
                 )
 
-        executed = run_tasks(
-            [entry.task for entry in to_run],
-            n_workers=self.n_workers,
-            on_result=persist,
-        )
+        with payloads:
+            executed = run_tasks(
+                [entry.task for entry in to_run],
+                n_workers=self.n_workers,
+                on_result=persist,
+                payloads=payloads,
+            )
         for entry in to_run:
             results[entry.index] = executed[entry.task.task_id]
         executed_indices = {entry.index for entry in to_run}

@@ -73,9 +73,10 @@ class Linear(Module):
                 f"Linear expected {self.in_features} features, got {inputs.shape[1]}"
             )
         self._cached_input = inputs
-        out = inputs @ self.weight.data
+        out = np.empty((inputs.shape[0], self.out_features))
+        np.matmul(inputs, self.weight.data, out=out)
         if self.bias is not None:
-            out = out + self.bias.data
+            out += self.bias.data
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -98,11 +99,18 @@ class Linear(Module):
 
 
 class _Activation(Module):
-    """Base for cached element-wise activations."""
+    """Base for cached element-wise activations.
+
+    Forward caches both its input and its output; ``_dfn_from`` lets a
+    subclass derive the gradient from the cached output (e.g. tanh'
+    from tanh) instead of re-evaluating the transcendental — the same
+    expression on the same bits, just without the second pass.
+    """
 
     def __init__(self) -> None:
         super().__init__()
         self._cached_input: np.ndarray | None = None
+        self._cached_output: np.ndarray | None = None
 
     def _fn(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -110,15 +118,22 @@ class _Activation(Module):
     def _dfn(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def _dfn_from(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Derivative given forward input ``x`` and cached output ``y``."""
+        return self._dfn(x)
+
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs = np.asarray(inputs, dtype=np.float64)
         self._cached_input = inputs
-        return self._fn(inputs)
+        self._cached_output = self._fn(inputs)
+        return self._cached_output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._cached_input is None:
+        if self._cached_input is None or self._cached_output is None:
             raise ShapeError(f"backward before forward on {type(self).__name__}")
-        return np.asarray(grad_output) * self._dfn(self._cached_input)
+        return np.asarray(grad_output) * self._dfn_from(
+            self._cached_input, self._cached_output
+        )
 
 
 class ReLU(_Activation):
@@ -156,6 +171,9 @@ class Tanh(_Activation):
     def _dfn(self, x: np.ndarray) -> np.ndarray:
         return 1.0 - np.tanh(x) ** 2
 
+    def _dfn_from(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return 1.0 - y**2
+
 
 class Sigmoid(_Activation):
     """Logistic sigmoid."""
@@ -166,6 +184,9 @@ class Sigmoid(_Activation):
     def _dfn(self, x: np.ndarray) -> np.ndarray:
         s = self._fn(x)
         return s * (1.0 - s)
+
+    def _dfn_from(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return y * (1.0 - y)
 
 
 class Identity(_Activation):

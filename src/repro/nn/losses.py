@@ -91,15 +91,24 @@ class NormalizedL1Loss(Loss):
         if epsilon <= 0:
             raise ShapeError("epsilon must be positive")
         self.epsilon = float(epsilon)
+        self._cached_denominator: np.ndarray | None = None
 
     def _denominator(self, target: np.ndarray) -> np.ndarray:
         return np.maximum(np.abs(target), self.epsilon)
 
     def _value(self, prediction: np.ndarray, target: np.ndarray) -> float:
         batch = prediction.shape[0] if prediction.ndim > 1 else 1
-        err = (prediction - target) ** 2 / self._denominator(target)
+        denominator = self._denominator(target)
+        # The training loop always pairs forward with backward on the
+        # same batch; caching the floored |target| saves backward's
+        # recomputation (same array, so the gradient bits are unchanged).
+        self._cached_denominator = denominator
+        err = (prediction - target) ** 2 / denominator
         return float(np.sum(err) / batch)
 
     def _grad(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
         batch = prediction.shape[0] if prediction.ndim > 1 else 1
-        return 2.0 * (prediction - target) / self._denominator(target) / batch
+        denominator = self._cached_denominator
+        if denominator is None or denominator.shape != target.shape:
+            denominator = self._denominator(target)
+        return 2.0 * (prediction - target) / denominator / batch

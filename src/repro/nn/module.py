@@ -27,6 +27,23 @@ class Parameter:
         self.grad = np.zeros_like(self.data)
         self.name = name
 
+    def __getstate__(self) -> dict:
+        """Pickle without the gradient buffer.
+
+        Gradients are per-step scratch, not model state: shipping them
+        would double serialized-model payloads and make two models with
+        identical weights (one freshly trained, one checkpoint-loaded)
+        hash to different content addresses.
+        """
+        state = self.__dict__.copy()
+        state["grad"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+
     @property
     def shape(self) -> tuple[int, ...]:
         return self.data.shape
@@ -47,6 +64,23 @@ class Module:
 
     def __init__(self) -> None:
         self.training = True
+
+    def __getstate__(self) -> dict:
+        """Pickle without transient forward caches or scratch buffers.
+
+        Layers stash their last forward activations (``_cached*``),
+        dropout masks, and im2col scratch between passes; none of it is
+        model state, and dropping it keeps serialized models (executor
+        payloads, checkpoints) lean and content-stable regardless of
+        what the instance last computed.
+        """
+        state = self.__dict__.copy()
+        for key in state:
+            if key.startswith("_cached") or key == "_mask":
+                state[key] = None
+            elif key == "_scratch":
+                state[key] = {}
+        return state
 
     # -- forward / backward -------------------------------------------------
 

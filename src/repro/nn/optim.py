@@ -2,6 +2,23 @@
 
 The paper uses SGD for synthetic datasets and Adam for experimental
 datasets (Sec. IV-D), both with an initial learning rate of 1e-3.
+
+Updates are *fused*: at construction the optimizer packs every
+parameter's ``data`` and ``grad`` into one flat buffer each (the
+:class:`~repro.nn.module.Parameter` objects are re-pointed at views of
+those buffers, so layers keep accumulating gradients exactly as
+before), and ``step`` applies the update rule as a handful of whole-
+buffer in-place array operations instead of a Python loop over
+parameters.  Every element sees the same arithmetic in the same order
+as the per-parameter loop formulation, so trained weights are
+bit-identical to it — the frozen loop implementations live in
+``repro.perf.reference`` and the equivalence is regression-tested.
+
+Construction order matters only in the trivial sense: packing copies
+the parameters' current values, so sequential use of several
+optimizers over the same model (train, then fine-tune) is fine; two
+optimizers mutating the same parameters *concurrently* was never
+meaningful and remains unsupported.
 """
 
 from __future__ import annotations
@@ -17,7 +34,14 @@ __all__ = ["Optimizer", "SGD", "Adam"]
 
 
 class Optimizer:
-    """Base optimizer: holds parameters and a mutable learning rate."""
+    """Base optimizer: holds parameters and a mutable learning rate.
+
+    Packs parameter data/gradients into flat buffers (see the module
+    docstring) and exposes the fused helpers shared by the concrete
+    rules: :meth:`zero_grad` clears all gradients in one write and
+    :meth:`clip_global_norm` rescales them against a global-L2 bound in
+    one fused pass.
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
         self.parameters = list(parameters)
@@ -26,10 +50,55 @@ class Optimizer:
         if lr <= 0:
             raise ConfigurationError(f"learning rate must be positive, got {lr}")
         self.lr = float(lr)
+        total = sum(param.size for param in self.parameters)
+        self._flat_data = np.empty(total)
+        self._flat_grad = np.empty(total)
+        self._slices: list[slice] = []
+        offset = 0
+        for param in self.parameters:
+            span = slice(offset, offset + param.size)
+            shape = param.data.shape
+            self._flat_data[span] = param.data.ravel()
+            self._flat_grad[span] = param.grad.ravel()
+            # Re-point the parameter at the packed buffers.  All layer
+            # code mutates data/grad in place (`+=`, `[...] =`), so the
+            # aliasing is preserved for the optimizer's lifetime.
+            param.data = self._flat_data[span].reshape(shape)
+            param.grad = self._flat_grad[span].reshape(shape)
+            self._slices.append(span)
+            offset += param.size
+        self._scratch = np.empty(total)
 
     def zero_grad(self) -> None:
-        for param in self.parameters:
-            param.zero_grad()
+        self._flat_grad[...] = 0.0
+
+    def clip_global_norm(self, limit: float) -> float:
+        """Scale all gradients so their global L2 norm stays <= ``limit``.
+
+        One fused squaring pass over the packed gradient buffer; the
+        per-parameter partial sums are then accumulated in parameter
+        order, reproducing the reference loop's float arithmetic
+        bit-for-bit (each partial is ``np.sum`` over the same
+        contiguous values), before the single fused rescale.
+        Returns the pre-clip norm.
+        """
+        squared = np.multiply(self._flat_grad, self._flat_grad, out=self._scratch)
+        total = 0.0
+        for span in self._slices:
+            # ndarray.sum is np.sum minus the dispatch wrapper — same
+            # pairwise reduction, so the partials stay bit-identical.
+            total += float(squared[span].sum())
+        norm = float(np.sqrt(total))
+        if norm > limit:
+            self._flat_grad *= limit / norm
+        return norm
+
+    def _effective_grad(self, weight_decay: float, out: np.ndarray) -> np.ndarray:
+        """``grad + weight_decay * data`` (fused); ``grad`` itself if wd=0."""
+        if not weight_decay:
+            return self._flat_grad
+        np.multiply(weight_decay, self._flat_data, out=out)
+        return np.add(self._flat_grad, out, out=out)
 
     def step(self) -> None:
         raise NotImplementedError
@@ -52,20 +121,19 @@ class SGD(Optimizer):
             raise ConfigurationError("weight_decay must be >= 0")
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._velocity = np.zeros_like(self._flat_data)
+        self._update = np.empty_like(self._flat_data)
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += grad
-                update = velocity
-            else:
-                update = grad
-            param.data -= self.lr * update
+        grad = self._effective_grad(self.weight_decay, self._update)
+        if self.momentum:
+            self._velocity *= self.momentum
+            self._velocity += grad
+            update = self._velocity
+        else:
+            update = grad
+        np.multiply(self.lr, update, out=self._update)
+        self._flat_data -= self._update
 
 
 class Adam(Optimizer):
@@ -90,21 +158,31 @@ class Adam(Optimizer):
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
         self._step_count = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._m = np.zeros_like(self._flat_data)
+        self._v = np.zeros_like(self._flat_data)
+        self._grad_buf = np.empty_like(self._flat_data)
+        self._num = np.empty_like(self._flat_data)
+        self._den = np.empty_like(self._flat_data)
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        grad = self._effective_grad(self.weight_decay, self._grad_buf)
+        # First and second moments; each elementwise expression matches
+        # the reference loop's operation order exactly.
+        self._m *= self.beta1
+        np.multiply(1.0 - self.beta1, grad, out=self._num)
+        self._m += self._num
+        self._v *= self.beta2
+        np.multiply(grad, grad, out=self._den)
+        np.multiply(1.0 - self.beta2, self._den, out=self._den)
+        self._v += self._den
+        # Bias-corrected update: data -= lr * m_hat / (sqrt(v_hat) + eps).
+        np.divide(self._m, bias1, out=self._num)
+        np.divide(self._v, bias2, out=self._den)
+        np.sqrt(self._den, out=self._den)
+        self._den += self.eps
+        np.multiply(self.lr, self._num, out=self._num)
+        np.divide(self._num, self._den, out=self._num)
+        self._flat_data -= self._num

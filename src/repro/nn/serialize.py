@@ -47,7 +47,9 @@ def load_state_dict(model: Module, state: dict[str, np.ndarray]) -> None:
                 f"parameter {key!r} has shape {value.shape}, "
                 f"expected {param.data.shape}"
             )
-        param.data = value.copy()
+        # In-place copy: a live optimizer aliases param.data into its
+        # packed update buffer, and rebinding would silently detach it.
+        param.data[...] = value
 
 
 def state_digest(state: dict[str, np.ndarray]) -> str:

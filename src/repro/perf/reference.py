@@ -21,6 +21,18 @@ change relative to the pre-vectorization release: singular vectors are
 pinned to the standard's canonical phase gauge, which relabels the
 noise realization of seed-pinned BER values without changing the
 algorithm or the statistics.)
+
+The training-stack references (:class:`ReferenceConv1d`,
+:class:`ReferenceSGD`, :class:`ReferenceAdam`,
+:class:`ReferenceTrainer`) freeze the pre-vectorization NN loops.  The
+fused optimizers, the clip, and the trainer's batch pipeline replay the
+reference arithmetic element-for-element, so trained weights are
+asserted *bit-identical*; the im2col convolution's forward is likewise
+bit-identical, while its backward contracts each gradient in one GEMM —
+a floating-point reduction-order change, so conv gradients (and
+therefore trained conv-model weights) match the reference to
+rounding rather than bit-for-bit, exactly like the phase-gauge note
+above: same algorithm, same statistics, relabelled low bits.
 """
 
 from __future__ import annotations
@@ -51,6 +63,16 @@ __all__ = [
     "reference_encode_cbf",
     "reference_decode_cbf",
     "reference_collect_session",
+    "ReferenceConv1d",
+    "ReferenceSGD",
+    "ReferenceAdam",
+    "ReferenceLinear",
+    "ReferenceTanh",
+    "ReferenceSigmoid",
+    "ReferenceNormalizedL1Loss",
+    "ReferenceTrainer",
+    "pin_reference_nn",
+    "reference_clip_gradients",
 ]
 
 
@@ -295,3 +317,325 @@ def reference_collect_session(
             )
         )
     return batches
+
+
+# -- frozen NN training stack (pre-vectorization loops) ------------------------
+
+
+from repro.nn.conv import Conv1d as _Conv1d
+from repro.nn.layers import Linear as _Linear, Sigmoid as _Sigmoid, Tanh as _Tanh
+from repro.nn.losses import NormalizedL1Loss as _NormalizedL1Loss
+from repro.nn.trainer import Trainer as _Trainer
+
+
+class ReferenceConv1d(_Conv1d):
+    """Seed ``Conv1d``: per-kernel-position unfold/fold loops.
+
+    A drop-in twin (same constructor, same parameters) whose forward
+    stacks ``k`` shifted copies per call and whose backward scatters the
+    input gradient position by position — the implementation the im2col
+    layer replaced.  The vectorized forward is bit-identical to this;
+    the vectorized backward matches to reduction-order rounding (see
+    the module docstring).
+    """
+
+    def _reference_unfold(self, inputs: np.ndarray) -> np.ndarray:
+        """``(batch, C_in, L)`` -> ``(batch, L, C_in * k)`` patch matrix."""
+        batch, channels, length = inputs.shape
+        pad = self.kernel_size // 2
+        padded = np.pad(inputs, ((0, 0), (0, 0), (pad, pad)))
+        patches = np.stack(
+            [padded[:, :, i : i + length] for i in range(self.kernel_size)],
+            axis=3,
+        )  # (batch, C_in, L, k)
+        return patches.transpose(0, 2, 1, 3).reshape(
+            batch, length, channels * self.kernel_size
+        )
+
+    def _reference_fold_input_grad(
+        self, grad_columns: np.ndarray, shape: "tuple[int, int, int]"
+    ) -> np.ndarray:
+        """Scatter ``(batch, L, C_in * k)`` gradients back onto the input."""
+        batch, channels, length = shape
+        pad = self.kernel_size // 2
+        grads = grad_columns.reshape(
+            batch, length, channels, self.kernel_size
+        ).transpose(0, 2, 1, 3)  # (batch, C_in, L, k)
+        padded = np.zeros((batch, channels, length + 2 * pad))
+        for i in range(self.kernel_size):
+            padded[:, :, i : i + length] += grads[:, :, :, i]
+        return padded[:, :, pad : pad + length]
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv1d expected (batch, {self.in_channels}, L), "
+                f"got {inputs.shape}"
+            )
+        columns = self._reference_unfold(inputs)  # (batch, L, C_in*k)
+        self._cached_columns = columns
+        self._cached_shape = inputs.shape
+        kernel = self.weight.data.reshape(self.out_channels, -1)
+        out = columns @ kernel.T  # (batch, L, C_out)
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out.transpose(0, 2, 1)  # (batch, C_out, L)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_columns is None or self._cached_shape is None:
+            raise ShapeError("backward called before forward on Conv1d")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, _, length = self._cached_shape
+        if grad_output.shape != (batch, self.out_channels, length):
+            raise ShapeError(
+                f"Conv1d gradient shape {grad_output.shape} != "
+                f"{(batch, self.out_channels, length)}"
+            )
+        grad_cols_out = grad_output.transpose(0, 2, 1)  # (batch, L, C_out)
+        kernel = self.weight.data.reshape(self.out_channels, -1)
+
+        # Parameter gradients: sum over batch and positions.
+        grad_kernel = np.einsum(
+            "blo,blf->of", grad_cols_out, self._cached_columns
+        )
+        self.weight.grad += grad_kernel.reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_cols_out.sum(axis=(0, 1))
+
+        grad_columns = grad_cols_out @ kernel  # (batch, L, C_in*k)
+        return self._reference_fold_input_grad(grad_columns, self._cached_shape)
+
+
+class ReferenceLinear(_Linear):
+    """Seed ``Linear.forward``: allocate-per-op instead of fused matmul."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._as_batch(inputs)
+        if inputs.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected {self.in_features} features, "
+                f"got {inputs.shape[1]}"
+            )
+        self._cached_input = inputs
+        out = inputs @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+
+class ReferenceTanh(_Tanh):
+    """Seed ``Tanh``: backward re-evaluates tanh instead of reusing it."""
+
+    def _dfn_from(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self._dfn(x)
+
+
+class ReferenceSigmoid(_Sigmoid):
+    """Seed ``Sigmoid``: backward re-evaluates the forward expression."""
+
+    def _dfn_from(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self._dfn(x)
+
+
+class ReferenceNormalizedL1Loss(_NormalizedL1Loss):
+    """Seed Eq. (8) loss: backward recomputes the floored denominator."""
+
+    def _value(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        batch = prediction.shape[0] if prediction.ndim > 1 else 1
+        err = (prediction - target) ** 2 / self._denominator(target)
+        return float(np.sum(err) / batch)
+
+    def _grad(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        batch = prediction.shape[0] if prediction.ndim > 1 else 1
+        return 2.0 * (prediction - target) / self._denominator(target) / batch
+
+
+_REFERENCE_LAYERS = {
+    _Conv1d: ReferenceConv1d,
+    _Linear: ReferenceLinear,
+    _Tanh: ReferenceTanh,
+    _Sigmoid: ReferenceSigmoid,
+}
+
+
+def pin_reference_nn(module) -> None:
+    """Re-class every layer of ``module`` to its frozen reference twin.
+
+    The reference layers store nothing beyond what the live classes
+    already carry, so swapping ``__class__`` on a freshly built model
+    yields the pre-vectorization implementation with the very same
+    parameters — the benchmarks use this to time reference-pinned
+    models.  Layers whose arithmetic never changed (ReLU, LeakyReLU,
+    Dropout, Flatten, Reshape) are left alone.
+    """
+    for sub in module.modules():
+        twin = _REFERENCE_LAYERS.get(type(sub))
+        if twin is not None:
+            sub.__class__ = twin
+
+
+
+class _ReferenceOptimizer:
+    """Seed ``Optimizer`` base: no packing, per-parameter ``zero_grad``."""
+
+    def __init__(self, parameters, lr: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer received no parameters")
+        if lr <= 0:
+            raise ConfigurationError(
+                f"learning rate must be positive, got {lr}"
+            )
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class ReferenceSGD(_ReferenceOptimizer):
+    """Seed ``SGD.step``: one Python iteration per parameter."""
+
+    def __init__(self, parameters, lr=1e-3, momentum=0.0, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {momentum}"
+            )
+        if weight_decay < 0:
+            raise ConfigurationError("weight_decay must be >= 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class ReferenceAdam(_ReferenceOptimizer):
+    """Seed ``Adam.step``: one Python iteration per parameter."""
+
+    def __init__(
+        self,
+        parameters,
+        lr=1e-3,
+        betas=(0.9, 0.999),
+        eps=1e-8,
+        weight_decay=0.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ConfigurationError("eps must be positive")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def reference_clip_gradients(model, limit: "float | None") -> None:
+    """Seed ``Trainer._clip_gradients``: per-parameter norm loop."""
+    if limit is None:
+        return
+    total = 0.0
+    params = list(model.parameters())
+    for param in params:
+        total += float(np.sum(param.grad**2))
+    norm = np.sqrt(total)
+    if norm > limit:
+        scale = limit / norm
+        for param in params:
+            param.grad *= scale
+
+
+class ReferenceTrainer(_Trainer):
+    """Seed training loop: per-batch fancy-index copies, loop optimizers.
+
+    Inherits ``fit`` (the epoch/validation/checkpoint control flow is
+    unchanged) but pins the per-epoch batch pipeline, the gradient
+    clip, the optimizers, the model's layers (via
+    :func:`pin_reference_nn` — construction mutates the model!), and
+    the default loss to their frozen pre-vectorization implementations.
+    """
+
+    def __init__(self, model, loss=None, config=None, validation_metric=None):
+        if loss is None:
+            loss = ReferenceNormalizedL1Loss()
+        pin_reference_nn(model)
+        super().__init__(
+            model,
+            loss=loss,
+            config=config,
+            validation_metric=validation_metric,
+        )
+
+    def _build_optimizer(self):
+        params = list(self.model.parameters())
+        if self.config.optimizer == "adam":
+            return ReferenceAdam(
+                params,
+                lr=self.config.learning_rate,
+                weight_decay=self.config.weight_decay,
+            )
+        return ReferenceSGD(
+            params,
+            lr=self.config.learning_rate,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+
+    def _clip_gradients(self, optimizer=None) -> None:
+        reference_clip_gradients(self.model, self.config.max_grad_norm)
+
+    def _run_epoch(self, inputs, targets, optimizer, rng) -> float:
+        count = inputs.shape[0]
+        order = (
+            rng.permutation(count) if self.config.shuffle else np.arange(count)
+        )
+        total = 0.0
+        for start in range(0, count, self.config.batch_size):
+            index = order[start : start + self.config.batch_size]
+            batch_in = inputs[index]
+            batch_target = targets[index]
+            optimizer.zero_grad()
+            prediction = self.model.forward(batch_in)
+            total += self.loss.forward(prediction, batch_target) * index.size
+            self.model.backward(self.loss.backward())
+            self._clip_gradients()
+            optimizer.step()
+        return total / count

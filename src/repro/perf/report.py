@@ -47,17 +47,29 @@ class PerfReport:
         stage: str,
         baseline: BenchmarkResult,
         optimized: BenchmarkResult,
+        requires_cpus: "int | None" = None,
     ) -> float:
-        """Record a before/after pair; returns the speedup factor."""
+        """Record a before/after pair; returns the speedup factor.
+
+        ``requires_cpus`` marks a hardware-gated comparison (e.g.
+        worker scaling needs cores to scale onto): the measured numbers
+        are always recorded in the JSON for the perf trajectory, but
+        :meth:`render` reports the stage as skipped on hosts below the
+        gate instead of printing a misleading "regression" ratio.
+        """
         factor = speedup(baseline, optimized)
-        self._comparisons.append(
-            {
-                "stage": stage,
-                "baseline": baseline.as_dict(),
-                "optimized": optimized.as_dict(),
-                "speedup": factor,
-            }
-        )
+        comparison = {
+            "stage": stage,
+            "baseline": baseline.as_dict(),
+            "optimized": optimized.as_dict(),
+            "speedup": factor,
+        }
+        if requires_cpus is not None:
+            import os
+
+            comparison["requires_cpus"] = int(requires_cpus)
+            comparison["cpu_count"] = int(os.cpu_count() or 1)
+        self._comparisons.append(comparison)
         return factor
 
     def to_dict(self) -> dict:
@@ -84,6 +96,16 @@ class PerfReport:
         for result in self._stages:
             lines.append(f"  {result}")
         for comparison in self._comparisons:
+            required = comparison.get("requires_cpus")
+            cpus = comparison.get("cpu_count")
+            if required is not None and (cpus or 1) < required:
+                lines.append(
+                    "  {stage}: skipped ({cpus} cores; "
+                    "needs >= {required})".format(
+                        stage=comparison["stage"], cpus=cpus, required=required
+                    )
+                )
+                continue
             lines.append(
                 "  {stage}: {before:.1f} ms -> {after:.1f} ms "
                 "({speedup:.1f}x)".format(

@@ -15,6 +15,9 @@ into explicit plans and executes them with reuse:
   (with a deterministic in-process fallback); results are bit-identical
   to serial execution because every task is a pure function of its
   parameters;
+- :mod:`repro.runtime.payloads` — per-run content-addressed interning
+  of large task payloads (models, round slices), so each worker
+  deserializes a shared payload once instead of once per task;
 - :mod:`repro.runtime.cache` — content-addressed result store keyed by
   (task spec, code version) so re-runs and overlapping scenarios skip
   completed points;
@@ -44,6 +47,7 @@ from repro.runtime.hashing import (
     state_digest,
     task_key,
 )
+from repro.runtime.payloads import PayloadRef, PayloadStore
 from repro.runtime.planner import PlannedTask, plan_scenario
 from repro.runtime.registry import (
     campaign_names,
@@ -103,6 +107,8 @@ __all__ = [
     "TaskExecutionError",
     "run_tasks",
     "resolve_worker_count",
+    "PayloadRef",
+    "PayloadStore",
     "ResultCache",
     "default_cache_root",
     "Checkpoint",

@@ -15,6 +15,16 @@ the measurement itself still ships to a worker.
 Sharding: tasks carrying the same ``shard`` label are executed by the
 same worker in plan order, so per-process memoization (e.g. one worker
 building one dataset that several tasks reuse) stays effective.
+
+Dispatch economics: within a wave, shard chunks are *packed* into a
+small bounded number of messages (at most 4 per worker, keeping the
+pool's dynamic balancing effective), so a hundred small independent
+tasks cost a handful of IPC round-trips instead of a hundred — and with a
+:class:`~repro.runtime.payloads.PayloadStore` attached, large repeated
+payloads (models, round slices) travel as content-addressed references
+that each worker materializes once per run.  Both are pure transport
+optimizations: parameters are computed in plan order either way and
+results are byte-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -25,9 +35,10 @@ import os
 import traceback
 import warnings
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, ReproError
+from repro.runtime.payloads import PayloadStore, collect_refs, load_payload, resolve_refs
 
 __all__ = [
     "Task",
@@ -100,11 +111,22 @@ def _call(fn, params: Mapping | None):
     return fn(dict(params or {}))
 
 
-def _run_chunk(payload):
-    """Worker entry point: run one shard chunk serially, in plan order."""
+def _run_chunk(message):
+    """Worker entry point: run one packed chunk serially, in plan order.
+
+    ``message`` is ``(spool_root, [(task_id, fn, params), ...])``;
+    parameters may contain :class:`PayloadRef` markers, resolved here
+    against the spool (memoized per worker process, so a payload shared
+    by many tasks is unpickled once).
+    """
+    spool_root, items = message
     out = []
-    for task_id, fn, params in payload:
+    for task_id, fn, params in items:
         try:
+            if spool_root is not None:
+                params = resolve_refs(
+                    params, lambda ref: load_payload(spool_root, ref.digest)
+                )
             out.append((task_id, _call(fn, params)))
         except Exception:
             # Chain-free raise: the original exception (and its cause)
@@ -148,10 +170,12 @@ def _params_for(task: Task, results: dict) -> Mapping | None:
     return task.resolve({dep: results[dep] for dep in task.deps})
 
 
-def _run_serial(ordered: Sequence[Task], on_result=None) -> dict:
+def _run_serial(ordered, on_result=None, payloads=None) -> dict:
     results: dict = {}
     for task in ordered:
         params = _params_for(task, results)
+        if payloads is not None:
+            params = payloads.resolve(params)
         try:
             results[task.task_id] = _call(task.fn, params)
         except (ConfigurationError, TaskExecutionError):
@@ -171,7 +195,38 @@ def _make_pool(n_workers: int):
     return context.Pool(processes=n_workers)
 
 
-def _run_pool(ordered: Sequence[Task], n_workers: int, on_result=None) -> dict:
+#: Messages per worker a packed wave may use.  1 would minimize IPC but
+#: lose all dynamic load balancing (two expensive tasks round-robined
+#: into one group serialize while other workers idle); a small
+#: oversubscription keeps the pool's work-stealing effective while a
+#: 100-round wave still costs ~4*workers messages instead of 100.
+_PACK_OVERSUBSCRIPTION = 4
+
+
+def _pack_wave(wave, wave_params, n_workers: int):
+    """Pack a wave's shard chunks into at most ``4 * n_workers`` messages.
+
+    Tasks sharing a shard stay contiguous (one worker, plan order);
+    singleton chunks round-robin across the messages in plan order.
+    Purely a transport decision — parameters were already computed, in
+    plan order, by the caller.
+    """
+    chunks: dict = {}
+    for task in wave:
+        key = task.shard if task.shard is not None else ("", task.task_id)
+        chunks.setdefault(key, []).append(task)
+    n_groups = min(n_workers * _PACK_OVERSUBSCRIPTION, len(chunks))
+    groups: list = [[] for _ in range(n_groups)]
+    for index, chunk in enumerate(chunks.values()):
+        groups[index % len(groups)].extend(chunk)
+    return [
+        [(t.task_id, t.fn, wave_params[t.task_id]) for t in group]
+        for group in groups
+        if group
+    ]
+
+
+def _run_pool(ordered, n_workers, on_result=None, payloads=None) -> dict:
     results: dict = {}
     done: set[str] = set()
     pending = list(ordered)
@@ -184,24 +239,25 @@ def _run_pool(ordered: Sequence[Task], n_workers: int, on_result=None) -> dict:
             RuntimeWarning,
             stacklevel=3,
         )
-        return _run_serial(ordered, on_result)
+        return _run_serial(ordered, on_result, payloads)
     with pool:
         while pending:
             wave = [t for t in pending if set(t.deps) <= done]
-            chunks: dict[object, list[Task]] = {}
-            for task in wave:
-                key = task.shard if task.shard is not None else ("", task.task_id)
-                chunks.setdefault(key, []).append(task)
-            payloads = []
-            for chunk in chunks.values():
-                payloads.append(
-                    [
-                        (t.task_id, t.fn, dict(_params_for(t, results) or {}))
-                        for t in chunk
-                    ]
-                )
+            # Parameters resolve in plan order (hooks may consume
+            # coordinator-side state, e.g. RNG draws), independent of
+            # how the wave is later packed into worker messages.
+            wave_params = {
+                t.task_id: dict(_params_for(t, results) or {}) for t in wave
+            }
+            spool_root = None
+            if payloads is not None:
+                digests = collect_refs(list(wave_params.values()))
+                if digests:
+                    spool_root = payloads.spill(digests)
+            messages = _pack_wave(wave, wave_params, n_workers)
             handles = [
-                pool.apply_async(_run_chunk, (payload,)) for payload in payloads
+                pool.apply_async(_run_chunk, ((spool_root, message),))
+                for message in messages
             ]
             for handle in handles:
                 for task_id, result in handle.get():
@@ -217,6 +273,7 @@ def run_tasks(
     tasks: Sequence[Task],
     n_workers: "int | None" = None,
     on_result: "Callable[[str, object], None] | None" = None,
+    payloads: "PayloadStore | None" = None,
 ) -> dict:
     """Execute a task DAG; returns ``{task_id: result}``.
 
@@ -228,6 +285,10 @@ def run_tasks(
     task completes, before the run finishes — the engine persists cache
     entries through it, so an interrupted run keeps its completed
     points.
+
+    ``payloads`` (a :class:`~repro.runtime.payloads.PayloadStore`)
+    resolves interned parameter references: in memory for the serial
+    path, via the write-once spool for pool workers.
     """
     tasks = list(tasks)
     if not tasks:
@@ -235,5 +296,5 @@ def run_tasks(
     ordered = _topological(tasks)
     n_workers = resolve_worker_count(n_workers)
     if n_workers <= 1 or len(tasks) == 1:
-        return _run_serial(ordered, on_result)
-    return _run_pool(ordered, n_workers, on_result)
+        return _run_serial(ordered, on_result, payloads)
+    return _run_pool(ordered, n_workers, on_result, payloads)

@@ -25,6 +25,7 @@ __all__ = [
     "session_round",
     "network_round",
     "train_zoo_entry",
+    "payload_probe",
     "clear_memos",
 ]
 
@@ -33,9 +34,12 @@ _SCHEMES: dict = {}
 
 
 def clear_memos() -> None:
-    """Drop the per-process dataset/model memo (benchmarks use this)."""
+    """Drop the per-process dataset/model/payload memos (benchmarks use this)."""
+    from repro.runtime.payloads import clear_payload_cache
+
     _DATASETS.clear()
     _SCHEMES.clear()
+    clear_payload_cache()
 
 
 def _fidelity(payload: Mapping) -> Fidelity:
@@ -184,6 +188,35 @@ def train_zoo_entry(params: Mapping) -> dict:
             "stopped_early": bool(history.stopped_early),
         },
     }
+
+
+def payload_probe(params: Mapping) -> dict:
+    """Digest-and-shape probe over a (possibly interned) array payload.
+
+    Used by the dispatch benchmarks and the payload-store tests: the
+    result depends only on the array *contents*, so it proves workers
+    observed byte-identical data whether the payload travelled inline
+    or as a content-addressed reference.
+
+    ``params``: ``blob`` (an ndarray, or a resolved payload reference)
+    and an optional ``row`` selecting one row to summarize.  The probe
+    digests only the selected row (the whole blob when ``row`` is
+    omitted), so the task itself stays trivially cheap — dispatch
+    benchmarks measure transport, not hashing.
+    """
+    import hashlib
+
+    blob = np.ascontiguousarray(params["blob"])
+    row = params.get("row")
+    out: dict = {"shape": list(blob.shape)}
+    if row is None:
+        out["digest"] = hashlib.sha256(blob.tobytes()).hexdigest()
+    else:
+        selected = np.ascontiguousarray(blob[int(row) % blob.shape[0]])
+        out["row"] = int(row)
+        out["digest"] = hashlib.sha256(selected.tobytes()).hexdigest()
+        out["row_sum"] = float(np.sum(selected))
+    return out
 
 
 def link_ber_point(params: Mapping) -> dict:

@@ -1,0 +1,322 @@
+"""Regression tests: vectorized training stack vs the frozen references.
+
+The contract this PR's vectorization pass makes (see
+``repro.perf.reference``):
+
+- fused SGD/Adam, the fused gradient clip, and the trainer's
+  preallocated batch pipeline replay the loop implementations
+  element-for-element — trained weights are **bit-identical**;
+- the im2col convolution's *forward* is bit-identical to the frozen
+  per-kernel-position loops; its *backward* contracts each gradient in
+  one GEMM, which reorders floating-point reductions — gradients match
+  the reference to reduction-order rounding (1e-12 relative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv1d
+from repro.nn.layers import Linear, Sequential, Tanh
+from repro.nn.losses import NormalizedL1Loss
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialize import state_dict
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.perf.reference import (
+    ReferenceAdam,
+    ReferenceConv1d,
+    ReferenceSGD,
+    ReferenceTrainer,
+    pin_reference_nn,
+    reference_clip_gradients,
+)
+
+
+def _twin_models(seed=3, widths=(20, 8, 20), activation=Tanh):
+    """Two structurally identical models with identical weights."""
+
+    def build():
+        rng = np.random.default_rng(seed)
+        layers = []
+        for i in range(len(widths) - 1):
+            layers.append(
+                Linear(widths[i], widths[i + 1], rng=int(rng.integers(2**31)))
+            )
+            if i < len(widths) - 2:
+                layers.append(activation())
+        return Sequential(layers)
+
+    return build(), build()
+
+
+def _assert_states_equal(model_a, model_b):
+    state_a, state_b = state_dict(model_a), state_dict(model_b)
+    assert state_a.keys() == state_b.keys()
+    for key in state_a:
+        assert np.array_equal(state_a[key], state_b[key]), key
+
+
+class TestFusedOptimizerBitIdentity:
+    """Fused flat-buffer updates replay the per-parameter loops exactly."""
+
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    @pytest.mark.parametrize("weight_decay", [0.0, 1e-3])
+    def test_sgd_steps(self, momentum, weight_decay):
+        model_a, model_b = _twin_models()
+        opt_a = ReferenceSGD(
+            list(model_a.parameters()),
+            lr=0.05,
+            momentum=momentum,
+            weight_decay=weight_decay,
+        )
+        opt_b = SGD(
+            list(model_b.parameters()),
+            lr=0.05,
+            momentum=momentum,
+            weight_decay=weight_decay,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(7):
+            x = rng.standard_normal((5, 20))
+            grad = rng.standard_normal((5, 20))
+            for model, opt in ((model_a, opt_a), (model_b, opt_b)):
+                opt.zero_grad()
+                model.forward(x)
+                model.backward(grad)
+                opt.step()
+            _assert_states_equal(model_a, model_b)
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 1e-2])
+    def test_adam_steps(self, weight_decay):
+        model_a, model_b = _twin_models(widths=(13, 7, 3, 13))
+        opt_a = ReferenceAdam(
+            list(model_a.parameters()), lr=1e-2, weight_decay=weight_decay
+        )
+        opt_b = Adam(
+            list(model_b.parameters()), lr=1e-2, weight_decay=weight_decay
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(9):
+            x = rng.standard_normal((4, 13))
+            grad = rng.standard_normal((4, 13))
+            for model, opt in ((model_a, opt_a), (model_b, opt_b)):
+                opt.zero_grad()
+                model.forward(x)
+                model.backward(grad)
+                opt.step()
+            _assert_states_equal(model_a, model_b)
+
+    def test_clip_interaction(self):
+        """Fused clip + fused step == loop clip + loop step, bit for bit."""
+        model_a, model_b = _twin_models(widths=(16, 5, 16))
+        opt_a = ReferenceAdam(list(model_a.parameters()), lr=5e-2)
+        opt_b = Adam(list(model_b.parameters()), lr=5e-2)
+        rng = np.random.default_rng(2)
+        limit = 0.05  # tight enough that every step actually clips
+        for _ in range(6):
+            x = rng.standard_normal((6, 16))
+            grad = rng.standard_normal((6, 16))
+            opt_a.zero_grad()
+            model_a.forward(x)
+            model_a.backward(grad)
+            reference_clip_gradients(model_a, limit)
+            opt_a.step()
+            opt_b.zero_grad()
+            model_b.forward(x)
+            model_b.backward(grad)
+            opt_b.clip_global_norm(limit)
+            opt_b.step()
+            params_a = list(model_a.parameters())
+            params_b = list(model_b.parameters())
+            for pa, pb in zip(params_a, params_b):
+                assert np.array_equal(pa.grad, pb.grad)
+            _assert_states_equal(model_a, model_b)
+
+    def test_clip_below_limit_is_noop(self):
+        param = Parameter(np.zeros(4))
+        opt = SGD([param], lr=0.1)
+        param.grad += np.array([0.3, 0.0, -0.4, 0.0])
+        norm = opt.clip_global_norm(10.0)
+        assert norm == pytest.approx(0.5)
+        assert np.array_equal(param.grad, [0.3, 0.0, -0.4, 0.0])
+
+    def test_packing_aliases_parameters(self):
+        """Layers keep writing the same arrays the optimizer updates."""
+        param = Parameter(np.arange(6.0).reshape(2, 3))
+        opt = SGD([param], lr=1.0)
+        param.grad += 1.0  # through the re-pointed view
+        opt.step()
+        np.testing.assert_allclose(
+            param.data, np.arange(6.0).reshape(2, 3) - 1.0
+        )
+        opt.zero_grad()
+        assert np.array_equal(param.grad, np.zeros((2, 3)))
+
+
+class TestTrainerBitIdentity:
+    """Full fits (shuffle, ragged batches, validation, clip) match."""
+
+    @pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+    def test_fit_bit_identical(self, optimizer):
+        rng = np.random.default_rng(11)
+        inputs = rng.standard_normal((37, 20))  # ragged: 37 % 8 != 0
+        targets = rng.standard_normal((37, 20)) * 0.1
+        val_in = rng.standard_normal((9, 20))
+        val_out = rng.standard_normal((9, 20)) * 0.1
+        config = TrainingConfig(
+            epochs=4,
+            batch_size=8,
+            optimizer=optimizer,
+            max_grad_norm=0.2,  # low enough to clip on real batches
+            seed=5,
+        )
+        model_a, model_b = _twin_models(widths=(20, 6, 20))
+        hist_a = ReferenceTrainer(model_a, config=config).fit(
+            inputs, targets, val_in, val_out
+        )
+        hist_b = Trainer(model_b, config=config).fit(
+            inputs, targets, val_in, val_out
+        )
+        assert hist_a.train_loss == hist_b.train_loss
+        assert hist_a.val_metric == hist_b.val_metric
+        assert hist_a.best_epoch == hist_b.best_epoch
+        _assert_states_equal(model_a, model_b)
+
+    def test_no_shuffle_uses_views_and_matches(self):
+        rng = np.random.default_rng(3)
+        inputs = rng.standard_normal((24, 20))
+        targets = rng.standard_normal((24, 20)) * 0.1
+        config = TrainingConfig(
+            epochs=2, batch_size=8, optimizer="sgd", shuffle=False, seed=0
+        )
+        model_a, model_b = _twin_models(widths=(20, 4, 20))
+        ReferenceTrainer(model_a, config=config).fit(inputs, targets)
+        Trainer(model_b, config=config).fit(inputs, targets)
+        _assert_states_equal(model_a, model_b)
+
+
+def _reference_conv_twin(*args, **kwargs):
+    conv = Conv1d(*args, **kwargs)
+    twin = Conv1d(*args, **kwargs)
+    twin.__class__ = ReferenceConv1d
+    return conv, twin
+
+
+class TestConvIm2colEquivalence:
+    """Strided im2col vs the frozen per-kernel-position loops."""
+
+    @pytest.mark.parametrize(
+        "channels,kernel,length,batch",
+        [(1, 3, 7, 2), (3, 5, 12, 4), (2, 7, 9, 1), (4, 1, 6, 3)],
+    )
+    def test_forward_bit_identical(self, channels, kernel, length, batch):
+        conv, twin = _reference_conv_twin(channels, 5, kernel, rng=0)
+        x = np.random.default_rng(1).standard_normal(
+            (batch, channels, length)
+        )
+        assert np.array_equal(conv.forward(x), twin.forward(x))
+
+    def test_forward_bit_identical_across_batch_shapes(self):
+        """Scratch buffers re-key per shape without corrupting results."""
+        conv, twin = _reference_conv_twin(3, 4, 5, rng=2)
+        rng = np.random.default_rng(3)
+        for batch, length in [(8, 11), (3, 11), (8, 11), (5, 20)]:
+            x = rng.standard_normal((batch, 3, length))
+            assert np.array_equal(conv.forward(x), twin.forward(x))
+
+    def test_padding_zero_skips_padding(self):
+        """kernel_size=1 (padding 0) takes the pad-free path and matches."""
+        conv, twin = _reference_conv_twin(2, 3, 1, rng=4)
+        x = np.random.default_rng(5).standard_normal((4, 2, 9))
+        out = conv.forward(x)
+        assert np.array_equal(out, twin.forward(x))
+        # The pad-free scratch is the (batch, L, C) columns alone.
+        ((_, buffers),) = conv._scratch.items()
+        assert isinstance(buffers, np.ndarray)
+        assert buffers.shape == (4, 9, 2)
+
+    @pytest.mark.parametrize(
+        "channels,out_channels,kernel,length,batch",
+        [(1, 1, 3, 7, 2), (3, 4, 5, 12, 4), (2, 5, 1, 6, 3)],
+    )
+    def test_backward_matches_reference_to_rounding(
+        self, channels, out_channels, kernel, length, batch
+    ):
+        conv, twin = _reference_conv_twin(channels, out_channels, kernel, rng=6)
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((batch, channels, length))
+        grad = rng.standard_normal((batch, out_channels, length))
+        conv.forward(x)
+        twin.forward(x)
+        grad_in = conv.backward(grad)
+        grad_in_ref = twin.backward(grad)
+        np.testing.assert_allclose(grad_in, grad_in_ref, rtol=1e-12, atol=1e-13)
+        np.testing.assert_allclose(
+            conv.weight.grad, twin.weight.grad, rtol=1e-12, atol=1e-13
+        )
+        np.testing.assert_allclose(
+            conv.bias.grad, twin.bias.grad, rtol=1e-12, atol=1e-13
+        )
+
+    def test_forward_output_is_caller_owned(self):
+        """Repeated forwards must not overwrite previously returned arrays."""
+        conv = Conv1d(2, 3, 3, rng=8)
+        rng = np.random.default_rng(9)
+        x1 = rng.standard_normal((2, 2, 6))
+        x2 = rng.standard_normal((2, 2, 6))
+        out1 = conv.forward(x1)
+        snapshot = out1.copy()
+        conv.forward(x2)
+        assert np.array_equal(out1, snapshot)
+
+    def test_pickle_drops_scratch_and_gradients(self):
+        import pickle
+
+        conv = Conv1d(3, 4, 5, rng=1)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((4, 3, 11))
+        expected = conv.forward(x)
+        conv.backward(rng.standard_normal((4, 4, 11)))
+        assert conv._scratch
+        assert np.any(conv.weight.grad != 0.0)
+        clone = pickle.loads(pickle.dumps(conv))
+        assert clone._scratch == {}
+        assert clone._cached_columns is None
+        # Gradients are scratch, not model state: the clone starts clean.
+        assert np.array_equal(clone.weight.grad, np.zeros_like(conv.weight.grad))
+        assert np.array_equal(clone.forward(x), expected)
+
+    def test_pickle_bytes_independent_of_gradients(self):
+        """Equal weights hash equal regardless of training leftovers."""
+        import pickle
+
+        conv_a = Conv1d(2, 2, 3, rng=5)
+        conv_b = Conv1d(2, 2, 3, rng=5)
+        rng = np.random.default_rng(6)
+        conv_b.forward(rng.standard_normal((3, 2, 8)))
+        conv_b.backward(rng.standard_normal((3, 2, 8)))
+        assert pickle.dumps(conv_a) == pickle.dumps(conv_b)
+
+
+class TestPinReferenceNn:
+    def test_pins_known_layers(self):
+        model = Sequential(
+            [Linear(6, 4, rng=0), Tanh(), Conv1d(1, 1, 3, rng=1)]
+        )
+        pin_reference_nn(model)
+        names = [type(layer).__name__ for layer in model.layers]
+        assert names == ["ReferenceLinear", "ReferenceTanh", "ReferenceConv1d"]
+
+    def test_loss_caching_matches_reference(self):
+        from repro.perf.reference import ReferenceNormalizedL1Loss
+
+        rng = np.random.default_rng(0)
+        prediction = rng.standard_normal((5, 7))
+        target = rng.standard_normal((5, 7))
+        live, frozen = NormalizedL1Loss(), ReferenceNormalizedL1Loss()
+        assert live.forward(prediction, target) == frozen.forward(
+            prediction, target
+        )
+        assert np.array_equal(live.backward(), frozen.backward())

@@ -1,0 +1,201 @@
+"""Tests for the content-addressed payload store and chunked dispatch."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.executor import Task, _pack_wave, run_tasks
+from repro.runtime.payloads import (
+    PayloadRef,
+    PayloadStore,
+    clear_payload_cache,
+    collect_refs,
+    load_payload,
+    resolve_refs,
+)
+
+PROBE_FN = "repro.runtime.tasks:payload_probe"
+
+
+class TestPayloadStore:
+    def test_intern_is_content_addressed(self):
+        with PayloadStore() as store:
+            a = np.arange(12.0)
+            b = np.arange(12.0)  # equal content, distinct object
+            ref_a = store.intern(a)
+            ref_b = store.intern(b)
+            assert ref_a == ref_b
+            assert len(store) == 1
+
+    def test_intern_identity_memo_skips_repickling(self):
+        with PayloadStore() as store:
+            blob = np.arange(5.0)
+            assert store.intern(blob) == store.intern(blob)
+            assert len(store) == 1
+
+    def test_distinct_objects_distinct_refs(self):
+        with PayloadStore() as store:
+            ref_a = store.intern(np.arange(3.0))
+            ref_b = store.intern(np.arange(4.0))
+            assert ref_a != ref_b
+            assert len(store) == 2
+
+    def test_id_reuse_cannot_serve_stale_digest(self):
+        """Equal-content objects stay referenced, so a dead object's id
+        can never be recycled into a stale memo hit."""
+        with PayloadStore() as store:
+            refs = set()
+            for _ in range(50):
+                # Fresh equal arrays first (digest collision path), then
+                # fresh distinct arrays reusing freed memory.
+                refs.add(store.intern(np.zeros(64)).digest)
+                refs.add(store.intern(np.random.default_rng(1).random(64)).digest)
+            assert len(refs) == 2
+
+    def test_resolve_nested_structures(self):
+        with PayloadStore() as store:
+            blob = np.arange(6.0)
+            ref = store.intern(blob)
+            params = {
+                "scheme": {"model": ref, "bits": 7},
+                "rows": [ref, 1, (ref, "x")],
+                "plain": np.ones(2),
+            }
+            resolved = store.resolve(params)
+            assert resolved["scheme"]["model"] is blob
+            assert resolved["rows"][0] is blob
+            assert resolved["rows"][2][0] is blob
+            assert resolved["plain"] is params["plain"]
+
+    def test_resolve_without_refs_returns_same_object(self):
+        with PayloadStore() as store:
+            params = {"a": 1, "b": [2, 3]}
+            assert store.resolve(params) is params
+
+    def test_collect_refs(self):
+        ref = PayloadRef("d" * 64)
+        assert collect_refs({"x": [1, (ref,)], "y": 2}) == {ref.digest}
+        assert collect_refs({"x": 1}) == set()
+
+    def test_spill_and_load(self, tmp_path):
+        clear_payload_cache()
+        store = PayloadStore(root=str(tmp_path))
+        blob = np.random.default_rng(0).random((16, 4))
+        ref = store.intern(blob)
+        root = store.spill({ref.digest})
+        assert root.startswith(str(tmp_path))
+        assert os.path.exists(os.path.join(root, f"{ref.digest}.pkl"))
+        loaded = load_payload(root, ref.digest)
+        assert np.array_equal(loaded, blob)
+        # Second spill is a no-op; second load is memoized.
+        assert store.spill({ref.digest}) == root
+        assert load_payload(root, ref.digest) is loaded
+        store.close()
+        assert not os.path.exists(root)
+        clear_payload_cache()
+
+    def test_closed_store_rejects_interning(self):
+        store = PayloadStore()
+        store.close()
+        with pytest.raises(ConfigurationError):
+            store.intern(np.arange(2.0))
+
+    def test_resolve_refs_rebuilds_tuples(self):
+        ref = PayloadRef("e" * 64)
+        resolved = resolve_refs((1, ref), lambda r: "obj")
+        assert resolved == (1, "obj")
+        assert isinstance(resolved, tuple)
+
+
+class TestChunkedDispatch:
+    def _tasks(self, blob, n):
+        return [
+            Task(
+                task_id=f"probe-{index:02d}",
+                fn=PROBE_FN,
+                params={"blob": blob, "row": index},
+            )
+            for index in range(n)
+        ]
+
+    def test_pack_wave_respects_shards_and_cap(self):
+        tasks = [
+            Task(task_id=f"t{i}", fn=PROBE_FN, params={}, shard=f"s{i % 2}")
+            for i in range(6)
+        ]
+        params = {t.task_id: {} for t in tasks}
+        messages = _pack_wave(tasks, params, n_workers=4)
+        # Two shards -> two messages, each holding its shard in order.
+        assert len(messages) == 2
+        ids = [[item[0] for item in message] for message in messages]
+        assert ids == [["t0", "t2", "t4"], ["t1", "t3", "t5"]]
+
+    def test_pack_wave_bounds_messages_per_worker(self):
+        """Large waves pack to at most 4 messages per worker (not 1 per
+        task), leaving several chunks per worker for dynamic balancing."""
+        tasks = [
+            Task(task_id=f"t{i:02d}", fn=PROBE_FN, params={}) for i in range(50)
+        ]
+        params = {t.task_id: {} for t in tasks}
+        messages = _pack_wave(tasks, params, n_workers=3)
+        assert len(messages) == 12  # 4 * n_workers
+        all_ids = sorted(item[0] for message in messages for item in message)
+        assert all_ids == sorted(t.task_id for t in tasks)
+
+    def test_pack_wave_small_wave_one_task_per_message(self):
+        tasks = [
+            Task(task_id=f"t{i}", fn=PROBE_FN, params={}) for i in range(5)
+        ]
+        params = {t.task_id: {} for t in tasks}
+        messages = _pack_wave(tasks, params, n_workers=2)
+        assert len(messages) == 5  # below the cap: one chunk per message
+
+    def test_serial_resolves_interned_payloads_in_memory(self):
+        blob = np.random.default_rng(1).random((8, 3))
+        with PayloadStore() as store:
+            ref = store.intern(blob)
+            results = run_tasks(
+                self._tasks(ref, 4), n_workers=1, payloads=store
+            )
+            # Serial execution never spills to disk.
+            assert store._spool is None
+        inline = run_tasks(self._tasks(blob, 4), n_workers=1)
+        assert results == inline
+
+    def test_pool_workers_byte_identical_with_interning(self):
+        """1 vs 4 workers through the interned-payload path: same bytes."""
+        blob = np.random.default_rng(2).random((32, 8))
+
+        def run(n_workers):
+            with PayloadStore() as store:
+                return run_tasks(
+                    self._tasks(store.intern(blob), 12),
+                    n_workers=n_workers,
+                    payloads=store,
+                )
+
+        serial = run(1)
+        pooled = run(4)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+        # And both equal the no-interning reference execution.
+        inline = run_tasks(self._tasks(blob, 12), n_workers=1)
+        assert json.dumps(inline, sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+
+    def test_pool_spills_once_per_payload(self):
+        blob = np.random.default_rng(3).random((16, 4))
+        with PayloadStore() as store:
+            ref = store.intern(blob)
+            run_tasks(self._tasks(ref, 6), n_workers=2, payloads=store)
+            spool = store._spool
+            assert spool is not None
+            files = [f for f in os.listdir(spool) if f.endswith(".pkl")]
+            assert files == [f"{ref.digest}.pkl"]
