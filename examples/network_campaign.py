@@ -9,20 +9,43 @@ twice to show the caching contract: the cold run trains the ladders
 and measures every STA-round; the warm run replays everything from the
 content-addressed stores and executes zero link simulations.
 
+With ``--chaos`` the campaign runs a third time on a fresh round cache
+under an injected fault plan — worker hard-crashes, first-attempt task
+errors, torn cache writes — and asserts the manifest is byte-identical
+to the fault-free run: chaos costs retries, never bytes
+(docs/runtime.md, "Fault tolerance").
+
 Run:  python examples/network_campaign.py
       python examples/network_campaign.py --preset mobility-episodes
       REPRO_RUNTIME_WORKERS=4 python examples/network_campaign.py
       python examples/network_campaign.py --fidelity smoke --stas 6 --rounds 3
+      python examples/network_campaign.py --fidelity smoke --stas 6 --rounds 3 --chaos
 """
 
 import argparse
+import json
 import shutil
 import tempfile
 
 from repro import fidelity as fidelity_preset
 from repro.core.network import run_campaign
-from repro.runtime import CheckpointStore, ResultCache, campaign_names
+from repro.runtime import (
+    CheckpointStore,
+    ResultCache,
+    campaign_names,
+    parse_plan,
+)
 from repro.utils.tables import render_table
+
+#: The ``--chaos`` fault schedule: one-shot worker crashes on 40% of
+#: first rounds, a 30% first-attempt error rate, and torn writes on
+#: half the cache entries — all recoverable within the default retry
+#: budget.
+CHAOS_PLAN = (
+    "crash,*/round-0000,rate=0.4,count=1;"
+    "error,*/round-*,rate=0.3,count=1;"
+    "torn,cache:*,rate=0.5"
+)
 
 
 def main() -> None:
@@ -52,6 +75,13 @@ def main() -> None:
         "(network-scale only; smoke-fidelity models need ~10x to stay "
         "selectable)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="re-run the campaign under an injected fault plan (worker "
+        "crashes, task errors, torn cache writes) and assert the "
+        "manifest is byte-identical to the fault-free run",
+    )
     args = parser.parse_args()
     fidelity = fidelity_preset(args.fidelity)
 
@@ -73,12 +103,52 @@ def main() -> None:
     store = CheckpointStore(f"{workdir}/checkpoints")
 
     try:
-        demo(args, fidelity, overrides, cache, store)
+        cold = demo(args, fidelity, overrides, cache, store)
+        if args.chaos:
+            chaos_demo(
+                args,
+                fidelity,
+                overrides,
+                cold,
+                ResultCache(f"{workdir}/rounds-chaos"),
+                store,
+            )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
 
-def demo(args, fidelity, overrides, cache, store) -> None:
+def chaos_demo(args, fidelity, overrides, cold, cache, store) -> None:
+    print(f"\nchaos run: injecting '{CHAOS_PLAN}' ...")
+    chaotic = run_campaign(
+        args.preset,
+        fidelity=fidelity,
+        cache=cache,
+        store=store,
+        n_workers=2,
+        faults=parse_plan(CHAOS_PLAN),
+        **overrides,
+    )
+    executor = chaotic.health["executor"]
+    print(
+        f"chaos run: {executor['injected_faults']} injected fault(s), "
+        f"{executor['worker_crashes']} worker crash(es), "
+        f"{executor['retries']} retrie(s), "
+        f"{executor['pool_rebuilds']} pool rebuild(s) in "
+        f"{chaotic.wall_s:.2f} s"
+    )
+    clean_bytes = json.dumps(cold.to_dict(), sort_keys=True)
+    chaos_bytes = json.dumps(chaotic.to_dict(), sort_keys=True)
+    assert chaos_bytes == clean_bytes, "chaos changed the manifest bytes"
+    assert not chaotic.summary["partial_coverage"], (
+        "chaos run should recover every STA within the retry budget"
+    )
+    print(
+        "chaos run: manifest is byte-identical to the fault-free run — "
+        "chaos cost retries, never bytes."
+    )
+
+
+def demo(args, fidelity, overrides, cache, store):
     print(f"Running campaign preset {args.preset!r} (fidelity={fidelity.name}) ...")
     cold = run_campaign(
         args.preset, fidelity=fidelity, cache=cache, store=store, **overrides
@@ -154,6 +224,7 @@ def demo(args, fidelity, overrides, cache, store) -> None:
         "byte-identical for any worker count, and warm re-runs replay "
         "entirely from the content-addressed caches (docs/runtime.md)."
     )
+    return cold
 
 
 if __name__ == "__main__":

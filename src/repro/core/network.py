@@ -58,9 +58,16 @@ from repro.datasets import build_dataset, dataset_spec
 from repro.errors import ConfigurationError
 from repro.phy.link import LinkConfig
 from repro.phy.mcs import data_rate_bps, select_mcs
+from repro.runtime import faults as faults_mod
 from repro.runtime.cache import ResultCache
 from repro.runtime.checkpoints import CheckpointStore
-from repro.runtime.executor import Task, resolve_worker_count, run_tasks
+from repro.runtime.executor import (
+    RetryPolicy,
+    RunHealth,
+    Task,
+    resolve_worker_count,
+    run_tasks,
+)
 from repro.runtime.hashing import code_version, task_key
 from repro.runtime.payloads import PayloadStore
 from repro.runtime.spec import (
@@ -406,6 +413,7 @@ class NetworkCampaignResult:
     n_workers: int
     wall_s: float = 0.0
     code_version: str = ""
+    health: dict = None
 
     def sta(self, name: str) -> dict:
         """The manifest row for one STA name."""
@@ -414,9 +422,17 @@ class NetworkCampaignResult:
                 return row
         raise ConfigurationError(f"no STA named {name!r}")
 
-    def to_dict(self) -> dict:
-        """Deterministic manifest payload (no timestamps, no wall time)."""
-        return {
+    def to_dict(self, include_health: bool = False) -> dict:
+        """Deterministic manifest payload (no timestamps, no wall time).
+
+        ``include_health=True`` appends fault-tolerance statistics
+        (executor retries/crashes, store quarantines, payload
+        rehydrations).  The default omits them so the manifest stays
+        byte-identical across worker counts, cold/warm caches, and
+        fault schedules — a chaos run that fully recovers diffs clean
+        against the fault-free run.
+        """
+        payload = {
             "schema_version": CAMPAIGN_SCHEMA_VERSION,
             "campaign": self.campaign,
             "title": self.title,
@@ -428,6 +444,9 @@ class NetworkCampaignResult:
             "rounds": self.rounds,
             "summary": self.summary,
         }
+        if include_health:
+            payload["health"] = self.health
+        return payload
 
     def write_json(self, path: "str | os.PathLike") -> None:
         """Write the manifest (2-space indent, sorted keys, trailing \\n)."""
@@ -452,6 +471,19 @@ class NetworkCampaign:
         Worker processes; ``None`` reads ``$REPRO_RUNTIME_WORKERS``.
         STA chains parallelize across the pool; each chain stays
         sequential.  Results never depend on this.
+    policy:
+        A :class:`~repro.runtime.executor.RetryPolicy` bounding
+        retries/timeouts (``None`` = the default).
+    faults:
+        A :class:`~repro.runtime.faults.FaultPlan` of injected chaos
+        (``None`` = the installed plan or ``$REPRO_RUNTIME_FAULTS``).
+
+    Graceful degradation: the campaign runs its rounds in
+    collect-errors mode — an STA-round that exhausts its retries marks
+    only *that* STA degraded (its remaining chained rounds are skipped,
+    the manifest's per-STA ``degraded`` entry and the summary's
+    ``degraded_stas``/``partial_coverage`` flags record the gap) while
+    the other N-1 STAs complete normally.
     """
 
     def __init__(
@@ -460,11 +492,15 @@ class NetworkCampaign:
         cache: "ResultCache | None" = None,
         store: "CheckpointStore | None" = None,
         n_workers: "int | None" = None,
+        policy: "RetryPolicy | None" = None,
+        faults=None,
     ) -> None:
         self.spec = spec
         self.cache = cache
         self.store = store
         self.n_workers = resolve_worker_count(n_workers)
+        self.policy = policy
+        self.faults = faults
 
     # -- offline phase ----------------------------------------------------------
 
@@ -503,9 +539,20 @@ class NetworkCampaign:
 
     def run(self) -> NetworkCampaignResult:
         """Build ladders, run every STA's rounds, aggregate the network."""
+        # Installed for the campaign's duration so cache/checkpoint
+        # writes see the same chaos schedule as the round tasks.
+        plan = faults_mod.active_plan(self.faults)
+        previous = faults_mod.install(plan)
+        try:
+            return self._run(plan)
+        finally:
+            faults_mod.install(previous)
+
+    def _run(self, plan) -> NetworkCampaignResult:
         start = time.perf_counter()
         spec = self.spec
         version = code_version()
+        health = RunHealth()
         # Datasets are shared and lazy: training tasks build their own
         # (per-process memoized) copies, round resolves pull from the
         # pool only when a round actually executes, and a fully warm
@@ -513,7 +560,13 @@ class NetworkCampaign:
         pool = _DatasetPool(fidelity_from_dict(spec.fidelity))
         grid = self._training_grid()
         build = (
-            train_zoo(grid, store=self.store, n_workers=self.n_workers)
+            train_zoo(
+                grid,
+                store=self.store,
+                n_workers=self.n_workers,
+                policy=self.policy,
+                faults=plan,
+            )
             if grid is not None
             else None
         )
@@ -556,12 +609,20 @@ class NetworkCampaign:
                 )
 
         with payloads:
+            # collect_errors: a round that exhausts its retries fails
+            # only its own STA chain (graceful degradation), never the
+            # other N-1 STAs.
             executed = run_tasks(
                 tasks,
                 n_workers=self.n_workers,
                 on_result=persist,
                 payloads=payloads,
+                policy=self.policy,
+                faults=plan,
+                health=health,
+                collect_errors=True,
             )
+            rehydrated = payloads.rehydrated
 
         # Drain: record every executed round.  observe() is idempotent
         # and the ascending sweep keeps chain order, so rounds already
@@ -575,10 +636,21 @@ class NetworkCampaign:
         return self._assemble(
             states,
             n_cached=n_cached,
-            n_executed=len(tasks),
+            n_executed=len(executed),
             build=build,
             version=version,
             wall_s=time.perf_counter() - start,
+            health={
+                "executor": health.to_dict(),
+                "cache": (
+                    self.cache.health.to_dict()
+                    if self.cache is not None
+                    else None
+                ),
+                "payloads": {"rehydrated": rehydrated},
+                "zoo": None if build is None else build.health,
+            },
+            run_health=health,
         )
 
     def _plan_rounds(
@@ -677,14 +749,45 @@ class NetworkCampaign:
     # -- aggregation ------------------------------------------------------------
 
     def _assemble(
-        self, states, n_cached, n_executed, build, version, wall_s
+        self,
+        states,
+        n_cached,
+        n_executed,
+        build,
+        version,
+        wall_s,
+        health,
+        run_health,
     ) -> NetworkCampaignResult:
         spec = self.spec
+        # Collect-errors post-mortem: which rounds never produced a
+        # measurement, and why (failed outright vs skipped behind a
+        # failed chain predecessor).
+        failure_summaries = {
+            row["task"]: row["summary"] for row in run_health.failed
+        }
+        skipped_tasks = set(run_health.skipped)
         sta_rows = []
         for state in states:
             rows = []
+            failed_rounds = []
+            skipped_rounds = []
             for round_index in range(spec.n_rounds):
-                measured = state.measured[round_index]
+                measured = state.measured.get(round_index)
+                if measured is None:
+                    task_id = f"{state.name}/round-{round_index:04d}"
+                    if task_id in skipped_tasks:
+                        skipped_rounds.append(round_index)
+                    else:
+                        failed_rounds.append(
+                            {
+                                "round": round_index,
+                                "error": failure_summaries.get(
+                                    task_id, "round missing"
+                                ),
+                            }
+                        )
+                    continue
                 rows.append(
                     {
                         "round": round_index,
@@ -700,6 +803,13 @@ class NetworkCampaign:
                 )
             bers = [row["ber"] for row in rows]
             actions = [row["action"] for row in rows]
+            degraded = None
+            if failed_rounds or skipped_rounds:
+                degraded = {
+                    "failed_rounds": failed_rounds,
+                    "skipped_rounds": skipped_rounds,
+                    "n_reported": len(rows),
+                }
             sta_rows.append(
                 {
                     "name": state.name,
@@ -710,9 +820,10 @@ class NetworkCampaign:
                     "qos": dict(state.profile["qos"]),
                     "cost": dict(state.profile["cost"]),
                     "doppler_hz": state.profile["doppler_hz"],
+                    "degraded": degraded,
                     "rounds": rows,
                     "summary": {
-                        "mean_ber": float(np.mean(bers)),
+                        "mean_ber": float(np.mean(bers)) if bers else None,
                         "qos_violations": sum(
                             1 for ber in bers if ber > state.qos.max_ber
                         ),
@@ -720,9 +831,13 @@ class NetworkCampaign:
                         "step_downs": actions.count("step-down"),
                         "step_ups": actions.count("step-up"),
                         "deadline_misses": int(state.deadline_misses()),
-                        "final_scheme": rows[-1]["scheme"],
-                        "mean_feedback_bits": float(
-                            np.mean([row["feedback_bits"] for row in rows])
+                        "final_scheme": rows[-1]["scheme"] if rows else None,
+                        "mean_feedback_bits": (
+                            float(
+                                np.mean([row["feedback_bits"] for row in rows])
+                            )
+                            if rows
+                            else None
                         ),
                     },
                 }
@@ -736,21 +851,30 @@ class NetworkCampaign:
             reports = []
             total_rate = 0.0
             for bandwidth, members in sorted(groups.items()):
+                # A degraded STA simply stops reporting: the round's
+                # airtime aggregates cover the STAs that actually
+                # sounded, exactly as a real AP would account them.
+                reporting = [
+                    m for m in members if round_index in m.measured
+                ]
+                if not reporting:
+                    continue
                 reports.append(
                     SoundingCampaign(
-                        n_users=len(members),
+                        n_users=len(reporting),
                         bandwidth_mhz=bandwidth,
                         feedback_bits=[
                             int(m.measured[round_index]["feedback_bits"])
-                            for m in members
+                            for m in reporting
                         ],
                         compute_times_s=[
-                            m.round_compute_s(round_index) for m in members
+                            m.round_compute_s(round_index)
+                            for m in reporting
                         ],
                         interval_s=spec.interval_s,
                     ).report()
                 )
-                for member in members:
+                for member in reporting:
                     mcs = select_mcs(
                         member.measured[round_index]["mean_sinr_db"],
                         backoff_db=MCS_BACKOFF_DB,
@@ -758,6 +882,8 @@ class NetworkCampaign:
                     total_rate += data_rate_bps(
                         mcs.index, bandwidth, n_streams=1
                     )
+            if not reports:
+                continue  # every STA degraded before this round
             combined = combine_reports(reports)
             round_rows.append(
                 {
@@ -775,24 +901,40 @@ class NetworkCampaign:
         modes: "dict[str, int]" = {}
         for row in sta_rows:
             modes[row["mode"]] = modes.get(row["mode"], 0) + 1
+        degraded_stas = sorted(
+            row["name"] for row in sta_rows if row["degraded"] is not None
+        )
+        reporting_bers = [
+            row["summary"]["mean_ber"]
+            for row in sta_rows
+            if row["summary"]["mean_ber"] is not None
+        ]
         summary = {
             "n_stas": spec.n_stas,
             "n_rounds": spec.n_rounds,
             "modes": modes,
-            "mean_ber": float(
-                np.mean([row["summary"]["mean_ber"] for row in sta_rows])
+            "degraded_stas": degraded_stas,
+            "partial_coverage": bool(degraded_stas),
+            "mean_ber": (
+                float(np.mean(reporting_bers)) if reporting_bers else None
             ),
-            "mean_occupancy": float(
-                np.mean([row["occupancy"] for row in round_rows])
+            "mean_occupancy": (
+                float(np.mean([row["occupancy"] for row in round_rows]))
+                if round_rows
+                else None
             ),
-            "max_occupancy_ratio": float(
-                max(row["occupancy_ratio"] for row in round_rows)
+            "max_occupancy_ratio": (
+                float(max(row["occupancy_ratio"] for row in round_rows))
+                if round_rows
+                else None
             ),
             "infeasible_rounds": sum(
                 1 for row in round_rows if not row["feasible"]
             ),
-            "mean_goodput_bps": float(
-                np.mean([row["goodput_bps"] for row in round_rows])
+            "mean_goodput_bps": (
+                float(np.mean([row["goodput_bps"] for row in round_rows]))
+                if round_rows
+                else None
             ),
             "hard_qos_failures": sum(
                 row["summary"]["saturated"] for row in sta_rows
@@ -826,6 +968,7 @@ class NetworkCampaign:
             n_workers=self.n_workers,
             wall_s=wall_s,
             code_version=version,
+            health=health,
         )
 
 
@@ -835,6 +978,8 @@ def run_campaign(
     cache: "ResultCache | None" = None,
     store: "CheckpointStore | None" = None,
     n_workers: "int | None" = None,
+    policy: "RetryPolicy | None" = None,
+    faults=None,
     **kwargs,
 ) -> NetworkCampaignResult:
     """Run a campaign (or a registered preset name).
@@ -855,5 +1000,10 @@ def run_campaign(
             "build the NetworkCampaignSpec with them instead"
         )
     return NetworkCampaign(
-        spec, cache=cache, store=store, n_workers=n_workers
+        spec,
+        cache=cache,
+        store=store,
+        n_workers=n_workers,
+        policy=policy,
+        faults=faults,
     ).run()

@@ -49,8 +49,15 @@ from repro.core.zoo import ModelZoo, NetworkConfiguration, ZooEntry
 from repro.datasets.catalog import dataset_spec
 from repro.errors import ConfigurationError
 from repro.nn.serialize import load_state_dict
+from repro.runtime import faults as faults_mod
 from repro.runtime.checkpoints import CHECKPOINT_KIND, CheckpointStore
-from repro.runtime.executor import Task, resolve_worker_count, run_tasks
+from repro.runtime.executor import (
+    RetryPolicy,
+    RunHealth,
+    Task,
+    resolve_worker_count,
+    run_tasks,
+)
 from repro.runtime.payloads import PayloadStore
 from repro.runtime.hashing import code_version, state_digest, task_key
 from repro.runtime.planner import shard_labels
@@ -208,6 +215,7 @@ class ZooBuildResult:
     n_workers: int
     wall_s: float = 0.0
     code_version: str = ""
+    health: dict = field(default_factory=dict)
     _zoo_entries: "dict[str, ZooEntry]" = field(default_factory=dict, repr=False)
 
     def entry(self, label: str) -> ZooEntry:
@@ -237,13 +245,18 @@ class ZooBuildResult:
             zoo.register(self.entry(label))
         return zoo
 
-    def to_dict(self) -> dict:
-        """Deterministic manifest payload (no timestamps, no wall time)."""
+    def to_dict(self, include_health: bool = False) -> dict:
+        """Deterministic manifest payload (no timestamps, no wall time).
+
+        ``include_health=True`` appends fault-tolerance statistics; the
+        default omits them so the manifest stays byte-identical across
+        worker counts, cold/warm stores, and fault schedules.
+        """
         rows = [
             {key: value for key, value in row.items() if key != "cached"}
             for row in self.entries
         ]
-        return {
+        payload = {
             "schema_version": MANIFEST_SCHEMA_VERSION,
             "grid": self.grid,
             "title": self.title,
@@ -251,6 +264,9 @@ class ZooBuildResult:
             "code_version": self.code_version,
             "entries": rows,
         }
+        if include_health:
+            payload["health"] = self.health
+        return payload
 
     def write_json(self, path) -> None:
         """Write the manifest (2-space indent, sorted keys, trailing \\n)."""
@@ -269,20 +285,41 @@ class ZooBuilder:
     n_workers:
         Worker processes; ``None`` reads ``$REPRO_RUNTIME_WORKERS``
         (default 1 = the deterministic in-process executor).
+    policy:
+        A :class:`~repro.runtime.executor.RetryPolicy` bounding
+        retries/timeouts (``None`` = the default).
+    faults:
+        A :class:`~repro.runtime.faults.FaultPlan` of injected chaos
+        (``None`` = the installed plan or ``$REPRO_RUNTIME_FAULTS``).
     """
 
     def __init__(
         self,
         store: "CheckpointStore | None" = None,
         n_workers: "int | None" = None,
+        policy: "RetryPolicy | None" = None,
+        faults=None,
     ) -> None:
         self.store = store
         self.n_workers = resolve_worker_count(n_workers)
+        self.policy = policy
+        self.faults = faults
 
     def build(self, grid: TrainingGrid) -> ZooBuildResult:
         """Train (or checkpoint-load) every entry of ``grid``."""
+        # Installed for the build's duration so checkpoint writes see
+        # the same chaos schedule as the training tasks.
+        plan = faults_mod.active_plan(self.faults)
+        previous = faults_mod.install(plan)
+        try:
+            return self._build(grid, plan)
+        finally:
+            faults_mod.install(previous)
+
+    def _build(self, grid: TrainingGrid, plan) -> ZooBuildResult:
         start = time.perf_counter()
         version = code_version()
+        health = RunHealth()
         payloads = PayloadStore()
         planned = plan_training_grid(
             grid, version=version, n_workers=self.n_workers, payloads=payloads
@@ -331,7 +368,11 @@ class ZooBuilder:
                 n_workers=self.n_workers,
                 on_result=persist,
                 payloads=payloads,
+                policy=self.policy,
+                faults=plan,
+                health=health,
             )
+            rehydrated = payloads.rehydrated
         for entry in to_run:
             results[entry.index] = executed[entry.task.task_id]
         executed_indices = {entry.index for entry in to_run}
@@ -340,10 +381,19 @@ class ZooBuilder:
             executed_indices=executed_indices,
             version=version,
             wall_s=time.perf_counter() - start,
+            health={
+                "executor": health.to_dict(),
+                "checkpoints": (
+                    self.store.health.to_dict()
+                    if self.store is not None
+                    else None
+                ),
+                "payloads": {"rehydrated": rehydrated},
+            },
         )
 
     def _assemble(
-        self, grid, planned, results, executed_indices, version, wall_s
+        self, grid, planned, results, executed_indices, version, wall_s, health
     ) -> ZooBuildResult:
         """Reconstruct models in the coordinator, in grid order."""
         rows: "list[dict]" = []
@@ -399,6 +449,7 @@ class ZooBuilder:
             n_workers=self.n_workers,
             wall_s=wall_s,
             code_version=version,
+            health=health,
             _zoo_entries=zoo_entries,
         )
 
@@ -408,6 +459,8 @@ def train_zoo(
     fidelity: "Fidelity | None" = None,
     store: "CheckpointStore | None" = None,
     n_workers: "int | None" = None,
+    policy: "RetryPolicy | None" = None,
+    faults=None,
     **kwargs,
 ) -> ZooBuildResult:
     """Build a model zoo from a grid (or a registered preset name).
@@ -427,4 +480,6 @@ def train_zoo(
             "fidelity/preset overrides apply to named grids only; "
             "build the TrainingGrid with them instead"
         )
-    return ZooBuilder(store=store, n_workers=n_workers).build(grid)
+    return ZooBuilder(
+        store=store, n_workers=n_workers, policy=policy, faults=faults
+    ).build(grid)

@@ -21,6 +21,9 @@ into explicit plans and executes them with reuse:
 - :mod:`repro.runtime.cache` — content-addressed result store keyed by
   (task spec, code version) so re-runs and overlapping scenarios skip
   completed points;
+- :mod:`repro.runtime.faults` — deterministic, seeded fault injection
+  (task errors, worker crashes, delays, torn store writes) for testing
+  the executor's retries, pool rebuilds, and store quarantine;
 - :mod:`repro.runtime.engine` — the :class:`ExperimentEngine` tying
   planner, executor, and cache together.
 
@@ -28,7 +31,7 @@ See ``docs/runtime.md`` for the scenario format, cache layout, worker
 model, and determinism guarantees.
 """
 
-from repro.runtime.cache import ResultCache, default_cache_root
+from repro.runtime.cache import ResultCache, StoreHealth, default_cache_root
 from repro.runtime.checkpoints import (
     Checkpoint,
     CheckpointStore,
@@ -36,10 +39,20 @@ from repro.runtime.checkpoints import (
 )
 from repro.runtime.engine import EngineRun, ExperimentEngine
 from repro.runtime.executor import (
+    RetryPolicy,
+    RunHealth,
     Task,
     TaskExecutionError,
     resolve_worker_count,
     run_tasks,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFaultError,
+    active_plan,
+    install,
+    parse_plan,
 )
 from repro.runtime.hashing import (
     canonical_json,
@@ -105,8 +118,17 @@ __all__ = [
     "plan_scenario",
     "Task",
     "TaskExecutionError",
+    "RetryPolicy",
+    "RunHealth",
     "run_tasks",
     "resolve_worker_count",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFaultError",
+    "parse_plan",
+    "install",
+    "active_plan",
+    "StoreHealth",
     "PayloadRef",
     "PayloadStore",
     "ResultCache",

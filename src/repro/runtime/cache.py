@@ -12,24 +12,83 @@ invalidates every entry (old files are simply never addressed again);
 ``prune`` removes unaddressable leftovers.  Writes are atomic
 (write-to-temp + rename), so a crashed run leaves a resumable cache:
 the next run reuses every completed point and recomputes only the rest.
+
+Integrity: every entry records ``result_sha256`` (the canonical-JSON
+digest of its result), and ``get`` verifies it.  An entry that is
+unreadable, truncated, mis-keyed, or fails the digest check is
+**quarantined** — moved to ``<root>/quarantine/`` and counted on the
+store's :class:`StoreHealth` — and reported as a miss, so a torn or
+bit-rotted file costs one recompute, never a wrong number and never an
+aborted run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.runtime.faults import active_plan
 
 __all__ = [
     "ResultCache",
+    "StoreHealth",
     "default_cache_root",
+    "quarantine_files",
+    "result_digest",
     "sweep_stale_tmp",
     "sweep_stale_tmp_once",
 ]
 
 SCHEMA_VERSION = 1
+
+#: Subdirectory (of a store root) where corrupt entries are moved.
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class StoreHealth:
+    """Fault counters for one store instance.
+
+    ``quarantined`` counts corrupt entries moved aside (each cost one
+    recompute); ``rehydrated`` counts payload spool files re-created
+    after vanishing mid-run (:meth:`PayloadStore.spill`).
+    """
+
+    quarantined: int = 0
+    rehydrated: int = 0
+
+    def to_dict(self) -> dict:
+        return {"quarantined": self.quarantined, "rehydrated": self.rehydrated}
+
+
+def quarantine_files(root: Path, paths) -> int:
+    """Move ``paths`` into ``<root>/quarantine/``; returns files moved.
+
+    Corrupt store entries are moved aside rather than deleted so a
+    post-mortem can inspect exactly what was on disk; the store glob
+    patterns never descend into the subdirectory, so quarantined files
+    are unaddressable.  Vanished files count as already gone.
+    """
+    moved = 0
+    target_dir = root / QUARANTINE_DIR
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        target_dir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, target_dir / path.name)
+        moved += 1
+    return moved
+
+
+def result_digest(result) -> str:
+    """Canonical-JSON sha256 of a cached result (integrity marker)."""
+    text = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
 
 #: Environment variable overriding the default cache location.
 CACHE_ENV = "REPRO_RUNTIME_CACHE"
@@ -136,20 +195,41 @@ class ResultCache:
         if not str(root):
             raise ConfigurationError("cache root must be non-empty")
         self.root = Path(root)
+        self.health = StoreHealth()
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _quarantine(self, key: str):
+        """Move a corrupt entry aside and report the miss."""
+        self.health.quarantined += quarantine_files(self.root, [self.path(key)])
+        return None
+
     def get(self, key: str):
-        """The cached result for ``key``, or ``None`` on miss/corruption."""
+        """The cached result for ``key``, or ``None`` on miss.
+
+        A present-but-corrupt entry (unreadable, truncated JSON, wrong
+        key, failed ``result_sha256`` check) is quarantined and counts
+        on :attr:`health`; the caller just sees a miss and recomputes.
+        """
         path = self.path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
             return None
+        except OSError:
+            return self._quarantine(key)
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return self._quarantine(key)
         if not isinstance(payload, dict) or payload.get("key") != key:
-            return None
-        return payload.get("result")
+            return self._quarantine(key)
+        result = payload.get("result")
+        recorded = payload.get("result_sha256")
+        if recorded is not None and recorded != result_digest(result):
+            return self._quarantine(key)
+        return result
 
     def put(self, key: str, spec, result) -> Path:
         """Store one completed point (atomic write; last writer wins)."""
@@ -160,6 +240,7 @@ class ResultCache:
             "key": key,
             "spec": spec,
             "result": result,
+            "result_sha256": result_digest(result),
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         # A writer that crashed between write_text and os.replace leaves
@@ -167,7 +248,13 @@ class ResultCache:
         # sweeps dead writers' leftovers — live pids, including our own
         # in-flight files, are never touched.
         sweep_stale_tmp_once(self.root)
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        plan = active_plan()
+        if plan is not None and plan.tear("cache", key):
+            # Injected torn write: the entry lands truncated, exactly as
+            # if the writer died mid-write after the rename was queued.
+            text = text[: max(1, len(text) // 2)]
+        tmp.write_text(text)
         os.replace(tmp, path)
         return path
 

@@ -31,7 +31,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.runtime.cache import sweep_stale_tmp, sweep_stale_tmp_once
+from repro.runtime.cache import (
+    StoreHealth,
+    quarantine_files,
+    sweep_stale_tmp,
+    sweep_stale_tmp_once,
+)
+from repro.runtime.faults import active_plan
 from repro.runtime.hashing import state_digest
 
 __all__ = ["Checkpoint", "CheckpointStore", "default_checkpoint_root"]
@@ -78,6 +84,7 @@ class CheckpointStore:
         if not str(root):
             raise ConfigurationError("checkpoint store root must be non-empty")
         self.root = Path(root)
+        self.health = StoreHealth()
 
     def weight_path(self, key: str) -> Path:
         return self.root / f"{key}.npz"
@@ -87,28 +94,50 @@ class CheckpointStore:
 
     # -- read -----------------------------------------------------------------
 
+    def _quarantine(self, key: str):
+        """Move a corrupt checkpoint (both files) aside; report a miss."""
+        moved = quarantine_files(
+            self.root, [self.meta_path(key), self.weight_path(key)]
+        )
+        # One counter tick per entry (not per file), so cache and
+        # checkpoint quarantine counts are comparable in health dicts.
+        if moved:
+            self.health.quarantined += 1
+        return None
+
     def get(self, key: str) -> "Checkpoint | None":
-        """The checkpoint for ``key``, or ``None`` on miss/corruption."""
+        """The checkpoint for ``key``, or ``None`` on miss.
+
+        A committed-but-corrupt entry — unreadable metadata, a
+        truncated/garbled ``.npz``, or weights whose bytes no longer
+        hash to the recorded ``state_sha256`` — is quarantined to
+        ``<root>/quarantine/`` and counted on :attr:`health`; the
+        caller sees a miss and retrains.  An absent metadata file is a
+        plain miss (a concurrent writer may sit between its weight
+        rename and its metadata commit).
+        """
         try:
             payload = json.loads(self.meta_path(key).read_text())
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
-            return None
+            return self._quarantine(key)
         if not isinstance(payload, dict) or payload.get("key") != key:
-            return None
+            return self._quarantine(key)
         if payload.get("schema_version") != SCHEMA_VERSION:
-            return None
+            return self._quarantine(key)
         try:
             with np.load(self.weight_path(key)) as data:
                 state = {name: data[name] for name in data.files}
         except (OSError, ValueError, EOFError, zipfile.BadZipFile):
-            # A truncated/garbled .npz (torn write, partial copy) is a
-            # miss to retrain, never a crash: BadZipFile and EOFError
+            # A truncated/garbled .npz (torn write, partial copy), or
+            # weights vanished after commit: BadZipFile and EOFError
             # are what np.load raises on mangled zip containers.
-            return None
+            return self._quarantine(key)
         if state_digest(state) != payload.get("state_sha256"):
             # Weights on disk no longer match what the metadata recorded
-            # (torn write, manual edit): treat as a miss and retrain.
-            return None
+            # (torn write, manual edit): quarantine and retrain.
+            return self._quarantine(key)
         return Checkpoint(
             key=key,
             spec=payload.get("spec", {}),
@@ -151,6 +180,13 @@ class CheckpointStore:
             "meta": dict(meta or {}),
         }
         np.savez(tmp_weights, **state)
+        plan = active_plan()
+        if plan is not None and plan.tear("checkpoint", key):
+            # Injected torn write: commit a truncated .npz under intact
+            # metadata — the strongest corruption `get` must catch.
+            size = tmp_weights.stat().st_size
+            with open(tmp_weights, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
         os.replace(tmp_weights, weight_path)
         tmp_meta.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
         os.replace(tmp_meta, meta_path)

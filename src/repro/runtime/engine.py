@@ -19,11 +19,17 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.runtime import faults as faults_mod
 from repro.runtime.cache import ResultCache
-from repro.runtime.executor import resolve_worker_count, run_tasks
+from repro.runtime.executor import (
+    RetryPolicy,
+    RunHealth,
+    resolve_worker_count,
+    run_tasks,
+)
 from repro.runtime.hashing import code_version
 from repro.runtime.planner import plan_scenario
 from repro.runtime.spec import Scenario
@@ -49,6 +55,7 @@ class EngineRun:
     n_workers: int
     wall_s: float = 0.0
     code_version: str = ""
+    health: dict = field(default_factory=dict)
 
     def result(self, label: str) -> dict:
         """The result mapping for one point label."""
@@ -61,9 +68,16 @@ class EngineRun:
         """``{label: result[metric]}`` over all points."""
         return {p["label"]: p["result"][metric] for p in self.points}
 
-    def to_dict(self) -> dict:
-        """Deterministic artifact payload (no timestamps, no wall time)."""
-        return {
+    def to_dict(self, include_health: bool = False) -> dict:
+        """Deterministic artifact payload (no timestamps, no wall time).
+
+        ``include_health=True`` appends the run's fault-tolerance
+        statistics (:class:`~repro.runtime.executor.RunHealth` plus
+        store counters).  The default omits them so the artifact stays
+        byte-identical across worker counts, cold/warm caches, *and*
+        fault schedules — injected chaos costs retries, never bytes.
+        """
+        payload = {
             "schema_version": RESULT_SCHEMA_VERSION,
             "scenario": self.scenario,
             "title": self.title,
@@ -71,6 +85,9 @@ class EngineRun:
             "code_version": self.code_version,
             "points": self.points,
         }
+        if include_health:
+            payload["health"] = self.health
+        return payload
 
     def write_json(self, path: "str | os.PathLike") -> None:
         """Write the artifact (2-space indent, sorted keys, trailing \\n)."""
@@ -87,20 +104,43 @@ class ExperimentEngine:
     n_workers:
         Worker processes; ``None`` reads ``$REPRO_RUNTIME_WORKERS``
         (default 1 = the deterministic in-process executor).
+    policy:
+        A :class:`~repro.runtime.executor.RetryPolicy` bounding
+        retries/timeouts (``None`` = the default: 2 retries, no
+        timeout).
+    faults:
+        A :class:`~repro.runtime.faults.FaultPlan` of injected chaos
+        (``None`` = the installed plan or ``$REPRO_RUNTIME_FAULTS``).
     """
 
     def __init__(
         self,
         cache: "ResultCache | None" = None,
         n_workers: "int | None" = None,
+        policy: "RetryPolicy | None" = None,
+        faults=None,
     ) -> None:
         self.cache = cache
         self.n_workers = resolve_worker_count(n_workers)
+        self.policy = policy
+        self.faults = faults
 
     def run(self, scenario: Scenario) -> EngineRun:
         """Execute every point of ``scenario`` (reusing cached ones)."""
+        # Install the active plan for the run's duration so store
+        # writes (which happen far from any executor kwarg) see the
+        # same chaos schedule as the tasks.
+        plan = faults_mod.active_plan(self.faults)
+        previous = faults_mod.install(plan)
+        try:
+            return self._run(scenario, plan)
+        finally:
+            faults_mod.install(previous)
+
+    def _run(self, scenario: Scenario, plan) -> EngineRun:
         start = time.perf_counter()
         version = code_version()
+        health = RunHealth()
         planned = plan_scenario(
             scenario, version=version, n_workers=self.n_workers
         )
@@ -126,6 +166,9 @@ class ExperimentEngine:
             [entry.task for entry in to_run],
             n_workers=self.n_workers,
             on_result=persist,
+            policy=self.policy,
+            faults=plan,
+            health=health,
         )
         for entry in to_run:
             results[entry.index] = executed[entry.task.task_id]
@@ -147,6 +190,14 @@ class ExperimentEngine:
             n_workers=self.n_workers,
             wall_s=time.perf_counter() - start,
             code_version=version,
+            health={
+                "executor": health.to_dict(),
+                "cache": (
+                    self.cache.health.to_dict()
+                    if self.cache is not None
+                    else None
+                ),
+            },
         )
 
     def write_results(self, run: EngineRun, path: "str | os.PathLike") -> None:

@@ -1,16 +1,22 @@
-"""Task-DAG execution: worker-pool sharding with a serial fallback.
+"""Task-DAG execution: fault-tolerant worker pools with a serial fallback.
 
 A :class:`Task` names a *pure* function (an importable ``"module:name"``
 string, or a picklable callable) and the parameters it receives as a
 single mapping.  Because tasks are pure and fully seeded, the result of
 :func:`run_tasks` is bit-identical whatever the worker count — the pool
-only changes wall time, never values.
+only changes wall time, never values.  The same purity powers the
+fault-tolerance contract: a failed attempt can always be retried (and a
+crashed worker's chunk replayed) with byte-identical results, so chaos
+costs retries, never bytes.
 
 Dependencies form a DAG.  A dependent task may compute its parameters
 from its dependencies' results through a ``resolve`` hook, which runs in
 the coordinating process, in plan order — sequential logic (such as an
 adaptive controller reacting round by round) stays deterministic while
-the measurement itself still ships to a worker.
+the measurement itself still ships to a worker.  Hooks run exactly once
+per task, before its first dispatch; retries and crash replays reuse the
+already-computed parameters, so coordinator state (RNG draws, controller
+observations) is never consumed twice.
 
 Sharding: tasks carrying the same ``shard`` label are executed by the
 same worker in plan order, so per-process memoization (e.g. one worker
@@ -25,6 +31,24 @@ payloads (models, round slices) travel as content-addressed references
 that each worker materializes once per run.  Both are pure transport
 optimizations: parameters are computed in plan order either way and
 results are byte-identical for any worker count.
+
+Fault tolerance (see :mod:`repro.runtime.faults` for injection):
+
+- every failed attempt is retried up to :attr:`RetryPolicy.retries`
+  times with deterministic exponential backoff; the remote traceback is
+  captured as a string in the worker and carried on
+  :attr:`TaskExecutionError.remote_traceback`;
+- a worker hard-crash (``os._exit``, OOM kill, segfault) breaks the
+  pool; the coordinator salvages every chunk that already completed,
+  rebuilds the pool, and replays only the in-flight chunks' unfinished
+  tasks;
+- a chunk that overruns its per-task timeout budget is treated the same
+  way (pool killed + rebuilt, unfinished tasks replayed);
+- after :attr:`RetryPolicy.max_pool_failures` consecutive pool
+  failures the run degrades to the deterministic in-process executor
+  for its remainder;
+- everything is tallied in a :class:`RunHealth` object the engines
+  thread into their run statistics.
 """
 
 from __future__ import annotations
@@ -32,17 +56,24 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import os
+import time
 import traceback
 import warnings
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ReproError
+from repro.runtime.faults import FaultPlan, InjectedFaultError, active_plan
 from repro.runtime.payloads import PayloadStore, collect_refs, load_payload, resolve_refs
 
 __all__ = [
     "Task",
     "TaskExecutionError",
+    "RetryPolicy",
+    "RunHealth",
     "run_tasks",
     "resolve_worker_count",
 ]
@@ -52,7 +83,128 @@ WORKERS_ENV = "REPRO_RUNTIME_WORKERS"
 
 
 class TaskExecutionError(ReproError):
-    """A task raised inside the executor (serial or worker process)."""
+    """A task failed in the executor after exhausting its retries.
+
+    ``remote_traceback`` carries the formatted traceback captured where
+    the failure actually happened — inside a worker process, where the
+    live exception object (and its ``__cause__`` chain) would not
+    survive pickling back to the coordinator.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_id: "str | None" = None,
+        remote_traceback: "str | None" = None,
+        injected: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+        self.remote_traceback = remote_traceback
+        self.injected = injected
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay __init__ with args only,
+        # dropping the remote traceback across pickling — the very
+        # debuggability this class exists to preserve.
+        return (
+            type(self),
+            (self.args[0], self.task_id, self.remote_traceback, self.injected),
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry / timeout knobs for one :func:`run_tasks` call.
+
+    Parameters
+    ----------
+    retries:
+        Failed attempts each task may absorb beyond its first try.
+    timeout_s:
+        Per-task timeout budget; a packed chunk's budget is
+        ``timeout_s * len(chunk)``.  ``None`` disables timeouts.  Only
+        the pool path can preempt a stuck task — the in-process
+        executor cannot interrupt itself and ignores this knob.
+    backoff_s:
+        Base of the deterministic exponential backoff between retry
+        rounds (``backoff_s * 2**round``, capped at 2^6); no jitter,
+        so runs with identical failures sleep identically.
+    max_pool_failures:
+        Consecutive pool crashes/timeouts tolerated before the run
+        degrades to the in-process executor.
+    """
+
+    retries: int = 2
+    timeout_s: "float | None" = None
+    backoff_s: float = 0.05
+    max_pool_failures: int = 3
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        if self.backoff_s < 0:
+            raise ConfigurationError("backoff_s must be >= 0")
+        if self.max_pool_failures < 1:
+            raise ConfigurationError("max_pool_failures must be >= 1")
+
+
+DEFAULT_POLICY = RetryPolicy()
+
+
+@dataclass
+class RunHealth:
+    """Fault-tolerance statistics for one executor run.
+
+    The engines attach :meth:`to_dict` to their run statistics (and,
+    opt-in, to JSON manifests).  Counter semantics: ``task_errors``
+    counts failed *attempts* (``injected_faults`` of which the fault
+    plan predicted or marked), ``retries`` counts re-dispatches that
+    followed them, ``worker_crashes``/``timeouts`` count pool-level
+    failures, ``pool_rebuilds``/``serial_fallbacks`` the recoveries.
+    ``failed`` lists tasks that exhausted their retries (collect-error
+    mode), ``skipped`` their never-attempted dependents.
+    """
+
+    retries: int = 0
+    task_errors: int = 0
+    injected_faults: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    fallback_reason: "str | None" = None
+    failed: "list[dict]" = field(default_factory=list)
+    skipped: "list[str]" = field(default_factory=list)
+
+    @property
+    def faulted(self) -> bool:
+        """Whether anything at all went wrong (or was injected)."""
+        return bool(
+            self.task_errors
+            or self.timeouts
+            or self.worker_crashes
+            or self.serial_fallbacks
+            or self.failed
+            or self.skipped
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able summary (failure lists sorted for stable output)."""
+        return {
+            "retries": self.retries,
+            "task_errors": self.task_errors,
+            "injected_faults": self.injected_faults,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallbacks": self.serial_fallbacks,
+            "fallback_reason": self.fallback_reason,
+            "failed": sorted(self.failed, key=lambda row: row["task"]),
+            "skipped": sorted(self.skipped),
+        }
 
 
 @dataclass(frozen=True)
@@ -111,29 +263,46 @@ def _call(fn, params: Mapping | None):
     return fn(dict(params or {}))
 
 
+def _error_summary(exc: BaseException) -> str:
+    """One stable line describing ``exc`` (class + message, no paths)."""
+    return traceback.format_exception_only(type(exc), exc)[-1].strip()
+
+
 def _run_chunk(message):
     """Worker entry point: run one packed chunk serially, in plan order.
 
-    ``message`` is ``(spool_root, [(task_id, fn, params), ...])``;
-    parameters may contain :class:`PayloadRef` markers, resolved here
-    against the spool (memoized per worker process, so a payload shared
-    by many tasks is unpickled once).
+    ``message`` is ``(spool_root, fault_plan, [(task_id, fn, params,
+    attempt), ...])``; parameters may contain :class:`PayloadRef`
+    markers, resolved here against the spool (memoized per worker
+    process, so a payload shared by many tasks is unpickled once).
+
+    Failures never raise across the process boundary: each task yields
+    an outcome tuple — ``("ok", task_id, result)`` or ``("error",
+    task_id, formatted_traceback, summary, injected)`` — so one task's
+    exception cannot take down its chunk-mates, and the original
+    traceback travels as a plain string that survives pickling.
     """
-    spool_root, items = message
+    spool_root, plan, items = message
     out = []
-    for task_id, fn, params in items:
+    for task_id, fn, params, attempt in items:
         try:
+            if plan is not None:
+                plan.apply_task_faults(task_id, attempt, in_worker=True)
             if spool_root is not None:
                 params = resolve_refs(
                     params, lambda ref: load_payload(spool_root, ref.digest)
                 )
-            out.append((task_id, _call(fn, params)))
-        except Exception:
-            # Chain-free raise: the original exception (and its cause)
-            # may not survive pickling back to the coordinator.
-            raise TaskExecutionError(
-                f"task {task_id!r} failed in worker:\n{traceback.format_exc()}"
-            ) from None
+            out.append(("ok", task_id, _call(fn, params)))
+        except Exception as exc:
+            out.append(
+                (
+                    "error",
+                    task_id,
+                    traceback.format_exc(),
+                    _error_summary(exc),
+                    isinstance(exc, InjectedFaultError),
+                )
+            )
     return out
 
 
@@ -164,35 +333,10 @@ def _topological(tasks: Sequence[Task]) -> list[Task]:
     return ordered
 
 
-def _params_for(task: Task, results: dict) -> Mapping | None:
-    if task.resolve is None:
-        return task.params
-    return task.resolve({dep: results[dep] for dep in task.deps})
-
-
-def _run_serial(ordered, on_result=None, payloads=None) -> dict:
-    results: dict = {}
-    for task in ordered:
-        params = _params_for(task, results)
-        if payloads is not None:
-            params = payloads.resolve(params)
-        try:
-            results[task.task_id] = _call(task.fn, params)
-        except (ConfigurationError, TaskExecutionError):
-            raise
-        except Exception as exc:
-            raise TaskExecutionError(
-                f"task {task.task_id!r} failed: {exc!r}"
-            ) from exc
-        if on_result is not None:
-            on_result(task.task_id, results[task.task_id])
-    return results
-
-
-def _make_pool(n_workers: int):
+def _make_pool(n_workers: int) -> ProcessPoolExecutor:
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     context = multiprocessing.get_context(method)
-    return context.Pool(processes=n_workers)
+    return ProcessPoolExecutor(max_workers=n_workers, mp_context=context)
 
 
 #: Messages per worker a packed wave may use.  1 would minimize IPC but
@@ -203,13 +347,15 @@ def _make_pool(n_workers: int):
 _PACK_OVERSUBSCRIPTION = 4
 
 
-def _pack_wave(wave, wave_params, n_workers: int):
+def _pack_wave(wave, wave_params, n_workers: int, attempts=None):
     """Pack a wave's shard chunks into at most ``4 * n_workers`` messages.
 
     Tasks sharing a shard stay contiguous (one worker, plan order);
     singleton chunks round-robin across the messages in plan order.
     Purely a transport decision — parameters were already computed, in
-    plan order, by the caller.
+    plan order, by the caller.  Each packed item carries the task's
+    dispatch-attempt index so the (deterministic) fault plan can count
+    occurrences without any cross-process state.
     """
     chunks: dict = {}
     for task in wave:
@@ -220,53 +366,348 @@ def _pack_wave(wave, wave_params, n_workers: int):
     for index, chunk in enumerate(chunks.values()):
         groups[index % len(groups)].extend(chunk)
     return [
-        [(t.task_id, t.fn, wave_params[t.task_id]) for t in group]
+        [
+            (
+                t.task_id,
+                t.fn,
+                wave_params[t.task_id],
+                0 if attempts is None else attempts.get(t.task_id, 0),
+            )
+            for t in group
+        ]
         for group in groups
         if group
     ]
 
 
-def _run_pool(ordered, n_workers, on_result=None, payloads=None) -> dict:
-    results: dict = {}
-    done: set[str] = set()
-    pending = list(ordered)
-    try:
-        pool = _make_pool(min(n_workers, len(pending)))
-    except (OSError, ValueError, ImportError) as exc:
-        warnings.warn(
-            f"worker pool unavailable ({exc!r}); falling back to the "
-            "deterministic in-process executor",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return _run_serial(ordered, on_result, payloads)
-    with pool:
-        while pending:
-            wave = [t for t in pending if set(t.deps) <= done]
-            # Parameters resolve in plan order (hooks may consume
-            # coordinator-side state, e.g. RNG draws), independent of
-            # how the wave is later packed into worker messages.
-            wave_params = {
-                t.task_id: dict(_params_for(t, results) or {}) for t in wave
-            }
+class _Execution:
+    """Coordinator-side state for one :func:`run_tasks` call."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        on_result,
+        payloads: "PayloadStore | None",
+        policy: RetryPolicy,
+        health: RunHealth,
+        plan: "FaultPlan | None",
+        collect_errors: bool,
+    ) -> None:
+        self.n_workers = n_workers
+        self.on_result = on_result
+        self.payloads = payloads
+        self.policy = policy
+        self.health = health
+        self.plan = plan
+        self.collect_errors = collect_errors
+        self.results: dict = {}
+        self.done: "set[str]" = set()
+        self.failed: "dict[str, str]" = {}  # task_id -> summary
+        self.skipped: "set[str]" = set()
+        self.attempts: "dict[str, int]" = {}  # dispatches (fault occurrences)
+        self.failures: "dict[str, int]" = {}  # observed failed attempts
+        self.retry_round = 0
+        self.pool_failures = 0
+        self.serial_only = False
+        self._pool: "ProcessPoolExecutor | None" = None
+
+    # -- shared bookkeeping ------------------------------------------------------
+
+    def _complete(self, task_id: str, result) -> None:
+        self.results[task_id] = result
+        self.done.add(task_id)
+        if self.on_result is not None:
+            self.on_result(task_id, result)
+
+    def _final_failure(
+        self, task_id: str, remote_traceback: str, summary: str
+    ) -> None:
+        if not self.collect_errors:
+            raise TaskExecutionError(
+                f"task {task_id!r} failed after "
+                f"{self.failures.get(task_id, 1)} attempt(s): {summary}\n"
+                f"{remote_traceback}",
+                task_id=task_id,
+                remote_traceback=remote_traceback,
+            )
+        self.failed[task_id] = summary
+        self.health.failed.append({"task": task_id, "summary": summary})
+
+    def _record_error(self, task_id: str, injected: bool) -> bool:
+        """Count one failed attempt; True when the task may retry."""
+        self.health.task_errors += 1
+        if injected:
+            self.health.injected_faults += 1
+        self.failures[task_id] = self.failures.get(task_id, 0) + 1
+        if self.failures[task_id] <= self.policy.retries:
+            self.health.retries += 1
+            return True
+        return False
+
+    def _backoff(self) -> None:
+        if self.policy.backoff_s > 0:
+            time.sleep(
+                self.policy.backoff_s * (2 ** min(self.retry_round, 6))
+            )
+        self.retry_round += 1
+
+    def _dispatch_attempt(self, task_id: str, in_worker: bool) -> int:
+        """The attempt index of the next dispatch; advances the counter."""
+        attempt = self.attempts.get(task_id, 0)
+        self.attempts[task_id] = attempt + 1
+        if self.plan is not None:
+            # Pool-path crashes and delays leave no error outcome to
+            # count on the coordinator side, so tally them when they are
+            # scheduled — the plan is deterministic, so the prediction
+            # matches what the worker does.  Serial-path crashes
+            # downgrade to errors and are counted on observation.
+            for rule in self.plan.task_rules(task_id, attempt):
+                if rule.kind == "delay" or (rule.kind == "crash" and in_worker):
+                    self.health.injected_faults += 1
+        return attempt
+
+    def _skip_blocked(self, pending: "list[Task]") -> "list[Task]":
+        """Drop (and record) tasks whose dependencies failed or skipped."""
+        if not self.failed and not self.skipped:
+            return pending
+        remaining = []
+        for task in pending:
+            unrunnable = self.failed.keys() | self.skipped
+            if any(dep in unrunnable for dep in task.deps):
+                self.skipped.add(task.task_id)
+                self.health.skipped.append(task.task_id)
+            else:
+                remaining.append(task)
+        # A newly skipped task may block another later in plan order;
+        # the list is topologically ordered, so one forward pass per
+        # call plus the caller's wave loop reaches the fixed point.
+        if len(remaining) != len(pending):
+            return self._skip_blocked(remaining)
+        return remaining
+
+    def _wave_params(self, wave: "list[Task]") -> dict:
+        """Resolve parameters in plan order, exactly once per task."""
+        params = {}
+        for task in wave:
+            if task.resolve is None:
+                computed = task.params
+            else:
+                computed = task.resolve(
+                    {dep: self.results[dep] for dep in task.deps}
+                )
+            params[task.task_id] = dict(computed or {})
+        return params
+
+    # -- serial path -------------------------------------------------------------
+
+    def _run_task_serial(self, task: Task, params) -> None:
+        while True:
+            attempt = self._dispatch_attempt(task.task_id, in_worker=False)
+            try:
+                if self.plan is not None:
+                    self.plan.apply_task_faults(
+                        task.task_id, attempt, in_worker=False
+                    )
+                resolved = params
+                if self.payloads is not None:
+                    resolved = self.payloads.resolve(resolved)
+                result = _call(task.fn, resolved)
+            except (ConfigurationError, TaskExecutionError):
+                raise
+            except Exception as exc:
+                injected = isinstance(exc, InjectedFaultError)
+                if self._record_error(task.task_id, injected):
+                    self._backoff()
+                    continue
+                remote = traceback.format_exc()
+                summary = _error_summary(exc)
+                if not self.collect_errors:
+                    raise TaskExecutionError(
+                        f"task {task.task_id!r} failed after "
+                        f"{self.failures[task.task_id]} attempt(s): "
+                        f"{summary}",
+                        task_id=task.task_id,
+                        remote_traceback=remote,
+                        injected=injected,
+                    ) from exc
+                self._final_failure(task.task_id, remote, summary)
+                return
+            self._complete(task.task_id, result)
+            return
+
+    def _run_wave_serial(self, wave: "list[Task]", params: dict) -> None:
+        for task in wave:
+            self._run_task_serial(task, params[task.task_id])
+
+    # -- pool path ---------------------------------------------------------------
+
+    def _ensure_pool(self) -> bool:
+        """Create the pool if needed; False -> degrade to serial."""
+        if self._pool is not None:
+            return True
+        try:
+            self._pool = _make_pool(self.n_workers)
+        except (OSError, ValueError, ImportError) as exc:
+            reason = (
+                f"worker pool unavailable ({exc!r}); falling back to the "
+                "deterministic in-process executor"
+            )
+            warnings.warn(reason, RuntimeWarning, stacklevel=4)
+            self.health.serial_fallbacks += 1
+            if self.health.fallback_reason is None:
+                self.health.fallback_reason = reason
+            self.serial_only = True
+            return False
+        return True
+
+    def _kill_pool(self) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _handle_outcomes(self, outcomes, remaining: dict) -> None:
+        for outcome in outcomes:
+            task_id = outcome[1]
+            if task_id not in remaining:
+                continue  # a salvaged duplicate from a replayed chunk
+            if outcome[0] == "ok":
+                del remaining[task_id]
+                self._complete(task_id, outcome[2])
+            else:
+                _, _, remote, summary, injected = outcome
+                if self._record_error(task_id, injected):
+                    continue  # stays in remaining -> repacked next round
+                del remaining[task_id]
+                self._final_failure(task_id, remote, summary)
+
+    def _salvage(self, futures, remaining: dict) -> None:
+        """Collect every chunk that finished before the pool broke."""
+        for future in futures:
+            if not future.done():
+                continue
+            try:
+                outcomes = future.result(timeout=0)
+            except Exception:
+                continue  # the chunk that crashed/was cancelled
+            self._handle_outcomes(outcomes, remaining)
+
+    def _on_pool_failure(self, kind: str, detail: str, remaining) -> None:
+        """Count, rebuild (or degrade to serial), and let the wave replay."""
+        if kind == "timeout":
+            self.health.timeouts += 1
+        else:
+            self.health.worker_crashes += 1
+        self._kill_pool()
+        self.pool_failures += 1
+        if self.pool_failures >= self.policy.max_pool_failures:
+            self.health.serial_fallbacks += 1
+            if self.health.fallback_reason is None:
+                self.health.fallback_reason = (
+                    f"{self.pool_failures} pool failure(s), last: {detail}; "
+                    "degrading to the deterministic in-process executor"
+                )
+            warnings.warn(
+                self.health.fallback_reason, RuntimeWarning, stacklevel=5
+            )
+            self.serial_only = True
+        else:
+            self.health.pool_rebuilds += 1
+
+    def _run_wave_pool(self, wave: "list[Task]", params: dict) -> None:
+        remaining = {task.task_id: task for task in wave}
+        while remaining:
+            if self.serial_only or not self._ensure_pool():
+                pending_tasks = [
+                    task for task in wave if task.task_id in remaining
+                ]
+                self._run_wave_serial(
+                    pending_tasks, {t: params[t] for t in remaining}
+                )
+                return
+            failures_before = dict(self.failures)
             spool_root = None
-            if payloads is not None:
-                digests = collect_refs(list(wave_params.values()))
+            if self.payloads is not None:
+                digests = collect_refs(
+                    [params[task_id] for task_id in remaining]
+                )
                 if digests:
-                    spool_root = payloads.spill(digests)
-            messages = _pack_wave(wave, wave_params, n_workers)
-            handles = [
-                pool.apply_async(_run_chunk, ((spool_root, message),))
+                    # spill() also rehydrates spool files that vanished
+                    # since the last wave (see PayloadStore).
+                    spool_root = self.payloads.spill(digests)
+            attempts = {
+                task_id: self._dispatch_attempt(task_id, in_worker=True)
+                for task_id in remaining
+            }
+            messages = _pack_wave(
+                [task for task in wave if task.task_id in remaining],
+                params,
+                self.n_workers,
+                attempts=attempts,
+            )
+            futures = [
+                self._pool.submit(
+                    _run_chunk, (spool_root, self.plan, message)
+                )
                 for message in messages
             ]
-            for handle in handles:
-                for task_id, result in handle.get():
-                    results[task_id] = result
-                    if on_result is not None:
-                        on_result(task_id, result)
-            done.update(t.task_id for t in wave)
-            pending = [t for t in pending if t.task_id not in done]
-    return results
+            try:
+                for future, message in zip(futures, messages):
+                    budget = None
+                    if self.policy.timeout_s is not None:
+                        budget = self.policy.timeout_s * len(message)
+                    self._handle_outcomes(
+                        future.result(timeout=budget), remaining
+                    )
+            except BrokenProcessPool as exc:
+                self._salvage(futures, remaining)
+                self._on_pool_failure("crash", repr(exc), remaining)
+            except FuturesTimeoutError:
+                self._salvage(futures, remaining)
+                self._on_pool_failure(
+                    "timeout",
+                    f"chunk exceeded its "
+                    f"{self.policy.timeout_s:g}s/task budget",
+                    remaining,
+                )
+            else:
+                self.pool_failures = 0  # a clean round resets the strikes
+                if remaining:
+                    self._backoff()  # only retries are left in the wave
+
+    # -- the wave loop -----------------------------------------------------------
+
+    def execute(self, ordered: "list[Task]") -> dict:
+        pending = list(ordered)
+        while pending:
+            pending = self._skip_blocked(pending)
+            if not pending:
+                break
+            wave = [t for t in pending if set(t.deps) <= self.done]
+            if not wave:
+                # Only reachable if a dependency failed in raise mode —
+                # which raised — or via skip_blocked; defensive guard.
+                break
+            params = self._wave_params(wave)
+            if self.serial_only or self.n_workers <= 1:
+                self._run_wave_serial(wave, params)
+            else:
+                self._run_wave_pool(wave, params)
+            settled = self.done | self.failed.keys() | self.skipped
+            pending = [t for t in pending if t.task_id not in settled]
+        return self.results
 
 
 def run_tasks(
@@ -274,6 +715,10 @@ def run_tasks(
     n_workers: "int | None" = None,
     on_result: "Callable[[str, object], None] | None" = None,
     payloads: "PayloadStore | None" = None,
+    policy: "RetryPolicy | None" = None,
+    faults: "FaultPlan | None" = None,
+    health: "RunHealth | None" = None,
+    collect_errors: bool = False,
 ) -> dict:
     """Execute a task DAG; returns ``{task_id: result}``.
 
@@ -289,12 +734,35 @@ def run_tasks(
     ``payloads`` (a :class:`~repro.runtime.payloads.PayloadStore`)
     resolves interned parameter references: in memory for the serial
     path, via the write-once spool for pool workers.
+
+    ``policy`` (a :class:`RetryPolicy`; default: 2 retries, no
+    timeout) bounds retries/timeouts; ``faults`` (a
+    :class:`~repro.runtime.faults.FaultPlan`; default: the installed
+    plan or ``$REPRO_RUNTIME_FAULTS``) injects deterministic chaos;
+    ``health`` (a :class:`RunHealth`) collects what happened.
+
+    ``collect_errors=False`` (the default) raises
+    :class:`TaskExecutionError` on the first task that exhausts its
+    retries.  ``collect_errors=True`` instead records the failure in
+    ``health.failed``, skips its dependents (``health.skipped``), and
+    returns the results of every task that did complete — the campaign
+    layer uses this so one broken STA chain cannot kill the other N-1.
     """
     tasks = list(tasks)
     if not tasks:
         return {}
     ordered = _topological(tasks)
     n_workers = resolve_worker_count(n_workers)
-    if n_workers <= 1 or len(tasks) == 1:
-        return _run_serial(ordered, on_result, payloads)
-    return _run_pool(ordered, n_workers, on_result, payloads)
+    execution = _Execution(
+        n_workers=n_workers,
+        on_result=on_result,
+        payloads=payloads,
+        policy=policy or DEFAULT_POLICY,
+        health=health if health is not None else RunHealth(),
+        plan=active_plan(faults),
+        collect_errors=collect_errors,
+    )
+    try:
+        return execution.execute(ordered)
+    finally:
+        execution.close()

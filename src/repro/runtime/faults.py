@@ -1,0 +1,340 @@
+"""Deterministic, seeded fault injection for the runtime engine.
+
+Every task in this reproduction is pure and seeded, which licenses an
+unusually strong fault-tolerance contract: a run with injected faults
+must produce **byte-identical** results to the fault-free run — chaos
+only costs retries, never bytes.  This module provides the chaos half
+of that contract: a :class:`FaultPlan` is a tuple of :class:`FaultRule`
+entries that fire at *chosen* task-id patterns, deterministic rates,
+and occurrence counts — reproducible injected failure, never random
+flake.
+
+Fault kinds
+-----------
+
+``error``
+    Raise :class:`InjectedFaultError` before the task body runs.  The
+    executor's bounded retries absorb it (``count`` controls how many
+    attempts fail before the task succeeds).
+``crash``
+    Hard-kill the worker process with ``os._exit`` (no cleanup, no
+    exception propagation — exactly what an OOM kill or segfault looks
+    like to the coordinator).  In the in-process executor a crash is
+    downgraded to an :class:`InjectedFaultError` so the coordinator
+    itself survives.
+``delay``
+    Sleep ``delay_s`` before the task body runs (exercises per-task
+    timeouts).
+``torn``
+    Corrupt a store write: the matching :class:`~repro.runtime.cache.
+    ResultCache` / :class:`~repro.runtime.checkpoints.CheckpointStore`
+    entry lands truncated on disk, as if the writer died mid-write.
+    The next reader quarantines it and recomputes.
+
+Rule selection is deterministic end to end: a rule applies to a target
+(task id or ``store:key`` label) when the target matches ``match``
+(fnmatch glob) *and* the target's hash-derived uniform draw —
+``sha256(seed, match, target)`` mapped to [0, 1) — falls under
+``rate``.  A selected rule then fires on the first ``count`` attempts
+(or store writes) of that target.  No global counters, no wall-clock:
+two processes (or two runs) always agree on exactly which attempts
+fail.
+
+Activation
+----------
+
+Pass a plan explicitly (``run_tasks(..., faults=plan)``,
+``ExperimentEngine(..., faults=plan)``), install one process-wide with
+:func:`install`, or set ``$REPRO_RUNTIME_FAULTS``.  The environment
+grammar is semicolon-separated rules of comma-separated fields; the
+first two bare fields are ``kind`` and ``match``, the rest are
+``key=value``::
+
+    REPRO_RUNTIME_FAULTS="crash,*/round-0001,count=1;torn,cache:*,rate=0.5,seed=3"
+
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from functools import lru_cache
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultRule",
+    "FaultPlan",
+    "InjectedFaultError",
+    "install",
+    "active_plan",
+    "parse_plan",
+]
+
+#: Environment variable holding a fault-plan description (grammar above).
+FAULTS_ENV = "REPRO_RUNTIME_FAULTS"
+
+#: Exit status used by injected worker crashes (distinctive in logs).
+CRASH_EXIT_CODE = 66
+
+#: Fault kinds a rule may carry.
+KINDS = ("error", "crash", "delay", "torn")
+
+
+class InjectedFaultError(ReproError):
+    """A failure injected by a :class:`FaultPlan` (never a real bug)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: kind, target pattern, rate, count.
+
+    Parameters
+    ----------
+    kind:
+        ``"error"``, ``"crash"``, ``"delay"``, or ``"torn"``.
+    match:
+        fnmatch glob over the target — a task id for task faults, a
+        ``"cache:<key>"`` / ``"checkpoint:<key>"`` label for ``torn``.
+    count:
+        How many attempts (or store writes) of each selected target
+        fire, counted from zero.
+    rate:
+        Deterministic fraction of matching targets the rule selects
+        (hash of ``(seed, match, target)`` — not a random draw).
+    delay_s:
+        Sleep length for ``delay`` rules.
+    seed:
+        Varies which targets a ``rate`` < 1 selects.
+    """
+
+    kind: str
+    match: str = "*"
+    count: int = 1
+    rate: float = 1.0
+    delay_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.count < 1:
+            raise ConfigurationError("fault count must be >= 1")
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigurationError("fault rate must be in (0, 1]")
+        if self.delay_s < 0:
+            raise ConfigurationError("fault delay_s must be >= 0")
+
+    def selects(self, target: str) -> bool:
+        """Whether this rule applies to ``target`` (pattern and rate)."""
+        if not fnmatchcase(target, self.match):
+            return False
+        if self.rate >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.seed}:{self.match}:{target}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < self.rate
+
+    def fires(self, target: str, occurrence: int) -> bool:
+        """Whether the rule fires on the ``occurrence``-th attempt/write."""
+        return occurrence < self.count and self.selects(target)
+
+
+class FaultPlan:
+    """An ordered tuple of :class:`FaultRule` entries (see module doc).
+
+    The plan itself is immutable apart from the ``torn``-write
+    occurrence counters, which live in the coordinating process only
+    (store writes never happen in workers).
+    """
+
+    def __init__(self, rules) -> None:
+        self.rules: "tuple[FaultRule, ...]" = tuple(rules)
+        self._tear_counts: "dict[tuple[int, str], int]" = {}
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __getstate__(self) -> dict:
+        # Workers only consult task faults; the coordinator keeps the
+        # (mutable) tear counters, so a pickled copy starts clean.
+        return {"rules": self.rules}
+
+    def __setstate__(self, state: dict) -> None:
+        self.rules = state["rules"]
+        self._tear_counts = {}
+
+    # -- task faults (coordinator predicts, workers apply) ----------------------
+
+    def task_rules(self, task_id: str, attempt: int) -> "list[FaultRule]":
+        """Rules firing on this (task, attempt), in plan order."""
+        return [
+            rule
+            for rule in self.rules
+            if rule.kind in ("error", "crash", "delay")
+            and rule.fires(task_id, attempt)
+        ]
+
+    def apply_task_faults(
+        self, task_id: str, attempt: int, in_worker: bool
+    ) -> None:
+        """Inject this attempt's faults (sleep, raise, or hard-exit).
+
+        Called by the executor immediately before the task body runs —
+        in the worker process on the pool path, in the coordinator on
+        the serial path (where ``crash`` downgrades to an exception so
+        the run itself survives).
+        """
+        for rule in self.task_rules(task_id, attempt):
+            if rule.kind == "delay":
+                time.sleep(rule.delay_s)
+            elif rule.kind == "error":
+                raise InjectedFaultError(
+                    f"injected task error: {task_id!r} attempt {attempt}"
+                )
+            elif rule.kind == "crash":
+                if in_worker:
+                    os._exit(CRASH_EXIT_CODE)
+                raise InjectedFaultError(
+                    f"injected worker crash (downgraded to an error by the "
+                    f"in-process executor): {task_id!r} attempt {attempt}"
+                )
+
+    # -- store faults (coordinator only) ----------------------------------------
+
+    def tear(self, store: str, key: str) -> bool:
+        """Whether this write of ``store:key`` should land torn.
+
+        Occurrence-counted per (rule, label): the first ``count``
+        writes of a selected label are corrupted, later ones land
+        clean — so a retried/recomputed write eventually commits.
+        """
+        label = f"{store}:{key}"
+        torn = False
+        for index, rule in enumerate(self.rules):
+            if rule.kind != "torn" or not rule.selects(label):
+                continue
+            occurrence = self._tear_counts.get((index, label), 0)
+            self._tear_counts[(index, label)] = occurrence + 1
+            if occurrence < rule.count:
+                torn = True
+        return torn
+
+    # -- description -------------------------------------------------------------
+
+    def describe(self) -> str:
+        """The plan back in environment-grammar form."""
+        parts = []
+        for rule in self.rules:
+            fields = [rule.kind, rule.match]
+            if rule.count != 1:
+                fields.append(f"count={rule.count}")
+            if rule.rate < 1.0:
+                fields.append(f"rate={rule.rate:g}")
+            if rule.delay_s:
+                fields.append(f"delay_s={rule.delay_s:g}")
+            if rule.seed:
+                fields.append(f"seed={rule.seed}")
+            parts.append(",".join(fields))
+        return ";".join(parts)
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse the ``$REPRO_RUNTIME_FAULTS`` grammar into a plan.
+
+    Rules are separated by ``;``; within a rule, comma-separated
+    fields: the first two bare fields are ``kind`` and ``match``, the
+    rest ``key=value`` (``count``, ``rate``, ``delay_s``, ``seed``).
+    """
+    rules = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        positional: "list[str]" = []
+        keywords: "dict[str, str]" = {}
+        for raw in chunk.split(","):
+            field_text = raw.strip()
+            if not field_text:
+                continue
+            name, sep, value = field_text.partition("=")
+            if sep and name in ("count", "rate", "delay_s", "seed", "match", "kind"):
+                keywords[name] = value
+            elif sep and len(positional) != 1:
+                # An "=" is only tolerated inside the match slot: task
+                # ids such as zoo entries ("0004:D1 K=1/8") contain it.
+                raise ConfigurationError(
+                    f"unknown fault-rule field {name!r} in {chunk!r}"
+                )
+            else:
+                positional.append(field_text)
+        if positional:
+            keywords.setdefault("kind", positional[0])
+        if len(positional) > 1:
+            keywords.setdefault("match", positional[1])
+        if len(positional) > 2:
+            raise ConfigurationError(
+                f"too many bare fields in fault rule {chunk!r}"
+            )
+        if "kind" not in keywords:
+            raise ConfigurationError(f"fault rule {chunk!r} names no kind")
+        try:
+            rules.append(
+                FaultRule(
+                    kind=keywords["kind"],
+                    match=keywords.get("match", "*"),
+                    count=int(keywords.get("count", 1)),
+                    rate=float(keywords.get("rate", 1.0)),
+                    delay_s=float(keywords.get("delay_s", 0.0)),
+                    seed=int(keywords.get("seed", 0)),
+                )
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad fault-rule value in {chunk!r}: {exc}"
+            ) from None
+    if not rules:
+        raise ConfigurationError("fault plan text contains no rules")
+    return FaultPlan(rules)
+
+
+@lru_cache(maxsize=8)
+def _parse_cached(text: str) -> FaultPlan:
+    return parse_plan(text)
+
+
+_INSTALLED: "FaultPlan | None" = None
+
+
+def install(plan: "FaultPlan | None") -> "FaultPlan | None":
+    """Install ``plan`` process-wide; returns the previous plan.
+
+    The engines install their explicit plan for the duration of a run
+    (restoring the previous one after) so store writes — which happen
+    inside ``cache.put`` / ``store.put``, far from any executor kwarg —
+    see the same chaos schedule as the tasks.
+    """
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = plan
+    return previous
+
+
+def active_plan(explicit: "FaultPlan | None" = None) -> "FaultPlan | None":
+    """The plan in force: explicit, else installed, else the environment."""
+    if explicit is not None:
+        return explicit
+    if _INSTALLED is not None:
+        return _INSTALLED
+    text = os.environ.get(FAULTS_ENV, "").strip()
+    if not text:
+        return None
+    return _parse_cached(text)

@@ -83,6 +83,8 @@ class PayloadStore:
         self._root = root
         self._spool: "str | None" = None
         self._closed = False
+        #: Spool files re-created after vanishing mid-run (see spill).
+        self.rehydrated = 0
 
     # -- coordinator side -------------------------------------------------------
 
@@ -120,6 +122,13 @@ class PayloadStore:
         Write-once per digest (tmp+rename, so a half-written file is
         never observable); already-spilled digests are no-ops.  Called
         by the pool executor before a wave ships refs to workers.
+
+        Self-healing: the store keeps every interned object alive, so
+        an already-spilled file that has *vanished* (scratch cleaner,
+        tmpwatch, operator error) is detected here and re-pickled from
+        the coordinator's live object — the executor re-spills before
+        every dispatch round, so a worker's file-not-found failure is
+        retried against a rehydrated spool.
         """
         if self._closed:
             raise ConfigurationError("payload store is closed")
@@ -131,8 +140,11 @@ class PayloadStore:
         for digest in digests:
             path = os.path.join(self._spool, f"{digest}.pkl")
             data = self._bytes.pop(digest, None)
-            if data is None:  # unknown digest or already spilled
-                continue
+            if data is None:
+                if digest not in self._objects or os.path.exists(path):
+                    continue  # unknown digest, or already spilled and intact
+                data = pickle.dumps(self._objects[digest], protocol=_PROTOCOL)
+                self.rehydrated += 1
             tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "wb") as handle:
                 handle.write(data)

@@ -21,13 +21,20 @@ __all__ = ["write_json_artifact"]
 def write_json_artifact(path: "str | os.PathLike", payload) -> None:
     """Write ``payload`` as a deterministic JSON file at ``path``.
 
-    Parent directories are created as needed.
+    Parent directories are created as needed.  The write is atomic
+    (temp file + rename, pid-stamped like the runtime stores): a writer
+    killed mid-write leaves only a ``<name>.tmp.<pid>`` file — never a
+    truncated artifact — and the runtime stores' stale-temp sweeper
+    (:func:`repro.runtime.cache.sweep_stale_tmp`) reclaims it.
     """
     if not str(path):
         raise ConfigurationError("artifact path must be non-empty")
-    directory = os.path.dirname(str(path))
+    path = str(path)
+    directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    with open(path, "w") as handle:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(tmp, path)

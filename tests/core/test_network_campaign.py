@@ -19,7 +19,9 @@ from repro.runtime import (
     CheckpointStore,
     NetworkCampaignSpec,
     ResultCache,
+    RetryPolicy,
     mobility_episode,
+    parse_plan,
     sta_profile,
 )
 from repro.runtime.tasks import clear_memos
@@ -108,6 +110,7 @@ def campaign_runs(tmp_path_factory):
     warm_profiles = {entry.name for entry in profile_summary()}
     return {
         "spec": spec,
+        "store": store,
         "cold_serial": cold_serial,
         "cold_pool": cold_pool,
         "warm": warm,
@@ -398,6 +401,184 @@ class TestSpecValidation:
         )
         with pytest.raises(ConfigurationError, match="named campaigns"):
             run_campaign(spec, n_stas=4)
+
+
+class TestChaosCampaign:
+    """The robustness acceptance gate: chaos costs retries, never bytes."""
+
+    @pytest.fixture(scope="class")
+    def chaos_run(self, campaign_runs, tmp_path_factory):
+        # One worker hard-crash, a 50% first-attempt error rate on the
+        # middle round, a scheduling delay, and torn writes on half the
+        # cache entries — all seeded, all recoverable within the
+        # default retry budget.
+        plan = parse_plan(
+            "crash,sta004/round-0000,count=1;"
+            "error,*/round-0001,rate=0.5,count=1;"
+            "delay,sta002/round-0002,count=1,delay_s=0.01;"
+            "torn,cache:*,rate=0.5"
+        )
+        cache = ResultCache(tmp_path_factory.mktemp("chaos") / "cache")
+        clear_memos()
+        result = NetworkCampaign(
+            campaign_runs["spec"],
+            cache=cache,
+            store=campaign_runs["store"],
+            n_workers=2,
+            faults=plan,
+        ).run()
+        return {"result": result, "cache": cache}
+
+    def test_chaotic_run_is_byte_identical_to_clean(
+        self, campaign_runs, chaos_run
+    ):
+        clean = json.dumps(
+            campaign_runs["cold_serial"].to_dict(), sort_keys=True
+        )
+        chaotic = json.dumps(
+            chaos_run["result"].to_dict(), sort_keys=True
+        )
+        assert chaotic == clean
+
+    def test_chaos_is_visible_in_health_not_manifest(self, chaos_run):
+        result = chaos_run["result"]
+        executor = result.health["executor"]
+        assert executor["worker_crashes"] >= 1
+        assert executor["pool_rebuilds"] >= 1
+        assert executor["task_errors"] >= 1
+        assert executor["injected_faults"] >= 1
+        assert executor["serial_fallbacks"] == 0
+        assert executor["failed"] == []
+        assert "health" not in result.to_dict()
+        assert (
+            result.to_dict(include_health=True)["health"] == result.health
+        )
+
+    def test_warm_rerun_quarantines_torn_entries_and_matches(
+        self, campaign_runs, chaos_run
+    ):
+        # The chaotic run committed torn cache entries. A warm, fault-
+        # free re-run must quarantine them, recompute those rounds, and
+        # still produce the clean bytes.
+        clear_memos()
+        warm = NetworkCampaign(
+            campaign_runs["spec"],
+            cache=chaos_run["cache"],
+            store=campaign_runs["store"],
+            n_workers=1,
+        ).run()
+        assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
+            campaign_runs["cold_serial"].to_dict(), sort_keys=True
+        )
+        assert warm.health["cache"]["quarantined"] >= 1
+        # Every quarantined entry forces a recompute; chained STAs also
+        # recompute the tail of rounds behind a torn one.
+        assert warm.n_executed_rounds >= warm.health["cache"]["quarantined"]
+        assert (
+            warm.n_executed_rounds + warm.n_cached_rounds
+            == N_STAS * N_ROUNDS
+        )
+
+
+class TestGracefulDegradation:
+    """A STA whose round exhausts retries degrades alone."""
+
+    def _spec(self):
+        return NetworkCampaignSpec(
+            name="degrade-test",
+            title="degradation",
+            fidelity=SMOKE_FIDELITY,
+            stas=(
+                sta_profile(
+                    "a",
+                    "D1",
+                    compressions=(1 / 8,),
+                    max_ber=0.5,
+                    samples_per_round=2,
+                    seed=0,
+                ),
+                sta_profile(
+                    "b", "D1", scheme="dot11", samples_per_round=2, seed=1
+                ),
+            ),
+            n_rounds=3,
+        )
+
+    @pytest.fixture(scope="class")
+    def degraded_runs(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("degrade")
+        spec = self._spec()
+        store = CheckpointStore(root / "store")
+        clear_memos()
+        clean = NetworkCampaign(
+            spec, cache=ResultCache(root / "cache-clean"), store=store
+        ).run()
+        # STA "a" is chained (splitbeam): its round 1 fails beyond the
+        # retry budget, so round 2 (which depends on it) is skipped.
+        plan = parse_plan("error,a/round-0001,count=99")
+        clear_memos()
+        degraded = NetworkCampaign(
+            spec,
+            cache=ResultCache(root / "cache-chaos"),
+            store=store,
+            policy=RetryPolicy(retries=1, backoff_s=0.0),
+            faults=plan,
+        ).run()
+        return {"clean": clean, "degraded": degraded}
+
+    def test_campaign_completes_with_partial_coverage(self, degraded_runs):
+        result = degraded_runs["degraded"]
+        assert result.summary["degraded_stas"] == ["a"]
+        assert result.summary["partial_coverage"] is True
+        assert degraded_runs["clean"].summary["degraded_stas"] == []
+        assert degraded_runs["clean"].summary["partial_coverage"] is False
+
+    def test_degraded_sta_reports_failed_and_skipped_rounds(
+        self, degraded_runs
+    ):
+        row = degraded_runs["degraded"].sta("a")
+        assert [r["round"] for r in row["rounds"]] == [0]
+        assert row["degraded"]["n_reported"] == 1
+        assert [f["round"] for f in row["degraded"]["failed_rounds"]] == [1]
+        assert "InjectedFaultError" in (
+            row["degraded"]["failed_rounds"][0]["error"]
+        )
+        assert row["degraded"]["skipped_rounds"] == [2]
+
+    def test_healthy_sta_is_untouched(self, degraded_runs):
+        assert degraded_runs["degraded"].sta("b") == degraded_runs[
+            "clean"
+        ].sta("b")
+
+    def test_accounting_reflects_completed_rounds_only(self, degraded_runs):
+        result = degraded_runs["degraded"]
+        assert result.n_executed_rounds == 4  # 6 tasks - 1 failed - 1 skipped
+        executor = result.health["executor"]
+        assert [row["task"] for row in executor["failed"]] == [
+            "a/round-0001"
+        ]
+        assert executor["skipped"] == ["a/round-0002"]
+
+    def test_aggregates_cover_reporting_stas_only(self, degraded_runs):
+        result = degraded_runs["degraded"]
+        # Rounds 1 and 2 aggregate over STA "b" alone.
+        by_round = {row["round"]: row for row in result.rounds}
+        assert set(by_round) == {0, 1, 2}
+        b_rounds = {r["round"]: r for r in result.sta("b")["rounds"]}
+        for idx in (1, 2):
+            assert (
+                by_round[idx]["feedback_bits_total"]
+                == b_rounds[idx]["feedback_bits"]
+            )
+
+    def test_degraded_manifest_round_trips_through_json(
+        self, degraded_runs, tmp_path
+    ):
+        path = tmp_path / "degraded.json"
+        degraded_runs["degraded"].write_json(path)
+        assert json.loads(path.read_text()) == degraded_runs[
+            "degraded"
+        ].to_dict()
 
 
 class TestPresetExecution:

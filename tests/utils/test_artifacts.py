@@ -1,0 +1,126 @@
+"""Crash-safety tests for atomic JSON writes (artifacts + cache puts).
+
+A writer killed between "temp file written" and "rename" must never
+leave a truncated or half-visible file: readers see either the old
+bytes or nothing, and the stale-temp sweeper reclaims the orphan once
+its writer is provably dead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime import cache as cache_mod
+from repro.runtime.cache import (
+    STALE_TMP_GRACE_S,
+    ResultCache,
+    sweep_stale_tmp,
+)
+from repro.utils.artifacts import write_json_artifact
+
+
+class _CrashBeforeRename:
+    """Make ``os.replace`` die for one destination — a mid-write kill."""
+
+    def __init__(self, monkeypatch, target):
+        self.target = str(target)
+        real = os.replace
+
+        def replace(src, dst, *args, **kwargs):
+            if str(dst) == self.target:
+                raise RuntimeError("simulated crash before rename")
+            return real(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", replace)
+
+
+class TestWriteJsonArtifact:
+    def test_writes_canonical_bytes(self, tmp_path):
+        path = tmp_path / "nested" / "run.json"
+        write_json_artifact(path, {"b": 2, "a": 1})
+        assert path.read_text() == '{\n  "a": 1,\n  "b": 2\n}\n'
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(ConfigurationError):
+            write_json_artifact("", {})
+
+    def test_crash_mid_write_leaves_no_partial_artifact(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "run.json"
+        write_json_artifact(path, {"epoch": 1})
+        _CrashBeforeRename(monkeypatch, path)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            write_json_artifact(path, {"epoch": 2})
+        # The visible artifact still carries the old, complete bytes.
+        assert json.loads(path.read_text()) == {"epoch": 1}
+        leftovers = list(tmp_path.glob("*.tmp.*"))
+        assert len(leftovers) == 1
+        assert leftovers[0].name == f"run.json.tmp.{os.getpid()}"
+        # The orphan itself is complete JSON (the crash was the rename).
+        assert json.loads(leftovers[0].read_text()) == {"epoch": 2}
+
+    def test_sweeper_reclaims_dead_writers_orphan(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "run.json"
+        _CrashBeforeRename(monkeypatch, path)
+        with pytest.raises(RuntimeError):
+            write_json_artifact(path, {"epoch": 1})
+        (orphan,) = tmp_path.glob("*.tmp.*")
+        # Young + live-pid orphans are never swept (writer may be mid-put).
+        assert sweep_stale_tmp(tmp_path) == 0
+        # Age it past the grace window and declare the writer dead.
+        old = orphan.stat().st_mtime - (STALE_TMP_GRACE_S + 60)
+        os.utime(orphan, (old, old))
+        monkeypatch.setattr(cache_mod, "_tmp_writer_alive", lambda p: False)
+        assert sweep_stale_tmp(tmp_path) == 1
+        assert not orphan.exists()
+
+
+class TestResultCachePutCrash:
+    def test_crash_mid_put_is_a_clean_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        _CrashBeforeRename(monkeypatch, cache.path("k1"))
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            cache.put("k1", {"spec": 1}, {"ber": 0.5})
+        # Never addressed: no entry, no quarantine, just a miss.
+        assert cache.get("k1") is None
+        assert cache.health.quarantined == 0
+        assert cache.keys() == []
+        assert len(list(tmp_path.glob("*.tmp.*"))) == 1
+
+    def test_crash_mid_put_does_not_clobber_old_entry(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"spec": 1}, {"ber": 0.5})
+        _CrashBeforeRename(monkeypatch, cache.path("k1"))
+        with pytest.raises(RuntimeError):
+            cache.put("k1", {"spec": 1}, {"ber": 0.25})
+        assert cache.get("k1") == {"ber": 0.5}
+
+    def test_retry_after_crash_succeeds_and_sweeper_reclaims(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        _CrashBeforeRename(monkeypatch, cache.path("k1"))
+        with pytest.raises(RuntimeError):
+            cache.put("k1", {"spec": 1}, {"ber": 0.5})
+        monkeypatch.undo()  # writer restarts
+        cache.put("k1", {"spec": 1}, {"ber": 0.5})
+        assert cache.get("k1") == {"ber": 0.5}
+        # The crash orphan is still around (same pid, same name — the
+        # retry overwrote and renamed it); any remaining *.tmp.* files
+        # are reclaimable once their writer dies.
+        for stale in tmp_path.glob("*.tmp.*"):
+            old = stale.stat().st_mtime - (STALE_TMP_GRACE_S + 60)
+            os.utime(stale, (old, old))
+        monkeypatch.setattr(cache_mod, "_tmp_writer_alive", lambda p: False)
+        sweep_stale_tmp(tmp_path)
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        assert cache.get("k1") == {"ber": 0.5}
