@@ -15,11 +15,19 @@ errors, torn cache writes — and asserts the manifest is byte-identical
 to the fault-free run: chaos costs retries, never bytes
 (docs/runtime.md, "Fault tolerance").
 
+With ``--trace DIR`` the cold campaign records its span timeline —
+zoo training, STA-round dispatch, every worker-side task, store
+get/put — into ``DIR`` (``trace.jsonl`` + ``chrome_trace.json`` +
+``summary.txt``), the run-health counters are printed, and the trace
+report (critical path, slowest rounds, cache statistics) is rendered
+inline.  Tracing never changes manifest bytes (docs/observability.md).
+
 Run:  python examples/network_campaign.py
       python examples/network_campaign.py --preset mobility-episodes
       REPRO_RUNTIME_WORKERS=4 python examples/network_campaign.py
       python examples/network_campaign.py --fidelity smoke --stas 6 --rounds 3
       python examples/network_campaign.py --fidelity smoke --stas 6 --rounds 3 --chaos
+      python examples/network_campaign.py --fidelity smoke --trace /tmp/campaign-trace
 """
 
 import argparse
@@ -81,6 +89,13 @@ def main() -> None:
         help="re-run the campaign under an injected fault plan (worker "
         "crashes, task errors, torn cache writes) and assert the "
         "manifest is byte-identical to the fault-free run",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record the cold campaign's trace under DIR and print "
+        "the run-health counters plus the trace report",
     )
     args = parser.parse_args()
     fidelity = fidelity_preset(args.fidelity)
@@ -148,10 +163,27 @@ def chaos_demo(args, fidelity, overrides, cold, cache, store) -> None:
     )
 
 
+def print_health(result, label: str) -> None:
+    """One line per health family (executor retries, store quarantines)."""
+    for family, counters in (result.health or {}).items():
+        if not isinstance(counters, dict):
+            continue
+        interesting = {
+            key: value for key, value in sorted(counters.items())
+            if isinstance(value, (int, float)) and value
+        }
+        print(f"{label} health[{family}]: {interesting or 'clean'}")
+
+
 def demo(args, fidelity, overrides, cache, store):
     print(f"Running campaign preset {args.preset!r} (fidelity={fidelity.name}) ...")
     cold = run_campaign(
-        args.preset, fidelity=fidelity, cache=cache, store=store, **overrides
+        args.preset,
+        fidelity=fidelity,
+        cache=cache,
+        store=store,
+        trace=args.trace if args.trace else False,
+        **overrides,
     )
     print(
         f"cold run: trained {cold.zoo_trained} ladder model(s), executed "
@@ -212,6 +244,15 @@ def demo(args, fidelity, overrides, cache, store):
             title="Aggregate sounding cost per round",
         )
     )
+
+    if args.trace:
+        from repro.obs import load_trace, render_report
+
+        print()
+        print_health(cold, "cold")
+        print(f"\ntrace written: {cold.trace_dir}")
+        print("trace report:\n")
+        print(render_report(load_trace(cold.trace_dir), top_k=5))
 
     summary = warm.summary
     print(

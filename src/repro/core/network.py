@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext as _null
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -56,6 +57,8 @@ from repro.core.zoo import ModelZoo, NetworkConfiguration, ZooEntry
 from repro.core.zoo_builder import train_zoo
 from repro.datasets import build_dataset, dataset_spec
 from repro.errors import ConfigurationError
+from repro.obs import trace as trace_mod
+from repro.obs.export import write_trace
 from repro.phy.link import LinkConfig
 from repro.phy.mcs import data_rate_bps, select_mcs
 from repro.runtime import faults as faults_mod
@@ -414,6 +417,9 @@ class NetworkCampaignResult:
     wall_s: float = 0.0
     code_version: str = ""
     health: dict = None
+    #: Directory the campaign's trace was written to (``None``
+    #: untraced).  Telemetry — never part of :meth:`to_dict`.
+    trace_dir: "str | None" = None
 
     def sta(self, name: str) -> dict:
         """The manifest row for one STA name."""
@@ -477,6 +483,13 @@ class NetworkCampaign:
     faults:
         A :class:`~repro.runtime.faults.FaultPlan` of injected chaos
         (``None`` = the installed plan or ``$REPRO_RUNTIME_FAULTS``).
+    trace:
+        Observability: a directory path (or a
+        :class:`~repro.obs.trace.Tracer`) recording the campaign's
+        span timeline and metrics — the embedded zoo build and every
+        round task land in the same trace; ``None`` joins an installed
+        tracer or honours ``$REPRO_RUNTIME_TRACE``; ``False`` disables
+        tracing.  Tracing never changes manifest bytes.
 
     Graceful degradation: the campaign runs its rounds in
     collect-errors mode — an STA-round that exhausts its retries marks
@@ -494,6 +507,7 @@ class NetworkCampaign:
         n_workers: "int | None" = None,
         policy: "RetryPolicy | None" = None,
         faults=None,
+        trace=None,
     ) -> None:
         self.spec = spec
         self.cache = cache
@@ -501,6 +515,7 @@ class NetworkCampaign:
         self.n_workers = resolve_worker_count(n_workers)
         self.policy = policy
         self.faults = faults
+        self.trace = trace
 
     # -- offline phase ----------------------------------------------------------
 
@@ -540,13 +555,54 @@ class NetworkCampaign:
     def run(self) -> NetworkCampaignResult:
         """Build ladders, run every STA's rounds, aggregate the network."""
         # Installed for the campaign's duration so cache/checkpoint
-        # writes see the same chaos schedule as the round tasks.
+        # writes see the same chaos schedule as the round tasks — and,
+        # when traced, so the embedded zoo build and every store access
+        # land in the campaign's own timeline.
         plan = faults_mod.active_plan(self.faults)
         previous = faults_mod.install(plan)
+        tracer, owned = trace_mod.tracer_for_run(
+            self.trace, f"campaign:{self.spec.name}"
+        )
+        prev_tracer = trace_mod.install_tracer(tracer) if tracer else None
         try:
-            return self._run(plan)
+            if tracer is None:
+                return self._run(plan)
+            with tracer.span(f"campaign:{self.spec.name}", "engine"):
+                result = self._run(plan)
+            self._finalize_trace(result, tracer, owned)
+            return result
         finally:
+            if tracer is not None:
+                trace_mod.install_tracer(prev_tracer)
             faults_mod.install(previous)
+
+    def _finalize_trace(
+        self, result: NetworkCampaignResult, tracer, owned: bool
+    ) -> None:
+        """Fold campaign health into the metrics; export when owned."""
+        metrics = tracer.metrics
+        metrics.ratio_gauge(
+            "cache.hit_ratio", result.n_cached_rounds, result.n_round_tasks
+        )
+        interned = metrics.counter("payloads.interned")
+        if interned:
+            metrics.ratio_gauge(
+                "payloads.dedupe_ratio",
+                interned - metrics.counter("payloads.unique"),
+                interned,
+            )
+        for family, counters in (result.health or {}).items():
+            if not isinstance(counters, dict):
+                continue
+            for key, value in counters.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    metrics.set_gauge(f"health.{family}.{key}", value)
+        if owned:
+            result.trace_dir = write_trace(tracer)
+        else:
+            result.trace_dir = tracer.out_dir
 
     def _run(self, plan) -> NetworkCampaignResult:
         start = time.perf_counter()
@@ -592,10 +648,14 @@ class NetworkCampaign:
                 )
             states.append(state)
 
+        tracer = trace_mod.current_tracer()
         payloads = PayloadStore()
-        tasks, by_task_id, n_cached = self._plan_rounds(
-            states, version, payloads
-        )
+        with tracer.span(
+            "plan_rounds", "engine", stas=len(states)
+        ) if tracer else _null():
+            tasks, by_task_id, n_cached = self._plan_rounds(
+                states, version, payloads
+            )
 
         def persist(task_id: str, result) -> None:
             # Store each round the moment it completes, so an
@@ -627,31 +687,33 @@ class NetworkCampaign:
         # Drain: record every executed round.  observe() is idempotent
         # and the ascending sweep keeps chain order, so rounds already
         # consumed by a successor's resolve hook are not re-observed.
-        for state in states:
-            for round_index in range(spec.n_rounds):
-                task_id = f"{state.name}/round-{round_index:04d}"
-                if task_id in executed:
-                    state.observe(round_index, executed[task_id])
+        with tracer.span("drain", "engine") if tracer else _null():
+            for state in states:
+                for round_index in range(spec.n_rounds):
+                    task_id = f"{state.name}/round-{round_index:04d}"
+                    if task_id in executed:
+                        state.observe(round_index, executed[task_id])
 
-        return self._assemble(
-            states,
-            n_cached=n_cached,
-            n_executed=len(executed),
-            build=build,
-            version=version,
-            wall_s=time.perf_counter() - start,
-            health={
-                "executor": health.to_dict(),
-                "cache": (
-                    self.cache.health.to_dict()
-                    if self.cache is not None
-                    else None
-                ),
-                "payloads": {"rehydrated": rehydrated},
-                "zoo": None if build is None else build.health,
-            },
-            run_health=health,
-        )
+        with tracer.span("assemble", "engine") if tracer else _null():
+            return self._assemble(
+                states,
+                n_cached=n_cached,
+                n_executed=len(executed),
+                build=build,
+                version=version,
+                wall_s=time.perf_counter() - start,
+                health={
+                    "executor": health.to_dict(),
+                    "cache": (
+                        self.cache.health.to_dict()
+                        if self.cache is not None
+                        else None
+                    ),
+                    "payloads": {"rehydrated": rehydrated},
+                    "zoo": None if build is None else build.health,
+                },
+                run_health=health,
+            )
 
     def _plan_rounds(
         self, states: "list[_StaState]", version: str, payloads=None
@@ -687,9 +749,12 @@ class NetworkCampaign:
                 # identical content) anyway.
                 prefix = 0
                 while prefix < spec.n_rounds:
+                    # `is not None`, not truthiness: an *empty* cache
+                    # is falsy (__len__ == 0), which silently skipped
+                    # gets — and miss telemetry — on cold campaigns.
                     result = (
                         self.cache.get(state.keys[prefix])
-                        if self.cache
+                        if self.cache is not None
                         else None
                     )
                     if result is None:
@@ -704,7 +769,11 @@ class NetworkCampaign:
                 state.first_pending = 0
                 pending = []
                 for round_index, key in enumerate(state.keys):
-                    result = self.cache.get(key) if self.cache else None
+                    result = (
+                        self.cache.get(key)
+                        if self.cache is not None
+                        else None
+                    )
                     if result is None:
                         pending.append(round_index)
                     else:
@@ -980,6 +1049,7 @@ def run_campaign(
     n_workers: "int | None" = None,
     policy: "RetryPolicy | None" = None,
     faults=None,
+    trace=None,
     **kwargs,
 ) -> NetworkCampaignResult:
     """Run a campaign (or a registered preset name).
@@ -1006,4 +1076,5 @@ def run_campaign(
         n_workers=n_workers,
         policy=policy,
         faults=faults,
+        trace=trace,
     ).run()

@@ -40,6 +40,7 @@ build feeds several deployment catalogs.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext as _null
 from dataclasses import asdict, dataclass, field
 
 from repro.config import Fidelity
@@ -49,6 +50,8 @@ from repro.core.zoo import ModelZoo, NetworkConfiguration, ZooEntry
 from repro.datasets.catalog import dataset_spec
 from repro.errors import ConfigurationError
 from repro.nn.serialize import load_state_dict
+from repro.obs import trace as trace_mod
+from repro.obs.export import write_trace
 from repro.runtime import faults as faults_mod
 from repro.runtime.checkpoints import CHECKPOINT_KIND, CheckpointStore
 from repro.runtime.executor import (
@@ -216,6 +219,9 @@ class ZooBuildResult:
     wall_s: float = 0.0
     code_version: str = ""
     health: dict = field(default_factory=dict)
+    #: Directory the build's trace was written to (``None`` untraced).
+    #: Telemetry, like ``wall_s`` — never part of :meth:`to_dict`.
+    trace_dir: "str | None" = None
     _zoo_entries: "dict[str, ZooEntry]" = field(default_factory=dict, repr=False)
 
     def entry(self, label: str) -> ZooEntry:
@@ -291,6 +297,12 @@ class ZooBuilder:
     faults:
         A :class:`~repro.runtime.faults.FaultPlan` of injected chaos
         (``None`` = the installed plan or ``$REPRO_RUNTIME_FAULTS``).
+    trace:
+        Observability: a directory path (or a
+        :class:`~repro.obs.trace.Tracer`) recording the build's span
+        timeline and metrics; ``None`` joins an already-installed
+        tracer (a campaign's zoo build lands in the campaign timeline)
+        or honours ``$REPRO_RUNTIME_TRACE``; ``False`` disables.
     """
 
     def __init__(
@@ -299,46 +311,106 @@ class ZooBuilder:
         n_workers: "int | None" = None,
         policy: "RetryPolicy | None" = None,
         faults=None,
+        trace=None,
     ) -> None:
         self.store = store
         self.n_workers = resolve_worker_count(n_workers)
         self.policy = policy
         self.faults = faults
+        self.trace = trace
 
     def build(self, grid: TrainingGrid) -> ZooBuildResult:
         """Train (or checkpoint-load) every entry of ``grid``."""
         # Installed for the build's duration so checkpoint writes see
-        # the same chaos schedule as the training tasks.
+        # the same chaos schedule (and trace timeline) as the tasks.
         plan = faults_mod.active_plan(self.faults)
         previous = faults_mod.install(plan)
+        tracer, owned = trace_mod.tracer_for_run(
+            self.trace, f"zoo:{grid.name}"
+        )
+        prev_tracer = trace_mod.install_tracer(tracer) if tracer else None
         try:
-            return self._build(grid, plan)
+            if tracer is None:
+                return self._build(grid, plan)
+            with tracer.span(f"zoo:{grid.name}", "engine"):
+                result = self._build(grid, plan)
+            self._finalize_trace(result, tracer, owned)
+            return result
         finally:
+            if tracer is not None:
+                trace_mod.install_tracer(prev_tracer)
             faults_mod.install(previous)
+
+    def _finalize_trace(self, result, tracer, owned: bool) -> None:
+        metrics = tracer.metrics
+        metrics.ratio_gauge(
+            "checkpoint.hit_ratio", result.n_cached, result.n_entries
+        )
+        interned = metrics.counter("payloads.interned")
+        if interned:
+            # Dedupe ratio: interns served from an existing entry.
+            metrics.ratio_gauge(
+                "payloads.dedupe_ratio",
+                interned - metrics.counter("payloads.unique"),
+                interned,
+            )
+        for family, counters in result.health.items():
+            if not isinstance(counters, dict):
+                continue
+            for key, value in counters.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    metrics.set_gauge(f"health.{family}.{key}", value)
+        if owned:
+            result.trace_dir = write_trace(tracer)
+        else:
+            result.trace_dir = tracer.out_dir
 
     def _build(self, grid: TrainingGrid, plan) -> ZooBuildResult:
         start = time.perf_counter()
+        tracer = trace_mod.current_tracer()
         version = code_version()
         health = RunHealth()
         payloads = PayloadStore()
-        planned = plan_training_grid(
-            grid, version=version, n_workers=self.n_workers, payloads=payloads
-        )
+        if tracer is None:
+            planned = plan_training_grid(
+                grid, version=version, n_workers=self.n_workers,
+                payloads=payloads,
+            )
+        else:
+            with tracer.span("plan", "engine", entries=len(grid.task_specs())):
+                planned = plan_training_grid(
+                    grid, version=version, n_workers=self.n_workers,
+                    payloads=payloads,
+                )
         results: "dict[int, dict]" = {}
         to_run: "list[PlannedTraining]" = []
-        for entry in planned:
-            checkpoint = self.store.get(entry.key) if self.store else None
-            if checkpoint is not None:
-                results[entry.index] = {
-                    "state": checkpoint.state,
-                    # Reuse the digest get() just verified; _assemble
-                    # then skips re-hashing megabytes of weights on the
-                    # warm path.
-                    "state_sha256": checkpoint.state_sha256,
-                    **checkpoint.meta,
-                }
-            else:
-                to_run.append(entry)
+        checkpoint_check = (
+            tracer.span("checkpoint_check", "engine", entries=len(planned))
+            if tracer
+            else _null()
+        )
+        with checkpoint_check:
+            for entry in planned:
+                # `is not None`, not truthiness: an empty store is falsy
+                # (__len__ == 0), which would skip gets on cold builds.
+                checkpoint = (
+                    self.store.get(entry.key)
+                    if self.store is not None
+                    else None
+                )
+                if checkpoint is not None:
+                    results[entry.index] = {
+                        "state": checkpoint.state,
+                        # Reuse the digest get() just verified; _assemble
+                        # then skips re-hashing megabytes of weights on
+                        # the warm path.
+                        "state_sha256": checkpoint.state_sha256,
+                        **checkpoint.meta,
+                    }
+                else:
+                    to_run.append(entry)
 
         by_task_id = {entry.task.task_id: entry for entry in to_run}
 
@@ -376,21 +448,22 @@ class ZooBuilder:
         for entry in to_run:
             results[entry.index] = executed[entry.task.task_id]
         executed_indices = {entry.index for entry in to_run}
-        return self._assemble(
-            grid, planned, results,
-            executed_indices=executed_indices,
-            version=version,
-            wall_s=time.perf_counter() - start,
-            health={
-                "executor": health.to_dict(),
-                "checkpoints": (
-                    self.store.health.to_dict()
-                    if self.store is not None
-                    else None
-                ),
-                "payloads": {"rehydrated": rehydrated},
-            },
-        )
+        with tracer.span("assemble", "engine") if tracer else _null():
+            return self._assemble(
+                grid, planned, results,
+                executed_indices=executed_indices,
+                version=version,
+                wall_s=time.perf_counter() - start,
+                health={
+                    "executor": health.to_dict(),
+                    "checkpoints": (
+                        self.store.health.to_dict()
+                        if self.store is not None
+                        else None
+                    ),
+                    "payloads": {"rehydrated": rehydrated},
+                },
+            )
 
     def _assemble(
         self, grid, planned, results, executed_indices, version, wall_s, health
@@ -461,6 +534,7 @@ def train_zoo(
     n_workers: "int | None" = None,
     policy: "RetryPolicy | None" = None,
     faults=None,
+    trace=None,
     **kwargs,
 ) -> ZooBuildResult:
     """Build a model zoo from a grid (or a registered preset name).
@@ -481,5 +555,6 @@ def train_zoo(
             "build the TrainingGrid with them instead"
         )
     return ZooBuilder(
-        store=store, n_workers=n_workers, policy=policy, faults=faults
+        store=store, n_workers=n_workers, policy=policy, faults=faults,
+        trace=trace,
     ).build(grid)

@@ -1,0 +1,69 @@
+"""Trace CLI: ``python -m repro.obs <command> <trace>``.
+
+Commands
+--------
+``report <trace> [--top N]``
+    Print the text summary (critical path, slowest tasks, cache stats)
+    for a trace directory or ``trace.jsonl`` file.
+``validate <trace>``
+    Check every event against the trace schema; exit non-zero and list
+    the violations if any.  CI runs this on freshly written traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConfigurationError
+from repro.obs.export import validate_events
+from repro.obs.report import load_trace, render_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="inspect runtime traces written by $REPRO_RUNTIME_TRACE or trace=",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser(
+        "report", help="print the trace summary (critical path, slowest tasks)"
+    )
+    report.add_argument("trace", help="trace directory or trace.jsonl file")
+    report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many slowest tasks to list (default 10)",
+    )
+
+    validate = commands.add_parser(
+        "validate", help="check the trace against the event schema"
+    )
+    validate.add_argument("trace", help="trace directory or trace.jsonl file")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        events = load_trace(args.trace)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.command == "validate":
+        errors = validate_events(events)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(f"invalid trace: {len(errors)} error(s)", file=sys.stderr)
+            return 1
+        print(f"valid trace: {len(events)} event(s)")
+        return 0
+    print(render_report(events, top_k=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ time went via :func:`profile_summary`.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -19,6 +20,8 @@ __all__ = [
     "profiled",
     "record",
     "profile_summary",
+    "profile_snapshot",
+    "merge_profiles",
     "reset_profiles",
     "ProfileEntry",
 ]
@@ -49,15 +52,20 @@ class ProfileEntry:
 
 _REGISTRY: dict[str, ProfileEntry] = {}
 
+# The registry is process-wide and the executor's callback threads (and
+# worker-delta merges) update it concurrently with profiled user code.
+_REGISTRY_LOCK = threading.Lock()
+
 
 def _observe(name: str, elapsed_s: float) -> None:
-    entry = _REGISTRY.get(name)
-    if entry is None:
-        entry = ProfileEntry(name=name)
-        _REGISTRY[name] = entry
-    entry.calls += 1
-    entry.total_s += elapsed_s
-    entry.max_s = max(entry.max_s, elapsed_s)
+    with _REGISTRY_LOCK:
+        entry = _REGISTRY.get(name)
+        if entry is None:
+            entry = ProfileEntry(name=name)
+            _REGISTRY[name] = entry
+        entry.calls += 1
+        entry.total_s += elapsed_s
+        entry.max_s = max(entry.max_s, elapsed_s)
 
 
 def profiled(name: str | None = None):
@@ -94,10 +102,45 @@ def record(name: str):
 
 
 def profile_summary() -> "list[ProfileEntry]":
-    """All entries observed so far, slowest cumulative time first."""
-    return sorted(_REGISTRY.values(), key=lambda e: e.total_s, reverse=True)
+    """All entries observed so far, slowest cumulative time first.
+
+    Equal totals tie-break by name so the ordering is deterministic.
+    """
+    with _REGISTRY_LOCK:
+        entries = list(_REGISTRY.values())
+    return sorted(entries, key=lambda e: (-e.total_s, e.name))
+
+
+def profile_snapshot() -> "dict[str, tuple[int, float, float]]":
+    """The registry as plain ``{name: (calls, total_s, max_s)}`` tuples.
+
+    Pool workers snapshot their process-local registry at the end of a
+    chunk and ship the tuples back over IPC (picklable, tiny), where
+    :func:`merge_profiles` folds them into the coordinator's registry —
+    without this, everything ``@profiled`` observes inside a worker is
+    silently lost when the process exits.
+    """
+    with _REGISTRY_LOCK:
+        return {
+            name: (entry.calls, entry.total_s, entry.max_s)
+            for name, entry in _REGISTRY.items()
+        }
+
+
+def merge_profiles(snapshot: "dict[str, tuple[int, float, float]]") -> None:
+    """Fold a :func:`profile_snapshot` (e.g. from a worker) into this process."""
+    with _REGISTRY_LOCK:
+        for name, (calls, total_s, max_s) in snapshot.items():
+            entry = _REGISTRY.get(name)
+            if entry is None:
+                entry = ProfileEntry(name=name)
+                _REGISTRY[name] = entry
+            entry.calls += calls
+            entry.total_s += total_s
+            entry.max_s = max(entry.max_s, max_s)
 
 
 def reset_profiles() -> None:
     """Clear the registry (e.g. between benchmark stages)."""
-    _REGISTRY.clear()
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import current_tracer
 from repro.runtime.faults import active_plan
 
 __all__ = [
@@ -203,6 +204,10 @@ class ResultCache:
     def _quarantine(self, key: str):
         """Move a corrupt entry aside and report the miss."""
         self.health.quarantined += quarantine_files(self.root, [self.path(key)])
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.inc("store.quarantined")
+            tracer.event("quarantine", "store", store="cache", key=key)
         return None
 
     def get(self, key: str):
@@ -212,6 +217,17 @@ class ResultCache:
         key, failed ``result_sha256`` check) is quarantined and counts
         on :attr:`health`; the caller just sees a miss and recomputes.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._get(key)
+        with tracer.span("cache.get", "store", key=key) as span:
+            result = self._get(key)
+            hit = result is not None
+            span.attrs["hit"] = hit
+            tracer.metrics.inc("cache.hits" if hit else "cache.misses")
+            return result
+
+    def _get(self, key: str):
         path = self.path(key)
         try:
             text = path.read_text()
@@ -233,6 +249,14 @@ class ResultCache:
 
     def put(self, key: str, spec, result) -> Path:
         """Store one completed point (atomic write; last writer wins)."""
+        tracer = current_tracer()
+        if tracer is None:
+            return self._put(key, spec, result)
+        with tracer.span("cache.put", "store", key=key):
+            tracer.metrics.inc("cache.puts")
+            return self._put(key, spec, result)
+
+    def _put(self, key: str, spec, result) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(key)
         payload = {

@@ -31,6 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import current_tracer
 from repro.runtime.cache import (
     StoreHealth,
     quarantine_files,
@@ -103,9 +104,28 @@ class CheckpointStore:
         # checkpoint quarantine counts are comparable in health dicts.
         if moved:
             self.health.quarantined += 1
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.metrics.inc("store.quarantined")
+                tracer.event(
+                    "quarantine", "store", store="checkpoint", key=key
+                )
         return None
 
     def get(self, key: str) -> "Checkpoint | None":
+        tracer = current_tracer()
+        if tracer is None:
+            return self._get(key)
+        with tracer.span("checkpoint.get", "store", key=key) as span:
+            checkpoint = self._get(key)
+            hit = checkpoint is not None
+            span.attrs["hit"] = hit
+            tracer.metrics.inc(
+                "checkpoint.hits" if hit else "checkpoint.misses"
+            )
+            return checkpoint
+
+    def _get(self, key: str) -> "Checkpoint | None":
         """The checkpoint for ``key``, or ``None`` on miss.
 
         A committed-but-corrupt entry — unreadable metadata, a
@@ -164,6 +184,21 @@ class CheckpointStore:
         readable-but-wrong checkpoint.  ``state_sha256`` lets a caller
         that already digested ``state`` skip the re-hash.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._put(key, spec, state, meta, state_sha256)
+        with tracer.span("checkpoint.put", "store", key=key):
+            tracer.metrics.inc("checkpoint.puts")
+            return self._put(key, spec, state, meta, state_sha256)
+
+    def _put(
+        self,
+        key: str,
+        spec,
+        state: "dict[str, np.ndarray]",
+        meta: "dict | None" = None,
+        state_sha256: "str | None" = None,
+    ) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         weight_path = self.weight_path(key)
         meta_path = self.meta_path(key)

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext as _null
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs import trace as trace_mod
+from repro.obs.export import write_trace
 from repro.runtime import faults as faults_mod
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import (
@@ -56,6 +59,9 @@ class EngineRun:
     wall_s: float = 0.0
     code_version: str = ""
     health: dict = field(default_factory=dict)
+    #: Directory the run's trace was written to (``None`` untraced).
+    #: Telemetry, like ``wall_s`` — never part of :meth:`to_dict`.
+    trace_dir: "str | None" = None
 
     def result(self, label: str) -> dict:
         """The result mapping for one point label."""
@@ -111,6 +117,13 @@ class ExperimentEngine:
     faults:
         A :class:`~repro.runtime.faults.FaultPlan` of injected chaos
         (``None`` = the installed plan or ``$REPRO_RUNTIME_FAULTS``).
+    trace:
+        Observability: a directory path (or a
+        :class:`~repro.obs.trace.Tracer`) to record the run's span
+        timeline and metrics into; ``None`` joins an already-installed
+        tracer or honours ``$REPRO_RUNTIME_TRACE``; ``False`` disables
+        tracing even under the environment variable.  Tracing never
+        changes result bytes — see :mod:`repro.obs.trace`.
     """
 
     def __init__(
@@ -119,39 +132,86 @@ class ExperimentEngine:
         n_workers: "int | None" = None,
         policy: "RetryPolicy | None" = None,
         faults=None,
+        trace=None,
     ) -> None:
         self.cache = cache
         self.n_workers = resolve_worker_count(n_workers)
         self.policy = policy
         self.faults = faults
+        self.trace = trace
 
     def run(self, scenario: Scenario) -> EngineRun:
         """Execute every point of ``scenario`` (reusing cached ones)."""
-        # Install the active plan for the run's duration so store
-        # writes (which happen far from any executor kwarg) see the
-        # same chaos schedule as the tasks.
+        # Install the active plan (and tracer) for the run's duration so
+        # store reads/writes — which happen far from any executor kwarg
+        # — see the same chaos schedule and land in the same timeline.
         plan = faults_mod.active_plan(self.faults)
         previous = faults_mod.install(plan)
+        tracer, owned = trace_mod.tracer_for_run(
+            self.trace, f"engine:{scenario.name}"
+        )
+        prev_tracer = trace_mod.install_tracer(tracer) if tracer else None
         try:
-            return self._run(scenario, plan)
+            if tracer is None:
+                return self._run(scenario, plan)
+            with tracer.span(f"engine:{scenario.name}", "engine"):
+                run = self._run(scenario, plan)
+            self._finalize_trace(run, tracer, owned)
+            return run
         finally:
+            if tracer is not None:
+                trace_mod.install_tracer(prev_tracer)
             faults_mod.install(previous)
+
+    def _finalize_trace(self, run: EngineRun, tracer, owned: bool) -> None:
+        """Fold run health into the metrics; export when we own the tracer."""
+        metrics = tracer.metrics
+        metrics.ratio_gauge("cache.hit_ratio", run.n_cached, run.n_tasks)
+        for family, counters in run.health.items():
+            if not isinstance(counters, dict):
+                continue
+            for key, value in counters.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    metrics.set_gauge(f"health.{family}.{key}", value)
+        if owned:
+            run.trace_dir = write_trace(tracer)
+        else:
+            run.trace_dir = tracer.out_dir
 
     def _run(self, scenario: Scenario, plan) -> EngineRun:
         start = time.perf_counter()
+        tracer = trace_mod.current_tracer()
         version = code_version()
         health = RunHealth()
-        planned = plan_scenario(
-            scenario, version=version, n_workers=self.n_workers
-        )
+        if tracer is None:
+            planned = plan_scenario(
+                scenario, version=version, n_workers=self.n_workers
+            )
+        else:
+            with tracer.span("plan", "engine", points=len(scenario.points)):
+                planned = plan_scenario(
+                    scenario, version=version, n_workers=self.n_workers
+                )
         results: "dict[int, dict]" = {}
         to_run = []
-        for entry in planned:
-            cached = self.cache.get(entry.key) if self.cache else None
-            if cached is not None:
-                results[entry.index] = cached
-            else:
-                to_run.append(entry)
+        with tracer.span(
+            "cache_check", "engine", tasks=len(planned)
+        ) if tracer else _null():
+            for entry in planned:
+                # `is not None`, not truthiness: an *empty* cache is
+                # falsy (__len__ == 0), which would silently skip gets
+                # on every cold run — and with them the miss telemetry.
+                cached = (
+                    self.cache.get(entry.key)
+                    if self.cache is not None
+                    else None
+                )
+                if cached is not None:
+                    results[entry.index] = cached
+                else:
+                    to_run.append(entry)
 
         by_task_id = {entry.task.task_id: entry for entry in to_run}
 
@@ -170,6 +230,17 @@ class ExperimentEngine:
             faults=plan,
             health=health,
         )
+        with tracer.span("assemble", "engine") if tracer else _null():
+            run = self._assemble(
+                scenario, plan, planned, to_run, results, executed,
+                version, health, start,
+            )
+        return run
+
+    def _assemble(
+        self, scenario, plan, planned, to_run, results, executed,
+        version, health, start,
+    ) -> EngineRun:
         for entry in to_run:
             results[entry.index] = executed[entry.task.task_id]
         return EngineRun(

@@ -56,6 +56,7 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import os
+import pickle
 import time
 import traceback
 import warnings
@@ -63,9 +64,12 @@ from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.trace import current_tracer, span_id
+from repro.perf.profile import merge_profiles, profile_snapshot
 from repro.runtime.faults import FaultPlan, InjectedFaultError, active_plan
 from repro.runtime.payloads import PayloadStore, collect_refs, load_payload, resolve_refs
 
@@ -268,23 +272,61 @@ def _error_summary(exc: BaseException) -> str:
     return traceback.format_exception_only(type(exc), exc)[-1].strip()
 
 
+#: Worker-process baseline of the ``@profiled`` registry.  Forked
+#: workers inherit the coordinator's registry contents; the first chunk
+#: snapshots them so only worker-observed time ships back, and each
+#: later chunk ships the delta since the previous one.
+_WORKER_PROFILE_BASE: "dict[str, tuple[int, float, float]] | None" = None
+
+
+def _worker_profile_delta() -> "dict[str, tuple[int, float, float]]":
+    global _WORKER_PROFILE_BASE
+    snapshot = profile_snapshot()
+    base = _WORKER_PROFILE_BASE or {}
+    delta = {}
+    for name, (calls, total_s, max_s) in snapshot.items():
+        prev_calls, prev_total, _ = base.get(name, (0, 0.0, 0.0))
+        if calls != prev_calls or total_s != prev_total:
+            delta[name] = (calls - prev_calls, total_s - prev_total, max_s)
+    _WORKER_PROFILE_BASE = snapshot
+    return delta
+
+
 def _run_chunk(message):
     """Worker entry point: run one packed chunk serially, in plan order.
 
-    ``message`` is ``(spool_root, fault_plan, [(task_id, fn, params,
-    attempt), ...])``; parameters may contain :class:`PayloadRef`
-    markers, resolved here against the spool (memoized per worker
-    process, so a payload shared by many tasks is unpickled once).
+    ``message`` is ``(spool_root, fault_plan, trace_ctx, [(task_id, fn,
+    params, attempt), ...])``; parameters may contain
+    :class:`PayloadRef` markers, resolved here against the spool
+    (memoized per worker process, so a payload shared by many tasks is
+    unpickled once).
 
     Failures never raise across the process boundary: each task yields
     an outcome tuple — ``("ok", task_id, result)`` or ``("error",
     task_id, formatted_traceback, summary, injected)`` — so one task's
     exception cannot take down its chunk-mates, and the original
     traceback travels as a plain string that survives pickling.
+
+    The return value is ``(outcomes, profile_delta, spans)``:
+    ``profile_delta`` is this worker's ``@profiled`` registry delta
+    since its previous chunk (always shipped — without it, worker-side
+    profiling is silently lost when the pool exits), and ``spans`` are
+    per-task execute spans recorded when ``trace_ctx = (epoch,
+    execute_parent_id)`` is set.  Span ids derive from the
+    coordinator-supplied logical parent via :func:`~repro.obs.trace.
+    span_id`, so the merged tree is identical whatever the worker count;
+    timestamps use the coordinator's ``perf_counter`` epoch, which
+    forked workers share.
     """
-    spool_root, plan, items = message
+    global _WORKER_PROFILE_BASE
+    spool_root, plan, trace_ctx, items = message
+    if _WORKER_PROFILE_BASE is None:
+        _WORKER_PROFILE_BASE = profile_snapshot()
     out = []
+    spans = []
+    pid = os.getpid()
     for task_id, fn, params, attempt in items:
+        start = time.perf_counter()
         try:
             if plan is not None:
                 plan.apply_task_faults(task_id, attempt, in_worker=True)
@@ -303,7 +345,23 @@ def _run_chunk(message):
                     isinstance(exc, InjectedFaultError),
                 )
             )
-    return out
+        if trace_ctx is not None:
+            epoch, parent = trace_ctx
+            name = f"task:{task_id}"
+            spans.append(
+                {
+                    "type": "span",
+                    "id": span_id(parent, name, attempt),
+                    "parent": parent,
+                    "name": name,
+                    "cat": "task",
+                    "start_s": start - epoch,
+                    "end_s": time.perf_counter() - epoch,
+                    "pid": pid,
+                    "attrs": {"task": task_id, "attempt": attempt},
+                }
+            )
+    return out, _worker_profile_delta(), spans
 
 
 def _topological(tasks: Sequence[Task]) -> list[Task]:
@@ -410,6 +468,34 @@ class _Execution:
         self.pool_failures = 0
         self.serial_only = False
         self._pool: "ProcessPoolExecutor | None" = None
+        self.tracer = current_tracer()
+        # Task spans parent to the run's execute-phase span — a *logical*
+        # parent, independent of which wave round or chunk the transport
+        # happened to place the task in — so the span tree's shape is
+        # identical whatever the worker count.
+        self._task_parent = ""
+
+    # -- tracing -----------------------------------------------------------------
+
+    def _maybe_span(self, name: str, category: str = "executor", **attrs):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, category, **attrs)
+
+    def _task_span(self, task: Task, attempt: int):
+        """Coordinator-side task span, id-compatible with the worker's."""
+        if self.tracer is None:
+            return nullcontext()
+        name = f"task:{task.task_id}"
+        return self.tracer.span(
+            name,
+            "task",
+            parent=self._task_parent,
+            fixed_id=span_id(self._task_parent, name, attempt),
+            task=task.task_id,
+            attempt=attempt,
+            deps=list(task.deps),
+        )
 
     # -- shared bookkeeping ------------------------------------------------------
 
@@ -438,17 +524,25 @@ class _Execution:
         self.health.task_errors += 1
         if injected:
             self.health.injected_faults += 1
+        if self.tracer is not None:
+            self.tracer.metrics.inc("executor.task_errors")
         self.failures[task_id] = self.failures.get(task_id, 0) + 1
         if self.failures[task_id] <= self.policy.retries:
             self.health.retries += 1
+            if self.tracer is not None:
+                self.tracer.metrics.inc("executor.retries")
+                self.tracer.event("retry", "executor", task=task_id)
             return True
         return False
 
     def _backoff(self) -> None:
         if self.policy.backoff_s > 0:
-            time.sleep(
-                self.policy.backoff_s * (2 ** min(self.retry_round, 6))
-            )
+            delay = self.policy.backoff_s * (2 ** min(self.retry_round, 6))
+            if self.tracer is not None:
+                with self.tracer.span("backoff", "executor", seconds=delay):
+                    time.sleep(delay)
+            else:
+                time.sleep(delay)
         self.retry_round += 1
 
     def _dispatch_attempt(self, task_id: str, in_worker: bool) -> int:
@@ -504,14 +598,15 @@ class _Execution:
         while True:
             attempt = self._dispatch_attempt(task.task_id, in_worker=False)
             try:
-                if self.plan is not None:
-                    self.plan.apply_task_faults(
-                        task.task_id, attempt, in_worker=False
-                    )
-                resolved = params
-                if self.payloads is not None:
-                    resolved = self.payloads.resolve(resolved)
-                result = _call(task.fn, resolved)
+                with self._task_span(task, attempt):
+                    if self.plan is not None:
+                        self.plan.apply_task_faults(
+                            task.task_id, attempt, in_worker=False
+                        )
+                    resolved = params
+                    if self.payloads is not None:
+                        resolved = self.payloads.resolve(resolved)
+                    result = _call(task.fn, resolved)
             except (ConfigurationError, TaskExecutionError):
                 raise
             except Exception as exc:
@@ -578,6 +673,27 @@ class _Execution:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    def _consume_chunk(self, chunk_result, remaining: dict, deps_by_id: dict) -> None:
+        """Fold one worker chunk's outcomes + telemetry into the run.
+
+        Profile deltas merge unconditionally — that wall time genuinely
+        elapsed even if the chunk is a salvaged replay.  Worker spans
+        are absorbed only for tasks still outstanding (their deps
+        stamped in from the plan, which never crosses the IPC boundary)
+        so a replayed chunk cannot duplicate a task's timeline row.
+        """
+        outcomes, profile_delta, spans = chunk_result
+        if profile_delta:
+            merge_profiles(profile_delta)
+        if self.tracer is not None and spans:
+            fresh = [s for s in spans if s["attrs"]["task"] in remaining]
+            for span in fresh:
+                span["attrs"]["deps"] = deps_by_id.get(
+                    span["attrs"]["task"], []
+                )
+            self.tracer.absorb(fresh)
+        self._handle_outcomes(outcomes, remaining)
+
     def _handle_outcomes(self, outcomes, remaining: dict) -> None:
         for outcome in outcomes:
             task_id = outcome[1]
@@ -593,16 +709,16 @@ class _Execution:
                 del remaining[task_id]
                 self._final_failure(task_id, remote, summary)
 
-    def _salvage(self, futures, remaining: dict) -> None:
+    def _salvage(self, futures, remaining: dict, deps_by_id: dict) -> None:
         """Collect every chunk that finished before the pool broke."""
         for future in futures:
             if not future.done():
                 continue
             try:
-                outcomes = future.result(timeout=0)
+                chunk_result = future.result(timeout=0)
             except Exception:
                 continue  # the chunk that crashed/was cancelled
-            self._handle_outcomes(outcomes, remaining)
+            self._consume_chunk(chunk_result, remaining, deps_by_id)
 
     def _on_pool_failure(self, kind: str, detail: str, remaining) -> None:
         """Count, rebuild (or degrade to serial), and let the wave replay."""
@@ -610,6 +726,11 @@ class _Execution:
             self.health.timeouts += 1
         else:
             self.health.worker_crashes += 1
+        if self.tracer is not None:
+            self.tracer.metrics.inc(
+                "executor.timeouts" if kind == "timeout"
+                else "executor.worker_crashes"
+            )
         self._kill_pool()
         self.pool_failures += 1
         if self.pool_failures >= self.policy.max_pool_failures:
@@ -623,11 +744,22 @@ class _Execution:
                 self.health.fallback_reason, RuntimeWarning, stacklevel=5
             )
             self.serial_only = True
+            if self.tracer is not None:
+                self.tracer.metrics.inc("executor.serial_fallbacks")
+                self.tracer.event(
+                    "serial_fallback", "executor", kind=kind, detail=detail
+                )
         else:
             self.health.pool_rebuilds += 1
+            if self.tracer is not None:
+                self.tracer.metrics.inc("executor.pool_rebuilds")
+                self.tracer.event(
+                    "pool_rebuild", "executor", kind=kind, detail=detail
+                )
 
     def _run_wave_pool(self, wave: "list[Task]", params: dict) -> None:
         remaining = {task.task_id: task for task in wave}
+        deps_by_id = {task.task_id: list(task.deps) for task in wave}
         while remaining:
             if self.serial_only or not self._ensure_pool():
                 pending_tasks = [
@@ -657,40 +789,74 @@ class _Execution:
                 self.n_workers,
                 attempts=attempts,
             )
-            futures = [
-                self._pool.submit(
-                    _run_chunk, (spool_root, self.plan, message)
+            trace_ctx = None
+            if self.tracer is not None:
+                trace_ctx = (self.tracer.epoch, self._task_parent)
+                self.tracer.metrics.inc("executor.messages", len(messages))
+                self.tracer.metrics.observe(
+                    "executor.queue_depth", len(remaining)
                 )
-                for message in messages
-            ]
-            try:
-                for future, message in zip(futures, messages):
-                    budget = None
-                    if self.policy.timeout_s is not None:
-                        budget = self.policy.timeout_s * len(message)
-                    self._handle_outcomes(
-                        future.result(timeout=budget), remaining
+            with self._maybe_span(
+                "dispatch",
+                messages=len(messages),
+                tasks=len(remaining),
+            ):
+                payloads_msgs = [
+                    (spool_root, self.plan, trace_ctx, message)
+                    for message in messages
+                ]
+                if self.tracer is not None:
+                    self.tracer.metrics.inc(
+                        "executor.message_bytes",
+                        sum(len(pickle.dumps(m)) for m in payloads_msgs),
                     )
-            except BrokenProcessPool as exc:
-                self._salvage(futures, remaining)
-                self._on_pool_failure("crash", repr(exc), remaining)
-            except FuturesTimeoutError:
-                self._salvage(futures, remaining)
-                self._on_pool_failure(
-                    "timeout",
-                    f"chunk exceeded its "
-                    f"{self.policy.timeout_s:g}s/task budget",
-                    remaining,
-                )
-            else:
-                self.pool_failures = 0  # a clean round resets the strikes
-                if remaining:
-                    self._backoff()  # only retries are left in the wave
+                futures = [
+                    self._pool.submit(_run_chunk, payload)
+                    for payload in payloads_msgs
+                ]
+                try:
+                    for future, message in zip(futures, messages):
+                        budget = None
+                        if self.policy.timeout_s is not None:
+                            budget = self.policy.timeout_s * len(message)
+                        self._consume_chunk(
+                            future.result(timeout=budget),
+                            remaining,
+                            deps_by_id,
+                        )
+                except BrokenProcessPool as exc:
+                    self._salvage(futures, remaining, deps_by_id)
+                    self._on_pool_failure("crash", repr(exc), remaining)
+                except FuturesTimeoutError:
+                    self._salvage(futures, remaining, deps_by_id)
+                    self._on_pool_failure(
+                        "timeout",
+                        f"chunk exceeded its "
+                        f"{self.policy.timeout_s:g}s/task budget",
+                        remaining,
+                    )
+                else:
+                    self.pool_failures = 0  # a clean round resets strikes
+                    if remaining:
+                        self._backoff()  # only retries left in the wave
 
     # -- the wave loop -----------------------------------------------------------
 
     def execute(self, ordered: "list[Task]") -> dict:
+        if self.tracer is None:
+            return self._execute(ordered)
+        with self.tracer.span(
+            "execute",
+            "executor",
+            n_tasks=len(ordered),
+            n_workers=self.n_workers,
+        ) as span:
+            self._task_parent = span.span_id
+            return self._execute(ordered)
+
+    def _execute(self, ordered: "list[Task]") -> dict:
         pending = list(ordered)
+        wave_index = 0
         while pending:
             pending = self._skip_blocked(pending)
             if not pending:
@@ -700,11 +866,15 @@ class _Execution:
                 # Only reachable if a dependency failed in raise mode —
                 # which raised — or via skip_blocked; defensive guard.
                 break
-            params = self._wave_params(wave)
-            if self.serial_only or self.n_workers <= 1:
-                self._run_wave_serial(wave, params)
-            else:
-                self._run_wave_pool(wave, params)
+            with self._maybe_span(
+                "wave", index=wave_index, size=len(wave)
+            ):
+                params = self._wave_params(wave)
+                if self.serial_only or self.n_workers <= 1:
+                    self._run_wave_serial(wave, params)
+                else:
+                    self._run_wave_pool(wave, params)
+            wave_index += 1
             settled = self.done | self.failed.keys() | self.skipped
             pending = [t for t in pending if t.task_id not in settled]
         return self.results

@@ -45,6 +45,7 @@ import tempfile
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import current_tracer
 
 __all__ = [
     "PayloadRef",
@@ -97,6 +98,9 @@ class PayloadStore:
         """
         if self._closed:
             raise ConfigurationError("payload store is closed")
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.inc("payloads.interned")
         memo = self._by_id.get(id(obj))
         if memo is not None and memo[1] is obj:
             return PayloadRef(memo[0])
@@ -105,6 +109,9 @@ class PayloadStore:
         if digest not in self._objects:
             self._objects[digest] = obj
             self._bytes[digest] = data
+            if tracer is not None:
+                tracer.metrics.inc("payloads.unique")
+                tracer.metrics.inc("payloads.unique_bytes", len(data))
         self._by_id[id(obj)] = (digest, obj)
         return PayloadRef(digest)
 
@@ -132,11 +139,22 @@ class PayloadStore:
         """
         if self._closed:
             raise ConfigurationError("payload store is closed")
+        tracer = current_tracer()
+        if tracer is None:
+            return self._spill(digests, None)
+        with tracer.span(
+            "payloads.spill", "store", requested=len(digests)
+        ) as span:
+            return self._spill(digests, span)
+
+    def _spill(self, digests, span) -> str:
         if self._spool is None:
             base = self._root or os.environ.get(PAYLOADS_ENV) or None
             if base is not None:
                 os.makedirs(base, exist_ok=True)
             self._spool = tempfile.mkdtemp(prefix="repro-payloads-", dir=base)
+        written = 0
+        written_bytes = 0
         for digest in digests:
             path = os.path.join(self._spool, f"{digest}.pkl")
             data = self._bytes.pop(digest, None)
@@ -145,10 +163,20 @@ class PayloadStore:
                     continue  # unknown digest, or already spilled and intact
                 data = pickle.dumps(self._objects[digest], protocol=_PROTOCOL)
                 self.rehydrated += 1
+                if span is not None:
+                    current_tracer().metrics.inc("payloads.rehydrated")
             tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "wb") as handle:
                 handle.write(data)
             os.replace(tmp, path)
+            written += 1
+            written_bytes += len(data)
+        if span is not None:
+            span.attrs["spilled"] = written
+            span.attrs["spilled_bytes"] = written_bytes
+            tracer = current_tracer()
+            tracer.metrics.inc("payloads.spilled", written)
+            tracer.metrics.inc("payloads.spilled_bytes", written_bytes)
         return self._spool
 
     def close(self) -> None:

@@ -1,0 +1,281 @@
+"""Unit tests for the repro.obs tracing/metrics/export subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Metrics,
+    Tracer,
+    chrome_trace_payload,
+    critical_path,
+    current_tracer,
+    install_tracer,
+    load_trace,
+    render_report,
+    span_id,
+    trace_events,
+    tracer_for_run,
+    validate_events,
+    write_trace,
+)
+from repro.obs.trace import TRACE_ENV
+
+
+class TestSpanIds:
+    def test_content_derived_and_stable(self):
+        assert span_id("", "engine:x", 0) == span_id("", "engine:x", 0)
+        assert span_id("", "engine:x", 0) != span_id("", "engine:x", 1)
+        assert span_id("", "a", 0) != span_id("", "b", 0)
+        assert len(span_id("p", "n", 3)) == 12
+
+    def test_occurrence_counting_disambiguates_repeats(self):
+        tracer = Tracer(name="t")
+        with tracer.span("root"):
+            with tracer.span("wave"):
+                pass
+            with tracer.span("wave"):
+                pass
+        ids = [span.span_id for span in tracer.spans]
+        assert len(set(ids)) == 3
+
+    def test_nesting_follows_the_stack(self):
+        tracer = Tracer(name="t")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id() == inner.span_id
+            assert tracer.current_span_id() == outer.span_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == ""
+
+    def test_two_identical_runs_share_the_span_tree(self):
+        def run():
+            tracer = Tracer(name="t")
+            with tracer.span("root"):
+                for _ in range(2):
+                    with tracer.span("phase"):
+                        tracer.event("marker")
+            return {(s.span_id, s.parent_id, s.name) for s in tracer.spans}
+
+        assert run() == run()
+
+    def test_absorb_merges_worker_span_dicts(self):
+        tracer = Tracer(name="t")
+        with tracer.span("execute") as execute:
+            pass
+        worker_span = {
+            "id": span_id(execute.span_id, "task:x", 1),
+            "parent": execute.span_id,
+            "name": "task:x",
+            "cat": "task",
+            "start_s": 0.5,
+            "end_s": 0.7,
+            "pid": 4242,
+            "attrs": {"task": "x", "attempt": 1},
+        }
+        tracer.absorb([worker_span])
+        absorbed = tracer.spans[-1]
+        assert absorbed.pid == 4242
+        assert absorbed.duration_s == pytest.approx(0.2)
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        metrics = Metrics()
+        metrics.inc("hits")
+        metrics.inc("hits", 2)
+        metrics.set_gauge("ratio", 0.5)
+        metrics.observe("depth", 3)
+        metrics.observe("depth", 5)
+        payload = metrics.to_dict()
+        assert payload["counters"]["hits"] == 3
+        assert payload["gauges"]["ratio"] == 0.5
+        depth = payload["histograms"]["depth"]
+        assert depth["count"] == 2
+        assert depth["min"] == 3 and depth["max"] == 5
+        assert depth["mean"] == pytest.approx(4.0)
+
+    def test_ratio_gauge_guards_zero_denominator(self):
+        metrics = Metrics()
+        metrics.ratio_gauge("r", 1, 0)
+        assert metrics.to_dict()["gauges"]["r"] == 0.0
+        metrics.ratio_gauge("r", 1, 4)
+        assert metrics.to_dict()["gauges"]["r"] == 0.25
+
+
+class TestTracerForRun:
+    def test_false_disables_even_under_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path))
+        assert tracer_for_run(False, "x") == (None, False)
+
+    def test_path_creates_owned_tracer(self, tmp_path):
+        tracer, owned = tracer_for_run(str(tmp_path / "t"), "engine:x")
+        assert owned and tracer.name == "engine:x"
+        assert tracer.out_dir == str(tmp_path / "t")
+
+    def test_tracer_instance_is_not_owned(self):
+        mine = Tracer(name="mine")
+        assert tracer_for_run(mine, "x") == (mine, False)
+
+    def test_none_joins_installed_tracer(self):
+        mine = Tracer(name="outer")
+        previous = install_tracer(mine)
+        try:
+            assert tracer_for_run(None, "inner") == (mine, False)
+        finally:
+            install_tracer(previous)
+
+    def test_none_falls_back_to_env_then_off(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert current_tracer() is None
+        assert tracer_for_run(None, "x") == (None, False)
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path))
+        tracer, owned = tracer_for_run(None, "x")
+        assert owned and tracer.out_dir == str(tmp_path)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(name="engine:test")
+    with tracer.span("engine:test", "engine"):
+        with tracer.span("execute", "executor") as execute:
+            for index, (task, deps, cost) in enumerate(
+                [("a", [], 0.2), ("b", ["a"], 0.3), ("c", [], 0.1)]
+            ):
+                with tracer.span(
+                    f"task:{task}",
+                    "task",
+                    parent=execute.span_id,
+                    fixed_id=span_id(execute.span_id, f"task:{task}", 1),
+                    task=task,
+                    attempt=1,
+                    deps=deps,
+                ) as span:
+                    pass
+                span.start_s = index * 1.0
+                span.end_s = index * 1.0 + cost
+    tracer.metrics.inc("cache.misses", 3)
+    return tracer
+
+
+class TestExportAndReport:
+    def test_write_trace_emits_three_artifacts(self, tmp_path):
+        tracer = _sample_tracer()
+        out = write_trace(tracer, tmp_path / "trace")
+        files = sorted(p.name for p in (tmp_path / "trace").iterdir())
+        assert files == ["chrome_trace.json", "summary.txt", "trace.jsonl"]
+        assert out == str(tmp_path / "trace")
+
+    def test_write_trace_without_directory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            write_trace(Tracer(name="t"))
+
+    def test_jsonl_round_trips_and_validates(self, tmp_path):
+        tracer = _sample_tracer()
+        write_trace(tracer, tmp_path)
+        events = load_trace(tmp_path)
+        assert validate_events(events) == []
+        assert events[0]["type"] == "meta"
+        assert events[-1]["type"] == "metrics"
+        # load_trace accepts the file path too.
+        assert load_trace(tmp_path / "trace.jsonl") == events
+
+    def test_load_trace_missing_path_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_trace(tmp_path / "nope")
+
+    def test_validate_catches_corruption(self):
+        events = trace_events(_sample_tracer())
+        assert validate_events(events) == []
+        # No meta record.
+        assert validate_events(events[1:]) == ["no meta record"]
+        # Wrong schema version.
+        bad_meta = [dict(events[0], schema_version=999)] + events[1:]
+        assert any("schema_version" in e for e in validate_events(bad_meta))
+        # Missing key / wrong type / negative duration / unknown type.
+        span = next(e for e in events if e["type"] == "span")
+        broken = dict(span)
+        del broken["pid"]
+        assert any("missing key" in e for e in validate_events([events[0], broken]))
+        wrong = dict(span, start_s="later")
+        assert any("has type" in e for e in validate_events([events[0], wrong]))
+        torn = dict(span, start_s=2.0, end_s=1.0)
+        assert any("end_s" in e for e in validate_events([events[0], torn]))
+        assert any(
+            "unknown type" in e
+            for e in validate_events([events[0], {"type": "mystery"}])
+        )
+
+    def test_chrome_payload_lanes_and_args(self):
+        tracer = _sample_tracer()
+        tracer.absorb(
+            [
+                {
+                    "id": "feedbeef0001",
+                    "parent": "",
+                    "name": "task:w",
+                    "cat": "task",
+                    "start_s": 0.0,
+                    "end_s": 0.1,
+                    "pid": tracer.pid + 1,
+                    "attrs": {"task": "w", "attempt": 1},
+                }
+            ]
+        )
+        payload = chrome_trace_payload(tracer)
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in meta] == ["coordinator", "worker-1"]
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        worker = next(e for e in spans if e["name"] == "task:w")
+        assert worker["pid"] == 1  # lane, not raw pid
+        assert worker["args"]["id"] == "feedbeef0001"
+        assert all(e["dur"] >= 0 for e in spans)
+
+    def test_critical_path_follows_deps(self):
+        events = trace_events(_sample_tracer())
+        chain, total = critical_path(events)
+        # b (0.3) depends on a (0.2): cumulative 0.5 beats c (0.1).
+        assert chain == ["a", "b"]
+        assert total == pytest.approx(0.5)
+
+    def test_report_names_critical_path_and_stats(self):
+        text = render_report(trace_events(_sample_tracer()))
+        assert "trace report: engine:test" in text
+        assert "critical path" in text
+        assert "-> a -> b" in text.replace("  ", " ") or "a" in text
+        assert "cache misses" in text
+
+
+class TestCli:
+    def test_report_and_validate_exit_codes(self, tmp_path):
+        import subprocess
+        import sys
+
+        write_trace(_sample_tracer(), tmp_path)
+        env_dir = str(tmp_path)
+
+        def cli(*args):
+            return subprocess.run(
+                [sys.executable, "-m", "repro.obs", *args],
+                capture_output=True,
+                text=True,
+            )
+
+        report = cli("report", env_dir)
+        assert report.returncode == 0
+        assert "critical path" in report.stdout
+
+        valid = cli("validate", env_dir)
+        assert valid.returncode == 0
+
+        # Corrupt the JSONL: drop the meta line.
+        jsonl = tmp_path / "trace.jsonl"
+        lines = jsonl.read_text().splitlines()
+        jsonl.write_text("\n".join(lines[1:]) + "\n")
+        invalid = cli("validate", env_dir)
+        assert invalid.returncode == 1
+
+        missing = cli("validate", str(tmp_path / "nope"))
+        assert missing.returncode == 2

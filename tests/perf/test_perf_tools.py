@@ -152,6 +152,101 @@ class TestProfiling:
         assert entry.calls == 1
         reset_profiles()
 
+    def test_record_block_records_on_exception(self):
+        # The time a failing block burned is exactly the time a
+        # post-mortem needs — record() must observe it on the way out.
+        reset_profiles()
+        with pytest.raises(RuntimeError):
+            with record("unit.failing"):
+                raise RuntimeError("boom")
+        entries = {e.name: e for e in profile_summary()}
+        assert entries["unit.failing"].calls == 1
+        assert entries["unit.failing"].total_s >= 0.0
+        reset_profiles()
+
+    def test_nested_record_blocks_attribute_both_levels(self):
+        reset_profiles()
+        with record("unit.outer"):
+            with record("unit.inner"):
+                time.sleep(0.001)
+        entries = {e.name: e for e in profile_summary()}
+        assert entries["unit.outer"].calls == 1
+        assert entries["unit.inner"].calls == 1
+        # Wall time is attributed to every enclosing block: the outer
+        # span covers the inner one.
+        assert entries["unit.outer"].total_s >= entries["unit.inner"].total_s
+        reset_profiles()
+
+    def test_reset_between_stages_isolates_registries(self):
+        reset_profiles()
+        with record("stage.one"):
+            pass
+        assert [e.name for e in profile_summary()] == ["stage.one"]
+        reset_profiles()
+        with record("stage.two"):
+            pass
+        names = [e.name for e in profile_summary()]
+        assert names == ["stage.two"], "stage one leaked through reset"
+        reset_profiles()
+
+    def test_summary_ordering_is_deterministic_on_ties(self):
+        # Equal totals (here: zero, via merge of synthetic snapshots)
+        # must sort by name so repeated summaries diff clean.
+        from repro.perf.profile import merge_profiles
+
+        reset_profiles()
+        merge_profiles(
+            {
+                "unit.bbb": (1, 0.5, 0.5),
+                "unit.aaa": (1, 0.5, 0.5),
+                "unit.ccc": (2, 0.25, 0.125),
+            }
+        )
+        names = [e.name for e in profile_summary()]
+        assert names == ["unit.aaa", "unit.bbb", "unit.ccc"]
+        reset_profiles()
+
+    def test_snapshot_merge_round_trip(self):
+        # The worker-telemetry path: a worker snapshots its registry,
+        # ships it, and the coordinator merges it into its own.
+        from repro.perf.profile import merge_profiles, profile_snapshot
+
+        reset_profiles()
+        with record("unit.shared"):
+            pass
+        snapshot = profile_snapshot()
+        assert snapshot["unit.shared"][0] == 1
+        merge_profiles(snapshot)  # coordinator already has one call
+        (entry,) = profile_summary()
+        assert entry.calls == 2
+        assert entry.total_s == pytest.approx(2 * snapshot["unit.shared"][1])
+        assert entry.max_s == pytest.approx(snapshot["unit.shared"][2])
+        reset_profiles()
+
+    def test_observe_is_thread_safe(self):
+        import threading
+
+        reset_profiles()
+
+        @profiled("unit.threaded")
+        def bump():
+            return None
+
+        n_threads, n_calls = 8, 200
+
+        def hammer():
+            for _ in range(n_calls):
+                bump()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        (entry,) = profile_summary()
+        assert entry.calls == n_threads * n_calls
+        reset_profiles()
+
 
 class TestPerfReport:
     def test_write_json(self, tmp_path):

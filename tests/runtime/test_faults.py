@@ -419,7 +419,11 @@ class TestEngineIntegration:
         clean = ExperimentEngine(
             cache=ResultCache(tmp_path / "clean")
         ).run(scenario)
-        plan = parse_plan("error,*,rate=0.4,count=1;torn,cache:*,rate=0.4")
+        # The tear rule runs at rate 1.0: cache keys embed code_version(),
+        # so a fractional rate would select a source-edit-dependent subset
+        # of keys (possibly none) and the quarantine assertion below
+        # would flap with every unrelated change to the library.
+        plan = parse_plan("error,*,rate=0.4,count=1;torn,cache:*")
         chaotic_cache = ResultCache(tmp_path / "chaos")
         engine = ExperimentEngine(cache=chaotic_cache, faults=plan)
         chaotic = engine.run(scenario)
