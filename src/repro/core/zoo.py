@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import os
 import re
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 
 from repro.errors import ConfigurationError, DatasetError
 from repro.core.costs import splitbeam_feedback_bits, splitbeam_head_flops

@@ -1,0 +1,157 @@
+"""The finding model, suppression filtering, and the baseline file.
+
+Fingerprints are deliberately line-number-free: a finding is identified
+by (rule, module, stripped source text of the flagged line, occurrence
+index among identical lines).  Inserting code above a grandfathered
+finding therefore does not invalidate the baseline, while editing the
+flagged line itself does — exactly the invalidation you want.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.loader import LintUsageError, SourceModule
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    module: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: root-first call chain for call-graph rules, e.g. task -> helper
+    chain: tuple[str, ...] = ()
+    line_text: str = ""
+    fingerprint: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "module": self.module,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+        if self.chain:
+            out["chain"] = list(self.chain)
+        if self.suppressed:
+            out["suppressed"] = True
+        if self.baselined:
+            out["baselined"] = True
+        return out
+
+
+def make_finding(
+    rule: str,
+    module: SourceModule,
+    line: int,
+    col: int,
+    message: str,
+    chain: "tuple[str, ...]" = (),
+) -> Finding:
+    return Finding(
+        rule=rule,
+        module=module.name,
+        path=str(module.path),
+        line=line,
+        col=col,
+        message=message,
+        chain=chain,
+        line_text=module.line_text(line).strip(),
+    )
+
+
+def assign_fingerprints(findings: "list[Finding]") -> None:
+    """Stable ids: (rule, module, line text, occurrence among identical)."""
+    ordered = sorted(findings, key=lambda f: (f.module, f.line, f.col, f.rule))
+    occurrence: dict[tuple, int] = {}
+    for finding in ordered:
+        key = (finding.rule, finding.module, finding.line_text)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        raw = "\x00".join(
+            [finding.rule, finding.module, finding.line_text, str(index)]
+        )
+        finding.fingerprint = hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+def apply_suppressions(
+    findings: "list[Finding]", modules: "dict[str, SourceModule]"
+) -> None:
+    for finding in findings:
+        module = modules.get(finding.module)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            finding.suppressed = True
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings committed alongside the code."""
+
+    path: "Path | None" = None
+    fingerprints: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: "str | Path | None") -> "Baseline":
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise LintUsageError(f"unreadable baseline {path}: {exc}") from exc
+        entries = data.get("findings", []) if isinstance(data, dict) else []
+        fingerprints = {
+            entry["fingerprint"]
+            for entry in entries
+            if isinstance(entry, dict) and "fingerprint" in entry
+        }
+        return cls(path=path, fingerprints=fingerprints)
+
+    def apply(self, findings: "list[Finding]") -> None:
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            if finding.fingerprint in self.fingerprints:
+                finding.baselined = True
+
+    @staticmethod
+    def write(path: "str | Path", findings: "list[Finding]") -> None:
+        """Persist the current (unsuppressed) findings as the new baseline."""
+        entries = [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "module": finding.module,
+                "line": finding.line,
+                "message": finding.message,
+            }
+            for finding in sorted(
+                findings, key=lambda f: (f.module, f.line, f.col, f.rule)
+            )
+            if not finding.suppressed
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,85 @@
+"""Text and JSON rendering of lint results."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_modules: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def active(self) -> "list[Finding]":
+        """Findings that fail the run: not suppressed, not baselined."""
+        return [
+            finding
+            for finding in self.findings
+            if not finding.suppressed and not finding.baselined
+        ]
+
+    @property
+    def n_suppressed(self) -> int:
+        return sum(1 for finding in self.findings if finding.suppressed)
+
+    @property
+    def n_baselined(self) -> int:
+        return sum(1 for finding in self.findings if finding.baselined)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def sorted_findings(self) -> "list[Finding]":
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.sorted_findings():
+        if finding.suppressed or finding.baselined:
+            if not verbose:
+                continue
+            tag = " [suppressed]" if finding.suppressed else " [baselined]"
+        else:
+            tag = ""
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.message}{tag}"
+        )
+        if finding.chain and len(finding.chain) > 1:
+            lines.append(f"    call chain: {' -> '.join(finding.chain)}")
+    active = len(result.active)
+    summary = (
+        f"{active} finding{'s' if active != 1 else ''}"
+        f" ({result.n_suppressed} suppressed, {result.n_baselined} baselined)"
+        f" across {result.n_modules} modules"
+        f" [{', '.join(result.rules_run)}]"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "findings": [
+            finding.to_dict() for finding in result.sorted_findings()
+        ],
+        "summary": {
+            "active": len(result.active),
+            "suppressed": result.n_suppressed,
+            "baselined": result.n_baselined,
+            "modules": result.n_modules,
+            "rules": list(result.rules_run),
+        },
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

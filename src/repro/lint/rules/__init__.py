@@ -1,0 +1,13 @@
+"""Rule registry: importing this package registers every built-in rule."""
+
+from repro.lint.rules.base import RULES, LintContext, Rule, register
+from repro.lint.rules import (  # noqa: F401  (imported for registration side effect)
+    env_read,
+    falsy_store,
+    getstate_cache,
+    hash_input,
+    nondet,
+    unlocked_global,
+)
+
+__all__ = ["RULES", "LintContext", "Rule", "register"]

@@ -1,0 +1,57 @@
+"""Rule protocol, shared analysis context, and the rule registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.loader import Project
+from repro.lint.scopes import ScopeTable
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult; heavy layers built once, lazily."""
+
+    project: Project
+    config: LintConfig
+    _scopes: "ScopeTable | None" = field(default=None, repr=False)
+    _callgraph: "CallGraph | None" = field(default=None, repr=False)
+
+    @property
+    def scopes(self) -> ScopeTable:
+        if self._scopes is None:
+            self._scopes = ScopeTable(self.project)
+        return self._scopes
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.scopes)
+        return self._callgraph
+
+
+class Rule:
+    """A single lint rule: a code, a one-liner, and a ``run`` method."""
+
+    code: str = ""
+    summary: str = ""
+
+    def run(self, ctx: LintContext) -> "list[Finding]":
+        raise NotImplementedError
+
+
+#: code -> rule instance, populated by :func:`register` at import time.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: "type[Rule]") -> "type[Rule]":
+    instance = cls()
+    if not instance.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if instance.code in RULES:
+        raise ValueError(f"duplicate rule code {instance.code}")
+    RULES[instance.code] = instance
+    return cls

@@ -1,0 +1,79 @@
+"""REP-NONDET: nondeterminism sources reachable from task functions.
+
+The runtime's bit-identity contract says every task result is a pure
+function of the task's parameter mapping.  This rule walks the project
+call graph from the registered task functions (``runtime/tasks.py``'s
+``__all__``) and flags any reachable call to a wall clock, an entropy
+source, process identity, the *global* numpy/python RNGs, or the
+``id()``/``hash()`` builtins (PYTHONHASHSEED makes ``hash(str)`` differ
+across worker processes).  Seeded generators (``np.random.default_rng``,
+``random.Random``) are explicitly allowed; so is ``time.perf_counter``,
+which only feeds telemetry, never result bytes.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding, make_finding
+from repro.lint.rules.base import LintContext, Rule, register
+
+
+@register
+class NondetRule(Rule):
+    code = "REP-NONDET"
+    summary = "nondeterminism source reachable from a runtime task body"
+
+    def _roots(self, ctx: LintContext) -> list[str]:
+        roots = list(ctx.config.task_root_functions)
+        for module_name in ctx.config.task_root_modules:
+            scope = ctx.scopes.scopes.get(module_name)
+            if scope is None:
+                continue
+            exported = scope.dunder_all or sorted(scope.functions)
+            for name in exported:
+                if name in scope.functions:
+                    roots.append(f"{module_name}.{name}")
+        return roots
+
+    def _is_nondet(self, ctx: LintContext, fq: str) -> bool:
+        config = ctx.config
+        if fq in config.nondet_calls:
+            return True
+        stripped = fq[len("builtins.") :] if fq.startswith("builtins.") else None
+        if stripped is not None and stripped in config.nondet_builtins:
+            return True
+        for prefix in config.nondet_prefixes:
+            if fq.startswith(prefix) and fq not in config.nondet_prefix_allowed:
+                return True
+        return False
+
+    def run(self, ctx: LintContext) -> "list[Finding]":
+        roots = self._roots(ctx)
+        if not roots:
+            return []
+        graph = ctx.callgraph
+        predecessor = graph.reachable_from(roots)
+        findings: list[Finding] = []
+        for fq in sorted(predecessor):
+            fn = graph.functions.get(fq)
+            if fn is None:
+                continue
+            for site in graph.calls.get(fq, ()):
+                target = site.target_fq
+                if target is None or not self._is_nondet(ctx, target):
+                    continue
+                chain = tuple(graph.chain(predecessor, fq))
+                via = " -> ".join(part.split(".")[-1] for part in chain)
+                findings.append(
+                    make_finding(
+                        self.code,
+                        fn.module,
+                        site.lineno,
+                        site.col,
+                        f"nondeterministic call {site.raw}() ({target}) is "
+                        f"reachable from task root {chain[0].split('.')[-1]!r} "
+                        f"(via {via}); task results must be pure functions of "
+                        "their parameter mapping",
+                        chain=chain,
+                    )
+                )
+        return findings

@@ -1,0 +1,329 @@
+"""Per-module symbol tables and cross-module name resolution.
+
+The linter needs just enough scope modelling to answer three questions
+without importing anything:
+
+1. What fully-qualified thing does the dotted name ``np.random.rand``
+   (or ``LinkSimulator``) refer to in this module/function?
+2. Which function or class does a fully-qualified name land on,
+   following re-export chains (``repro.runtime.hashing.state_digest``
+   is really ``repro.nn.serialize.state_digest``)?
+3. What classes/types can a local variable, parameter, or ``self``
+   attribute hold (tracked only for project classes, from constructor
+   calls and annotations)?
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+
+from repro.lint.loader import Project, SourceModule
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    module: SourceModule
+    qualname: str  # "fn" or "Class.method" or "outer.inner"
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    class_name: "str | None" = None  # owning class, for methods
+    #: imports that happen inside the function body
+    local_imports: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fq(self) -> str:
+        return f"{self.module.name}.{self.qualname}"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with resolved project bases."""
+
+    module: SourceModule
+    name: str
+    node: ast.ClassDef
+    base_names: list[str] = field(default_factory=list)  # fully qualified
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def fq(self) -> str:
+        return f"{self.module.name}.{self.name}"
+
+
+@dataclass
+class ModuleScope:
+    """Symbol table for one module."""
+
+    module: SourceModule
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: top-level Name = <expr> assignments
+    module_assigns: dict[str, ast.expr] = field(default_factory=dict)
+    #: names exported via a literal ``__all__``
+    dunder_all: list[str] = field(default_factory=list)
+
+
+def _relative_base(module: SourceModule, level: int) -> str:
+    """Package prefix a level-``level`` relative import resolves against."""
+    parts = module.name.split(".")
+    if not module.is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[:-drop] if drop < len(parts) else []
+    return ".".join(parts)
+
+
+def _collect_imports(
+    module: SourceModule, body: "list[ast.stmt]", out: dict[str, str]
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                out[local] = target
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level:
+                base = _relative_base(module, stmt.level)
+                prefix = f"{base}.{stmt.module}" if stmt.module else base
+            else:
+                prefix = stmt.module or ""
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                out[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+
+
+def dotted_name(expr: ast.expr) -> "str | None":
+    """``a.b.c`` as a string for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _body_stmts(node) -> "list[ast.stmt]":
+    """All statements inside a function, including nested blocks."""
+    out: list[ast.stmt] = []
+    stack = list(node.body)
+    while stack:
+        stmt = stack.pop()
+        out.append(stmt)
+        for child_field in ("body", "orelse", "finalbody"):
+            out.extend(getattr(stmt, child_field, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            out.extend(handler.body)
+    return out
+
+
+class ScopeTable:
+    """Symbol tables for every module plus cross-module resolution."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.scopes: dict[str, ModuleScope] = {}
+        for module in project:
+            self.scopes[module.name] = self._build(module)
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, module: SourceModule) -> ModuleScope:
+        scope = ModuleScope(module=module)
+        _collect_imports(module, module.tree.body, scope.imports)
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(scope, stmt, prefix="", class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(scope, stmt)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        scope.module_assigns[target.id] = stmt.value
+                        if target.id == "__all__":
+                            scope.dunder_all = _literal_str_list(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                    scope.module_assigns[stmt.target.id] = stmt.value
+        return scope
+
+    def _add_function(
+        self,
+        scope: ModuleScope,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        prefix: str,
+        class_name: "str | None",
+    ) -> None:
+        qualname = f"{prefix}{node.name}"
+        info = FunctionInfo(
+            module=scope.module,
+            qualname=qualname,
+            node=node,
+            class_name=class_name,
+        )
+        _collect_imports(scope.module, _body_stmts(node), info.local_imports)
+        scope.functions[qualname] = info
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(
+                    scope, stmt, prefix=f"{qualname}.", class_name=class_name
+                )
+
+    def _add_class(self, scope: ModuleScope, node: ast.ClassDef) -> None:
+        info = ClassInfo(module=scope.module, name=node.name, node=node)
+        for base in node.bases:
+            name = dotted_name(base)
+            if name is not None:
+                resolved = self.resolve_in_module(scope, name)
+                if resolved is not None:
+                    info.base_names.append(resolved)
+        scope.classes[node.name] = info
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(
+                    scope, stmt, prefix=f"{node.name}.", class_name=node.name
+                )
+                info.methods[stmt.name] = scope.functions[f"{node.name}.{stmt.name}"]
+
+    # -- resolution ---------------------------------------------------------
+
+    def scope_of(self, module: SourceModule) -> ModuleScope:
+        return self.scopes[module.name]
+
+    def resolve_in_module(
+        self,
+        scope: ModuleScope,
+        dotted: str,
+        local_imports: "dict[str, str] | None" = None,
+    ) -> "str | None":
+        """Fully qualify ``dotted`` as used inside ``scope``'s module.
+
+        Resolution order: function-local imports, module imports,
+        module-level defs, builtins.  Unknown names resolve to None.
+        """
+        head, _, rest = dotted.partition(".")
+        target: "str | None" = None
+        if local_imports and head in local_imports:
+            target = local_imports[head]
+        elif head in scope.imports:
+            target = scope.imports[head]
+        elif head in scope.functions or head in scope.classes:
+            target = f"{scope.module.name}.{head}"
+        elif head in scope.module_assigns:
+            target = f"{scope.module.name}.{head}"
+        elif head in _BUILTIN_NAMES:
+            target = f"builtins.{head}"
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def split_module_prefix(
+        self, fq: str
+    ) -> "tuple[ModuleScope, str] | None":
+        """Split ``fq`` into (owning module scope, remainder)."""
+        parts = fq.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod_name = ".".join(parts[:cut])
+            if mod_name in self.scopes:
+                return self.scopes[mod_name], ".".join(parts[cut:])
+        return None
+
+    def resolve_function(
+        self, fq: str, _seen: "frozenset[str]" = frozenset()
+    ) -> "FunctionInfo | None":
+        """The project function a fully-qualified name lands on.
+
+        Follows one-hop re-exports (``from x import f`` then importing
+        ``module.f``) with cycle protection.
+        """
+        if fq in _seen:
+            return None
+        split = self.split_module_prefix(fq)
+        if split is None:
+            return None
+        scope, remainder = split
+        if not remainder:
+            return None
+        if remainder in scope.functions:
+            return scope.functions[remainder]
+        head, _, rest = remainder.partition(".")
+        if head in scope.classes:
+            cls = scope.classes[head]
+            if rest:
+                return self.resolve_method(cls, rest)
+            init = self.resolve_method(cls, "__init__")
+            return init
+        if head in scope.imports:
+            re_exported = scope.imports[head] + (f".{rest}" if rest else "")
+            return self.resolve_function(re_exported, _seen | {fq})
+        return None
+
+    def resolve_class(
+        self, fq: str, _seen: "frozenset[str]" = frozenset()
+    ) -> "ClassInfo | None":
+        if fq in _seen:
+            return None
+        split = self.split_module_prefix(fq)
+        if split is None:
+            return None
+        scope, remainder = split
+        if remainder in scope.classes:
+            return scope.classes[remainder]
+        if remainder in scope.imports:
+            return self.resolve_class(scope.imports[remainder], _seen | {fq})
+        return None
+
+    def mro(self, cls: ClassInfo) -> "list[ClassInfo]":
+        """The class plus its project base classes, nearest first."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.fq in seen:
+                continue
+            seen.add(current.fq)
+            out.append(current)
+            for base_fq in current.base_names:
+                base = self.resolve_class(base_fq)
+                if base is not None:
+                    stack.append(base)
+        return out
+
+    def resolve_method(self, cls: ClassInfo, name: str) -> "FunctionInfo | None":
+        for klass in self.mro(cls):
+            if name in klass.methods:
+                return klass.methods[name]
+        return None
+
+    def subclasses_of(self, base_fqs: "set[str]") -> "list[ClassInfo]":
+        """Every project class whose MRO intersects ``base_fqs``."""
+        out: list[ClassInfo] = []
+        for scope in self.scopes.values():
+            for cls in scope.classes.values():
+                mro_fqs = {klass.fq for klass in self.mro(cls)}
+                if mro_fqs & base_fqs:
+                    out.append(cls)
+        return out
+
+
+def _literal_str_list(expr: ast.expr) -> list[str]:
+    if not isinstance(expr, (ast.List, ast.Tuple)):
+        return []
+    out = []
+    for element in expr.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            out.append(element.value)
+    return out

@@ -43,7 +43,7 @@ class LayerNorm(Module):
         self.eps = float(eps)
         self.gamma = Parameter(np.ones(n_features), name="gamma")
         self.beta = Parameter(np.zeros(n_features), name="beta")
-        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._cached_norm: tuple[np.ndarray, np.ndarray] | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs = self._as_batch(inputs)
@@ -56,17 +56,16 @@ class LayerNorm(Module):
         var = inputs.var(axis=1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         normalized = (inputs - mean) * inv_std
-        self._cache = (normalized, inv_std)
+        self._cached_norm = (normalized, inv_std)
         return self.gamma.data * normalized + self.beta.data
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._cache is None:
+        if self._cached_norm is None:
             raise ShapeError("backward called before forward on LayerNorm")
         grad_output = np.asarray(grad_output, dtype=np.float64)
         if grad_output.ndim == 1:
             grad_output = grad_output[None, :]
-        normalized, inv_std = self._cache
-        n = self.n_features
+        normalized, inv_std = self._cached_norm
 
         self.gamma.grad += np.sum(grad_output * normalized, axis=0)
         self.beta.grad += np.sum(grad_output, axis=0)
@@ -75,7 +74,6 @@ class LayerNorm(Module):
         grad_norm = grad_output * self.gamma.data
         row_mean = grad_norm.mean(axis=1, keepdims=True)
         row_dot = (grad_norm * normalized).mean(axis=1, keepdims=True)
-        del n
         return inv_std * (grad_norm - row_mean - normalized * row_dot)
 
 
@@ -104,7 +102,7 @@ class BatchNorm1d(Module):
         self.beta = Parameter(np.zeros(n_features), name="beta")
         self.running_mean = np.zeros(n_features)
         self.running_var = np.ones(n_features)
-        self._cache: tuple[np.ndarray, np.ndarray, int] | None = None
+        self._cached_norm: tuple[np.ndarray, np.ndarray, int] | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         inputs = self._as_batch(inputs)
@@ -131,16 +129,16 @@ class BatchNorm1d(Module):
             var = self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
         normalized = (inputs - mean) * inv_std
-        self._cache = (normalized, inv_std, inputs.shape[0])
+        self._cached_norm = (normalized, inv_std, inputs.shape[0])
         return self.gamma.data * normalized + self.beta.data
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._cache is None:
+        if self._cached_norm is None:
             raise ShapeError("backward called before forward on BatchNorm1d")
         grad_output = np.asarray(grad_output, dtype=np.float64)
         if grad_output.ndim == 1:
             grad_output = grad_output[None, :]
-        normalized, inv_std, batch = self._cache
+        normalized, inv_std, _ = self._cached_norm
 
         self.gamma.grad += np.sum(grad_output * normalized, axis=0)
         self.beta.grad += np.sum(grad_output, axis=0)
@@ -151,5 +149,4 @@ class BatchNorm1d(Module):
             return grad_norm * inv_std
         col_mean = grad_norm.mean(axis=0)
         col_dot = (grad_norm * normalized).mean(axis=0)
-        del batch
         return inv_std * (grad_norm - col_mean - normalized * col_dot)

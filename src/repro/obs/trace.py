@@ -282,7 +282,12 @@ def tracer_for_run(trace, name: str) -> "tuple[Tracer | None, bool]":
         return Tracer(name=name, out_dir=trace), True
     if _ACTIVE is not None:
         return _ACTIVE, False
-    configured = os.environ.get(TRACE_ENV)
+    # Lazy import: repro.runtime.__init__ -> engine -> this module, so a
+    # module-level knobs import would re-enter a partially-initialised
+    # package when repro.obs.trace is imported first.
+    from repro.runtime.knobs import read_knob
+
+    configured = read_knob(TRACE_ENV)
     if configured:
         return Tracer(name=name, out_dir=configured), True
     return None, False

@@ -14,7 +14,7 @@ import functools
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "profiled",

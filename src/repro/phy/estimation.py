@@ -109,7 +109,6 @@ def transmit_ndp(
         raise ShapeError(f"channel must be (S, Nr, Nt), got {channel.shape}")
     n_sc, n_rx, n_tx = channel.shape
     mapping = p_matrix(n_tx)  # (Nt, n_ltf)
-    n_ltf = mapping.shape[1]
     sequence = ltf_sequence(n_sc)  # (S,)
     rng = as_generator(rng)
 

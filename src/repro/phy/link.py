@@ -42,7 +42,7 @@ from repro.phy.interleaver import BlockInterleaver
 from repro.phy.metrics import LinkMetrics, compute_link_metrics
 from repro.phy.modulation import QamModem
 from repro.phy.noise import snr_db_to_linear
-from repro.phy.precoding import normalize_columns, zero_forcing
+from repro.phy.precoding import zero_forcing
 from repro.phy.scrambler import Scrambler
 from repro.phy.svd import (
     beamforming_matrices,

@@ -27,11 +27,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.obs.trace import current_tracer
+from repro.runtime import knobs
 from repro.runtime.faults import active_plan
 
 __all__ = [
@@ -91,8 +93,9 @@ def result_digest(result) -> str:
     text = json.dumps(result, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode()).hexdigest()
 
-#: Environment variable overriding the default cache location.
-CACHE_ENV = "REPRO_RUNTIME_CACHE"
+#: Environment variable overriding the default cache location
+#: (canonical home: :mod:`repro.runtime.knobs`; re-exported here).
+CACHE_ENV = knobs.CACHE_ENV
 
 
 def _tmp_writer_alive(path: Path) -> bool:
@@ -156,6 +159,9 @@ def sweep_stale_tmp(root: Path, pattern: str = "*.tmp.*") -> int:
 
 
 _SWEPT_ROOTS: "set[str]" = set()
+# ``put`` can run on executor callback threads, so the once-per-root
+# bookkeeping needs a real guard rather than relying on GIL luck.
+_SWEPT_LOCK = threading.Lock()
 
 
 def sweep_stale_tmp_once(root: Path) -> int:
@@ -168,9 +174,10 @@ def sweep_stale_tmp_once(root: Path) -> int:
     unconditionally.
     """
     resolved = os.path.abspath(str(root))
-    if resolved in _SWEPT_ROOTS:
-        return 0
-    _SWEPT_ROOTS.add(resolved)
+    with _SWEPT_LOCK:
+        if resolved in _SWEPT_ROOTS:
+            return 0
+        _SWEPT_ROOTS.add(resolved)
     return sweep_stale_tmp(root)
 
 
@@ -181,7 +188,7 @@ def default_cache_root(fallback: "str | None" = None) -> str:
     environment variable can redirect the cache (e.g. to scratch
     storage) without editing any bench.
     """
-    configured = os.environ.get(CACHE_ENV)
+    configured = knobs.read_knob(CACHE_ENV)
     if configured:
         return configured
     if fallback is not None:

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.obs.trace import current_tracer
+from repro.runtime import knobs
 from repro.runtime.cache import (
     StoreHealth,
     quarantine_files,
@@ -49,12 +50,12 @@ SCHEMA_VERSION = 1
 CHECKPOINT_KIND = "train"
 
 #: Environment variable overriding the default store location.
-CHECKPOINTS_ENV = "REPRO_RUNTIME_CHECKPOINTS"
+CHECKPOINTS_ENV = knobs.CHECKPOINTS_ENV
 
 
 def default_checkpoint_root(fallback: "str | None" = None) -> str:
     """$REPRO_RUNTIME_CHECKPOINTS, else ``fallback``, else the in-repo default."""
-    configured = os.environ.get(CHECKPOINTS_ENV)
+    configured = knobs.read_knob(CHECKPOINTS_ENV)
     if configured:
         return configured
     if fallback is not None:

@@ -70,6 +70,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError, ReproError
 from repro.obs.trace import current_tracer, span_id
 from repro.perf.profile import merge_profiles, profile_snapshot
+from repro.runtime import knobs
 from repro.runtime.faults import FaultPlan, InjectedFaultError, active_plan
 from repro.runtime.payloads import PayloadStore, collect_refs, load_payload, resolve_refs
 
@@ -82,8 +83,9 @@ __all__ = [
     "resolve_worker_count",
 ]
 
-#: Environment variable consulted when ``n_workers`` is not given.
-WORKERS_ENV = "REPRO_RUNTIME_WORKERS"
+#: Environment variable consulted when ``n_workers`` is not given
+#: (canonical home: :mod:`repro.runtime.knobs`; re-exported here).
+WORKERS_ENV = knobs.WORKERS_ENV
 
 
 class TaskExecutionError(ReproError):
@@ -244,7 +246,7 @@ class Task:
 def resolve_worker_count(n_workers: "int | None") -> int:
     """Effective worker count: explicit value, else $REPRO_RUNTIME_WORKERS, else 1."""
     if n_workers is None:
-        raw = os.environ.get(WORKERS_ENV, "1")
+        raw = knobs.read_knob(WORKERS_ENV, "1")
         try:
             n_workers = int(raw)
         except ValueError:
@@ -769,7 +771,6 @@ class _Execution:
                     pending_tasks, {t: params[t] for t in remaining}
                 )
                 return
-            failures_before = dict(self.failures)
             spool_root = None
             if self.payloads is not None:
                 digests = collect_refs(

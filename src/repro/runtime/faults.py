@@ -64,6 +64,7 @@ from fnmatch import fnmatchcase
 from functools import lru_cache
 
 from repro.errors import ConfigurationError, ReproError
+from repro.runtime import knobs
 
 __all__ = [
     "FAULTS_ENV",
@@ -75,8 +76,9 @@ __all__ = [
     "parse_plan",
 ]
 
-#: Environment variable holding a fault-plan description (grammar above).
-FAULTS_ENV = "REPRO_RUNTIME_FAULTS"
+#: Environment variable holding a fault-plan description (grammar above)
+#: (canonical home: :mod:`repro.runtime.knobs`; re-exported here).
+FAULTS_ENV = knobs.FAULTS_ENV
 
 #: Exit status used by injected worker crashes (distinctive in logs).
 CRASH_EXIT_CODE = 66
@@ -334,7 +336,7 @@ def active_plan(explicit: "FaultPlan | None" = None) -> "FaultPlan | None":
         return explicit
     if _INSTALLED is not None:
         return _INSTALLED
-    text = os.environ.get(FAULTS_ENV, "").strip()
+    text = (knobs.read_knob(FAULTS_ENV, "") or "").strip()
     if not text:
         return None
     return _parse_cached(text)

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.obs.trace import current_tracer
+from repro.runtime import knobs
 
 __all__ = [
     "PayloadRef",
@@ -57,8 +58,9 @@ __all__ = [
     "PAYLOADS_ENV",
 ]
 
-#: Environment variable overriding where payload spools are created.
-PAYLOADS_ENV = "REPRO_RUNTIME_PAYLOADS"
+#: Environment variable overriding where payload spools are created
+#: (canonical home: :mod:`repro.runtime.knobs`; re-exported here).
+PAYLOADS_ENV = knobs.PAYLOADS_ENV
 
 #: Pickle protocol used for both digests and spool files.
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
@@ -149,7 +151,7 @@ class PayloadStore:
 
     def _spill(self, digests, span) -> str:
         if self._spool is None:
-            base = self._root or os.environ.get(PAYLOADS_ENV) or None
+            base = self._root or knobs.read_knob(PAYLOADS_ENV) or None
             if base is not None:
                 os.makedirs(base, exist_ok=True)
             self._spool = tempfile.mkdtemp(prefix="repro-payloads-", dir=base)
@@ -245,10 +247,12 @@ def load_payload(root: str, digest: str):
     key = (root, digest)
     if key not in _WORKER_CACHE:
         with open(os.path.join(root, f"{digest}.pkl"), "rb") as handle:
-            _WORKER_CACHE[key] = pickle.load(handle)
+            # Worker processes are single-threaded; no lock needed.
+            _WORKER_CACHE[key] = pickle.load(handle)  # repro: allow[REP-UNLOCKED-GLOBAL]
     return _WORKER_CACHE[key]
 
 
 def clear_payload_cache() -> None:
     """Drop the per-process payload memo (benchmarks use this)."""
-    _WORKER_CACHE.clear()
+    # Worker processes are single-threaded; no lock needed.
+    _WORKER_CACHE.clear()  # repro: allow[REP-UNLOCKED-GLOBAL]

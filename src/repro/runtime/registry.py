@@ -34,7 +34,7 @@ Network-campaign presets (``repro.core.network.run_campaign``)
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.config import FAST, Fidelity
 from repro.errors import ConfigurationError

@@ -56,13 +56,11 @@ def bmr_bits(config: Dot11FeedbackConfig) -> int:
     half the angles are phi and half are psi.
     """
     n_phi, n_psi = angle_counts(config.n_tx, config.n_streams)
-    n_angles = n_phi + n_psi
     q = config.quantizer
     angle_bits = config.n_subcarriers * (
         n_phi * q.b_phi + n_psi * q.b_psi
     )
     # n_phi == n_psi, so this equals Na * S * (b_phi + b_psi) / 2.
-    del n_angles
     return 8 * config.n_tx + angle_bits
 
 

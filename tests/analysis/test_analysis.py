@@ -1,6 +1,5 @@
 """Tests for the analysis/reporting helpers."""
 
-import numpy as np
 import pytest
 
 from repro.config import SMOKE

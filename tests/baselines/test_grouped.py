@@ -7,7 +7,6 @@ import pytest
 
 from repro.baselines.dot11 import Dot11Feedback
 from repro.baselines.grouped import GroupedCbfFeedback
-from repro.config import SMOKE
 from repro.errors import ConfigurationError
 from repro.utils.complexmat import column_correlation
 

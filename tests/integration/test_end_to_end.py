@@ -1,7 +1,6 @@
 """Integration tests: full pipelines across package boundaries."""
 
 import numpy as np
-import pytest
 
 from repro import (
     SMOKE,

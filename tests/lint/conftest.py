@@ -1,0 +1,35 @@
+"""Fixture helpers: build synthetic projects and lint them in-process."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, load_project, run_lint
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Write ``{relative_path: source}`` under tmp_path and load it."""
+
+    def build(files: dict):
+        for rel, source in files.items():
+            dest = tmp_path / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(textwrap.dedent(source), encoding="utf-8")
+        return load_project([tmp_path])
+
+    return build
+
+
+@pytest.fixture
+def lint(make_project):
+    """Lint a fixture project with one rule and a custom config."""
+
+    def run(files: dict, rule: str, **config_kwargs):
+        project = make_project(files)
+        config = LintConfig(**config_kwargs)
+        return run_lint(project=project, config=config, rules=[rule])
+
+    return run

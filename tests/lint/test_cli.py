@@ -1,0 +1,163 @@
+"""CLI behaviour: exit codes, formats, and the real-tree contract."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+        env=env,
+    )
+
+
+def write_fixture(tmp_path, body):
+    pkg = tmp_path / "app"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "config.py").write_text(textwrap.dedent(body), encoding="utf-8")
+    return tmp_path
+
+
+DIRTY = """\
+    import os
+
+
+    def root():
+        return os.environ.get("APP_ROOT")
+"""
+
+CLEAN = """\
+    def root():
+        return "/data"
+"""
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, tmp_path):
+        fixture = write_fixture(tmp_path, DIRTY)
+        proc = run_cli(str(fixture), "--no-baseline")
+        assert proc.returncode == 1
+        assert "REP-ENV-READ" in proc.stdout
+        assert "app/config.py:5:" in proc.stdout
+
+    def test_clean_exit_0(self, tmp_path):
+        fixture = write_fixture(tmp_path, CLEAN)
+        proc = run_cli(str(fixture), "--no-baseline")
+        assert proc.returncode == 0
+        assert "0 findings" in proc.stdout
+
+    def test_no_paths_exit_2(self):
+        proc = run_cli()
+        assert proc.returncode == 2
+        assert "no paths" in proc.stderr
+
+    def test_unknown_rule_exit_2(self, tmp_path):
+        fixture = write_fixture(tmp_path, CLEAN)
+        proc = run_cli(str(fixture), "--rules", "REP-BOGUS")
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+    def test_missing_path_exit_2(self):
+        proc = run_cli("/no/such/dir")
+        assert proc.returncode == 2
+
+
+class TestOutputs:
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in (
+            "REP-NONDET",
+            "REP-FALSY-STORE",
+            "REP-UNLOCKED-GLOBAL",
+            "REP-ENV-READ",
+            "REP-GETSTATE-CACHE",
+            "REP-HASH-INPUT",
+        ):
+            assert code in proc.stdout
+
+    def test_json_format(self, tmp_path):
+        fixture = write_fixture(tmp_path, DIRTY)
+        proc = run_cli(str(fixture), "--no-baseline", "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["exit_code"] == 1
+        assert payload["summary"]["active"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP-ENV-READ"
+        assert finding["fingerprint"]
+
+    def test_rule_selection(self, tmp_path):
+        fixture = write_fixture(tmp_path, DIRTY)
+        proc = run_cli(
+            str(fixture), "--no-baseline", "--rules", "REP-NONDET"
+        )
+        assert proc.returncode == 0  # env read not in the selected set
+
+    def test_write_baseline_roundtrip(self, tmp_path):
+        fixture = write_fixture(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli(
+            str(fixture), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert wrote.returncode == 0
+        assert baseline.exists()
+        rerun = run_cli(str(fixture), "--baseline", str(baseline))
+        assert rerun.returncode == 0
+        verbose = run_cli(
+            str(fixture), "--baseline", str(baseline), "--verbose"
+        )
+        assert "[baselined]" in verbose.stdout
+
+
+class TestRealTree:
+    def test_committed_tree_is_clean(self):
+        proc = run_cli("src/", "--baseline", "lint-baseline.json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_committed_baseline_is_empty(self):
+        payload = json.loads(
+            (REPO_ROOT / "lint-baseline.json").read_text(encoding="utf-8")
+        )
+        assert payload["findings"] == []
+
+    def test_injected_wall_clock_fails_the_gate(self, tmp_path):
+        """Seeding time.time() into a task body must fail CI's lint job."""
+        staged = tmp_path / "src"
+        shutil.copytree(SRC, staged, ignore=shutil.ignore_patterns("__pycache__"))
+        tasks = staged / "repro" / "runtime" / "tasks.py"
+        source = tasks.read_text(encoding="utf-8")
+        lines = source.splitlines(keepends=True)
+        for index, line in enumerate(lines):
+            if line.startswith("def run_point"):
+                # Insert a wall-clock read as the first statement.
+                lines.insert(index + 1, "    import time\n")
+                lines.insert(index + 2, "    _seeded_now = time.time()\n")
+                break
+        else:
+            pytest.fail("run_point not found in runtime/tasks.py")
+        tasks.write_text("".join(lines), encoding="utf-8")
+
+        proc = run_cli(str(staged), "--no-baseline")
+        assert proc.returncode == 1
+        assert "REP-NONDET" in proc.stdout
+        assert "time.time" in proc.stdout
+        assert "runtime/tasks.py" in proc.stdout

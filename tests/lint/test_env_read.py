@@ -1,0 +1,84 @@
+"""REP-ENV-READ: os.environ access outside the sanctioned knobs module."""
+
+from __future__ import annotations
+
+PKG = {"app/__init__.py": ""}
+
+
+class TestEnvReadPositive:
+    def test_environ_get_flagged_exactly_once(self, lint):
+        files = dict(PKG)
+        files["app/config.py"] = """\
+            import os
+
+
+            def workers():
+                return int(os.environ.get("APP_WORKERS", "1"))
+        """
+        result = lint(
+            files, "REP-ENV-READ", sanctioned_env_modules=("app.knobs",)
+        )
+        # The attribute chain os.environ.get must not double-count.
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.line == 5
+        assert "os.environ" in finding.message
+        assert "app.knobs" in finding.message
+
+    def test_getenv_flagged(self, lint):
+        files = dict(PKG)
+        files["app/config.py"] = """\
+            import os
+
+
+            def root():
+                return os.getenv("APP_ROOT")
+        """
+        result = lint(
+            files, "REP-ENV-READ", sanctioned_env_modules=("app.knobs",)
+        )
+        assert len(result.active) == 1
+
+    def test_aliased_import_still_caught(self, lint):
+        files = dict(PKG)
+        files["app/config.py"] = """\
+            from os import environ
+
+
+            def root():
+                return environ.get("APP_ROOT")
+        """
+        result = lint(
+            files, "REP-ENV-READ", sanctioned_env_modules=("app.knobs",)
+        )
+        assert len(result.active) == 1
+
+
+class TestEnvReadNegative:
+    def test_sanctioned_module_clean(self, lint):
+        files = dict(PKG)
+        files["app/knobs.py"] = """\
+            import os
+
+
+            def read_knob(name, default=None):
+                return os.environ.get(name, default)
+        """
+        result = lint(
+            files, "REP-ENV-READ", sanctioned_env_modules=("app.knobs",)
+        )
+        assert result.active == []
+
+    def test_unrelated_os_usage_clean(self, lint):
+        files = dict(PKG)
+        files["app/paths.py"] = """\
+            import os
+
+
+            def join(a, b):
+                return os.path.join(a, b)
+        """
+        result = lint(
+            files, "REP-ENV-READ", sanctioned_env_modules=("app.knobs",)
+        )
+        assert result.active == []

@@ -1,0 +1,158 @@
+"""REP-FALSY-STORE: truthiness on __len__-bearing objects."""
+
+from __future__ import annotations
+
+STORE = """\
+    class Store:
+        def __init__(self):
+            self.items = {}
+
+        def __len__(self):
+            return len(self.items)
+"""
+
+PKG = {"app/__init__.py": "", "app/store.py": STORE}
+
+
+class TestFalsyStorePositive:
+    def test_local_constructed_store(self, lint):
+        files = dict(PKG)
+        files["app/use.py"] = """\
+            from app.store import Store
+
+
+            def lookup(key):
+                store = Store()
+                if store:
+                    return store.items.get(key)
+                return None
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.path.endswith("app/use.py")
+        assert finding.line == 6
+        assert "'store'" in finding.message
+        assert "is not None" in finding.message
+
+    def test_annotated_parameter(self, lint):
+        files = dict(PKG)
+        files["app/use.py"] = """\
+            from app.store import Store
+
+
+            def lookup(store: Store, key):
+                if not store:
+                    return None
+                return store.items.get(key)
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert len(result.active) == 1
+        assert result.active[0].line == 5
+
+    def test_optional_annotation_still_flagged(self, lint):
+        files = dict(PKG)
+        files["app/use.py"] = """\
+            from app.store import Store
+
+
+            def lookup(store: "Store | None", key):
+                return store.items.get(key) if store else None
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert len(result.active) == 1
+
+    def test_self_attribute_bound_in_init(self, lint):
+        files = dict(PKG)
+        files["app/use.py"] = """\
+            from app.store import Store
+
+
+            class Engine:
+                def __init__(self, store=None):
+                    self.store = store if store is not None else Store()
+
+                def get(self, key):
+                    if self.store:
+                        return self.store.items.get(key)
+                    return None
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert len(result.active) == 1
+        assert result.active[0].line == 9
+        assert "'self.store'" in result.active[0].message
+
+    def test_boolop_operand(self, lint):
+        files = dict(PKG)
+        files["app/use.py"] = """\
+            from app.store import Store
+
+
+            def any_cached(key):
+                store = Store()
+                return store and key in store.items
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert len(result.active) == 1
+
+
+class TestFalsyStoreNegative:
+    def test_identity_comparison_clean(self, lint):
+        files = dict(PKG)
+        files["app/use.py"] = """\
+            from app.store import Store
+
+
+            def lookup(store: Store, key):
+                if store is not None:
+                    return store.items.get(key)
+                return None
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert result.active == []
+
+    def test_len_comparison_clean(self, lint):
+        files = dict(PKG)
+        files["app/use.py"] = """\
+            from app.store import Store
+
+
+            def is_empty(store: Store):
+                return len(store) == 0
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert result.active == []
+
+    def test_class_with_bool_not_flagged(self, lint):
+        files = {"app/__init__.py": ""}
+        files["app/store.py"] = """\
+            class Flagged:
+                def __len__(self):
+                    return 0
+
+                def __bool__(self):
+                    return True
+        """
+        files["app/use.py"] = """\
+            from app.store import Flagged
+
+
+            def check():
+                flag = Flagged()
+                if flag:
+                    return 1
+                return 0
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert result.active == []
+
+    def test_untyped_name_not_flagged(self, lint):
+        files = dict(PKG)
+        files["app/use.py"] = """\
+            def lookup(store, key):
+                if store:
+                    return store.get(key)
+                return None
+        """
+        result = lint(files, "REP-FALSY-STORE")
+        assert result.active == []

@@ -1,0 +1,152 @@
+"""REP-GETSTATE-CACHE: shipped classes must strip transient attrs."""
+
+from __future__ import annotations
+
+BASE = """\
+    class Module:
+        def __init__(self):
+            self.training = True
+"""
+
+PKG = {"app/__init__.py": "", "app/base.py": BASE}
+SHIPPED = {"shipped_bases": ("app.base.Module",), "shipped_classes": ()}
+
+
+class TestGetstateCachePositive:
+    def test_no_getstate_at_all(self, lint):
+        files = dict(PKG)
+        files["app/layers.py"] = """\
+            from app.base import Module
+
+
+            class Norm(Module):
+                def __init__(self, n):
+                    super().__init__()
+                    self.n = n
+                    self._cache = None
+
+                def forward(self, x):
+                    self._cache = x
+                    return x
+        """
+        result = lint(files, "REP-GETSTATE-CACHE", **SHIPPED)
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.line == 8  # first assignment of self._cache
+        assert "'_cache'" in finding.message
+        assert "no __getstate__" in finding.message
+
+    def test_getstate_missing_one_attr(self, lint):
+        files = dict(PKG)
+        files["app/layers.py"] = """\
+            from app.base import Module
+
+
+            class Norm(Module):
+                def __init__(self, n):
+                    super().__init__()
+                    self._cached_stats = None
+                    self._scratch = {}
+
+                def __getstate__(self):
+                    state = dict(self.__dict__)
+                    state.pop("_cached_stats", None)
+                    return state
+        """
+        result = lint(files, "REP-GETSTATE-CACHE", **SHIPPED)
+        assert len(result.active) == 1
+        assert "'_scratch'" in result.active[0].message
+        assert "does not strip" in result.active[0].message
+
+    def test_inherited_getstate_prefix_coverage_partial(self, lint):
+        files = {"app/__init__.py": ""}
+        files["app/base.py"] = """\
+            class Module:
+                def __getstate__(self):
+                    state = {}
+                    for key, value in self.__dict__.items():
+                        if key.startswith("_cached"):
+                            continue
+                        state[key] = value
+                    return state
+        """
+        files["app/layers.py"] = """\
+            from app.base import Module
+
+
+            class Good(Module):
+                def __init__(self):
+                    self._cached_norm = None
+
+
+            class Bad(Module):
+                def __init__(self):
+                    self._cache = None
+        """
+        result = lint(files, "REP-GETSTATE-CACHE", **SHIPPED)
+        # '_cached_norm' matches the stripped prefix; '_cache' does not.
+        assert len(result.active) == 1
+        assert "'_cache'" in result.active[0].message
+        assert "Bad" in result.active[0].message
+
+    def test_explicit_shipped_class_listing(self, lint):
+        files = {"app/__init__.py": ""}
+        files["app/quant.py"] = """\
+            class Quantizer:
+                def __init__(self):
+                    self._memo = {}
+        """
+        result = lint(
+            files,
+            "REP-GETSTATE-CACHE",
+            shipped_bases=(),
+            shipped_classes=("app.quant.Quantizer",),
+        )
+        assert len(result.active) == 1
+        assert "'_memo'" in result.active[0].message
+
+
+class TestGetstateCacheNegative:
+    def test_mask_covered_by_subscript_none(self, lint):
+        files = dict(PKG)
+        files["app/layers.py"] = """\
+            from app.base import Module
+
+
+            class Drop(Module):
+                def __init__(self):
+                    super().__init__()
+                    self._mask = None
+
+                def __getstate__(self):
+                    state = dict(self.__dict__)
+                    state["_mask"] = None
+                    return state
+        """
+        result = lint(files, "REP-GETSTATE-CACHE", **SHIPPED)
+        assert result.active == []
+
+    def test_non_shipped_class_ignored(self, lint):
+        files = dict(PKG)
+        files["app/other.py"] = """\
+            class Helper:
+                def __init__(self):
+                    self._cache = {}
+        """
+        result = lint(files, "REP-GETSTATE-CACHE", **SHIPPED)
+        assert result.active == []
+
+    def test_non_transient_attrs_ignored(self, lint):
+        files = dict(PKG)
+        files["app/layers.py"] = """\
+            from app.base import Module
+
+
+            class Linear(Module):
+                def __init__(self, n):
+                    super().__init__()
+                    self.weight = [0.0] * n
+                    self.bias = 0.0
+        """
+        result = lint(files, "REP-GETSTATE-CACHE", **SHIPPED)
+        assert result.active == []

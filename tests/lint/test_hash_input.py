@@ -1,0 +1,96 @@
+"""REP-HASH-INPUT: cosmetic fields must not reach key construction."""
+
+from __future__ import annotations
+
+KEYS = """\
+    import hashlib
+    import json
+
+
+    def task_key(spec):
+        blob = json.dumps(spec, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+"""
+
+PKG = {"app/__init__.py": "", "app/keys.py": KEYS}
+CONFIG = {"key_functions": ("app.keys.task_key",)}
+
+
+class TestHashInputPositive:
+    def test_literal_spec_with_cosmetic_key(self, lint):
+        files = dict(PKG)
+        files["app/run.py"] = """\
+            from app.keys import task_key
+
+
+            def address(x):
+                return task_key({"name": "sweep-1", "x": x})
+        """
+        result = lint(files, "REP-HASH-INPUT", **CONFIG)
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.line == 5
+        assert "'name'" in finding.message
+        assert "task_key" in finding.message
+
+    def test_local_variable_dataflow(self, lint):
+        files = dict(PKG)
+        files["app/run.py"] = """\
+            from app.keys import task_key
+
+
+            def address(x):
+                spec = {"label": "pretty", "x": x}
+                return task_key(spec)
+        """
+        result = lint(files, "REP-HASH-INPUT", **CONFIG)
+        assert len(result.active) == 1
+        assert "'label'" in result.active[0].message
+
+    def test_nested_dict_and_dict_call(self, lint):
+        files = dict(PKG)
+        files["app/run.py"] = """\
+            from app.keys import task_key
+
+
+            def address(x):
+                return task_key({"inner": dict(title="t", x=x)})
+        """
+        result = lint(files, "REP-HASH-INPUT", **CONFIG)
+        assert len(result.active) == 1
+        assert "'title'" in result.active[0].message
+
+    def test_spec_keyword_argument(self, lint):
+        files = dict(PKG)
+        files["app/run.py"] = """\
+            from app.keys import task_key
+
+
+            def address(x):
+                return task_key(spec={"description": "d", "x": x})
+        """
+        result = lint(files, "REP-HASH-INPUT", **CONFIG)
+        assert len(result.active) == 1
+
+
+class TestHashInputNegative:
+    def test_clean_spec(self, lint):
+        files = dict(PKG)
+        files["app/run.py"] = """\
+            from app.keys import task_key
+
+
+            def address(x, seed):
+                return task_key({"x": x, "seed": seed})
+        """
+        result = lint(files, "REP-HASH-INPUT", **CONFIG)
+        assert result.active == []
+
+    def test_cosmetic_key_to_unregistered_function_clean(self, lint):
+        files = dict(PKG)
+        files["app/run.py"] = """\
+            def describe(x):
+                return {"name": "sweep-1", "x": x}
+        """
+        result = lint(files, "REP-HASH-INPUT", **CONFIG)
+        assert result.active == []

@@ -1,0 +1,147 @@
+"""REP-NONDET: nondeterminism reachable from task roots."""
+
+from __future__ import annotations
+
+PKG = {"app/__init__.py": ""}
+
+
+class TestNondetPositive:
+    def test_direct_wall_clock_in_task_body(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            import time
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return {"t": time.time()}
+        """
+        result = lint(files, "REP-NONDET", task_root_modules=("app.tasks",))
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.module == "app.tasks"
+        assert finding.path.endswith("app/tasks.py")
+        assert finding.line == 7  # the time.time() call line
+        assert "time.time" in finding.message
+        assert finding.chain == ("app.tasks.run",)
+
+    def test_transitive_reach_through_helper_module(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            from app.helpers import measure
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return measure(spec)
+        """
+        files["app/helpers.py"] = """\
+            import time
+
+
+            def measure(spec):
+                started = time.time()
+                return started
+        """
+        result = lint(files, "REP-NONDET", task_root_modules=("app.tasks",))
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.module == "app.helpers"
+        assert finding.line == 5
+        assert finding.chain == ("app.tasks.run", "app.helpers.measure")
+        assert "reachable from task root 'run'" in finding.message
+
+    def test_global_numpy_rng_flagged(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            import numpy as np
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return np.random.normal(size=3)
+        """
+        result = lint(files, "REP-NONDET", task_root_modules=("app.tasks",))
+        assert len(result.active) == 1
+        assert "numpy.random.normal" in result.active[0].message
+
+    def test_id_and_hash_builtins_flagged(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return {"a": id(spec), "b": hash(str(spec))}
+        """
+        result = lint(files, "REP-NONDET", task_root_modules=("app.tasks",))
+        assert len(result.active) == 2
+
+    def test_explicit_root_function_config(self, lint):
+        files = dict(PKG)
+        files["app/work.py"] = """\
+            import os
+
+
+            def entry(spec):
+                return os.urandom(4)
+        """
+        result = lint(
+            files, "REP-NONDET", task_root_functions=("app.work.entry",)
+        )
+        assert len(result.active) == 1
+        assert "os.urandom" in result.active[0].message
+
+
+class TestNondetNegative:
+    def test_seeded_generator_allowed(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            import numpy as np
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                rng = np.random.default_rng(spec["seed"])
+                return rng.normal(size=3)
+        """
+        result = lint(files, "REP-NONDET", task_root_modules=("app.tasks",))
+        assert result.active == []
+
+    def test_perf_counter_allowed(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            import time
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                started = time.perf_counter()
+                return time.perf_counter() - started
+        """
+        result = lint(files, "REP-NONDET", task_root_modules=("app.tasks",))
+        assert result.active == []
+
+    def test_unreachable_nondeterminism_not_flagged(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return spec
+        """
+        files["app/debug.py"] = """\
+            import time
+
+
+            def stamp():
+                return time.time()
+        """
+        result = lint(files, "REP-NONDET", task_root_modules=("app.tasks",))
+        assert result.active == []

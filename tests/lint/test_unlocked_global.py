@@ -1,0 +1,123 @@
+"""REP-UNLOCKED-GLOBAL: unguarded module-level state mutation."""
+
+from __future__ import annotations
+
+PKG = {"app/__init__.py": ""}
+
+
+class TestUnlockedGlobalPositive:
+    def test_item_assignment_outside_lock(self, lint):
+        files = dict(PKG)
+        files["app/registry.py"] = """\
+            import threading
+
+            _LOCK = threading.Lock()
+            _REGISTRY = {}
+
+
+            def record(name, value):
+                _REGISTRY[name] = value
+        """
+        result = lint(files, "REP-UNLOCKED-GLOBAL")
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.line == 8
+        assert "_REGISTRY" in finding.message
+        assert "record" in finding.message
+
+    def test_mutator_method_outside_lock(self, lint):
+        files = dict(PKG)
+        files["app/registry.py"] = """\
+            import threading
+
+            _LOCK = threading.Lock()
+            _SEEN = set()
+
+
+            def mark(name):
+                _SEEN.add(name)
+        """
+        result = lint(files, "REP-UNLOCKED-GLOBAL")
+        assert len(result.active) == 1
+        assert ".add() mutation" in result.active[0].message
+
+    def test_global_rebind_outside_lock(self, lint):
+        files = dict(PKG)
+        files["app/registry.py"] = """\
+            import threading
+
+            _LOCK = threading.Lock()
+            _STATE = {}
+            _COUNT = 0
+
+
+            def bump():
+                global _COUNT
+                _COUNT = _COUNT + 1
+        """
+        result = lint(files, "REP-UNLOCKED-GLOBAL")
+        assert len(result.active) == 1
+        assert "rebinding" in result.active[0].message
+
+    def test_concurrent_module_config_without_lock(self, lint):
+        files = dict(PKG)
+        files["app/state.py"] = """\
+            _CACHE = {}
+
+
+            def put(key, value):
+                _CACHE[key] = value
+        """
+        result = lint(
+            files, "REP-UNLOCKED-GLOBAL", concurrent_modules=("app.state",)
+        )
+        assert len(result.active) == 1
+
+
+class TestUnlockedGlobalNegative:
+    def test_mutation_under_lock_clean(self, lint):
+        files = dict(PKG)
+        files["app/registry.py"] = """\
+            import threading
+
+            _LOCK = threading.Lock()
+            _REGISTRY = {}
+
+
+            def record(name, value):
+                with _LOCK:
+                    _REGISTRY[name] = value
+        """
+        result = lint(files, "REP-UNLOCKED-GLOBAL")
+        assert result.active == []
+
+    def test_unexposed_module_clean(self, lint):
+        files = dict(PKG)
+        files["app/plain.py"] = """\
+            _MEMO = {}
+
+
+            def remember(key, value):
+                _MEMO[key] = value
+        """
+        # No lock declared and not configured concurrent: single-threaded.
+        result = lint(files, "REP-UNLOCKED-GLOBAL", concurrent_modules=())
+        assert result.active == []
+
+    def test_local_variable_mutation_clean(self, lint):
+        files = dict(PKG)
+        files["app/registry.py"] = """\
+            import threading
+
+            _LOCK = threading.Lock()
+            _REGISTRY = {}
+
+
+            def build():
+                scratch = {}
+                scratch["x"] = 1
+                scratch.update({"y": 2})
+                return scratch
+        """
+        result = lint(files, "REP-UNLOCKED-GLOBAL")
+        assert result.active == []
