@@ -16,6 +16,15 @@ guarantees" and ``docs/static-analysis.md`` for the rule catalog):
 ``REP-GETSTATE-CACHE``  shipped classes whose ``__getstate__`` leaks
                      transient cache attributes
 ``REP-HASH-INPUT``   cosmetic/display fields feeding content addresses
+``REP-KEY-COVERAGE``  spec fields a task reads but its ``task_key``
+                     builder never hashes (stale-cache hazard), via
+                     interprocedural read-set summaries
+``REP-PURE-TASK``    task-reachable reads of module-level mutable
+                     state that another function mutates
+``REP-THREAD-ESCAPE``  unguarded mutation on inferred callback-shared
+                     paths (``add_done_callback``/``Thread(target=)``)
+``REP-REDUCTION-ORDER``  float accumulation over sets/``os.listdir``
+                     orderings reachable from task roots
 ==================  ====================================================
 
 Usage::

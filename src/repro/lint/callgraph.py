@@ -15,7 +15,13 @@ What *is* modelled, because the runtime code actually uses it:
   class constructor earlier in the function (``link = LinkSimulator(c);
   link.measure_ber(...)``);
 - ``ClassName(args).method()`` chained constructor calls;
-- constructor calls edge into ``__init__``.
+- constructor calls edge into ``__init__``;
+- *indirect references*: a bare function or method passed as a call
+  argument (``functools.partial(time.time)``, ``callback=self._on_done``,
+  ``executor.submit(run_chunk, payload)``) records a call site — and a
+  project edge — as if the reference were invoked, because callbacks
+  eventually are.  Bare class references (``isinstance(x, LinkConfig)``)
+  and locally-bound data names are excluded to keep the graph quiet.
 """
 
 from __future__ import annotations
@@ -42,6 +48,9 @@ class CallSite:
     raw: str  # the dotted text as written, best effort
     target_fq: "str | None"  # fully-qualified resolution, None if unknown
     target_fn: "FunctionInfo | None"  # set when it lands on project code
+    #: True when the target was *referenced* (passed as an argument,
+    #: e.g. a callback) rather than called directly at this site.
+    indirect: bool = False
 
     @property
     def lineno(self) -> int:
@@ -50,6 +59,32 @@ class CallSite:
     @property
     def col(self) -> int:
         return self.node.col_offset
+
+
+def _locally_bound_names(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> "set[str]":
+    """Names bound inside the function: params, assignments, nested defs.
+
+    Used to keep indirect-reference resolution quiet: a local variable
+    that shadows a module-level name must not resolve as a reference to
+    the module-level thing.
+    """
+    args = node.args
+    names = {a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]}
+    for vararg in (args.vararg, args.kwarg):
+        if vararg is not None:
+            names.add(vararg.arg)
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+            names.add(child.id)
+        elif isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and child is not node:
+            names.add(child.name)
+        elif isinstance(child, ast.ExceptHandler) and child.name:
+            names.add(child.name)
+    return names
 
 
 def annotation_classes(
@@ -196,19 +231,83 @@ class CallGraph:
             own_cls = scope.classes.get(fn.class_name)
             if own_cls is not None:
                 attr_bindings = class_attr_bindings(self.scopes, own_cls)
+        local_names = _locally_bound_names(fn.node)
         sites: list[CallSite] = []
         edges: set[str] = set()
         for node in ast.walk(fn.node):
             if not isinstance(node, ast.Call):
                 continue
             site = self._resolve_call(fn, scope, bindings, attr_bindings, node)
-            if site is None:
-                continue
-            sites.append(site)
-            if site.target_fn is not None:
-                edges.add(site.target_fn.fq)
+            if site is not None:
+                sites.append(site)
+                if site.target_fn is not None:
+                    edges.add(site.target_fn.fq)
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                ref = self._resolve_reference(
+                    fn, scope, bindings, local_names, node, arg
+                )
+                if ref is None:
+                    continue
+                sites.append(ref)
+                if ref.target_fn is not None:
+                    edges.add(ref.target_fn.fq)
         self.calls[fn.fq] = sites
         self.edges[fn.fq] = edges
+
+    def _resolve_reference(
+        self,
+        fn: FunctionInfo,
+        scope: ModuleScope,
+        bindings: dict[str, ClassInfo],
+        local_names: "set[str]",
+        call_node: ast.Call,
+        expr: ast.expr,
+    ) -> "CallSite | None":
+        """A bare function/method reference passed as a call argument.
+
+        Treated as an (indirect) call site: callbacks handed to
+        executors, threads, or ``functools.partial`` eventually run.
+        """
+        if not isinstance(expr, (ast.Name, ast.Attribute)):
+            return None
+        raw = dotted_name(expr)
+        if raw is None:
+            return None
+        head, _, rest = raw.partition(".")
+
+        if head == "self" and fn.class_name is not None and rest and "." not in rest:
+            own = scope.classes.get(fn.class_name)
+            if own is not None:
+                method = self.scopes.resolve_method(own, rest)
+                if method is not None:
+                    return CallSite(fn, call_node, raw, method.fq, method,
+                                    indirect=True)
+            return None
+        if head in bindings and rest and "." not in rest:
+            method = self.scopes.resolve_method(bindings[head], rest)
+            if method is not None:
+                return CallSite(fn, call_node, raw, method.fq, method,
+                                indirect=True)
+            return None
+        if head in local_names:
+            return None  # a local data variable, not a module-level name
+        fq = self.scopes.resolve_in_module(scope, raw, fn.local_imports)
+        if fq is None:
+            return None
+        if self.scopes.resolve_class(fq) is not None:
+            return None  # bare class reference (isinstance, annotations, ...)
+        target = self.scopes.resolve_function(fq)
+        if target is not None:
+            return CallSite(fn, call_node, raw, fq, target, indirect=True)
+        imported = (
+            head in fn.local_imports
+            or head in scope.imports
+            or fq.startswith("builtins.")
+        )
+        if imported:
+            # external callable reference (time.time, np.random.rand, hash)
+            return CallSite(fn, call_node, raw, fq, None, indirect=True)
+        return None
 
     def _resolve_call(
         self,

@@ -68,6 +68,32 @@ TRANSIENT_EXACT = frozenset({"_mask"})
 #: Substrings identifying a lock-ish name (case-insensitive).
 LOCK_NAME_HINTS = ("lock", "mutex", "guard")
 
+#: Method attributes registering a completion callback that will run on
+#: an executor/coordinator thread (thread-escape seed discovery).
+CALLBACK_REGISTER_ATTRS = frozenset({"add_done_callback"})
+
+#: Method attributes handing a callable to a worker pool (runs in its
+#: own process under ProcessPoolExecutor: worker-local, not shared).
+WORKER_SUBMIT_ATTRS = frozenset(
+    {"submit", "map", "imap", "imap_unordered", "apply_async", "map_async"}
+)
+
+#: Constructors that spawn a coordinator-side thread around a callable.
+THREAD_FACTORIES = frozenset({"threading.Thread", "threading.Timer"})
+
+#: External calls producing an iteration order that varies run to run
+#: (filesystem enumeration); iterating them while accumulating floats
+#: is the REP-REDUCTION-ORDER bug family.
+UNORDERED_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Method attributes with the same property (``Path.iterdir``).
+UNORDERED_ATTRS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Order-independent accumulators (exact float summation).
+ORDER_SAFE_CALLS = frozenset({"math.fsum"})
+
 
 @dataclass
 class LintConfig:
@@ -96,8 +122,23 @@ class LintConfig:
     )
 
     #: Functions whose first argument is hashed into a content address
-    #: (REP-HASH-INPUT inspects their spec arguments).
-    key_functions: tuple[str, ...] = ("repro.runtime.hashing.task_key",)
+    #: (REP-HASH-INPUT inspects their spec arguments; REP-KEY-COVERAGE
+    #: anchors root/key-builder binding inference on their call sites).
+    key_functions: tuple[str, ...] = (
+        "repro.runtime.hashing.task_key",
+        "repro.runtime.hashing.canonical_json",
+    )
+
+    #: Task-constructor classes: a function that calls ``task_key`` and
+    #: builds one of these with ``fn=<"module:function">`` in the same
+    #: body binds that task root to the key-spec builder
+    #: (REP-KEY-COVERAGE inference).
+    task_constructors: tuple[str, ...] = ("repro.runtime.executor.Task",)
+
+    #: Explicit (task_root_fq, key_builder_fq) bindings for roots the
+    #: planner-site inference cannot see; an empty builder means the
+    #: spec is hashed as-is.  Mainly for fixtures.
+    key_bindings: tuple[tuple[str, str], ...] = ()
 
     #: Modules whose module-level mutable state is known to be touched
     #: from executor callback threads even when the module itself does
@@ -124,3 +165,13 @@ class LintConfig:
     transient_prefixes: tuple[str, ...] = TRANSIENT_PREFIXES
     transient_exact: frozenset = field(default_factory=lambda: TRANSIENT_EXACT)
     lock_name_hints: tuple[str, ...] = LOCK_NAME_HINTS
+    callback_register_attrs: frozenset = field(
+        default_factory=lambda: CALLBACK_REGISTER_ATTRS
+    )
+    worker_submit_attrs: frozenset = field(
+        default_factory=lambda: WORKER_SUBMIT_ATTRS
+    )
+    thread_factories: frozenset = field(default_factory=lambda: THREAD_FACTORIES)
+    unordered_calls: frozenset = field(default_factory=lambda: UNORDERED_CALLS)
+    unordered_attrs: frozenset = field(default_factory=lambda: UNORDERED_ATTRS)
+    order_safe_calls: frozenset = field(default_factory=lambda: ORDER_SAFE_CALLS)

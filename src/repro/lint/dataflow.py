@@ -1,0 +1,386 @@
+"""Per-function def-use chains with field-sensitive access tracking.
+
+This is the intraprocedural half of the read-set engine (the
+interprocedural half lives in :mod:`repro.lint.readsets`).  For one
+function it answers: *which fields of which parameters does this body
+touch, and where do parameter-derived values flow into other calls?*
+
+Field paths are tracked through the access idioms the runtime actually
+uses — ``params["fidelity"]``, ``params.get("link", {})``, attribute
+access (``spec.foo``), shallow copies (``dict(params)``), and local
+aliases (``train = params["train"]`` followed by ``train["seed"]``).
+
+Every recorded read is a *subtree* read: once a tracked value is
+consumed by something the analyzer cannot see into (an external call,
+iteration, a comparison, a return), everything under its path counts as
+read.  That is the widening the issue calls "reads everything": sound
+by default, and bounded — paths are capped at :data:`MAX_PATH_DEPTH`
+segments and a parameter whose event list exceeds :data:`MAX_EVENTS`
+collapses to a single root read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.scopes import FunctionInfo
+
+#: Longest tracked field path; deeper accesses widen to their prefix.
+MAX_PATH_DEPTH = 6
+
+#: Per-parameter event cap; beyond it the read-set widens to the root.
+MAX_EVENTS = 200
+
+#: Mapping methods that navigate to a single field when the key is a
+#: string literal (``params.get("link", {})``).
+_GETTER_METHODS = frozenset({"get"})
+
+#: Shallow-copy calls that alias rather than consume their argument.
+_COPY_CALLS = frozenset({"dict"})
+
+
+@dataclass(frozen=True)
+class Access:
+    """A tracked binding: which parameter, at which field path."""
+
+    param: str
+    path: tuple[str, ...]
+
+    def extend(self, segment: str) -> "Access":
+        if len(self.path) >= MAX_PATH_DEPTH:
+            return self  # widen: deeper access collapses onto the prefix
+        return Access(self.param, self.path + (segment,))
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """One subtree read of a parameter field, with its witness site."""
+
+    param: str
+    path: tuple[str, ...]
+    module: str
+    line: int
+    col: int
+    fn_fq: str
+
+
+@dataclass(frozen=True)
+class CallFlow:
+    """A tracked value passed into a call (argument position recorded)."""
+
+    param: str
+    path: tuple[str, ...]
+    node: ast.Call
+    arg_index: "int | None"  # positional index as written, None for keyword
+    keyword: "str | None"
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionAccess:
+    """Everything one function does with its parameters."""
+
+    fn: FunctionInfo
+    reads: list[ReadEvent] = field(default_factory=list)
+    flows: list[CallFlow] = field(default_factory=list)
+
+
+def param_names(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> list[str]:
+    """Positional parameter names in call order (kwonly appended)."""
+    args = node.args
+    return [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+
+
+def analyze_function(fn: FunctionInfo) -> FunctionAccess:
+    """Collect field reads and outgoing flows for every parameter."""
+    return _Collector(fn).run()
+
+
+class _Collector:
+    def __init__(self, fn: FunctionInfo) -> None:
+        self.fn = fn
+        self.out = FunctionAccess(fn=fn)
+        self.env: dict[str, Access] = {}
+        args = fn.node.args
+        names = [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+        for name in names:
+            if name in ("self", "cls"):
+                continue
+            self.env[name] = Access(name, ())
+
+    def run(self) -> FunctionAccess:
+        for stmt in self.fn.node.body:
+            self._stmt(stmt)
+        self._cap()
+        return self.out
+
+    def _cap(self) -> None:
+        by_param: dict[str, int] = {}
+        for event in self.out.reads:
+            by_param[event.param] = by_param.get(event.param, 0) + 1
+        widened = {param for param, n in by_param.items() if n > MAX_EVENTS}
+        if not widened:
+            return
+        kept = [e for e in self.out.reads if e.param not in widened]
+        for param in sorted(widened):
+            first = next(e for e in self.out.reads if e.param == param)
+            kept.append(
+                ReadEvent(param, (), first.module, first.line, first.col, first.fn_fq)
+            )
+        self.out.reads = kept
+
+    # -- recording ----------------------------------------------------------
+
+    def _read(self, access: Access, node: ast.AST) -> None:
+        self.out.reads.append(
+            ReadEvent(
+                param=access.param,
+                path=access.path,
+                module=self.fn.module.name,
+                line=getattr(node, "lineno", self.fn.node.lineno),
+                col=getattr(node, "col_offset", 0),
+                fn_fq=self.fn.fq,
+            )
+        )
+
+    # -- navigation (no read recorded) --------------------------------------
+
+    def _ref(self, expr: "ast.expr | None") -> "Access | None":
+        """The tracked access ``expr`` denotes, if it is pure navigation."""
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Subscript):
+            base = self._ref(expr.value)
+            if base is None:
+                return None
+            key = expr.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                return base.extend(key.value)
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self._ref(expr.value)
+            if base is None or expr.attr.startswith("__"):
+                return None
+            return base.extend(expr.attr)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            # dict(X) / dict(X, extra=...) is a shallow copy: same fields.
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _COPY_CALLS
+                and expr.args
+                and not isinstance(expr.args[0], ast.Starred)
+            ):
+                return self._ref(expr.args[0])
+            # X.get("field"[, default]) navigates to one field.
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _GETTER_METHODS
+                and expr.args
+                and isinstance(expr.args[0], ast.Constant)
+                and isinstance(expr.args[0].value, str)
+                and len(expr.args) <= 2
+            ):
+                base = self._ref(func.value)
+                if base is not None:
+                    return base.extend(expr.args[0].value)
+        return None
+
+    # -- statements ----------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._consume(stmt.value)
+            self._consume(stmt.target)
+        elif isinstance(stmt, ast.Return):
+            self._consume(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self._consume(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._consume(stmt.test)
+            for child in [*stmt.body, *stmt.orelse]:
+                self._stmt(child)
+        elif isinstance(stmt, ast.For):
+            self._consume(stmt.iter)
+            self._unbind(stmt.target)
+            for child in [*stmt.body, *stmt.orelse]:
+                self._stmt(child)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._consume(item.context_expr)
+            for child in stmt.body:
+                self._stmt(child)
+        elif isinstance(stmt, ast.Try):
+            for child in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                self._stmt(child)
+            for handler in stmt.handlers:
+                for child in handler.body:
+                    self._stmt(child)
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self._consume(value)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._consume(target)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions are analyzed as their own functions
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Pass, ast.Global,
+                               ast.Nonlocal, ast.Break, ast.Continue)):
+            pass
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._consume(child)
+                elif isinstance(child, ast.stmt):
+                    self._stmt(child)
+
+    def _assign(self, targets: "list[ast.expr]", value: ast.expr) -> None:
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            ref = self._ref(value)
+            if ref is not None:
+                self.env[targets[0].id] = ref
+                return
+            self._consume(value)
+            self.env.pop(targets[0].id, None)
+            return
+        self._consume(value)
+        for target in targets:
+            self._unbind(target)
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._consume(target.value)
+
+    def _unbind(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._unbind(element)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _consume(self, expr: "ast.expr | None") -> None:
+        """Record the reads a used expression implies."""
+        if expr is None:
+            return
+        ref = self._ref(expr)
+        if ref is not None:
+            self._read(ref, expr)
+            return
+        if isinstance(expr, ast.Call):
+            self._consume_call(expr)
+            return
+        if isinstance(expr, ast.Subscript):
+            base = self._ref(expr.value)
+            if base is not None:
+                # dynamic key: the whole mapping may be read
+                self._read(base, expr)
+            else:
+                self._consume(expr.value)
+            self._consume(expr.slice)
+            return
+        if isinstance(expr, ast.Starred):
+            self._consume(expr.value)
+            return
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in expr.generators:
+                self._consume(gen.iter)
+                self._unbind(gen.target)
+                for cond in gen.ifs:
+                    self._consume(cond)
+            if isinstance(expr, ast.DictComp):
+                self._consume(expr.key)
+                self._consume(expr.value)
+            else:
+                self._consume(expr.elt)
+            return
+        if isinstance(expr, ast.Lambda):
+            self._consume(expr.body)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._consume(child)
+
+    def _consume_call(self, call: ast.Call) -> None:
+        func = call.func
+        handled_args: set[int] = set()
+        if isinstance(func, ast.Attribute):
+            base = self._ref(func.value)
+            if base is not None:
+                if (
+                    func.attr in _GETTER_METHODS
+                    and call.args
+                    and isinstance(call.args[0], ast.Constant)
+                    and isinstance(call.args[0].value, str)
+                ):
+                    # consumed `.get("k")`: reads just that field
+                    self._read(base.extend(call.args[0].value), call)
+                    handled_args.add(0)
+                else:
+                    # .items()/.keys()/unknown method: reads the mapping
+                    self._read(base, call)
+            else:
+                self._consume(func.value)
+        else:
+            fref = self._ref(func)
+            if fref is not None:
+                self._read(fref, call)  # calling a tracked value
+            elif not isinstance(func, ast.Name):
+                self._consume(func)
+
+        for index, arg in enumerate(call.args):
+            if index in handled_args:
+                continue
+            if isinstance(arg, ast.Starred):
+                inner = self._ref(arg.value)
+                if inner is not None:
+                    self._read(inner, arg)
+                else:
+                    self._consume(arg.value)
+                continue
+            ref = self._ref(arg)
+            if ref is not None:
+                self.out.flows.append(
+                    CallFlow(
+                        param=ref.param,
+                        path=ref.path,
+                        node=call,
+                        arg_index=index,
+                        keyword=None,
+                        line=arg.lineno,
+                        col=arg.col_offset,
+                    )
+                )
+            else:
+                self._consume(arg)
+        for kw in call.keywords:
+            ref = self._ref(kw.value)
+            if kw.arg is None:  # **spread: every field escapes
+                if ref is not None:
+                    self._read(ref, kw.value)
+                else:
+                    self._consume(kw.value)
+                continue
+            if ref is not None:
+                self.out.flows.append(
+                    CallFlow(
+                        param=ref.param,
+                        path=ref.path,
+                        node=call,
+                        arg_index=None,
+                        keyword=kw.arg,
+                        line=kw.value.lineno,
+                        col=kw.value.col_offset,
+                    )
+                )
+            else:
+                self._consume(kw.value)

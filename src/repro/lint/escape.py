@@ -1,0 +1,154 @@
+"""Thread-escape lattice: which functions run on which kind of thread.
+
+Classifies every project function into a three-point lattice by walking
+the call graph from *inferred* concurrency seeds — no hand-configured
+module lists:
+
+``callback-shared``
+    Reachable from a callable registered as a completion callback
+    (``future.add_done_callback(f)``) or handed to a coordinator-side
+    thread (``threading.Thread(target=f)``, ``threading.Timer(_, f)``).
+    These run concurrently with the coordinator inside the same
+    process, so every module-level or instance attribute they mutate is
+    shared state.
+
+``worker-local``
+    Reachable from a callable submitted to an executor pool
+    (``pool.submit(f, ...)``, ``pool.map(f, ...)``).  With a process
+    pool these run in their own interpreter: module globals are
+    per-process and need no locking.
+
+``coordinator``
+    Everything else: single-threaded coordinator code.
+
+``callback-shared`` dominates ``worker-local`` (a function reachable
+both ways can race), which dominates ``coordinator``.  Seed discovery
+leans on the call graph's indirect-reference resolution, so
+``self._on_done`` method references and ``lambda f: handler(f)``
+wrappers both seed correctly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import CallGraph, local_class_bindings
+from repro.lint.config import LintConfig
+from repro.lint.scopes import FunctionInfo, dotted_name
+
+ESCAPE_COORDINATOR = "coordinator"
+ESCAPE_CALLBACK = "callback-shared"
+ESCAPE_WORKER = "worker-local"
+
+
+@dataclass
+class EscapeLattice:
+    """Escape classification for every project function."""
+
+    #: fq -> predecessor fq on a path from a callback seed (BFS tree)
+    callback_shared: dict[str, "str | None"] = field(default_factory=dict)
+    #: fq -> predecessor fq on a path from a worker seed
+    worker_local: dict[str, "str | None"] = field(default_factory=dict)
+    #: seed fq -> human-readable registration site ("module:line")
+    callback_seeds: dict[str, str] = field(default_factory=dict)
+    worker_seeds: dict[str, str] = field(default_factory=dict)
+
+    def classify(self, fq: str) -> str:
+        if fq in self.callback_shared:
+            return ESCAPE_CALLBACK
+        if fq in self.worker_local:
+            return ESCAPE_WORKER
+        return ESCAPE_COORDINATOR
+
+    def chain(self, graph: CallGraph, fq: str) -> "list[str]":
+        """Root-first path from the callback seed that shares ``fq``."""
+        return graph.chain(self.callback_shared, fq)
+
+
+def build_escape_lattice(graph: CallGraph, config: LintConfig) -> EscapeLattice:
+    """Infer concurrency seeds from registration sites and close over calls."""
+    lattice = EscapeLattice()
+    callback_roots: list[str] = []
+    worker_roots: list[str] = []
+    for fn in graph.functions.values():
+        for target, kind, node in _seed_sites(graph, fn, config):
+            where = f"{fn.module.name}:{node.lineno}"
+            if kind == ESCAPE_CALLBACK:
+                callback_roots.append(target.fq)
+                lattice.callback_seeds.setdefault(target.fq, where)
+            else:
+                worker_roots.append(target.fq)
+                lattice.worker_seeds.setdefault(target.fq, where)
+    lattice.callback_shared = graph.reachable_from(sorted(set(callback_roots)))
+    lattice.worker_local = graph.reachable_from(sorted(set(worker_roots)))
+    return lattice
+
+
+def _seed_sites(graph: CallGraph, fn: FunctionInfo, config: LintConfig):
+    """(target function, escape kind, registration node) triples in ``fn``."""
+    scope = graph.scopes.scope_of(fn.module)
+    bindings = None  # computed lazily; most functions register nothing
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        candidates: "list[tuple[ast.expr, str]]" = []
+        if isinstance(func, ast.Attribute):
+            if func.attr in config.callback_register_attrs and node.args:
+                candidates.append((node.args[0], ESCAPE_CALLBACK))
+            elif func.attr in config.worker_submit_attrs and node.args:
+                candidates.append((node.args[0], ESCAPE_WORKER))
+        raw = dotted_name(func)
+        if raw is not None:
+            fq = graph.scopes.resolve_in_module(scope, raw, fn.local_imports)
+            if fq in config.thread_factories:
+                for kw in node.keywords:
+                    if kw.arg in ("target", "function"):
+                        candidates.append((kw.value, ESCAPE_CALLBACK))
+                if len(node.args) >= 2:  # threading.Timer(interval, function)
+                    candidates.append((node.args[1], ESCAPE_CALLBACK))
+        for expr, kind in candidates:
+            if bindings is None:
+                bindings = local_class_bindings(graph.scopes, fn)
+            target = _resolve_callable(graph, fn, scope, bindings, expr)
+            if target is not None:
+                yield target, kind, node
+
+
+def _resolve_callable(graph, fn, scope, bindings, expr) -> "FunctionInfo | None":
+    """The project function a callback expression designates, if any."""
+    if isinstance(expr, ast.Lambda):
+        # `lambda f: handler(f)` — classify what the wrapper invokes
+        body = expr.body
+        if isinstance(body, ast.Call):
+            return _resolve_callable(graph, fn, scope, bindings, body.func)
+        return None
+    if isinstance(expr, ast.Call):
+        # functools.partial(handler, ...) freezes args around `handler`
+        raw = dotted_name(expr.func)
+        fq = (
+            graph.scopes.resolve_in_module(scope, raw, fn.local_imports)
+            if raw is not None
+            else None
+        )
+        if fq == "functools.partial" and expr.args:
+            return _resolve_callable(graph, fn, scope, bindings, expr.args[0])
+        return None
+    if not isinstance(expr, (ast.Name, ast.Attribute)):
+        return None
+    raw = dotted_name(expr)
+    if raw is None:
+        return None
+    head, _, rest = raw.partition(".")
+    if head == "self" and fn.class_name is not None and rest and "." not in rest:
+        own = scope.classes.get(fn.class_name)
+        if own is not None:
+            return graph.scopes.resolve_method(own, rest)
+        return None
+    if head in bindings and rest and "." not in rest:
+        return graph.scopes.resolve_method(bindings[head], rest)
+    fq = graph.scopes.resolve_in_module(scope, raw, fn.local_imports)
+    if fq is None:
+        return None
+    return graph.scopes.resolve_function(fq)

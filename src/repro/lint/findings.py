@@ -36,6 +36,10 @@ class Finding:
     fingerprint: str = ""
     suppressed: bool = False
     baselined: bool = False
+    #: "error" findings fail the gate; "info" findings are advisory
+    #: (e.g. a hashed-but-never-read key field) and never affect the
+    #: exit code.
+    severity: str = "error"
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}"
@@ -56,6 +60,8 @@ class Finding:
             out["suppressed"] = True
         if self.baselined:
             out["baselined"] = True
+        if self.severity != "error":
+            out["severity"] = self.severity
         return out
 
 
@@ -66,6 +72,7 @@ def make_finding(
     col: int,
     message: str,
     chain: "tuple[str, ...]" = (),
+    severity: str = "error",
 ) -> Finding:
     return Finding(
         rule=rule,
@@ -76,6 +83,7 @@ def make_finding(
         message=message,
         chain=chain,
         line_text=module.line_text(line).strip(),
+        severity=severity,
     )
 
 

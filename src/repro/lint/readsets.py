@@ -1,0 +1,180 @@
+"""Transitive read-set summaries propagated over the call graph.
+
+The interprocedural half of the read-set engine: for each project
+function it computes, per parameter, the set of field subtrees the
+function (and everything it calls) may read.  Summaries are built on
+demand, memoized, and stitched at call sites: when a tracked value
+flows into a resolved project callee, the callee's summary for the
+receiving parameter is re-rooted under the caller's field path.
+
+Widening rules keep the analysis sound-by-default and bounded:
+
+- a flow into an *unresolved* callee (external library, exotic
+  dispatch) reads everything under the flowing path;
+- a flow into ``*args``/``**kwargs`` or past the recursion depth bound
+  reads everything under the flowing path;
+- recursion cycles widen the same way instead of iterating to a fixed
+  point — the runtime's task trees are DAGs, so precision only drops
+  on code that was already exotic.
+
+Witness locations survive propagation: a read reported at the task
+root still points at the deep ``file:line`` where the field was
+actually touched, and the owning function is recorded so rules can
+render a call chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.dataflow import (
+    MAX_EVENTS,
+    MAX_PATH_DEPTH,
+    ReadEvent,
+    analyze_function,
+    param_names,
+)
+from repro.lint.scopes import FunctionInfo
+
+#: Maximum call-stack depth a summary may recurse through before the
+#: remaining flow widens to "reads everything under this path".
+MAX_SUMMARY_DEPTH = 16
+
+
+@dataclass
+class ReadSummary:
+    """Per-parameter transitive read events for one function."""
+
+    fn: FunctionInfo
+    #: parameter name -> subtree read events (paths relative to it)
+    by_param: dict[str, list[ReadEvent]]
+
+    def events(self, param: str) -> "list[ReadEvent]":
+        return self.by_param.get(param, [])
+
+
+class ReadSetAnalysis:
+    """Lazy, memoized read-set summaries over a project call graph."""
+
+    def __init__(self, callgraph: CallGraph) -> None:
+        self.callgraph = callgraph
+        self._memo: dict[str, ReadSummary] = {}
+        self._active: set[str] = set()
+
+    def summary(self, fn: FunctionInfo) -> "ReadSummary | None":
+        """The transitive read summary of ``fn`` (None while in-cycle)."""
+        cached = self._memo.get(fn.fq)
+        if cached is not None:
+            return cached
+        if fn.fq in self._active or len(self._active) >= MAX_SUMMARY_DEPTH:
+            return None  # caller widens the flow instead
+        self._active.add(fn.fq)
+        try:
+            summary = self._build(fn)
+        finally:
+            self._active.discard(fn.fq)
+        self._memo[fn.fq] = summary
+        return summary
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, fn: FunctionInfo) -> ReadSummary:
+        access = analyze_function(fn)
+        by_param: dict[str, list[ReadEvent]] = {}
+        for event in access.reads:
+            by_param.setdefault(event.param, []).append(event)
+
+        site_by_node = {
+            id(site.node): site
+            for site in self.callgraph.calls.get(fn.fq, ())
+            if not site.indirect  # args of this call resolve against the call
+        }
+        for flow in access.flows:
+            widened = ReadEvent(
+                param=flow.param,
+                path=flow.path,
+                module=fn.module.name,
+                line=flow.line,
+                col=flow.col,
+                fn_fq=fn.fq,
+            )
+            site = site_by_node.get(id(flow.node))
+            callee = site.target_fn if site is not None else None
+            if callee is None:
+                by_param.setdefault(flow.param, []).append(widened)
+                continue
+            callee_summary = self.summary(callee)
+            if callee_summary is None:
+                by_param.setdefault(flow.param, []).append(widened)
+                continue
+            receiver = _receiving_param(callee, flow.arg_index, flow.keyword)
+            if receiver is None:
+                by_param.setdefault(flow.param, []).append(widened)
+                continue
+            events = callee_summary.events(receiver)
+            if not events:
+                continue
+            bucket = by_param.setdefault(flow.param, [])
+            for event in events:
+                path = (flow.path + event.path)[:MAX_PATH_DEPTH]
+                bucket.append(
+                    ReadEvent(
+                        param=flow.param,
+                        path=path,
+                        module=event.module,
+                        line=event.line,
+                        col=event.col,
+                        fn_fq=event.fn_fq,
+                    )
+                )
+
+        for param, events in by_param.items():
+            deduped = _dedupe(events)
+            if len(deduped) > MAX_EVENTS:
+                first = deduped[0]
+                deduped = [
+                    ReadEvent(param, (), first.module, first.line,
+                              first.col, first.fn_fq)
+                ]
+            by_param[param] = deduped
+        return ReadSummary(fn=fn, by_param=by_param)
+
+
+def _receiving_param(
+    callee: FunctionInfo, arg_index: "int | None", keyword: "str | None"
+) -> "str | None":
+    """Which of ``callee``'s parameters a call argument lands on."""
+    names = param_names(callee.node)
+    if keyword is not None:
+        return keyword if keyword in names else None
+    if arg_index is None:
+        return None
+    index = arg_index
+    if names and names[0] in ("self", "cls"):
+        index += 1  # bound method / constructor call: skip the receiver
+    positional = len(callee.node.args.posonlyargs) + len(callee.node.args.args)
+    if index < positional:
+        return names[index]
+    return None  # lands on *args — caller widens
+
+
+def _dedupe(events: "list[ReadEvent]") -> "list[ReadEvent]":
+    """Drop events subsumed by a shorter (wider) path on the same param.
+
+    Keeps the first witness per surviving path, in a deterministic
+    (path, location) order.
+    """
+    ordered = sorted(events, key=lambda e: (e.path, e.module, e.line, e.col))
+    kept: list[ReadEvent] = []
+    seen_paths: list[tuple[str, ...]] = []
+    seen_exact: set[tuple[str, ...]] = set()
+    for event in ordered:
+        if event.path in seen_exact:
+            continue
+        if any(event.path[: len(p)] == p for p in seen_paths):
+            continue  # a recorded prefix already reads this subtree
+        seen_exact.add(event.path)
+        seen_paths.append(event.path)
+        kept.append(event)
+    return kept

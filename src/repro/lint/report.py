@@ -18,12 +18,17 @@ class LintResult:
 
     @property
     def active(self) -> "list[Finding]":
-        """Findings that fail the run: not suppressed, not baselined."""
+        """Findings that count against the run: not suppressed/baselined."""
         return [
             finding
             for finding in self.findings
             if not finding.suppressed and not finding.baselined
         ]
+
+    @property
+    def errors(self) -> "list[Finding]":
+        """Active findings that fail the gate (info severity does not)."""
+        return [f for f in self.active if f.severity == "error"]
 
     @property
     def n_suppressed(self) -> int:
@@ -35,7 +40,7 @@ class LintResult:
 
     @property
     def exit_code(self) -> int:
-        return 1 if self.active else 0
+        return 1 if self.errors else 0
 
     def sorted_findings(self) -> "list[Finding]":
         return sorted(
@@ -52,15 +57,20 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
             tag = " [suppressed]" if finding.suppressed else " [baselined]"
         else:
             tag = ""
+        if finding.severity != "error":
+            tag = f" [{finding.severity}]{tag}"
         lines.append(
             f"{finding.location()}: {finding.rule} {finding.message}{tag}"
         )
         if finding.chain and len(finding.chain) > 1:
             lines.append(f"    call chain: {' -> '.join(finding.chain)}")
     active = len(result.active)
+    n_info = len(result.active) - len(result.errors)
+    info_note = f", {n_info} info" if n_info else ""
     summary = (
         f"{active} finding{'s' if active != 1 else ''}"
-        f" ({result.n_suppressed} suppressed, {result.n_baselined} baselined)"
+        f" ({result.n_suppressed} suppressed, {result.n_baselined} baselined"
+        f"{info_note})"
         f" across {result.n_modules} modules"
         f" [{', '.join(result.rules_run)}]"
     )
@@ -75,6 +85,7 @@ def render_json(result: LintResult) -> str:
         ],
         "summary": {
             "active": len(result.active),
+            "errors": len(result.errors),
             "suppressed": result.n_suppressed,
             "baselined": result.n_baselined,
             "modules": result.n_modules,

@@ -6,7 +6,11 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration side ef
     falsy_store,
     getstate_cache,
     hash_input,
+    key_coverage,
     nondet,
+    pure_task,
+    reduction_order,
+    thread_escape,
     unlocked_global,
 )
 

@@ -33,6 +33,24 @@ class LintContext:
         return self._callgraph
 
 
+def task_roots(ctx: LintContext) -> "list[str]":
+    """Fully-qualified task entry points the call-graph rules walk from.
+
+    Explicit ``task_root_functions`` plus everything ``__all__``-exported
+    (or, lacking ``__all__``, every function) in ``task_root_modules``.
+    """
+    roots = list(ctx.config.task_root_functions)
+    for module_name in ctx.config.task_root_modules:
+        scope = ctx.scopes.scopes.get(module_name)
+        if scope is None:
+            continue
+        exported = scope.dunder_all or sorted(scope.functions)
+        for name in exported:
+            if name in scope.functions:
+                roots.append(f"{module_name}.{name}")
+    return roots
+
+
 class Rule:
     """A single lint rule: a code, a one-liner, and a ``run`` method."""
 

@@ -14,25 +14,13 @@ which only feeds telemetry, never result bytes.
 from __future__ import annotations
 
 from repro.lint.findings import Finding, make_finding
-from repro.lint.rules.base import LintContext, Rule, register
+from repro.lint.rules.base import LintContext, Rule, register, task_roots
 
 
 @register
 class NondetRule(Rule):
     code = "REP-NONDET"
     summary = "nondeterminism source reachable from a runtime task body"
-
-    def _roots(self, ctx: LintContext) -> list[str]:
-        roots = list(ctx.config.task_root_functions)
-        for module_name in ctx.config.task_root_modules:
-            scope = ctx.scopes.scopes.get(module_name)
-            if scope is None:
-                continue
-            exported = scope.dunder_all or sorted(scope.functions)
-            for name in exported:
-                if name in scope.functions:
-                    roots.append(f"{module_name}.{name}")
-        return roots
 
     def _is_nondet(self, ctx: LintContext, fq: str) -> bool:
         config = ctx.config
@@ -47,7 +35,7 @@ class NondetRule(Rule):
         return False
 
     def run(self, ctx: LintContext) -> "list[Finding]":
-        roots = self._roots(ctx)
+        roots = task_roots(ctx)
         if not roots:
             return []
         graph = ctx.callgraph

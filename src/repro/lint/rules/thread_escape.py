@@ -1,0 +1,76 @@
+"""REP-THREAD-ESCAPE: unguarded mutation on a callback-shared path.
+
+Unlike REP-UNLOCKED-GLOBAL — which only watches modules that *declare*
+a lock or are hand-listed as concurrent — this rule infers sharing from
+the code itself.  Any function reachable from a callable registered as
+a completion callback (``future.add_done_callback(f)``) or handed to a
+coordinator-side thread (``threading.Thread(target=f)``) runs
+concurrently with the coordinator, so its mutations of module-level
+containers and ``self.<attr>`` state race unless a lock is held.  See
+:mod:`repro.lint.escape` for the lattice.
+
+No module lists, no lock declaration required: deleting the ``with
+self._lock:`` around a sweep that runs in a done-callback re-surfaces
+the finding from inference alone.
+"""
+
+from __future__ import annotations
+
+from repro.lint.escape import build_escape_lattice
+from repro.lint.findings import Finding, make_finding
+from repro.lint.mutations import ModuleFacts, walk_mutations
+from repro.lint.rules.base import LintContext, Rule, register
+
+
+@register
+class ThreadEscapeRule(Rule):
+    code = "REP-THREAD-ESCAPE"
+    summary = "callback-shared code mutates shared state without a lock"
+
+    def run(self, ctx: LintContext) -> "list[Finding]":
+        graph = ctx.callgraph
+        lattice = build_escape_lattice(graph, ctx.config)
+        if not lattice.callback_shared:
+            return []
+        facts_cache: dict[str, ModuleFacts] = {}
+        findings: list[Finding] = []
+        for fq in sorted(lattice.callback_shared):
+            fn = graph.functions.get(fq)
+            if fn is None:
+                continue
+            module_name = fn.module.name
+            if module_name not in facts_cache:
+                scope = ctx.scopes.scopes.get(module_name)
+                if scope is None:
+                    continue
+                facts_cache[module_name] = ModuleFacts(
+                    ctx.scopes, ctx.config, scope
+                )
+            facts = facts_cache[module_name]
+            chain = tuple(lattice.chain(graph, fq))
+            seed = chain[0] if chain else fq
+            registered_at = lattice.callback_seeds.get(seed, "?")
+            for node, name, action, held in walk_mutations(
+                fn,
+                facts.mutable_globals,
+                locks=facts.locks,
+                hints=ctx.config.lock_name_hints,
+                self_attrs=True,
+            ):
+                if held:
+                    continue
+                findings.append(
+                    make_finding(
+                        self.code,
+                        fn.module,
+                        node.lineno,
+                        node.col_offset,
+                        f"{action} of {name!r} in {fn.qualname!r}, which "
+                        "runs on a callback thread (registered as "
+                        f"{seed.split('.')[-1]!r} at {registered_at}) "
+                        "concurrently with the coordinator; guard the "
+                        "mutation with 'with <lock>:'",
+                        chain=chain,
+                    )
+                )
+        return findings

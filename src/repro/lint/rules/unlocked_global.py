@@ -8,95 +8,18 @@ across threads, so every mutation of module-level mutable state
 (container mutation, or rebinding through ``global``) must happen under
 a ``with <lock>:`` block.  A lightweight race detector, not a proof:
 it catches the "forgot the lock on the second code path" bug class.
+
+The mutation/lock modelling itself lives in
+:mod:`repro.lint.mutations`, shared with REP-PURE-TASK and the
+inference-driven REP-THREAD-ESCAPE (which needs no lock declaration or
+module list to fire — see :mod:`repro.lint.escape`).
 """
 
 from __future__ import annotations
 
-import ast
-
 from repro.lint.findings import Finding, make_finding
+from repro.lint.mutations import ModuleFacts, walk_mutations
 from repro.lint.rules.base import LintContext, Rule, register
-from repro.lint.scopes import FunctionInfo, ModuleScope, dotted_name
-
-_MUTATORS = frozenset(
-    {
-        "append",
-        "extend",
-        "insert",
-        "add",
-        "update",
-        "pop",
-        "popitem",
-        "clear",
-        "setdefault",
-        "remove",
-        "discard",
-    }
-)
-
-_MUTABLE_FACTORIES = frozenset(
-    {
-        "builtins.dict",
-        "builtins.list",
-        "builtins.set",
-        "collections.defaultdict",
-        "collections.OrderedDict",
-        "collections.Counter",
-        "collections.deque",
-    }
-)
-
-_LOCK_FACTORIES = frozenset(
-    {
-        "threading.Lock",
-        "threading.RLock",
-        "threading.Condition",
-        "threading.Semaphore",
-        "threading.BoundedSemaphore",
-    }
-)
-
-
-def _is_mutable_literal(expr: ast.expr) -> bool:
-    return isinstance(
-        expr,
-        (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp),
-    )
-
-
-def _lockish_name(name: str, hints: "tuple[str, ...]") -> bool:
-    lowered = name.lower()
-    return any(hint in lowered for hint in hints)
-
-
-class _ModuleFacts:
-    """Mutable globals and lock names declared at module level."""
-
-    def __init__(self, ctx: LintContext, scope: ModuleScope) -> None:
-        self.mutable_globals: set[str] = set()
-        self.locks: set[str] = set()
-        hints = ctx.config.lock_name_hints
-        for name, value in scope.module_assigns.items():
-            if name.startswith("__"):
-                continue
-            if _is_mutable_literal(value):
-                self.mutable_globals.add(name)
-                continue
-            if isinstance(value, ast.Call):
-                raw = dotted_name(value.func)
-                fq = (
-                    ctx.scopes.resolve_in_module(scope, raw)
-                    if raw is not None
-                    else None
-                )
-                if fq in _MUTABLE_FACTORIES:
-                    self.mutable_globals.add(name)
-                elif fq in _LOCK_FACTORIES or (
-                    raw is not None and _lockish_name(raw.split(".")[-1], hints)
-                ):
-                    self.locks.add(name)
-                elif _lockish_name(name, hints):
-                    self.locks.add(name)
 
 
 @register
@@ -107,102 +30,31 @@ class UnlockedGlobalRule(Rule):
     def run(self, ctx: LintContext) -> "list[Finding]":
         findings: list[Finding] = []
         for scope in ctx.scopes.scopes.values():
-            facts = _ModuleFacts(ctx, scope)
+            facts = ModuleFacts(ctx.scopes, ctx.config, scope)
             exposed = bool(facts.locks) or (
                 scope.module.name in ctx.config.concurrent_modules
             )
             if not exposed or not (facts.mutable_globals or facts.locks):
                 continue
             for fn in scope.functions.values():
-                findings.extend(self._check_function(ctx, scope, fn, facts))
-        return findings
-
-    def _check_function(
-        self,
-        ctx: LintContext,
-        scope: ModuleScope,
-        fn: FunctionInfo,
-        facts: _ModuleFacts,
-    ) -> "list[Finding]":
-        hints = ctx.config.lock_name_hints
-        rebindable: set[str] = set()
-        for node in ast.walk(fn.node):
-            if isinstance(node, ast.Global):
-                rebindable.update(node.names)
-        findings: list[Finding] = []
-
-        def guarded(with_stack: "list[ast.expr]") -> bool:
-            for expr in with_stack:
-                name = dotted_name(expr)
-                if name is None:
-                    continue
-                last = name.split(".")[-1]
-                if last in facts.locks or _lockish_name(last, hints):
-                    return True
-            return False
-
-        def flag(node: ast.AST, name: str, action: str) -> None:
-            findings.append(
-                make_finding(
-                    self.code,
-                    fn.module,
-                    node.lineno,
-                    node.col_offset,
-                    f"{action} of module-level {name!r} in "
-                    f"{fn.qualname!r} without holding a lock; wrap the "
-                    "mutation in 'with <lock>:' (shared across executor "
-                    "callback threads)",
-                )
-            )
-
-        def subscript_root(target: ast.expr) -> "str | None":
-            if isinstance(target, ast.Subscript) and isinstance(
-                target.value, ast.Name
-            ):
-                return target.value.id
-            return None
-
-        def visit(node: ast.AST, with_stack: "list[ast.expr]") -> None:
-            if isinstance(node, ast.With):
-                items = [item.context_expr for item in node.items]
-                for child in node.body:
-                    visit(child, with_stack + items)
-                return
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
-                node is not fn.node
-            ):
-                return  # nested defs are analyzed as their own functions
-            if isinstance(node, (ast.Assign, ast.AugAssign)) and not guarded(
-                with_stack
-            ):
-                targets = (
-                    node.targets if isinstance(node, ast.Assign) else [node.target]
-                )
-                for target in targets:
-                    root = subscript_root(target)
-                    if root is not None and root in facts.mutable_globals:
-                        flag(node, root, "item assignment")
-                    elif (
-                        isinstance(target, ast.Name) and target.id in rebindable
-                    ):
-                        flag(node, target.id, "rebinding")
-            elif isinstance(node, ast.Delete) and not guarded(with_stack):
-                for target in node.targets:
-                    root = subscript_root(target)
-                    if root is not None and root in facts.mutable_globals:
-                        flag(node, root, "item deletion")
-            elif isinstance(node, ast.Call) and not guarded(with_stack):
-                func = node.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and isinstance(func.value, ast.Name)
-                    and func.value.id in facts.mutable_globals
-                    and func.attr in _MUTATORS
+                for node, name, action, held in walk_mutations(
+                    fn,
+                    facts.mutable_globals,
+                    locks=facts.locks,
+                    hints=ctx.config.lock_name_hints,
                 ):
-                    flag(node, func.value.id, f".{func.attr}() mutation")
-            for child in ast.iter_child_nodes(node):
-                visit(child, with_stack)
-
-        for stmt in fn.node.body:
-            visit(stmt, [])
+                    if held:
+                        continue
+                    findings.append(
+                        make_finding(
+                            self.code,
+                            fn.module,
+                            node.lineno,
+                            node.col_offset,
+                            f"{action} of module-level {name!r} in "
+                            f"{fn.qualname!r} without holding a lock; wrap "
+                            "the mutation in 'with <lock>:' (shared across "
+                            "executor callback threads)",
+                        )
+                    )
         return findings

@@ -59,6 +59,9 @@ _REGISTRY_LOCK = threading.Lock()
 
 def _observe(name: str, elapsed_s: float) -> None:
     with _REGISTRY_LOCK:
+        # Telemetry only: profile entries never feed task result bytes,
+        # so cross-call registry state cannot violate bit-identity.
+        # repro: allow[REP-PURE-TASK]
         entry = _REGISTRY.get(name)
         if entry is None:
             entry = ProfileEntry(name=name)

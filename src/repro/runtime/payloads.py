@@ -254,5 +254,7 @@ def load_payload(root: str, digest: str):
 
 def clear_payload_cache() -> None:
     """Drop the per-process payload memo (benchmarks use this)."""
-    # Worker processes are single-threaded; no lock needed.
-    _WORKER_CACHE.clear()  # repro: allow[REP-UNLOCKED-GLOBAL]
+    # Worker processes are single-threaded; no lock needed.  Dropping
+    # the memo only forces a re-read of the same immutable spill file,
+    # so results are unchanged (pure read-through cache).
+    _WORKER_CACHE.clear()  # repro: allow[REP-UNLOCKED-GLOBAL,REP-PURE-TASK]

@@ -37,8 +37,10 @@ def clear_memos() -> None:
     """Drop the per-process dataset/model/payload memos (benchmarks use this)."""
     from repro.runtime.payloads import clear_payload_cache
 
-    _DATASETS.clear()
-    _SCHEMES.clear()
+    # Read-through memos keyed purely on frozen specs: clearing them
+    # only forces a bit-identical rebuild, never a different result.
+    _DATASETS.clear()  # repro: allow[REP-PURE-TASK]
+    _SCHEMES.clear()  # repro: allow[REP-PURE-TASK]
     clear_payload_cache()
 
 
@@ -52,7 +54,9 @@ def _freeze(payload: Mapping) -> tuple:
 
 def _get_dataset(dataset: Mapping, fidelity: Mapping):
     key = (_freeze(dataset), _freeze(fidelity))
-    if key not in _DATASETS:
+    # Pure read-through memo: the key freezes every input, so a miss
+    # rebuilds bit-identical state; clear_memos only forces that rebuild.
+    if key not in _DATASETS:  # repro: allow[REP-PURE-TASK]
         from repro.datasets import build_dataset, dataset_spec
 
         _DATASETS[key] = build_dataset(
@@ -68,7 +72,9 @@ def _get_scheme(scheme: Mapping, dataset_spec_map: Mapping, fidelity: Mapping):
     """Build (or reuse) the feedback scheme a point asks for."""
     kind = scheme.get("kind")
     key = (_freeze(scheme), _freeze(dataset_spec_map), _freeze(fidelity))
-    if key in _SCHEMES:
+    # Pure read-through memo (see _get_dataset): fully-keyed, rebuilds
+    # bit-identically on a miss.
+    if key in _SCHEMES:  # repro: allow[REP-PURE-TASK]
         return _SCHEMES[key]
     if kind == "dot11":
         from repro.baselines import Dot11Feedback

@@ -161,3 +161,54 @@ class TestRealTree:
         assert "REP-NONDET" in proc.stdout
         assert "time.time" in proc.stdout
         assert "runtime/tasks.py" in proc.stdout
+
+    def test_injected_unhashed_field_read_fails_the_gate(self, tmp_path):
+        """Reading a spec field the cache key never hashes must fail CI.
+
+        ``train_zoo_entry``'s key builder (``checkpoint_spec``) is
+        inclusion-model: it hashes an explicit field list.  Seeding a
+        read of a field outside that list is exactly the stale-cache
+        bug REP-KEY-COVERAGE exists to stop.
+        """
+        staged = tmp_path / "src"
+        shutil.copytree(SRC, staged, ignore=shutil.ignore_patterns("__pycache__"))
+        tasks = staged / "repro" / "runtime" / "tasks.py"
+        source = tasks.read_text(encoding="utf-8")
+        lines = source.splitlines(keepends=True)
+        for index, line in enumerate(lines):
+            if line.startswith("def train_zoo_entry"):
+                # a *consumed* read: bare aliases that feed nothing are
+                # (correctly) invisible to the read-set analysis
+                lines.insert(index + 1, '    if params["secret_knob"]:\n')
+                lines.insert(index + 2, "        pass\n")
+                break
+        else:
+            pytest.fail("train_zoo_entry not found in runtime/tasks.py")
+        tasks.write_text("".join(lines), encoding="utf-8")
+
+        proc = run_cli(str(staged), "--no-baseline")
+        assert proc.returncode == 1
+        assert "REP-KEY-COVERAGE" in proc.stdout
+        assert "'train_zoo_entry'" in proc.stdout  # the task root, by name
+        assert "'secret_knob'" in proc.stdout  # the missing field, by name
+        assert "never hashes" in proc.stdout
+
+
+class TestParallelJobs:
+    def test_jobs_output_is_byte_identical_to_serial(self, tmp_path):
+        fixture = write_fixture(tmp_path, DIRTY)
+        serial = run_cli(str(fixture), "--no-baseline")
+        parallel = run_cli(str(fixture), "--no-baseline", "--jobs", "4")
+        assert serial.returncode == parallel.returncode == 1
+        assert serial.stdout == parallel.stdout
+
+    def test_jobs_clean_tree_exit_0(self, tmp_path):
+        fixture = write_fixture(tmp_path, CLEAN)
+        proc = run_cli(str(fixture), "--no-baseline", "--jobs", "2")
+        assert proc.returncode == 0
+
+    def test_jobs_zero_means_cpu_count(self, tmp_path):
+        fixture = write_fixture(tmp_path, DIRTY)
+        proc = run_cli(str(fixture), "--no-baseline", "--jobs", "0")
+        assert proc.returncode == 1
+        assert "REP-ENV-READ" in proc.stdout

@@ -1,0 +1,306 @@
+"""REP-KEY-COVERAGE: task read-set vs cache-key coverage."""
+
+from __future__ import annotations
+
+PKG = {"app/__init__.py": ""}
+
+HASHING = {
+    "app/hashing.py": """\
+        import hashlib
+        import json
+
+
+        def task_key(spec, version="v1"):
+            blob = json.dumps(spec, sort_keys=True)
+            return hashlib.sha256(blob.encode()).hexdigest()
+    """
+}
+
+CONFIG = dict(
+    key_functions=("app.hashing.task_key",),
+    task_constructors=("app.executor.Task",),
+    task_root_modules=("app.tasks",),
+)
+
+EXECUTOR = {
+    "app/executor.py": """\
+        from dataclasses import dataclass
+
+
+        @dataclass
+        class Task:
+            fn: str
+            params: dict
+            key: str = ""
+    """
+}
+
+
+def base_files(tasks_src: str, planner_src: str) -> dict:
+    files = dict(PKG)
+    files.update(HASHING)
+    files.update(EXECUTOR)
+    files["app/tasks.py"] = tasks_src
+    files["app/planner.py"] = planner_src
+    return files
+
+
+INCLUSION_PLANNER = """\
+    from app.executor import Task
+    from app.hashing import task_key
+
+
+    def key_spec(spec):
+        return {
+            "dataset": spec["dataset"],
+            "seed": spec["train"]["seed"],
+        }
+
+
+    def plan(spec):
+        key = task_key(key_spec(spec))
+        return Task(fn="app.tasks:run", params=spec, key=key)
+"""
+
+
+class TestInclusionBuilder:
+    def test_read_but_unhashed_field_is_an_error(self, lint):
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                knob = params["secret_knob"]
+                return {"seed": params["train"]["seed"], "knob": knob}
+            """,
+            INCLUSION_PLANNER,
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        errors = [f for f in result.active if f.severity == "error"]
+        assert len(errors) == 1
+        finding = errors[0]
+        assert finding.module == "app.tasks"
+        assert "'run'" in finding.message
+        assert "'secret_knob'" in finding.message
+        assert "never hashes" in finding.message
+        # the unhashed 'dataset' key was not read either -> info, not error
+        infos = [f for f in result.active if f.severity == "info"]
+        assert any("'dataset'" in f.message for f in infos)
+
+    def test_deep_read_through_helper_is_attributed(self, lint):
+        files = base_files(
+            """\
+            from app.helpers import pick
+
+            __all__ = ["run"]
+
+
+            def run(params):
+                return pick(params)
+            """,
+            INCLUSION_PLANNER,
+        )
+        files["app/helpers.py"] = """\
+            def pick(cfg):
+                return cfg["train"]["lr"]
+        """
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        errors = [f for f in result.active if f.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].module == "app.helpers"
+        assert "'train.lr'" in errors[0].message
+        assert errors[0].chain[0] == "app.tasks.run"
+
+    def test_fully_covered_task_is_clean(self, lint):
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return {
+                    "d": params["dataset"],
+                    "s": params["train"]["seed"],
+                }
+            """,
+            INCLUSION_PLANNER,
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        assert result.active == []
+        assert result.exit_code == 0
+
+    def test_whole_mapping_read_of_partially_hashed_field_is_info(self, lint):
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return dict(params["train"])
+            """,
+            INCLUSION_PLANNER,
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        assert result.exit_code == 0
+        infos = [f for f in result.active if f.severity == "info"]
+        assert any("train.seed" in f.message for f in infos)
+
+
+EXCLUSION_PLANNER = """\
+    from app.executor import Task
+    from app.hashing import task_key
+
+
+    def key_spec(spec):
+        return {k: v for k, v in spec.items() if k != "label"}
+
+
+    def plan(spec):
+        key = task_key(key_spec(spec))
+        return Task(fn="app.tasks:run", params=spec, key=key)
+"""
+
+
+class TestExclusionBuilder:
+    def test_reading_the_excluded_field_is_an_error(self, lint):
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return {"label": params["label"]}
+            """,
+            EXCLUSION_PLANNER,
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        errors = [f for f in result.active if f.severity == "error"]
+        assert len(errors) == 1
+        assert "'label'" in errors[0].message
+
+    def test_novel_fields_are_hashed_automatically(self, lint):
+        # exclusion model: a field added later is covered without
+        # touching the builder, so reading it raises nothing
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return {"k": params["brand_new_field"]}
+            """,
+            EXCLUSION_PLANNER,
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        assert result.active == []
+
+    def test_cosmetic_star_residue_is_silent(self, lint):
+        # whole-spec read + an excluded *cosmetic* key: allowed, because
+        # cosmetic keys are display-only by project convention
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return dict(params)
+            """,
+            EXCLUSION_PLANNER,
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        assert result.active == []
+
+    def test_noncosmetic_star_residue_is_an_error(self, lint):
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return dict(params)
+            """,
+            EXCLUSION_PLANNER.replace('"label"', '"threshold"'),
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        errors = [f for f in result.active if f.severity == "error"]
+        assert len(errors) == 1
+        assert "'threshold'" in errors[0].message
+        assert "excludes" in errors[0].message
+
+
+class TestBindingInference:
+    def test_aliased_params_still_bind(self, lint):
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return params["missing"]
+            """,
+            """\
+            from app.executor import Task
+            from app.hashing import task_key
+
+
+            def key_spec(spec):
+                return {"dataset": spec["dataset"]}
+
+
+            def plan(spec):
+                key = task_key(key_spec(spec))
+                params = {**spec, "derived": True}
+                return Task(fn="app.tasks:run", params=params, key=key)
+            """,
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        errors = [f for f in result.active if f.severity == "error"]
+        assert len(errors) == 1
+        assert "'missing'" in errors[0].message
+
+    def test_unrelated_task_key_call_does_not_bind(self, lint):
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return params["whatever"]
+            """,
+            """\
+            from app.executor import Task
+            from app.hashing import task_key
+
+
+            def plan(spec, other):
+                key = task_key({"fixed": 1})
+                return Task(fn="app.tasks:run", params=other, key=key)
+            """,
+        )
+        result = lint(files, "REP-KEY-COVERAGE", **CONFIG)
+        assert result.active == []
+
+    def test_explicit_config_binding(self, lint):
+        files = base_files(
+            """\
+            __all__ = ["run"]
+
+
+            def run(params):
+                return params["missing"]
+            """,
+            """\
+            def key_spec(spec):
+                return {"dataset": spec["dataset"]}
+            """,
+        )
+        result = lint(
+            files,
+            "REP-KEY-COVERAGE",
+            key_bindings=(("app.tasks.run", "app.planner.key_spec"),),
+            **CONFIG,
+        )
+        errors = [f for f in result.active if f.severity == "error"]
+        assert len(errors) == 1
+        assert "'missing'" in errors[0].message

@@ -1,0 +1,186 @@
+"""REP-PURE-TASK: task results depending on mutable shared state."""
+
+from __future__ import annotations
+
+PKG = {"app/__init__.py": ""}
+CONFIG = dict(task_root_modules=("app.tasks",))
+
+
+class TestPureTaskPositive:
+    def test_memo_read_with_external_mutator(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run", "clear"]
+
+            _MEMO = {}
+
+
+            def run(spec):
+                if spec["k"] in _MEMO:
+                    return _MEMO[spec["k"]]
+                return None
+
+
+            def clear():
+                _MEMO.clear()
+        """
+        result = lint(files, "REP-PURE-TASK", **CONFIG)
+        flagged = [
+            f for f in result.active if f.chain == ("app.tasks.run",)
+        ]
+        assert len(flagged) == 1
+        finding = flagged[0]
+        assert "_MEMO" in finding.message
+        assert "'clear'" in finding.message
+
+    def test_reachable_helper_in_another_module(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            from app.store import lookup
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return lookup(spec["k"])
+        """
+        files["app/store.py"] = """\
+            _TABLE = {}
+
+
+            def lookup(key):
+                return _TABLE.get(key)
+
+
+            def install(key, value):
+                _TABLE[key] = value
+        """
+        result = lint(files, "REP-PURE-TASK", **CONFIG)
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert finding.module == "app.store"
+        assert "'install'" in finding.message
+        assert finding.chain == ("app.tasks.run", "app.store.lookup")
+
+    def test_nonlocal_closure_accumulator(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                total = 0.0
+
+                def bump(x):
+                    nonlocal total
+                    total += x
+
+                for v in spec["values"]:
+                    bump(v)
+                return total
+        """
+        result = lint(files, "REP-PURE-TASK", **CONFIG)
+        assert len(result.active) == 1
+        assert "nonlocal" in result.active[0].message
+        assert "'bump'" in result.active[0].message
+
+    def test_one_finding_per_function_global_pair(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+            _MEMO = {}
+
+
+            def run(spec):
+                a = _MEMO.get("a")
+                b = _MEMO.get("b")
+                return a, b
+
+
+            def clear():
+                _MEMO.clear()
+        """
+        result = lint(files, "REP-PURE-TASK", **CONFIG)
+        flagged = [
+            f for f in result.active if f.chain == ("app.tasks.run",)
+        ]
+        assert len(flagged) == 1  # first read only, not every site
+
+
+class TestPureTaskNegative:
+    def test_self_only_mutation_is_not_flagged(self, lint):
+        # a function that both reads and mutates its own memo, with no
+        # other mutator, is the pure read-through pattern
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+            _MEMO = {}
+
+
+            def run(spec):
+                key = spec["k"]
+                if key not in _MEMO:
+                    _MEMO[key] = key * 2
+                return _MEMO[key]
+        """
+        result = lint(files, "REP-PURE-TASK", **CONFIG)
+        assert result.active == []
+
+    def test_unreachable_reader_is_not_flagged(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return spec["k"]
+        """
+        files["app/other.py"] = """\
+            _STATE = {}
+
+
+            def reader():
+                return _STATE.get("x")
+
+
+            def writer():
+                _STATE["x"] = 1
+        """
+        result = lint(files, "REP-PURE-TASK", **CONFIG)
+        assert result.active == []
+
+    def test_immutable_global_is_not_flagged(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+            _LIMIT = 10
+
+
+            def run(spec):
+                return min(spec["n"], _LIMIT)
+        """
+        result = lint(files, "REP-PURE-TASK", **CONFIG)
+        assert result.active == []
+
+    def test_inline_suppression_with_justification(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run", "clear"]
+
+            _MEMO = {}
+
+
+            def run(spec):
+                # pure read-through memo, rebuilds bit-identically
+                return _MEMO.get(spec["k"])  # repro: allow[REP-PURE-TASK]
+
+
+            def clear():
+                _MEMO.clear()
+        """
+        result = lint(files, "REP-PURE-TASK", **CONFIG)
+        assert result.active == []
+        assert result.n_suppressed == 1

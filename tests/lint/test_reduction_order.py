@@ -1,0 +1,154 @@
+"""REP-REDUCTION-ORDER: float accumulation over unordered iteration."""
+
+from __future__ import annotations
+
+PKG = {"app/__init__.py": ""}
+CONFIG = dict(task_root_modules=("app.tasks",))
+
+
+class TestReductionOrderPositive:
+    def test_sum_over_set_comprehension(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return sum({v * 0.5 for v in spec["values"]})
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert len(result.active) == 1
+        finding = result.active[0]
+        assert "a set" in finding.message
+        assert "not associative" in finding.message
+
+    def test_accumulator_loop_over_listdir(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            import os
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                total = 0.0
+                for name in os.listdir(spec["root"]):
+                    total += score(name)
+                return total
+
+
+            def score(name):
+                return 0.5
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert len(result.active) == 1
+        assert "os.listdir()" in result.active[0].message
+
+    def test_unordered_source_through_local_alias(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                names = set(spec["names"])
+                weights = [w(n) for n in names]
+                return sum(weights)
+
+
+            def w(name):
+                return 0.25
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert len(result.active) == 1
+
+    def test_reachable_helper_is_flagged_with_chain(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            from app.stats import total
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return total(spec["values"])
+        """
+        files["app/stats.py"] = """\
+            def total(values):
+                return sum(v / 3.0 for v in set(values))
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert len(result.active) == 1
+        assert result.active[0].chain == (
+            "app.tasks.run",
+            "app.stats.total",
+        )
+
+
+class TestReductionOrderNegative:
+    def test_sorted_iteration_is_clean(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return sum(v * 0.5 for v in sorted(set(spec["values"])))
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert result.active == []
+
+    def test_integral_accumulation_is_clean(self, lint):
+        # integer addition is associative: counting over a set is fine
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return sum(len(v) for v in {tuple(x) for x in spec["rows"]})
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert result.active == []
+
+    def test_math_fsum_is_order_safe(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            import math
+
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return math.fsum({v * 0.5 for v in spec["values"]})
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert result.active == []
+
+    def test_sum_over_plain_list_is_clean(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return sum(v * 0.5 for v in spec["values"])
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert result.active == []
+
+    def test_unreachable_function_is_not_flagged(self, lint):
+        files = dict(PKG)
+        files["app/tasks.py"] = """\
+            __all__ = ["run"]
+
+
+            def run(spec):
+                return spec["x"]
+        """
+        files["app/elsewhere.py"] = """\
+            def loose(values):
+                return sum(v * 0.5 for v in set(values))
+        """
+        result = lint(files, "REP-REDUCTION-ORDER", **CONFIG)
+        assert result.active == []

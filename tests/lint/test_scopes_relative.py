@@ -1,0 +1,223 @@
+"""Resolver coverage: relative imports and ``__init__`` re-export chains.
+
+The interprocedural rules are only as good as name resolution — a
+relative import that fails to resolve silently drops call-graph edges
+and widens read-set summaries.  These tests pin down ``from . import
+x`` / ``from ..pkg import y`` resolution, re-export chains through
+``__init__.py`` files, and mixes of the two, including the committed
+repro layout itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import load_project
+from repro.lint.callgraph import CallGraph
+from repro.lint.scopes import ScopeTable
+
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture
+def tables(make_project):
+    def build(files):
+        project = make_project(files)
+        scopes = ScopeTable(project)
+        return scopes, CallGraph(scopes)
+
+    return build
+
+
+class TestRelativeImports:
+    def test_single_dot_sibling_module(self, tables):
+        scopes, graph = tables(
+            {
+                "app/__init__.py": "",
+                "app/util.py": """\
+                    def helper(x):
+                        return x
+                """,
+                "app/main.py": """\
+                    from .util import helper
+
+
+                    def run(spec):
+                        return helper(spec)
+                """,
+            }
+        )
+        assert graph.edges["app.main.run"] == {"app.util.helper"}
+
+    def test_single_dot_import_of_module_object(self, tables):
+        scopes, graph = tables(
+            {
+                "app/__init__.py": "",
+                "app/util.py": """\
+                    def helper(x):
+                        return x
+                """,
+                "app/main.py": """\
+                    from . import util
+
+
+                    def run(spec):
+                        return util.helper(spec)
+                """,
+            }
+        )
+        assert graph.edges["app.main.run"] == {"app.util.helper"}
+
+    def test_double_dot_from_nested_package(self, tables):
+        scopes, graph = tables(
+            {
+                "app/__init__.py": "",
+                "app/core/__init__.py": "",
+                "app/core/lib.py": """\
+                    def compute(x):
+                        return x
+                """,
+                "app/sub/__init__.py": "",
+                "app/sub/entry.py": """\
+                    from ..core.lib import compute
+
+
+                    def run(spec):
+                        return compute(spec)
+                """,
+            }
+        )
+        assert graph.edges["app.sub.entry.run"] == {"app.core.lib.compute"}
+
+    def test_relative_import_inside_package_init(self, tables):
+        scopes, graph = tables(
+            {
+                "app/__init__.py": "",
+                "app/pkg/__init__.py": "from .impl import work\n",
+                "app/pkg/impl.py": """\
+                    def work(x):
+                        return x
+                """,
+                "app/main.py": """\
+                    from app.pkg import work
+
+
+                    def run(spec):
+                        return work(spec)
+                """,
+            }
+        )
+        assert graph.edges["app.main.run"] == {"app.pkg.impl.work"}
+
+
+class TestReExportChains:
+    def test_absolute_reexport_then_relative_hop(self, tables):
+        # __init__ re-exports absolutely; the inner module imported the
+        # symbol relatively — the chain mixes both styles
+        scopes, graph = tables(
+            {
+                "app/__init__.py": "",
+                "app/pkg/__init__.py": "from app.pkg.api import work\n",
+                "app/pkg/api.py": "from .impl import work\n",
+                "app/pkg/impl.py": """\
+                    def work(x):
+                        return x
+                """,
+                "app/main.py": """\
+                    from app.pkg import work
+
+
+                    def run(spec):
+                        return work(spec)
+                """,
+            }
+        )
+        assert graph.edges["app.main.run"] == {"app.pkg.impl.work"}
+
+    def test_relative_reexport_then_absolute_hop(self, tables):
+        scopes, graph = tables(
+            {
+                "app/__init__.py": "",
+                "app/pkg/__init__.py": "from .api import work\n",
+                "app/pkg/api.py": "from app.pkg.impl import work\n",
+                "app/pkg/impl.py": """\
+                    def work(x):
+                        return x
+                """,
+                "app/main.py": """\
+                    from app.pkg import work
+
+
+                    def run(spec):
+                        return work(spec)
+                """,
+            }
+        )
+        assert graph.edges["app.main.run"] == {"app.pkg.impl.work"}
+
+    def test_aliased_relative_reexport(self, tables):
+        scopes, graph = tables(
+            {
+                "app/__init__.py": "",
+                "app/pkg/__init__.py": "from .impl import _work as work\n",
+                "app/pkg/impl.py": """\
+                    def _work(x):
+                        return x
+                """,
+                "app/main.py": """\
+                    from app.pkg import work
+
+
+                    def run(spec):
+                        return work(spec)
+                """,
+            }
+        )
+        assert graph.edges["app.main.run"] == {"app.pkg.impl._work"}
+
+    def test_cyclic_reexport_resolves_to_none_not_hang(self, tables):
+        scopes, graph = tables(
+            {
+                "app/__init__.py": "",
+                "app/a.py": "from app.b import thing\n",
+                "app/b.py": "from app.a import thing\n",
+                "app/main.py": """\
+                    from app.a import thing
+
+
+                    def run(spec):
+                        return thing(spec)
+                """,
+            }
+        )
+        assert graph.edges["app.main.run"] == set()
+
+
+class TestRealRepoLayout:
+    """Resolution over the committed tree: the layout the linter gates."""
+
+    @pytest.fixture(scope="class")
+    def repo_scopes(self):
+        project = load_project([REPO_SRC])
+        return ScopeTable(project)
+
+    def test_package_reexport_of_task_key(self, repo_scopes):
+        fn = repo_scopes.resolve_function("repro.runtime.task_key")
+        assert fn is not None
+        assert fn.fq == "repro.runtime.hashing.task_key"
+
+    def test_toplevel_reexport_chain(self, repo_scopes):
+        # repro/__init__.py -> repro/runtime/__init__.py -> hashing.py
+        fn = repo_scopes.resolve_function("repro.task_key")
+        if fn is None:
+            pytest.skip("repro/__init__.py does not re-export task_key")
+        assert fn.fq == "repro.runtime.hashing.task_key"
+
+    def test_task_roots_resolve_in_committed_tree(self, repo_scopes):
+        scope = repo_scopes.scopes["repro.runtime.tasks"]
+        for name in scope.dunder_all:
+            assert repo_scopes.resolve_function(
+                f"repro.runtime.tasks.{name}"
+            ) is not None, name
