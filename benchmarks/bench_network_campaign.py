@@ -213,7 +213,7 @@ def test_perf_network_campaign():
     report = build_report()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     write_hotpaths_json(
-        report, os.path.join(RESULTS_DIR, JSON_NAME), owns_campaign=True
+        report, os.path.join(RESULTS_DIR, JSON_NAME), family="campaign"
     )
     record_report("BENCH_network_campaign", report.render())
     comparisons = {c["stage"]: c for c in report.to_dict()["comparisons"]}
@@ -230,6 +230,6 @@ if __name__ == "__main__":
     perf_report = build_report()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     write_hotpaths_json(
-        perf_report, os.path.join(RESULTS_DIR, JSON_NAME), owns_campaign=True
+        perf_report, os.path.join(RESULTS_DIR, JSON_NAME), family="campaign"
     )
     print(perf_report.render())

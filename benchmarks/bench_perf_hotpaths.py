@@ -794,7 +794,7 @@ def test_perf_hotpaths():
     # Merge-preserving write: the campaign/* stages belong to
     # bench_network_campaign.py and must survive this suite's runs.
     write_hotpaths_json(
-        report, os.path.join(RESULTS_DIR, JSON_NAME), owns_campaign=False
+        report, os.path.join(RESULTS_DIR, JSON_NAME), family=None
     )
     record_report("BENCH_hotpaths", report.render())
     comparisons = {c["stage"]: c for c in report.to_dict()["comparisons"]}
@@ -874,6 +874,6 @@ if __name__ == "__main__":
     perf_report = build_report()
     os.makedirs(RESULTS_DIR, exist_ok=True)
     write_hotpaths_json(
-        perf_report, os.path.join(RESULTS_DIR, JSON_NAME), owns_campaign=False
+        perf_report, os.path.join(RESULTS_DIR, JSON_NAME), family=None
     )
     print(perf_report.render())

@@ -74,29 +74,44 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(skip_perf)
 
 
-#: The campaign bench owns exactly these families inside the shared
-#: BENCH_hotpaths.json; bench_perf_hotpaths.py owns everything else.
-CAMPAIGN_STAGE_PREFIX = "campaign/"
-CAMPAIGN_COMPARISON_PREFIX = "campaign_"
+#: Stage/comparison name-prefix families co-owning ``BENCH_hotpaths.json``.
+#: Each named family maps to ``(stage_prefixes, comparison_prefixes)``;
+#: the hot-path suite itself (``family=None``) owns the envelope plus
+#: every stage/comparison no named family claims.
+HOTPATH_FAMILIES = {
+    "campaign": (("campaign/",), ("campaign_",)),
+    "store": (("store/",), ("store_",)),
+}
 
 
-def write_hotpaths_json(report, path: str, owns_campaign: bool) -> None:
+def write_hotpaths_json(report, path: str, family: "str | None") -> None:
     """Write one bench's stages into the co-owned ``BENCH_hotpaths.json``.
 
-    ``benchmarks/bench_perf_hotpaths.py`` (``owns_campaign=False``) and
-    ``benchmarks/bench_network_campaign.py`` (``owns_campaign=True``)
-    share the file: each writer replaces only the stage/comparison
-    families it owns and preserves the other's, so the benches can run
-    independently, in any order, without erasing each other's results.
-    The hot-path suite owns the envelope (title/context).
+    ``benchmarks/bench_perf_hotpaths.py`` (``family=None``),
+    ``benchmarks/bench_network_campaign.py`` (``family="campaign"``),
+    and ``benchmarks/bench_store.py`` (``family="store"``) share the
+    file: each writer replaces only the stage/comparison family it owns
+    (see :data:`HOTPATH_FAMILIES`) and preserves everyone else's, so
+    the benches can run independently, in any order, without erasing
+    each other's results.  The hot-path suite owns the envelope
+    (title/context).
     """
     import json
 
-    def campaign_stage(stage: dict) -> bool:
-        return stage["name"].startswith(CAMPAIGN_STAGE_PREFIX)
+    if family is not None and family not in HOTPATH_FAMILIES:
+        raise ValueError(f"unknown hotpath family {family!r}")
 
-    def campaign_comparison(comparison: dict) -> bool:
-        return comparison["stage"].startswith(CAMPAIGN_COMPARISON_PREFIX)
+    def family_of_stage(stage: dict) -> "str | None":
+        for name, (stage_prefixes, _) in HOTPATH_FAMILIES.items():
+            if stage["name"].startswith(stage_prefixes):
+                return name
+        return None
+
+    def family_of_comparison(comparison: dict) -> "str | None":
+        for name, (_, comparison_prefixes) in HOTPATH_FAMILIES.items():
+            if comparison["stage"].startswith(comparison_prefixes):
+                return name
+        return None
 
     fresh = report.to_dict()
     try:
@@ -105,18 +120,15 @@ def write_hotpaths_json(report, path: str, owns_campaign: bool) -> None:
     except (OSError, ValueError):
         existing = None
     if existing is not None:
-        def theirs(item, is_campaign) -> bool:
-            return is_campaign(item) != owns_campaign
-
         preserved_stages = [
-            s for s in existing.get("stages", []) if theirs(s, campaign_stage)
+            s for s in existing.get("stages", []) if family_of_stage(s) != family
         ]
         preserved_comparisons = [
             c
             for c in existing.get("comparisons", [])
-            if theirs(c, campaign_comparison)
+            if family_of_comparison(c) != family
         ]
-        if owns_campaign:
+        if family is not None:
             # Keep the hot-path suite's envelope and stage ordering.
             merged = dict(existing)
             merged["stages"] = preserved_stages + fresh["stages"]

@@ -684,6 +684,11 @@ class NetworkCampaign:
             )
             rehydrated = payloads.rehydrated
 
+        if self.cache is not None:
+            # Publish the packed index so the next open recovers from a
+            # snapshot instead of rescanning every segment tail.
+            self.cache.flush()
+
         # Drain: record every executed round.  observe() is idempotent
         # and the ascending sweep keeps chain order, so rounds already
         # consumed by a successor's resolve hook are not re-observed.

@@ -445,6 +445,10 @@ class ZooBuilder:
                 health=health,
             )
             rehydrated = payloads.rehydrated
+        if self.store is not None:
+            # Publish the packed index so the next open recovers from a
+            # snapshot instead of rescanning every segment tail.
+            self.store.flush()
         for entry in to_run:
             results[entry.index] = executed[entry.task.task_id]
         executed_indices = {entry.index for entry in to_run}

@@ -21,6 +21,10 @@ into explicit plans and executes them with reuse:
 - :mod:`repro.runtime.cache` — content-addressed result store keyed by
   (task spec, code version) so re-runs and overlapping scenarios skip
   completed points;
+- :mod:`repro.runtime.store` — the crash-safe packed segment store
+  underneath the result cache and checkpoint store: CRC-framed records
+  in bounded append-only segments, an atomic index snapshot, recovery
+  scans, compaction, and cross-process locking;
 - :mod:`repro.runtime.faults` — deterministic, seeded fault injection
   (task errors, worker crashes, delays, torn store writes) for testing
   the executor's retries, pool rebuilds, and store quarantine;
@@ -62,6 +66,7 @@ from repro.runtime.hashing import (
 )
 from repro.runtime.payloads import PayloadRef, PayloadStore
 from repro.runtime.planner import PlannedTask, plan_scenario
+from repro.runtime.store import SegmentStore, migrate
 from repro.runtime.registry import (
     campaign_names,
     get_campaign,
@@ -129,6 +134,8 @@ __all__ = [
     "install",
     "active_plan",
     "StoreHealth",
+    "SegmentStore",
+    "migrate",
     "PayloadRef",
     "PayloadStore",
     "ResultCache",

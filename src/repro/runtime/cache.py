@@ -1,25 +1,35 @@
 """Content-addressed result store for completed experiment points.
 
-Layout: one JSON file per task under the cache root, named by the task
-key (sha256 of canonical spec + code version, see
-:mod:`repro.runtime.hashing`):
-
-    <root>/<key>.json   ->   {"schema_version": 1, "key": ..., "spec": ...,
-                              "result": ...}
+Entries are keyed by the task key (sha256 of canonical spec + code
+version, see :mod:`repro.runtime.hashing`) and persisted through the
+crash-safe packed segment store (:mod:`repro.runtime.store`): CRC-framed
+records appended to bounded segment files under ``<root>/segments/``,
+with an atomic index snapshot at ``<root>/index.json``.  ``get``/``put``
+are O(1) — no directory scans, no per-entry files — which is what keeps
+the interrupted-run resume guarantee affordable at 10^5-10^6 cached
+rounds.
 
 Because the key embeds the code version, a library change silently
-invalidates every entry (old files are simply never addressed again);
-``prune`` removes unaddressable leftovers.  Writes are atomic
-(write-to-temp + rename), so a crashed run leaves a resumable cache:
-the next run reuses every completed point and recomputes only the rest.
+invalidates every entry (old records are simply never addressed again);
+``prune`` compacts them away.  The packed commit protocol guarantees a
+crashed run leaves a resumable cache: on the next open a torn tail is
+truncated (never served) and every committed record is recovered, so the
+next run reuses every completed point and recomputes only the rest.
 
 Integrity: every entry records ``result_sha256`` (the canonical-JSON
-digest of its result), and ``get`` verifies it.  An entry that is
-unreadable, truncated, mis-keyed, or fails the digest check is
-**quarantined** — moved to ``<root>/quarantine/`` and counted on the
-store's :class:`StoreHealth` — and reported as a miss, so a torn or
-bit-rotted file costs one recompute, never a wrong number and never an
-aborted run.
+digest of its result), and ``get`` verifies it on top of the record
+CRC.  An entry that is truncated, mis-keyed, or fails either check is
+**quarantined** — tombstoned in the packed store and counted on
+:class:`StoreHealth` — and reported as a miss, so a torn or bit-rotted
+record costs one recompute, never a wrong number and never an aborted
+run.
+
+Legacy layout: roots written by older versions hold one
+``<key>.json`` file per entry.  ``get`` transparently absorbs such a
+file into the packed store on first touch (validating it exactly as the
+legacy reader did, quarantining corrupt files to ``<root>/quarantine/``),
+and ``python -m repro.runtime.store migrate <root>`` packs a whole root
+in one shot.
 """
 
 from __future__ import annotations
@@ -34,7 +44,6 @@ from pathlib import Path
 from repro.errors import ConfigurationError
 from repro.obs.trace import current_tracer
 from repro.runtime import knobs
-from repro.runtime.faults import active_plan
 
 __all__ = [
     "ResultCache",
@@ -48,7 +57,7 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 
-#: Subdirectory (of a store root) where corrupt entries are moved.
+#: Subdirectory (of a store root) where corrupt legacy entries are moved.
 QUARANTINE_DIR = "quarantine"
 
 
@@ -56,25 +65,38 @@ QUARANTINE_DIR = "quarantine"
 class StoreHealth:
     """Fault counters for one store instance.
 
-    ``quarantined`` counts corrupt entries moved aside (each cost one
-    recompute); ``rehydrated`` counts payload spool files re-created
-    after vanishing mid-run (:meth:`PayloadStore.spill`).
+    ``quarantined`` counts corrupt entries tombstoned or moved aside
+    (each cost one recompute); ``rehydrated`` counts payload spool
+    files re-created after vanishing mid-run
+    (:meth:`PayloadStore.spill`); ``recovered`` counts committed
+    records the packed store re-indexed from segment tails or a full
+    rebuild scan; ``truncated`` counts torn segment tails dropped by
+    recovery; ``compactions`` counts compaction runs.
     """
 
     quarantined: int = 0
     rehydrated: int = 0
+    recovered: int = 0
+    truncated: int = 0
+    compactions: int = 0
 
     def to_dict(self) -> dict:
-        return {"quarantined": self.quarantined, "rehydrated": self.rehydrated}
+        return {
+            "quarantined": self.quarantined,
+            "rehydrated": self.rehydrated,
+            "recovered": self.recovered,
+            "truncated": self.truncated,
+            "compactions": self.compactions,
+        }
 
 
 def quarantine_files(root: Path, paths) -> int:
     """Move ``paths`` into ``<root>/quarantine/``; returns files moved.
 
-    Corrupt store entries are moved aside rather than deleted so a
-    post-mortem can inspect exactly what was on disk; the store glob
-    patterns never descend into the subdirectory, so quarantined files
-    are unaddressable.  Vanished files count as already gone.
+    Corrupt legacy store entries are moved aside rather than deleted so
+    a post-mortem can inspect exactly what was on disk; the store never
+    addresses the subdirectory, so quarantined files are unreachable.
+    Vanished files count as already gone.
     """
     moved = 0
     target_dir = root / QUARANTINE_DIR
@@ -104,7 +126,7 @@ def _tmp_writer_alive(path: Path) -> bool:
     Write-temp files carry their writer's pid precisely so concurrent
     processes sharing one store never collide; a sweep must therefore
     only remove files whose writer is gone (crashed), never one that is
-    mid-``put``.  Unparseable names count as dead (sweepable).
+    mid-write.  Unparseable names count as dead (sweepable).
     """
     parts = path.name.split(".tmp.")
     if len(parts) != 2:
@@ -134,8 +156,8 @@ STALE_TMP_GRACE_S = 300.0
 def sweep_stale_tmp(root: Path, pattern: str = "*.tmp.*") -> int:
     """Remove crashed writers' ``*.tmp.*`` leftovers under ``root``.
 
-    Shared by :class:`ResultCache` and
-    :class:`~repro.runtime.checkpoints.CheckpointStore`.  A file is
+    Shared by the artifact writer (:mod:`repro.utils.artifacts`), the
+    packed stores' legacy-root maintenance, and ``prune``.  A file is
     only removed when it is both older than :data:`STALE_TMP_GRACE_S`
     (so a concurrent writer on another host is safe) and its pid names
     no locally running process (so a stuck local writer is safe).
@@ -167,8 +189,8 @@ _SWEPT_LOCK = threading.Lock()
 def sweep_stale_tmp_once(root: Path) -> int:
     """First-write sweep: clear a root's crash leftovers once per process.
 
-    ``put`` hot paths call this instead of scanning the directory on
-    every write — leftovers only appear when a *previous* process died
+    Hot paths call this instead of scanning the directory on every
+    write — leftovers only appear when a *previous* process died
     mid-write, so one sweep per (process, root) recovers them without
     O(entries) work per stored result.  ``prune`` still sweeps
     unconditionally.
@@ -197,32 +219,61 @@ def default_cache_root(fallback: "str | None" = None) -> str:
 
 
 class ResultCache:
-    """A directory of content-addressed task results."""
+    """A packed, content-addressed store of task results."""
+
+    #: Fault-injection label for torn writes (``torn,cache:<key>``).
+    STORE_LABEL = "cache"
 
     def __init__(self, root: "str | os.PathLike") -> None:
+        from repro.runtime.store import SegmentStore
+
         if not str(root):
             raise ConfigurationError("cache root must be non-empty")
         self.root = Path(root)
         self.health = StoreHealth()
+        self._store = SegmentStore(
+            self.root, label=self.STORE_LABEL, health=self.health
+        )
 
     def path(self, key: str) -> Path:
+        """The *legacy* per-file location for ``key`` (one file per
+        entry, the pre-packed layout); used by the lazy migration path
+        and tests that seed legacy roots."""
         return self.root / f"{key}.json"
 
-    def _quarantine(self, key: str):
-        """Move a corrupt entry aside and report the miss."""
-        self.health.quarantined += quarantine_files(self.root, [self.path(key)])
-        tracer = current_tracer()
-        if tracer is not None:
-            tracer.metrics.inc("store.quarantined")
-            tracer.event("quarantine", "store", store="cache", key=key)
-        return None
+    def _encode(self, key: str, spec, result) -> bytes:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "spec": spec,
+            "result": result,
+            "result_sha256": result_digest(result),
+        }
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def _decode(self, key: str, raw: bytes):
+        """The validated result in ``raw``, or ``None`` if corrupt."""
+        try:
+            payload = json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        result = payload.get("result")
+        recorded = payload.get("result_sha256")
+        if recorded is not None and recorded != result_digest(result):
+            return None
+        return result
 
     def get(self, key: str):
         """The cached result for ``key``, or ``None`` on miss.
 
-        A present-but-corrupt entry (unreadable, truncated JSON, wrong
-        key, failed ``result_sha256`` check) is quarantined and counts
-        on :attr:`health`; the caller just sees a miss and recomputes.
+        A present-but-corrupt entry (CRC failure, wrong key, failed
+        ``result_sha256`` check) is quarantined — tombstoned and
+        counted on :attr:`health` — and the caller just sees a miss
+        and recomputes.
         """
         tracer = current_tracer()
         if tracer is None:
@@ -235,27 +286,55 @@ class ResultCache:
             return result
 
     def _get(self, key: str):
+        raw = self._store.get(key)
+        if raw is not None:
+            result = self._decode(key, raw)
+            if result is None:
+                # Record bytes were intact (CRC passed) but the payload
+                # fails validation — same contract: tombstone + miss.
+                self._store.quarantine(key)
+            return result
+        if self._store.contains(key):
+            # Tombstoned (just quarantined, or quarantined earlier):
+            # a clean miss; never resurrect from a stale legacy file.
+            return None
+        return self._legacy_get(key)
+
+    def _legacy_get(self, key: str):
+        """Absorb a legacy per-file entry into the packed store."""
         path = self.path(key)
         try:
             text = path.read_text()
         except FileNotFoundError:
             return None
         except OSError:
-            return self._quarantine(key)
+            return self._quarantine_legacy(key)
         try:
             payload = json.loads(text)
         except ValueError:
-            return self._quarantine(key)
+            return self._quarantine_legacy(key)
         if not isinstance(payload, dict) or payload.get("key") != key:
-            return self._quarantine(key)
+            return self._quarantine_legacy(key)
         result = payload.get("result")
         recorded = payload.get("result_sha256")
         if recorded is not None and recorded != result_digest(result):
-            return self._quarantine(key)
+            return self._quarantine_legacy(key)
+        # Lazy migration: pack the entry, then retire the legacy file.
+        self._store.put(key, self._encode(key, payload.get("spec"), result))
+        path.unlink(missing_ok=True)
         return result
 
+    def _quarantine_legacy(self, key: str):
+        """Move a corrupt legacy entry aside and report the miss."""
+        self.health.quarantined += quarantine_files(self.root, [self.path(key)])
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.inc("store.quarantined")
+            tracer.event("quarantine", "store", store="cache", key=key)
+        return None
+
     def put(self, key: str, spec, result) -> Path:
-        """Store one completed point (atomic write; last writer wins)."""
+        """Store one completed point (atomic append; last writer wins)."""
         tracer = current_tracer()
         if tracer is None:
             return self._put(key, spec, result)
@@ -264,51 +343,69 @@ class ResultCache:
             return self._put(key, spec, result)
 
     def _put(self, key: str, spec, result) -> Path:
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path(key)
-        payload = {
-            "schema_version": SCHEMA_VERSION,
-            "key": key,
-            "spec": spec,
-            "result": result,
-            "result_sha256": result_digest(result),
-        }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        # A writer that crashed between write_text and os.replace leaves
-        # its temp file behind; the first put per (process, root)
-        # sweeps dead writers' leftovers — live pids, including our own
-        # in-flight files, are never touched.
-        sweep_stale_tmp_once(self.root)
-        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
-        plan = active_plan()
-        if plan is not None and plan.tear("cache", key):
-            # Injected torn write: the entry lands truncated, exactly as
-            # if the writer died mid-write after the rename was queued.
-            text = text[: max(1, len(text) // 2)]
-        tmp.write_text(text)
-        os.replace(tmp, path)
-        return path
+        from repro.runtime.faults import active_plan
 
-    def keys(self) -> "list[str]":
-        """Keys of every entry currently on disk (sorted)."""
+        # First write into a root clears crashed legacy writers'
+        # *.tmp.* leftovers; later puts skip the directory scan.
+        sweep_stale_tmp_once(self.root)
+        plan = active_plan()
+        # Injected torn write: the record lands with a broken CRC,
+        # exactly as if the writer died mid-write after the index
+        # publish was queued; the next reader quarantines + recomputes.
+        corrupt = plan is not None and plan.tear("cache", key)
+        return self._store.put(
+            key, self._encode(key, spec, result), corrupt=corrupt
+        )
+
+    def legacy_keys(self) -> "list[str]":
+        """Keys still held as legacy per-file entries (sorted)."""
+        from repro.runtime.store import INDEX_NAME
+
         if not self.root.is_dir():
             return []
-        return sorted(p.stem for p in self.root.glob("*.json"))
+        return sorted(
+            p.stem
+            for p in self.root.glob("*.json")
+            if p.name != INDEX_NAME
+        )
+
+    def keys(self) -> "list[str]":
+        """Keys of every entry currently stored (sorted).
+
+        Packed entries come straight from the index (no directory
+        scan); legacy per-file entries not yet absorbed are unioned in
+        so a partially migrated root never under-reports.
+        """
+        packed = self._store.keys()
+        legacy = self.legacy_keys()
+        if not legacy:
+            return packed
+        return sorted(set(packed) | set(legacy))
 
     def __len__(self) -> int:
+        legacy = self.legacy_keys()
+        if not legacy:
+            return len(self._store)
         return len(self.keys())
 
-    def prune(self, live_keys) -> int:
-        """Delete entries not in ``live_keys``; returns how many went.
+    def flush(self) -> None:
+        """Publish the packed index (cheap; bounds the next recovery scan)."""
+        self._store.flush()
 
-        Also sweeps leftover ``*.tmp.*`` write-temp files — the residue
-        of writers that crashed mid-:meth:`put`, which no key ever
-        addresses again.  Temp files of still-running writers survive.
+    def prune(self, live_keys) -> int:
+        """Compact away entries not in ``live_keys``; returns how many went.
+
+        Replaces the per-file era's delete loop: live records are
+        copied forward into a fresh segment generation and dead
+        segments are removed atomically.  Legacy per-file leftovers
+        (dead entries, crashed writers' ``*.tmp.*`` residue) are swept
+        as before.
         """
         live = set(live_keys)
         removed = 0
-        for key in self.keys():
+        for key in self.legacy_keys():
             if key not in live:
                 self.path(key).unlink(missing_ok=True)
                 removed += 1
+        removed += self._store.compact(live)
         return removed + sweep_stale_tmp(self.root)

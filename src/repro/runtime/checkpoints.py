@@ -2,28 +2,36 @@
 
 The zoo builder (``repro.core.zoo_builder``) persists every finished
 training run here so a warm rebuild loads weights instead of spending
-epochs.  Layout: two files per checkpoint under the store root, named by
-the training key (sha256 of the canonical training spec — dataset,
-widths, training config — plus the repro source digest, namespaced
-``kind="train"`` so it can never collide with a result-cache address):
+epochs.  Checkpoints are keyed by the training key (sha256 of the
+canonical training spec — dataset, widths, training config — plus the
+repro source digest, namespaced ``kind="train"`` so it can never
+collide with a result-cache address) and persisted through the packed
+segment store (:mod:`repro.runtime.store`).  One CRC-framed record per
+checkpoint carries both halves of the old two-file layout::
 
-    <root>/<key>.npz    ->  the model state dict (np.savez)
-    <root>/<key>.json   ->  {"schema_version": 1, "key": ..., "spec": ...,
-                             "state_sha256": ..., "meta": ...}
+    meta_len (u32) | metadata JSON | np.savez bytes
 
-The metadata JSON is written *after* the weights and acts as the commit
-marker: :meth:`CheckpointStore.get` refuses entries whose weights are
-missing or whose bytes no longer hash to the recorded ``state_sha256``,
-so a half-written or corrupted checkpoint is a miss, never a wrong
-model.  Because the key embeds the source digest, any library edit
-silently invalidates every checkpoint (exactly like the result cache);
-``prune`` clears unaddressable leftovers and stale write-temp files.
+The metadata JSON records ``state_sha256``; :meth:`CheckpointStore.get`
+refuses records whose weight bytes no longer hash to it, so a
+half-written or corrupted checkpoint is a miss, never a wrong model.
+Because the key embeds the source digest, any library edit silently
+invalidates every checkpoint (exactly like the result cache); ``prune``
+compacts unaddressable leftovers away.
+
+Legacy layout: roots written by older versions hold ``<key>.npz`` +
+``<key>.json`` file pairs.  ``get`` absorbs such pairs into the packed
+store on first touch (validating them exactly as the legacy reader
+did, quarantining corrupt pairs to ``<root>/quarantine/``), and
+``python -m repro.runtime.store migrate <root>`` packs a whole root in
+one shot.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import struct
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,6 +57,9 @@ SCHEMA_VERSION = 1
 #: Namespace passed as ``task_key(..., kind=...)`` for training keys.
 CHECKPOINT_KIND = "train"
 
+#: Record prefix: little-endian length of the metadata JSON half.
+_META_LEN = struct.Struct("<I")
+
 #: Environment variable overriding the default store location.
 CHECKPOINTS_ENV = knobs.CHECKPOINTS_ENV
 
@@ -68,7 +79,7 @@ class Checkpoint:
     """One persisted training run: weights plus its recorded metadata.
 
     ``state_sha256`` is the integrity digest :meth:`CheckpointStore.get`
-    already verified against the ``.npz`` bytes — consumers (the zoo
+    already verified against the weight bytes — consumers (the zoo
     builder's manifest rows) reuse it instead of re-hashing the state.
     """
 
@@ -80,38 +91,86 @@ class Checkpoint:
 
 
 class CheckpointStore:
-    """A directory of content-addressed trained-model checkpoints."""
+    """A packed, content-addressed store of trained-model checkpoints."""
+
+    #: Fault-injection label for torn writes (``torn,checkpoint:<key>``).
+    STORE_LABEL = "checkpoint"
 
     def __init__(self, root: "str | os.PathLike") -> None:
+        from repro.runtime.store import SegmentStore
+
         if not str(root):
             raise ConfigurationError("checkpoint store root must be non-empty")
         self.root = Path(root)
         self.health = StoreHealth()
+        self._store = SegmentStore(
+            self.root, label=self.STORE_LABEL, health=self.health
+        )
 
     def weight_path(self, key: str) -> Path:
+        """The *legacy* per-file weight location (pre-packed layout)."""
         return self.root / f"{key}.npz"
 
     def meta_path(self, key: str) -> Path:
+        """The *legacy* per-file metadata location (pre-packed layout)."""
         return self.root / f"{key}.json"
 
-    # -- read -----------------------------------------------------------------
+    # -- encoding --------------------------------------------------------------
 
-    def _quarantine(self, key: str):
-        """Move a corrupt checkpoint (both files) aside; report a miss."""
-        moved = quarantine_files(
-            self.root, [self.meta_path(key), self.weight_path(key)]
+    def _encode(
+        self,
+        key: str,
+        spec,
+        state: "dict[str, np.ndarray]",
+        meta: "dict | None",
+        state_sha256: "str | None",
+    ) -> bytes:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "spec": spec,
+            "state_sha256": state_sha256 or state_digest(state),
+            "meta": dict(meta or {}),
+        }
+        meta_bytes = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode()
+        buffer = io.BytesIO()
+        np.savez(buffer, **state)
+        return _META_LEN.pack(len(meta_bytes)) + meta_bytes + buffer.getvalue()
+
+    def _decode(self, key: str, raw: bytes) -> "Checkpoint | None":
+        """The validated checkpoint in ``raw``, or ``None`` if corrupt."""
+        if len(raw) < _META_LEN.size:
+            return None
+        (meta_len,) = _META_LEN.unpack(raw[: _META_LEN.size])
+        meta_end = _META_LEN.size + meta_len
+        if meta_end > len(raw):
+            return None
+        try:
+            payload = json.loads(raw[_META_LEN.size : meta_end].decode())
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            return None
+        try:
+            with np.load(io.BytesIO(raw[meta_end:])) as data:
+                state = {name: data[name] for name in data.files}
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile):
+            return None
+        if state_digest(state) != payload.get("state_sha256"):
+            return None
+        return Checkpoint(
+            key=key,
+            spec=payload.get("spec", {}),
+            state=state,
+            meta=payload.get("meta", {}),
+            state_sha256=payload["state_sha256"],
         )
-        # One counter tick per entry (not per file), so cache and
-        # checkpoint quarantine counts are comparable in health dicts.
-        if moved:
-            self.health.quarantined += 1
-            tracer = current_tracer()
-            if tracer is not None:
-                tracer.metrics.inc("store.quarantined")
-                tracer.event(
-                    "quarantine", "store", store="checkpoint", key=key
-                )
-        return None
+
+    # -- read -----------------------------------------------------------------
 
     def get(self, key: str) -> "Checkpoint | None":
         tracer = current_tracer()
@@ -129,24 +188,33 @@ class CheckpointStore:
     def _get(self, key: str) -> "Checkpoint | None":
         """The checkpoint for ``key``, or ``None`` on miss.
 
-        A committed-but-corrupt entry — unreadable metadata, a
-        truncated/garbled ``.npz``, or weights whose bytes no longer
-        hash to the recorded ``state_sha256`` — is quarantined to
-        ``<root>/quarantine/`` and counted on :attr:`health`; the
-        caller sees a miss and retrains.  An absent metadata file is a
-        plain miss (a concurrent writer may sit between its weight
-        rename and its metadata commit).
+        A committed-but-corrupt record — CRC failure, garbled archive
+        bytes, or weights whose bytes no longer hash to the recorded
+        ``state_sha256`` — is quarantined (tombstoned and counted on
+        :attr:`health`); the caller sees a miss and retrains.
         """
+        raw = self._store.get(key)
+        if raw is not None:
+            checkpoint = self._decode(key, raw)
+            if checkpoint is None:
+                self._store.quarantine(key)
+            return checkpoint
+        if self._store.contains(key):
+            return None  # tombstoned: clean miss, no legacy resurrection
+        return self._legacy_get(key)
+
+    def _legacy_get(self, key: str) -> "Checkpoint | None":
+        """Absorb a legacy two-file checkpoint into the packed store."""
         try:
             payload = json.loads(self.meta_path(key).read_text())
         except FileNotFoundError:
             return None
         except (OSError, ValueError):
-            return self._quarantine(key)
+            return self._quarantine_legacy(key)
         if not isinstance(payload, dict) or payload.get("key") != key:
-            return self._quarantine(key)
+            return self._quarantine_legacy(key)
         if payload.get("schema_version") != SCHEMA_VERSION:
-            return self._quarantine(key)
+            return self._quarantine_legacy(key)
         try:
             with np.load(self.weight_path(key)) as data:
                 state = {name: data[name] for name in data.files}
@@ -154,18 +222,47 @@ class CheckpointStore:
             # A truncated/garbled .npz (torn write, partial copy), or
             # weights vanished after commit: BadZipFile and EOFError
             # are what np.load raises on mangled zip containers.
-            return self._quarantine(key)
+            return self._quarantine_legacy(key)
         if state_digest(state) != payload.get("state_sha256"):
-            # Weights on disk no longer match what the metadata recorded
-            # (torn write, manual edit): quarantine and retrain.
-            return self._quarantine(key)
-        return Checkpoint(
+            return self._quarantine_legacy(key)
+        checkpoint = Checkpoint(
             key=key,
             spec=payload.get("spec", {}),
             state=state,
             meta=payload.get("meta", {}),
             state_sha256=payload["state_sha256"],
         )
+        # Lazy migration: pack the pair, then retire the legacy files.
+        self._store.put(
+            key,
+            self._encode(
+                key,
+                checkpoint.spec,
+                state,
+                checkpoint.meta,
+                checkpoint.state_sha256,
+            ),
+        )
+        self.meta_path(key).unlink(missing_ok=True)
+        self.weight_path(key).unlink(missing_ok=True)
+        return checkpoint
+
+    def _quarantine_legacy(self, key: str):
+        """Move a corrupt legacy checkpoint (both files) aside; miss."""
+        moved = quarantine_files(
+            self.root, [self.meta_path(key), self.weight_path(key)]
+        )
+        # One counter tick per entry (not per file), so cache and
+        # checkpoint quarantine counts are comparable in health dicts.
+        if moved:
+            self.health.quarantined += 1
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.metrics.inc("store.quarantined")
+                tracer.event(
+                    "quarantine", "store", store="checkpoint", key=key
+                )
+        return None
 
     # -- write ----------------------------------------------------------------
 
@@ -177,11 +274,10 @@ class CheckpointStore:
         meta: "dict | None" = None,
         state_sha256: "str | None" = None,
     ) -> Path:
-        """Persist one finished training run (atomic; last writer wins).
+        """Persist one finished training run (atomic append; last wins).
 
-        The weights land first, the metadata JSON last — its presence is
-        the commit marker ``get`` keys off, so a crash mid-write leaves
-        only sweepable temp files or an unreferenced ``.npz``, never a
+        The record's CRC frame is the commit marker: a crash mid-append
+        leaves a torn tail the next open truncates, never a
         readable-but-wrong checkpoint.  ``state_sha256`` lets a caller
         that already digested ``state`` skip the re-hash.
         """
@@ -200,70 +296,76 @@ class CheckpointStore:
         meta: "dict | None" = None,
         state_sha256: "str | None" = None,
     ) -> Path:
-        self.root.mkdir(parents=True, exist_ok=True)
-        weight_path = self.weight_path(key)
-        meta_path = self.meta_path(key)
-        tmp_weights = weight_path.with_suffix(f".tmp.{os.getpid()}.npz")
-        tmp_meta = meta_path.with_suffix(f".tmp.{os.getpid()}")
-        # First put per (process, root): sweep dead writers' leftovers;
-        # live pids — including our own in-flight files — are spared.
+        # First write into a root clears crashed legacy writers'
+        # *.tmp.* leftovers; later puts skip the directory scan.
         sweep_stale_tmp_once(self.root)
-        payload = {
-            "schema_version": SCHEMA_VERSION,
-            "key": key,
-            "spec": spec,
-            "state_sha256": state_sha256 or state_digest(state),
-            "meta": dict(meta or {}),
-        }
-        np.savez(tmp_weights, **state)
         plan = active_plan()
-        if plan is not None and plan.tear("checkpoint", key):
-            # Injected torn write: commit a truncated .npz under intact
-            # metadata — the strongest corruption `get` must catch.
-            size = tmp_weights.stat().st_size
-            with open(tmp_weights, "r+b") as handle:
-                handle.truncate(max(1, size // 2))
-        os.replace(tmp_weights, weight_path)
-        tmp_meta.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
-        os.replace(tmp_meta, meta_path)
-        return meta_path
+        # Injected torn write: the record lands with a broken CRC under
+        # an intact frame — the strongest corruption `get` must catch.
+        corrupt = plan is not None and plan.tear("checkpoint", key)
+        return self._store.put(
+            key,
+            self._encode(key, spec, state, meta, state_sha256),
+            corrupt=corrupt,
+        )
 
     # -- maintenance -----------------------------------------------------------
 
-    def keys(self) -> "list[str]":
-        """Keys of every committed checkpoint on disk (sorted)."""
+    def legacy_keys(self) -> "list[str]":
+        """Keys still held as legacy two-file checkpoints (sorted)."""
+        from repro.runtime.store import INDEX_NAME
+
         if not self.root.is_dir():
             return []
         return sorted(
             p.stem
             for p in self.root.glob("*.json")
-            if self.weight_path(p.stem).exists()
+            if p.name != INDEX_NAME and self.weight_path(p.stem).exists()
         )
 
+    def keys(self) -> "list[str]":
+        """Keys of every committed checkpoint (sorted, no dir scan when
+        the root holds no legacy leftovers)."""
+        packed = self._store.keys()
+        legacy = self.legacy_keys()
+        if not legacy:
+            return packed
+        return sorted(set(packed) | set(legacy))
+
     def __len__(self) -> int:
+        legacy = self.legacy_keys()
+        if not legacy:
+            return len(self._store)
         return len(self.keys())
 
-    def prune(self, live_keys) -> int:
-        """Delete checkpoints not in ``live_keys``; returns files removed.
+    def flush(self) -> None:
+        """Publish the packed index (cheap; bounds the next recovery scan)."""
+        self._store.flush()
 
-        Also removes orphans (weights without metadata or vice versa)
-        and stale ``*.tmp.*`` write-temp files of crashed writers.
+    def prune(self, live_keys) -> int:
+        """Compact away checkpoints not in ``live_keys``; returns removals.
+
+        Packed dead entries are dropped by compaction; legacy leftovers
+        (dead pairs, orphans, stale ``*.tmp.*`` residue of crashed
+        pre-packed writers) are swept file by file as before.
         """
         live = set(live_keys)
         removed = 0
-        if not self.root.is_dir():
-            return removed
-        for path in list(self.root.glob("*.json")) + list(self.root.glob("*.npz")):
-            name = path.name
-            if ".tmp." in name:
-                continue  # handled by the sweep below
-            key = path.stem
-            if key in live:
-                # Never touch a live key, even half-committed: a
-                # concurrent writer may sit between its weight rename
-                # and its metadata commit, and a genuine crash residue
-                # is harmless (get() misses; the next put overwrites).
-                continue
-            path.unlink(missing_ok=True)
-            removed += 1
+        if self.root.is_dir():
+            for path in list(self.root.glob("*.json")) + list(
+                self.root.glob("*.npz")
+            ):
+                name = path.name
+                if ".tmp." in name or name == "index.json":
+                    continue  # temp residue handled by the sweep below
+                key = path.stem
+                if key in live:
+                    # Never touch a live key, even half-committed: a
+                    # legacy writer may have died between its weight
+                    # rename and its metadata commit, and the residue
+                    # is harmless (get() misses; the next put wins).
+                    continue
+                path.unlink(missing_ok=True)
+                removed += 1
+        removed += self._store.compact(live)
         return removed + sweep_stale_tmp(self.root)

@@ -230,6 +230,10 @@ class ExperimentEngine:
             faults=plan,
             health=health,
         )
+        if self.cache is not None:
+            # Publish the packed index so the next open recovers from a
+            # snapshot instead of rescanning every segment tail.
+            self.cache.flush()
         with tracer.span("assemble", "engine") if tracer else _null():
             run = self._assemble(
                 scenario, plan, planned, to_run, results, executed,

@@ -26,10 +26,24 @@ Fault kinds
     Sleep ``delay_s`` before the task body runs (exercises per-task
     timeouts).
 ``torn``
-    Corrupt a store write: the matching :class:`~repro.runtime.cache.
-    ResultCache` / :class:`~repro.runtime.checkpoints.CheckpointStore`
-    entry lands truncated on disk, as if the writer died mid-write.
-    The next reader quarantines it and recomputes.
+    Corrupt a store write.  Four label families select what tears:
+
+    - ``cache:<key>`` / ``checkpoint:<key>`` — the matching
+      :class:`~repro.runtime.cache.ResultCache` /
+      :class:`~repro.runtime.checkpoints.CheckpointStore` entry lands
+      with a broken record CRC, as if the writer died mid-write after
+      queueing the index publish.  The next reader quarantines it and
+      recomputes.
+    - ``segment:<segment-name>`` — the packed store's append to that
+      segment (``seg-<gen>-<seq>.seg``) lands as a torn, unindexed
+      tail, exactly what a worker killed mid-``write`` leaves behind.
+      The next open's recovery scan truncates the tail and the lost
+      point is recomputed.
+    - ``index:<store-label>`` — the packed store's index snapshot for
+      that store (``index:cache`` / ``index:checkpoint``) lands
+      unparseable, forcing the next open into the full
+      rebuild-from-segments scan.  Tear it during ``prune`` to
+      exercise crash-mid-compaction recovery.
 
 Rule selection is deterministic end to end: a rule applies to a target
 (task id or ``store:key`` label) when the target matches ``match``
@@ -100,8 +114,10 @@ class FaultRule:
     kind:
         ``"error"``, ``"crash"``, ``"delay"``, or ``"torn"``.
     match:
-        fnmatch glob over the target — a task id for task faults, a
-        ``"cache:<key>"`` / ``"checkpoint:<key>"`` label for ``torn``.
+        fnmatch glob over the target — a task id for task faults; a
+        ``"cache:<key>"`` / ``"checkpoint:<key>"`` /
+        ``"segment:<name>"`` / ``"index:<store-label>"`` label for
+        ``torn``.
     count:
         How many attempts (or store writes) of each selected target
         fire, counted from zero.

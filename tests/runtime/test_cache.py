@@ -101,29 +101,69 @@ class TestResultCache:
         assert len(cache) == 1
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
+        # Flip a byte inside the committed record: the CRC check must
+        # catch it, quarantine the entry, and report a miss.
         cache = ResultCache(tmp_path)
         key = task_key({"x": 2}, "v")
-        cache.put(key, {"x": 2}, {"ber": 0.5})
-        cache.path(key).write_text("{not json")
+        segment = cache.put(key, {"x": 2}, {"ber": 0.5})
+        location = cache._store._entries[key]
+        with open(segment, "r+b") as handle:
+            handle.seek(location.offset + location.length - 1)
+            handle.write(b"\xff")  # last value byte is JSON's "}"
         assert cache.get(key) is None
+        assert cache.health.quarantined == 1
+        assert cache.keys() == []
 
     def test_key_mismatch_is_a_miss(self, tmp_path):
-        # A renamed/copied file must not serve a result for the wrong key.
+        # An index entry pointing at another key's record (snapshot
+        # corruption) must not serve a result for the wrong key.
         cache = ResultCache(tmp_path)
         key = task_key({"x": 3}, "v")
         other = task_key({"x": 4}, "v")
         cache.put(key, {"x": 3}, {"ber": 0.125})
-        cache.path(other).write_text(cache.path(key).read_text())
+        cache._store._entries[other] = cache._store._entries[key]
         assert cache.get(other) is None
+        assert cache.health.quarantined == 1
+        assert cache.get(key) == {"ber": 0.125}
 
     def test_entry_layout(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = task_key({"x": 5}, "v")
-        path = cache.put(key, {"x": 5}, {"ber": 0.0})
-        payload = json.loads(path.read_text())
+        cache.put(key, {"x": 5}, {"ber": 0.0})
+        payload = json.loads(cache._store.get(key).decode())
         assert payload["schema_version"] == 1
         assert payload["key"] == key
         assert payload["spec"] == {"x": 5}
+
+    def test_legacy_entry_absorbed_on_first_get(self, tmp_path):
+        # Pre-packed roots hold one <key>.json per entry; get must
+        # serve it byte-identically, pack it, and retire the file.
+        from repro.runtime.cache import result_digest
+
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 6}, "v")
+        payload = {
+            "schema_version": 1,
+            "key": key,
+            "spec": {"x": 6},
+            "result": {"ber": 0.0625},
+            "result_sha256": result_digest({"ber": 0.0625}),
+        }
+        cache.path(key).write_text(json.dumps(payload))
+        assert cache.keys() == [key]  # visible before absorption
+        assert cache.get(key) == {"ber": 0.0625}
+        assert not cache.path(key).exists()
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(key) == {"ber": 0.0625}
+
+    def test_corrupt_legacy_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_key({"x": 7}, "v")
+        cache.path(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.health.quarantined == 1
+        assert (tmp_path / "quarantine" / f"{key}.json").exists()
+        assert cache.keys() == []
 
     def test_prune(self, tmp_path):
         cache = ResultCache(tmp_path)

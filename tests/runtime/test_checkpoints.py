@@ -43,6 +43,22 @@ def _key(i: int) -> str:
     return task_key({"x": i}, "v", kind=CHECKPOINT_KIND)
 
 
+def _legacy_put(store, key, spec, state, meta=None) -> None:
+    """Write a pre-packed two-file checkpoint (<key>.json + <key>.npz)."""
+    from repro.runtime.hashing import state_digest
+
+    payload = {
+        "schema_version": 1,
+        "key": key,
+        "spec": spec,
+        "state_sha256": state_digest(state),
+        "meta": dict(meta or {}),
+    }
+    store.root.mkdir(parents=True, exist_ok=True)
+    np.savez(store.weight_path(key), **state)
+    store.meta_path(key).write_text(json.dumps(payload, sort_keys=True))
+
+
 class TestCheckpointStore:
     def test_round_trip(self, tmp_path):
         store = CheckpointStore(tmp_path / "ckpt")
@@ -61,10 +77,28 @@ class TestCheckpointStore:
         assert store.keys() == [key]
         assert len(store) == 1
 
+    def test_legacy_pair_absorbed_on_first_get(self, tmp_path):
+        # Pre-packed roots hold <key>.json + <key>.npz pairs; get must
+        # serve them bit-identically, pack them, and retire the files.
+        store = CheckpointStore(tmp_path)
+        key = _key(20)
+        state = _state(3)
+        _legacy_put(store, key, {"x": 20}, state, meta={"v": 3})
+        assert store.keys() == [key]  # visible before absorption
+        loaded = store.get(key)
+        assert loaded is not None and loaded.meta == {"v": 3}
+        np.testing.assert_array_equal(loaded.state["p0.bias"], state["p0.bias"])
+        assert not store.meta_path(key).exists()
+        assert not store.weight_path(key).exists()
+        reopened = CheckpointStore(tmp_path)
+        again = reopened.get(key)
+        assert again is not None
+        assert again.state_sha256 == loaded.state_sha256
+
     def test_missing_weights_is_a_miss(self, tmp_path):
         store = CheckpointStore(tmp_path)
         key = _key(2)
-        store.put(key, {"x": 2}, _state())
+        _legacy_put(store, key, {"x": 2}, _state())
         store.weight_path(key).unlink()
         assert store.get(key) is None
         assert store.keys() == []
@@ -74,7 +108,7 @@ class TestCheckpointStore:
         # not be served — retraining beats silently loading a wrong model.
         store = CheckpointStore(tmp_path)
         key = _key(3)
-        store.put(key, {"x": 3}, _state())
+        _legacy_put(store, key, {"x": 3}, _state())
         other = _state(seed=9)
         np.savez(store.weight_path(key), **other)
         assert store.get(key) is None
@@ -85,33 +119,52 @@ class TestCheckpointStore:
         # (retrain), never propagate into a warm rebuild.
         store = CheckpointStore(tmp_path)
         key = _key(10)
-        store.put(key, {"x": 10}, _state())
+        _legacy_put(store, key, {"x": 10}, _state())
         raw = store.weight_path(key).read_bytes()
         store.weight_path(key).write_bytes(raw[: len(raw) // 2])
         assert store.get(key) is None
-        store.weight_path(key).write_bytes(b"PK")  # zip magic, no content
+        _legacy_put(store, _key(11), {"x": 11}, _state())
+        store.weight_path(_key(11)).write_bytes(b"PK")  # zip magic only
+        assert store.get(_key(11)) is None
+
+    def test_corrupted_record_is_a_miss(self, tmp_path):
+        # Same contract for the packed layout: a record whose bytes no
+        # longer pass the CRC is quarantined, never served.
+        store = CheckpointStore(tmp_path)
+        key = _key(13)
+        segment = store.put(key, {"x": 13}, _state())
+        location = store._store._entries[key]
+        with open(segment, "r+b") as handle:
+            handle.seek(location.offset + location.length - 3)
+            handle.write(b"\xff\xff\xff")
         assert store.get(key) is None
+        assert store.health.quarantined == 1
+        assert store.keys() == []
 
     def test_corrupt_meta_is_a_miss(self, tmp_path):
         store = CheckpointStore(tmp_path)
         key = _key(4)
-        store.put(key, {"x": 4}, _state())
+        _legacy_put(store, key, {"x": 4}, _state())
         store.meta_path(key).write_text("{not json")
         assert store.get(key) is None
 
     def test_key_mismatch_is_a_miss(self, tmp_path):
         store = CheckpointStore(tmp_path)
         key, other = _key(5), _key(6)
-        store.put(key, {"x": 5}, _state())
+        _legacy_put(store, key, {"x": 5}, _state())
         store.meta_path(other).write_text(store.meta_path(key).read_text())
         np.savez(store.weight_path(other), **_state())
         assert store.get(other) is None
 
     def test_meta_layout(self, tmp_path):
+        import struct
+
         store = CheckpointStore(tmp_path)
         key = _key(7)
-        path = store.put(key, {"x": 7}, _state(), meta={"widths": [4, 2, 4]})
-        payload = json.loads(path.read_text())
+        store.put(key, {"x": 7}, _state(), meta={"widths": [4, 2, 4]})
+        raw = store._store.get(key)
+        (meta_len,) = struct.unpack("<I", raw[:4])
+        payload = json.loads(raw[4 : 4 + meta_len].decode())
         assert payload["schema_version"] == 1
         assert payload["key"] == key
         assert payload["spec"] == {"x": 7}
@@ -129,8 +182,8 @@ class TestCheckpointStore:
         leftover.write_text("{interrupted")
         backdate(leftover)
         removed = store.prune(keys[:1])
-        # 2 dead checkpoints x 2 files + 1 orphan + 1 temp file.
-        assert removed == 6
+        # 2 dead packed records + 1 legacy orphan + 1 temp file.
+        assert removed == 4
         assert store.keys() == [keys[0]]
         assert store.get(keys[0]) is not None
 

@@ -308,9 +308,10 @@ class TestPoolRecovery:
 
 
 class TestStoreQuarantine:
-    def test_corrupt_cache_entry_is_quarantined(self, tmp_path):
+    def test_corrupt_legacy_cache_entry_is_quarantined(self, tmp_path):
+        # A pre-packed root's corrupt <key>.json is moved aside on
+        # first touch instead of being absorbed.
         cache = ResultCache(tmp_path)
-        cache.put("k1", {"spec": 1}, {"ber": 0.5})
         cache.path("k1").write_text("{ totally not json")
         assert cache.get("k1") is None
         assert cache.health.quarantined == 1
@@ -319,13 +320,31 @@ class TestStoreQuarantine:
         assert cache.keys() == []  # quarantine/ is unaddressable
 
     def test_digest_mismatch_is_quarantined(self, tmp_path):
+        from repro.runtime.cache import result_digest
+
         cache = ResultCache(tmp_path)
-        cache.put("k1", {"spec": 1}, {"ber": 0.5})
-        payload = json.loads(cache.path("k1").read_text())
-        payload["result"]["ber"] = 0.25  # bit-rot: result no longer
-        cache.path("k1").write_text(json.dumps(payload))  # matches digest
+        payload = {
+            "schema_version": 1,
+            "key": "k1",
+            "spec": {"spec": 1},
+            "result": {"ber": 0.25},  # bit-rot: result no longer
+            "result_sha256": result_digest({"ber": 0.5}),  # matches digest
+        }
+        cache.path("k1").write_text(json.dumps(payload))
         assert cache.get("k1") is None
         assert cache.health.quarantined == 1
+
+    def test_packed_digest_mismatch_is_quarantined(self, tmp_path):
+        # Same contract inside a packed record: an entry whose payload
+        # fails the result_sha256 check is tombstoned + counted.
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"spec": 1}, {"ber": 0.5})
+        raw = cache._store.get("k1")
+        doctored = raw.replace(b'"ber":0.5', b'"ber":0.7')
+        cache._store.put("k1", doctored)
+        assert cache.get("k1") is None
+        assert cache.health.quarantined == 1
+        assert cache.keys() == []
 
     def test_missing_entry_is_a_plain_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -349,10 +368,9 @@ class TestStoreQuarantine:
         install(plan)
         store = CheckpointStore(tmp_path)
         state = {"w": np.arange(6.0), "b": np.zeros(3)}
-        store.put("k1", {"spec": 1}, state)  # .npz lands truncated
+        store.put("k1", {"spec": 1}, state)  # record lands torn
         assert store.get("k1") is None
         assert store.health.quarantined == 1
-        assert (tmp_path / "quarantine").is_dir()
         store.put("k1", {"spec": 1}, state)
         loaded = store.get("k1")
         assert loaded is not None
@@ -361,14 +379,24 @@ class TestStoreQuarantine:
     def test_checkpoint_digest_mismatch_quarantines_both_files(
         self, tmp_path
     ):
+        from repro.runtime.hashing import state_digest
+
         store = CheckpointStore(tmp_path)
         state = {"w": np.arange(4.0)}
-        store.put("k1", {"spec": 1}, state)
-        np.savez(tmp_path / "k1.npz", w=np.zeros(4))  # swap the weights
+        payload = {
+            "schema_version": 1,
+            "key": "k1",
+            "spec": {"spec": 1},
+            "state_sha256": state_digest(state),
+            "meta": {},
+        }
+        (tmp_path / "k1.json").write_text(json.dumps(payload))
+        np.savez(tmp_path / "k1.npz", w=np.zeros(4))  # swapped weights
         assert store.get("k1") is None
         assert not (tmp_path / "k1.npz").exists()
         assert not (tmp_path / "k1.json").exists()
         assert (tmp_path / "quarantine" / "k1.npz").exists()
+        assert (tmp_path / "quarantine" / "k1.json").exists()
 
     def test_vanished_spool_file_is_rehydrated(self, tmp_path):
         clear_payload_cache()

@@ -1,0 +1,572 @@
+"""Tests for the packed segment store (crash safety, recovery, migration).
+
+The commit protocol under test: a record is committed once its CRC
+frame is fully on disk; the index snapshot lags the data, never leads
+it.  Killing a writer at *any* byte of the protocol must leave a store
+that opens clean, serves every committed record, and drops only the
+torn tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache, result_digest
+from repro.runtime.checkpoints import CheckpointStore
+from repro.runtime.faults import FaultPlan, FaultRule, install
+from repro.runtime.store import (
+    INDEX_NAME,
+    SegmentStore,
+    default_segment_bytes,
+    default_snapshot_every,
+    migrate,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_installed_plan():
+    yield
+    install(None)
+
+
+def _child_env() -> dict:
+    """Subprocess environment with this checkout's src on PYTHONPATH."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestSegmentStore:
+    def test_round_trip_and_overwrite(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        assert store.get("a") is None
+        store.put("a", b"one")
+        store.put("b", b"two")
+        store.put("a", b"three")  # last writer wins
+        assert store.get("a") == b"three"
+        assert store.get("b") == b"two"
+        assert store.keys() == ["a", "b"]
+        assert len(store) == 2
+
+    def test_delete_and_contains(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.put("a", b"x")
+        assert store.delete("a") is True
+        assert store.delete("a") is False
+        assert store.get("a") is None
+        assert store.contains("a")  # tombstoned, still indexed
+        assert store.keys() == []
+        store.put("a", b"y")  # a re-put revives the key
+        assert store.get("a") == b"y"
+
+    def test_missing_root_reads_are_cheap_noops(self, tmp_path):
+        store = SegmentStore(tmp_path / "never-written")
+        assert store.get("a") is None
+        assert store.keys() == []
+        assert len(store) == 0
+        store.flush()
+        assert not (tmp_path / "never-written").exists()
+
+    def test_segments_roll_at_the_size_bound(self, tmp_path):
+        store = SegmentStore(tmp_path, segment_bytes=128)
+        for i in range(20):
+            store.put(f"k{i:02d}", b"v" * 40)
+        assert len(list((tmp_path / "segments").glob("*.seg"))) > 1
+        for i in range(20):
+            assert store.get(f"k{i:02d}") == b"v" * 40
+        reopened = SegmentStore(tmp_path, segment_bytes=128)
+        assert reopened.keys() == store.keys()
+
+    def test_oversized_key_rejected(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.put("k" * 70000, b"v")
+
+
+class TestRecovery:
+    def test_reopen_without_flush_recovers_everything(self, tmp_path):
+        # Crash before any index publish: the snapshot never existed.
+        store = SegmentStore(tmp_path)
+        for i in range(5):
+            store.put(f"k{i}", f"v{i}".encode())
+        assert not (tmp_path / INDEX_NAME).exists()
+        reopened = SegmentStore(tmp_path)
+        assert reopened.keys() == sorted(f"k{i}" for i in range(5))
+        assert reopened.get("k3") == b"v3"
+        assert reopened.health.recovered == 5
+        assert reopened.health.truncated == 0
+
+    def test_stale_snapshot_recovers_the_tail(self, tmp_path):
+        # Crash after a publish but before the next one: the index
+        # lags; the scan picks up exactly the unsnapshotted records.
+        store = SegmentStore(tmp_path)
+        store.put("a", b"1")
+        store.flush()
+        store.put("b", b"2")
+        store.put("a", b"3")
+        reopened = SegmentStore(tmp_path)
+        assert reopened.get("a") == b"3"
+        assert reopened.get("b") == b"2"
+        assert reopened.health.recovered == 2
+
+    def test_lost_index_triggers_full_rebuild(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        for i in range(4):
+            store.put(f"k{i}", f"v{i}".encode())
+        store.delete("k0")
+        store.flush()
+        (tmp_path / INDEX_NAME).unlink()
+        reopened = SegmentStore(tmp_path)
+        assert reopened.keys() == ["k1", "k2", "k3"]
+        assert not reopened.contains("k0") or reopened.get("k0") is None
+        assert reopened.get("k2") == b"v2"
+
+    def test_garbled_index_triggers_full_rebuild(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.put("a", b"1")
+        store.flush()
+        (tmp_path / INDEX_NAME).write_text("{half a snapsh")
+        reopened = SegmentStore(tmp_path)
+        assert reopened.get("a") == b"1"
+
+    def test_crash_at_every_byte_of_an_append(self, tmp_path):
+        # Commit-protocol sweep: kill the writer at *every* byte of the
+        # third record's append.  However much of the frame landed, the
+        # reopened store must serve both committed records and never a
+        # partial third.
+        store = SegmentStore(tmp_path)
+        store.put("a", b"alpha")
+        segment = store.put("b", b"beta")
+        committed = segment.stat().st_size
+        store.put("c", b"gamma")
+        full = segment.stat().st_size
+        store.close()
+        pristine = segment.read_bytes()
+        for cut in range(committed, full):
+            shutil.rmtree(tmp_path / "scratch", ignore_errors=True)
+            scratch = tmp_path / "scratch"
+            scratch.mkdir()
+            (scratch / "segments").mkdir()
+            seg_copy = scratch / "segments" / segment.name
+            seg_copy.write_bytes(pristine[:cut])
+            reopened = SegmentStore(scratch)
+            assert reopened.get("a") == b"alpha"
+            assert reopened.get("b") == b"beta"
+            assert reopened.get("c") is None, f"partial record served at {cut}"
+            if cut > committed:
+                assert reopened.health.truncated == 1
+            assert seg_copy.stat().st_size == committed  # tail dropped
+            reopened.close()
+
+    def test_mid_segment_bit_rot_is_skipped_not_served(self, tmp_path):
+        # A CRC failure *under* later valid records is bit rot, not a
+        # torn tail: the scan must skip it and keep the records after.
+        store = SegmentStore(tmp_path)
+        store.put("a", b"alpha")
+        segment = store.put("b", b"beta")
+        rot_end = segment.stat().st_size
+        store.put("c", b"gamma")
+        store.close()
+        with open(segment, "r+b") as handle:
+            handle.seek(rot_end - 2)
+            handle.write(b"\xff\xff")
+        (tmp_path / INDEX_NAME).unlink()
+        reopened = SegmentStore(tmp_path)
+        assert reopened.get("a") == b"alpha"
+        assert reopened.get("b") is None
+        assert reopened.get("c") == b"gamma"
+        assert reopened.health.truncated == 0
+
+    def test_tombstones_survive_reopen(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        store.put("a", b"1")
+        store.quarantine("a")
+        assert store.health.quarantined == 1
+        reopened = SegmentStore(tmp_path)
+        assert reopened.get("a") is None
+        assert reopened.contains("a")
+
+    def test_worker_killed_mid_run_loses_nothing_committed(self, tmp_path):
+        # A real os._exit (no flush, no close, no atexit) after five
+        # puts: every one of them must be served on the next open.
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.runtime.store import SegmentStore
+            store = SegmentStore(sys.argv[1])
+            for i in range(5):
+                store.put(f"k{i}", f"v{i}".encode())
+            os._exit(1)
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            env=_child_env(),
+            timeout=60,
+        )
+        assert proc.returncode == 1
+        store = SegmentStore(tmp_path)
+        assert store.keys() == sorted(f"k{i}" for i in range(5))
+        assert store.get("k4") == b"v4"
+
+
+class TestCompaction:
+    def test_compact_drops_dead_records_and_tombstones(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        for i in range(6):
+            store.put(f"k{i}", f"v{i}".encode())
+        store.put("k0", b"v0-new")
+        store.delete("k5")
+        dropped = store.compact(["k0", "k1", "k2"])
+        assert dropped == 2  # k3, k4 (k5 was already tombstoned)
+        assert store.keys() == ["k0", "k1", "k2"]
+        assert store.get("k0") == b"v0-new"
+        assert store.health.compactions == 1
+        # Exactly one fresh generation remains on disk.
+        names = sorted(p.name for p in (tmp_path / "segments").iterdir())
+        assert all(name.startswith("seg-00000001-") for name in names)
+        reopened = SegmentStore(tmp_path)
+        assert reopened.keys() == ["k0", "k1", "k2"]
+        assert reopened.get("k2") == b"v2"
+
+    def test_crashed_compaction_orphans_are_discarded(self, tmp_path):
+        # A compactor died after writing new-generation segments but
+        # before publishing the index: the orphans must be discarded
+        # and the indexed generation served untouched.
+        store = SegmentStore(tmp_path)
+        store.put("a", b"1")
+        store.put("b", b"2")
+        store.flush()
+        orphan = tmp_path / "segments" / "seg-00000001-00000000.seg"
+        orphan.write_bytes(b"half-written compaction output")
+        reopened = SegmentStore(tmp_path)
+        assert reopened.get("a") == b"1"
+        assert reopened.get("b") == b"2"
+        assert not orphan.exists()
+
+    def test_index_torn_during_compaction_still_recovers(self, tmp_path):
+        # Crash *during* the publish itself: the snapshot lands
+        # unparseable, but the new generation's segments were fsync'd
+        # first, so the rebuild scan serves every live record.
+        store = SegmentStore(tmp_path, label="cache")
+        for i in range(4):
+            store.put(f"k{i}", f"v{i}".encode())
+        install(FaultPlan([FaultRule(kind="torn", match="index:cache")]))
+        store.compact(["k0", "k1"])
+        install(None)
+        store.close()
+        reopened = SegmentStore(tmp_path, label="cache")
+        assert reopened.keys() == ["k0", "k1"]
+        assert reopened.get("k1") == b"v1"
+
+
+class TestFaultLabels:
+    def test_segment_label_tears_the_append(self, tmp_path):
+        install(
+            FaultPlan(
+                [
+                    FaultRule(
+                        kind="torn",
+                        match="segment:seg-00000000-00000000.seg",
+                    )
+                ]
+            )
+        )
+        store = SegmentStore(tmp_path)
+        store.put("a", b"alpha")  # lands as a torn, unindexed tail
+        assert store.get("a") is None
+        assert store.keys() == []
+        store.put("b", b"beta")  # rolled to a fresh segment: clean
+        assert store.get("b") == b"beta"
+        install(None)
+        reopened = SegmentStore(tmp_path)
+        assert reopened.get("a") is None
+        assert reopened.get("b") == b"beta"
+        assert reopened.health.truncated == 1
+
+    def test_index_label_tears_the_snapshot(self, tmp_path):
+        store = SegmentStore(tmp_path, label="checkpoint")
+        store.put("a", b"1")
+        install(FaultPlan([FaultRule(kind="torn", match="index:checkpoint")]))
+        store.flush()  # snapshot lands unparseable
+        install(None)
+        reopened = SegmentStore(tmp_path, label="checkpoint")
+        assert reopened.get("a") == b"1"
+        assert reopened.health.recovered == 1  # rebuilt, not snapshot-read
+
+    def test_env_grammar_reaches_the_store(self, tmp_path, monkeypatch):
+        from repro.runtime.faults import FAULTS_ENV, _parse_cached
+
+        _parse_cached.cache_clear()
+        monkeypatch.setenv(FAULTS_ENV, "torn,segment:*,count=1")
+        store = SegmentStore(tmp_path)
+        store.put("a", b"alpha")
+        assert store.get("a") is None
+        monkeypatch.delenv(FAULTS_ENV)
+        _parse_cached.cache_clear()
+
+
+class TestConcurrentWriters:
+    def test_two_processes_interleave_without_loss(self, tmp_path):
+        # Two writers race 40 puts each onto one root.  On reopen the
+        # snapshot-driven view and a full rebuild scan must agree, and
+        # every record from both writers must be present and intact.
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.runtime.store import SegmentStore
+            root, tag = sys.argv[1], sys.argv[2]
+            store = SegmentStore(root, segment_bytes=2048)
+            for i in range(40):
+                store.put(f"{tag}-{i:02d}", f"value-{tag}-{i:02d}".encode())
+            store.close()
+            """
+        )
+        children = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path), tag],
+                env=_child_env(),
+            )
+            for tag in ("a", "b")
+        ]
+        for child in children:
+            assert child.wait(timeout=120) == 0
+        expected = sorted(
+            f"{tag}-{i:02d}" for tag in ("a", "b") for i in range(40)
+        )
+        from_snapshot = SegmentStore(tmp_path, segment_bytes=2048)
+        assert from_snapshot.keys() == expected
+        values = {key: from_snapshot.get(key) for key in expected}
+        assert all(
+            values[key] == f"value-{key}".encode() for key in expected
+        )
+        from_snapshot.close()
+        # The index must agree with a full segment scan.
+        (tmp_path / INDEX_NAME).unlink()
+        rebuilt = SegmentStore(tmp_path, segment_bytes=2048)
+        assert rebuilt.keys() == expected
+        assert {key: rebuilt.get(key) for key in expected} == values
+        assert rebuilt.health.quarantined == 0
+        assert rebuilt.health.truncated == 0
+
+    def test_single_root_shared_by_two_handles_in_process(self, tmp_path):
+        # Same-process aliasing (two engine instances on one cache
+        # root): appends interleave through the catch-up path.
+        first = SegmentStore(tmp_path)
+        second = SegmentStore(tmp_path)
+        first.put("a", b"1")
+        second.put("b", b"2")
+        first.put("c", b"3")
+        first.flush()
+        second.refresh()
+        assert second.get("a") == b"1"
+        assert second.get("c") == b"3"
+        assert SegmentStore(tmp_path).keys() == ["a", "b", "c"]
+
+
+class TestMigration:
+    def test_cache_migration_is_byte_identical(self, tmp_path):
+        # Populate a legacy per-file root, migrate via the CLI, and
+        # check every result is served byte-identically afterwards.
+        results = {
+            f"key{i:02d}": {"ber": i / 16.0, "evm": [i, i + 1]}
+            for i in range(8)
+        }
+        for key, result in results.items():
+            payload = {
+                "schema_version": 1,
+                "key": key,
+                "spec": {"i": key},
+                "result": result,
+                "result_sha256": result_digest(result),
+            }
+            (tmp_path / f"{key}.json").write_text(json.dumps(payload))
+        (tmp_path / "badkey.json").write_text("{torn legacy entry")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.runtime.store",
+                "migrate",
+                str(tmp_path),
+            ],
+            env=_child_env(),
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(proc.stdout)
+        assert summary["kind"] == "cache"
+        assert summary["legacy_entries"] == 9
+        assert summary["migrated"] == 8
+        assert summary["quarantined"] == 1
+        assert summary["packed_entries"] == 8
+        # No per-file entries left behind (only the packed index).
+        assert [p.name for p in tmp_path.glob("*.json")] == [INDEX_NAME]
+        cache = ResultCache(tmp_path)
+        for key, result in results.items():
+            served = cache.get(key)
+            assert served == result
+            assert json.dumps(served, sort_keys=True) == json.dumps(
+                result, sort_keys=True
+            )
+        assert (tmp_path / "quarantine" / "badkey.json").exists()
+
+    def test_checkpoint_migration_preserves_state_bytes(self, tmp_path):
+        from repro.runtime.hashing import state_digest
+
+        rng = np.random.default_rng(7)
+        states = {
+            f"ck{i}": {
+                "w": rng.standard_normal((3, 2)),
+                "b": rng.standard_normal(2),
+            }
+            for i in range(3)
+        }
+        digests = {}
+        for key, state in states.items():
+            payload = {
+                "schema_version": 1,
+                "key": key,
+                "spec": {"k": key},
+                "state_sha256": state_digest(state),
+                "meta": {"tag": key},
+            }
+            np.savez(tmp_path / f"{key}.npz", **state)
+            (tmp_path / f"{key}.json").write_text(json.dumps(payload))
+            digests[key] = payload["state_sha256"]
+        summary = migrate(tmp_path)
+        assert summary["kind"] == "checkpoint"
+        assert summary["migrated"] == 3
+        assert summary["quarantined"] == 0
+        assert list(tmp_path.glob("*.npz")) == []
+        store = CheckpointStore(tmp_path)
+        for key, state in states.items():
+            loaded = store.get(key)
+            assert loaded is not None
+            assert loaded.state_sha256 == digests[key]
+            assert loaded.meta == {"tag": key}
+            for name in state:
+                np.testing.assert_array_equal(loaded.state[name], state[name])
+
+    def test_migrate_rejects_missing_root(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            migrate(tmp_path / "nope")
+
+
+class TestKnobs:
+    def test_segment_bytes_env(self, monkeypatch):
+        from repro.runtime import knobs
+
+        monkeypatch.delenv(knobs.STORE_SEGMENT_BYTES_ENV, raising=False)
+        assert default_segment_bytes() == 64 * 1024 * 1024
+        monkeypatch.setenv(knobs.STORE_SEGMENT_BYTES_ENV, "4096")
+        assert default_segment_bytes() == 4096
+        monkeypatch.setenv(knobs.STORE_SEGMENT_BYTES_ENV, "zero")
+        with pytest.raises(ConfigurationError):
+            default_segment_bytes()
+        monkeypatch.setenv(knobs.STORE_SEGMENT_BYTES_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            default_segment_bytes()
+
+    def test_snapshot_every_env(self, monkeypatch):
+        from repro.runtime import knobs
+
+        monkeypatch.delenv(knobs.STORE_SNAPSHOT_EVERY_ENV, raising=False)
+        assert default_snapshot_every() == 4096
+        monkeypatch.setenv(knobs.STORE_SNAPSHOT_EVERY_ENV, "7")
+        assert default_snapshot_every() == 7
+        monkeypatch.setenv(knobs.STORE_SNAPSHOT_EVERY_ENV, "-1")
+        with pytest.raises(ConfigurationError):
+            default_snapshot_every()
+
+    def test_snapshot_cadence_bounds_recovery(self, tmp_path):
+        store = SegmentStore(tmp_path, snapshot_every=3)
+        for i in range(7):
+            store.put(f"k{i}", b"v")
+        # Two snapshots happened (after puts 3 and 6); only the one
+        # post-snapshot record needs recovery on reopen.
+        reopened = SegmentStore(tmp_path, snapshot_every=3)
+        assert len(reopened) == 7
+        assert reopened.health.recovered == 1
+
+
+class TestWarmRerunAfterRecovery:
+    def _scenario(self):
+        from repro.config import SMOKE
+        from repro.runtime import (
+            Scenario,
+            dot11,
+            fidelity_to_dict,
+            ideal,
+            point,
+        )
+
+        return Scenario(
+            name="store-recovery-unit",
+            title="warm rerun after store recovery",
+            fidelity=fidelity_to_dict(SMOKE),
+            points=(
+                point(
+                    "802.11", "D1", dot11(), link={"snr_db": 20.0},
+                    ber_samples=6,
+                ),
+                point(
+                    "ideal", "D1", ideal(), link={"snr_db": 20.0},
+                    ber_samples=6,
+                ),
+            ),
+        )
+
+    def test_warm_rerun_after_index_loss_is_byte_identical(self, tmp_path):
+        # Acceptance: crash before the index publish, reopen, and the
+        # warm rerun is byte-identical with ZERO recomputed points.
+        from repro.runtime.engine import ExperimentEngine
+
+        scenario = self._scenario()
+        cold = ExperimentEngine(cache=ResultCache(tmp_path)).run(scenario)
+        (tmp_path / INDEX_NAME).unlink()  # the "crash"
+        warm = ExperimentEngine(cache=ResultCache(tmp_path)).run(scenario)
+        assert warm.n_executed == 0  # zero link simulations
+        assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
+            cold.to_dict(), sort_keys=True
+        )
+
+    def test_warm_rerun_after_torn_tail_recomputes_only_the_tail(
+        self, tmp_path
+    ):
+        from repro.runtime.engine import ExperimentEngine
+
+        scenario = self._scenario()
+        cache = ResultCache(tmp_path)
+        cold = ExperimentEngine(cache=cache).run(scenario)
+        # Tear the last committed record in half and lose the index —
+        # the worst crash an appending writer can leave behind.
+        (tmp_path / INDEX_NAME).unlink()
+        (segment,) = (tmp_path / "segments").glob("*.seg")
+        locations = sorted(
+            loc for loc in cache._store._entries.values() if loc is not None
+        )
+        last = locations[-1]
+        with open(segment, "r+b") as handle:
+            handle.truncate(last.offset + last.length // 2)
+        recovered = ResultCache(tmp_path)
+        warm = ExperimentEngine(cache=recovered).run(scenario)
+        assert recovered.health.truncated == 1
+        assert warm.n_executed == 1  # only the torn point recomputed
+        assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
+            cold.to_dict(), sort_keys=True
+        )
